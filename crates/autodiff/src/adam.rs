@@ -1,0 +1,131 @@
+//! Adam optimizer update as IR (Kingma & Ba; the optimizer used by all
+//! benchmark models, paper Appendix A.3).
+
+use partir_ir::{BinaryOp, FuncBuilder, IrError, ValueId};
+
+/// Adam hyper-parameters.
+///
+/// `step` enters the graph as a constant, fixing the bias-correction
+/// factors; this matches how a staged training step is traced for a given
+/// iteration and keeps the graph shape identical across steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical fuzz.
+    pub eps: f32,
+    /// Step number used for bias correction (1-based).
+    pub step: u32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 1,
+        }
+    }
+}
+
+/// Appends one Adam update for parameter `p` with gradient `g` and moments
+/// `(m, v)`; returns `(new_p, new_m, new_v)`.
+///
+/// The emitted arithmetic is all element-wise, which is what lets PartIR
+/// propagation *infer* optimizer-state sharding from parameter sharding
+/// (and vice versa — the key to the Z2/Z3 schedules, paper §5.2.2).
+///
+/// # Errors
+///
+/// Fails if the four value types disagree.
+pub fn adam_update(
+    b: &mut FuncBuilder,
+    p: ValueId,
+    g: ValueId,
+    m: ValueId,
+    v: ValueId,
+    cfg: &AdamConfig,
+) -> Result<(ValueId, ValueId, ValueId), IrError> {
+    let ty = b.ty(p).clone();
+    for other in [g, m, v] {
+        if b.ty(other) != &ty {
+            return Err(IrError::shape(
+                "adam_update",
+                format!("value type {} differs from parameter {ty}", b.ty(other)),
+            ));
+        }
+    }
+    // m' = b1 m + (1-b1) g
+    let m_scaled = b.binary_scalar(BinaryOp::Mul, m, cfg.beta1)?;
+    let g_scaled = b.binary_scalar(BinaryOp::Mul, g, 1.0 - cfg.beta1)?;
+    let new_m = b.add(m_scaled, g_scaled)?;
+    // v' = b2 v + (1-b2) g²
+    let g_sq = b.mul(g, g)?;
+    let v_scaled = b.binary_scalar(BinaryOp::Mul, v, cfg.beta2)?;
+    let g_sq_scaled = b.binary_scalar(BinaryOp::Mul, g_sq, 1.0 - cfg.beta2)?;
+    let new_v = b.add(v_scaled, g_sq_scaled)?;
+    // Bias-corrected update.
+    let m_corr = 1.0 - cfg.beta1.powi(cfg.step as i32);
+    let v_corr = 1.0 - cfg.beta2.powi(cfg.step as i32);
+    let m_hat = b.binary_scalar(BinaryOp::Div, new_m, m_corr)?;
+    let v_hat = b.binary_scalar(BinaryOp::Div, new_v, v_corr)?;
+    let denom0 = b.sqrt(v_hat)?;
+    let denom = b.binary_scalar(BinaryOp::Add, denom0, cfg.eps)?;
+    let step_dir = b.div(m_hat, denom)?;
+    let update = b.binary_scalar(BinaryOp::Mul, step_dir, cfg.lr)?;
+    let new_p = b.sub(p, update)?;
+    Ok((new_p, new_m, new_v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{interp, Literal, TensorType};
+
+    #[test]
+    fn adam_moves_parameter_against_gradient() {
+        let mut b = FuncBuilder::new("adam");
+        let ty = TensorType::f32([2]);
+        let p = b.param("p", ty.clone());
+        let g = b.param("g", ty.clone());
+        let m = b.param("m", ty.clone());
+        let v = b.param("v", ty.clone());
+        let cfg = AdamConfig::default();
+        let (np, nm, nv) = adam_update(&mut b, p, g, m, v, &cfg).unwrap();
+        let f = b.build([np, nm, nv]).unwrap();
+        let out = interp::interpret(
+            &f,
+            &[
+                Literal::from_f32(vec![1.0, -1.0], [2]).unwrap(),
+                Literal::from_f32(vec![2.0, -2.0], [2]).unwrap(),
+                Literal::zeros(&ty),
+                Literal::zeros(&ty),
+            ],
+        )
+        .unwrap();
+        let new_p = out[0].as_f32().unwrap();
+        // Positive gradient decreases the parameter and vice versa; with
+        // zero moments and step 1 the update is ±lr (up to eps).
+        assert!(new_p[0] < 1.0 && (1.0 - new_p[0] - cfg.lr).abs() < 1e-4);
+        assert!(new_p[1] > -1.0);
+        // Moments moved toward the gradient statistics.
+        assert!(out[1].as_f32().unwrap()[0] > 0.0);
+        assert!(out[2].as_f32().unwrap()[0] > 0.0);
+    }
+
+    #[test]
+    fn adam_rejects_mismatched_types() {
+        let mut b = FuncBuilder::new("adam");
+        let p = b.param("p", TensorType::f32([2]));
+        let g = b.param("g", TensorType::f32([3]));
+        let m = b.param("m", TensorType::f32([2]));
+        let v = b.param("v", TensorType::f32([2]));
+        assert!(adam_update(&mut b, p, g, m, v, &AdamConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Finite-difference gradient checking for the VJP rules.
+//!
+//! Each case builds a scalar-loss function, differentiates it with
+//! `backward`, and compares the analytic gradient against central
+//! differences computed with the reference interpreter.
+
+use partir_autodiff::backward;
+use partir_ir::{
+    interp::interpret, BinaryOp, ConvDims, DotDims, FuncBuilder, IrError, Literal, TensorType,
+    UnaryOp, ValueId,
+};
+
+/// Builds `loss = f(params…)`, returns (func with results [loss, grads…]).
+fn build_with_grads(
+    param_tys: &[TensorType],
+    f: impl FnOnce(&mut FuncBuilder, &[ValueId]) -> Result<ValueId, IrError>,
+) -> partir_ir::Func {
+    let mut b = FuncBuilder::new("gradcheck");
+    let params: Vec<ValueId> = param_tys
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| b.param(format!("p{i}"), ty.clone()))
+        .collect();
+    let loss = f(&mut b, &params).expect("forward build");
+    let grads = backward(&mut b, loss, &params).expect("backward build");
+    let mut results = vec![loss];
+    results.extend(grads);
+    let func = b.build(results).expect("build");
+    partir_ir::verify::verify_func(&func, None).expect("verify");
+    func
+}
+
+/// Pseudo-random but deterministic inputs in a well-conditioned range.
+fn test_input(ty: &TensorType, salt: u64) -> Literal {
+    let n = ty.shape.num_elements();
+    let mut state = salt.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(12345);
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Map to (0.1, 1.1) to keep log/div/sqrt well behaved.
+            0.1 + ((state >> 33) as f32 / (u32::MAX >> 1) as f32).fract()
+        })
+        .collect();
+    Literal::from_f32(data, ty.shape.clone()).unwrap()
+}
+
+fn check_gradients(
+    param_tys: &[TensorType],
+    f: impl FnOnce(&mut FuncBuilder, &[ValueId]) -> Result<ValueId, IrError>,
+    tol: f32,
+) {
+    let func = build_with_grads(param_tys, f);
+    let inputs: Vec<Literal> = param_tys
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| test_input(ty, i as u64 + 1))
+        .collect();
+    let outputs = interpret(&func, &inputs).expect("interpret");
+    let eps = 1e-3f32;
+    for (pi, ty) in param_tys.iter().enumerate() {
+        let analytic = outputs[1 + pi].as_f32().unwrap().to_vec();
+        #[allow(clippy::needless_range_loop)] // e also indexes the inputs
+        for e in 0..ty.shape.num_elements() {
+            let mut plus = inputs.clone();
+            plus[pi].as_f32_mut().unwrap()[e] += eps;
+            let mut minus = inputs.clone();
+            minus[pi].as_f32_mut().unwrap()[e] -= eps;
+            let lp = interpret(&func, &plus).unwrap()[0].as_f32().unwrap()[0];
+            let lm = interpret(&func, &minus).unwrap()[0].as_f32().unwrap()[0];
+            let numeric = (lp - lm) / (2.0 * eps);
+            let diff = (analytic[e] - numeric).abs();
+            let scale = 1.0 + analytic[e].abs().max(numeric.abs());
+            assert!(
+                diff / scale < tol,
+                "param {pi} element {e}: analytic {} vs numeric {numeric}",
+                analytic[e]
+            );
+        }
+    }
+}
+
+fn t(dims: &[usize]) -> TensorType {
+    TensorType::f32(dims.to_vec())
+}
+
+#[test]
+fn grad_of_elementwise_unaries() {
+    for u in [
+        UnaryOp::Neg,
+        UnaryOp::Exp,
+        UnaryOp::Log,
+        UnaryOp::Tanh,
+        UnaryOp::Sqrt,
+        UnaryOp::Rsqrt,
+        UnaryOp::Logistic,
+        UnaryOp::Sin,
+        UnaryOp::Cos,
+    ] {
+        check_gradients(
+            &[t(&[3])],
+            |b, p| {
+                let y = b.unary(u, p[0])?;
+                b.reduce_sum(y, vec![0])
+            },
+            2e-2,
+        );
+    }
+}
+
+#[test]
+fn grad_of_elementwise_binaries() {
+    for op in [
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Max,
+        BinaryOp::Min,
+        BinaryOp::Pow,
+    ] {
+        check_gradients(
+            &[t(&[4]), t(&[4])],
+            |b, p| {
+                let y = b.binary(op, p[0], p[1])?;
+                let sq = b.mul(y, y)?;
+                b.reduce_sum(sq, vec![0])
+            },
+            2e-2,
+        );
+    }
+}
+
+#[test]
+fn grad_of_matmul_both_sides() {
+    check_gradients(
+        &[t(&[3, 4]), t(&[4, 2])],
+        |b, p| {
+            let y = b.matmul(p[0], p[1])?;
+            let sq = b.mul(y, y)?;
+            b.reduce_sum(sq, vec![0, 1])
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_of_batched_dot_with_free_dims() {
+    // Attention-like: [B, H, T, D] x [B, H, D, S].
+    check_gradients(
+        &[t(&[2, 2, 3, 4]), t(&[2, 2, 4, 3])],
+        |b, p| {
+            let y = b.dot(
+                p[0],
+                p[1],
+                DotDims {
+                    lhs_batch: vec![0, 1],
+                    rhs_batch: vec![0, 1],
+                    lhs_contract: vec![3],
+                    rhs_contract: vec![2],
+                },
+            )?;
+            let sq = b.mul(y, y)?;
+            b.reduce_sum(sq, vec![0, 1, 2, 3])
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_of_dot_with_contracting_dim_zero() {
+    // dw-style dot: contract over dim 0 of both (x^T @ dy shape).
+    check_gradients(
+        &[t(&[5, 3]), t(&[5, 2])],
+        |b, p| {
+            let y = b.dot(
+                p[0],
+                p[1],
+                DotDims {
+                    lhs_batch: vec![],
+                    rhs_batch: vec![],
+                    lhs_contract: vec![0],
+                    rhs_contract: vec![0],
+                },
+            )?;
+            let sq = b.mul(y, y)?;
+            b.reduce_sum(sq, vec![0, 1])
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_of_transpose_reshape_broadcast() {
+    check_gradients(
+        &[t(&[2, 3])],
+        |b, p| {
+            let tr = b.transpose(p[0], vec![1, 0])?;
+            let rs = b.reshape(tr, [6])?;
+            let sq = b.mul(rs, rs)?;
+            b.reduce_sum(sq, vec![0])
+        },
+        2e-2,
+    );
+    check_gradients(
+        &[t(&[3])],
+        |b, p| {
+            let bc = b.broadcast_in_dim(p[0], [2, 3], vec![1])?;
+            let sq = b.mul(bc, bc)?;
+            b.reduce_sum(sq, vec![0, 1])
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_of_reduce_max() {
+    check_gradients(
+        &[t(&[2, 4])],
+        |b, p| {
+            let m = b.reduce_max(p[0], vec![1])?;
+            let sq = b.mul(m, m)?;
+            b.reduce_sum(sq, vec![0])
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_of_slice_pad_concat() {
+    check_gradients(
+        &[t(&[6])],
+        |b, p| {
+            let head = b.slice(p[0], vec![0], vec![3])?;
+            let tail = b.slice(p[0], vec![3], vec![6])?;
+            let sum = b.add(head, tail)?;
+            let zero = b.const_f32(0.0)?;
+            let padded = b.pad(sum, zero, vec![1], vec![1])?;
+            let cat = b.concatenate(&[padded, sum], 0)?;
+            let sq = b.mul(cat, cat)?;
+            b.reduce_sum(sq, vec![0])
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_of_gather_scatter() {
+    check_gradients(
+        &[t(&[5, 2])],
+        |b, p| {
+            let idx = b.constant(Literal::from_i32(vec![1, 1, 4], [3]).unwrap())?;
+            let g = b.gather(p[0], idx, 0)?;
+            let s = b.scatter_add(g, idx, 0, 5)?;
+            let sq = b.mul(s, s)?;
+            b.reduce_sum(sq, vec![0, 1])
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_of_convolution() {
+    check_gradients(
+        &[t(&[1, 2, 5, 5]), t(&[3, 2, 3, 3])],
+        |b, p| {
+            let y = b.convolution(
+                p[0],
+                p[1],
+                ConvDims {
+                    strides: (2, 2),
+                    padding: (1, 1),
+                },
+            )?;
+            let sq = b.mul(y, y)?;
+            b.reduce_sum(sq, vec![0, 1, 2, 3])
+        },
+        3e-2,
+    );
+}
+
+#[test]
+fn grad_of_select_and_softmax_composition() {
+    check_gradients(
+        &[t(&[2, 3])],
+        |b, p| {
+            // Numerically-stable softmax then sum of squares.
+            let mx = b.reduce_max(p[0], vec![1])?;
+            let mxb = b.broadcast_in_dim(mx, [2, 3], vec![0])?;
+            let shifted = b.sub(p[0], mxb)?;
+            let e = b.exp(shifted)?;
+            let denom = b.reduce_sum(e, vec![1])?;
+            let denb = b.broadcast_in_dim(denom, [2, 3], vec![0])?;
+            let sm = b.div(e, denb)?;
+            let sq = b.mul(sm, sm)?;
+            b.reduce_sum(sq, vec![0, 1])
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn unused_parameter_gets_zero_gradient() {
+    let func = build_with_grads(&[t(&[2]), t(&[2])], |b, p| {
+        let sq = b.mul(p[0], p[0])?;
+        b.reduce_sum(sq, vec![0])
+    });
+    let out = interpret(
+        &func,
+        &[
+            Literal::from_f32(vec![1.0, 2.0], [2]).unwrap(),
+            Literal::from_f32(vec![5.0, 5.0], [2]).unwrap(),
+        ],
+    )
+    .unwrap();
+    assert_eq!(out[2].as_f32().unwrap(), &[0.0, 0.0]);
+}
+
+#[test]
+fn backward_requires_scalar_loss() {
+    let mut b = FuncBuilder::new("bad");
+    let x = b.param("x", t(&[2]));
+    let err = backward(&mut b, x, &[x]).unwrap_err();
+    assert!(matches!(err, IrError::Invalid(_)));
+}

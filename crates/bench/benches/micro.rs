@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the PartIR-rs compiler stack:
+//! propagation, SPMD lowering, collective fusion, the analytical
+//! simulator and the end-to-end `partir_jit`.
+//!
+//! Run with: `cargo bench -p partir-bench`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use partir_core::Partitioning;
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_models::transformer::TransformerConfig;
+use partir_sched::{partir_jit, Schedule};
+use partir_sim::{SimConfig, Simulator};
+
+fn machine() -> HardwareConfig {
+    HardwareConfig::tpu_v3_pod(Mesh::new([(BATCH, 4), (MODEL, 2)]).unwrap())
+}
+
+fn transformer_func(layers: usize) -> partir_ir::Func {
+    let cfg = TransformerConfig {
+        layers,
+        ..TransformerConfig::tiny()
+    };
+    partir_models::transformer::build_train_step(&cfg)
+        .expect("model builds")
+        .func
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let func = transformer_func(4);
+    let hw = machine();
+    let x = func.param_by_name("tokens").unwrap();
+    c.bench_function("propagate/transformer-4L", |b| {
+        b.iter(|| {
+            let mut part = Partitioning::new(&func, hw.mesh.clone()).unwrap();
+            part.tile(&func, x, 0, &BATCH.into()).unwrap();
+            let report = part.propagate(&func);
+            assert!(report.conflicts.is_empty());
+            part
+        })
+    });
+}
+
+fn bench_lowering_and_fusion(c: &mut Criterion) {
+    let func = transformer_func(4);
+    let hw = machine();
+    let x = func.param_by_name("tokens").unwrap();
+    let mut part = Partitioning::new(&func, hw.mesh.clone()).unwrap();
+    part.tile(&func, x, 0, &BATCH.into()).unwrap();
+    part.propagate(&func);
+    c.bench_function("lower/transformer-4L", |b| {
+        b.iter(|| partir_spmd::lower(&func, &part).unwrap())
+    });
+    let program = partir_spmd::lower(&func, &part).unwrap();
+    c.bench_function("fuse/transformer-4L", |b| {
+        b.iter(|| program.fused().unwrap())
+    });
+    let fused = program.fused().unwrap();
+    c.bench_function("simulate/transformer-4L", |b| {
+        let sim = Simulator::new(&hw, SimConfig::default());
+        b.iter(|| sim.simulate(fused.func()).unwrap())
+    });
+}
+
+fn bench_end_to_end_jit(c: &mut Criterion) {
+    let func = transformer_func(2);
+    let hw = machine();
+    let schedule = Schedule::new([
+        schedules::t_bp(),
+        schedules::t_mp(),
+        schedules::t_z3(),
+    ]);
+    c.bench_function("partir_jit/transformer-2L-BP+MP+Z3", |b| {
+        b.iter(|| partir_jit(&func, &hw, &schedule).unwrap())
+    });
+}
+
+fn bench_tmr_queries(c: &mut Criterion) {
+    let func = transformer_func(2);
+    c.bench_function("tmr/whole-function", |b| {
+        b.iter(|| {
+            func.op_ids()
+                .map(|op| partir_core::tmr_entries(&func, op).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_propagation, bench_lowering_and_fusion, bench_end_to_end_jit, bench_tmr_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates **Figure 11** (Appendix A.5.3): automatic-partitioning
+//! search time versus manual partitioning time, as the number of axes
+//! (and hence the decision space) grows.
+//!
+//! Run with: `cargo run --release -p partir-bench --bin fig11 [--json]`
+
+use std::time::Instant;
+
+use partir_bench::{emit, ms, tpu_mesh, Row};
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_models::{gns::GnsConfig, unet::UNetConfig};
+use partir_sched::{partir_jit, AutomaticPartition, Schedule};
+
+fn time_schedule(func: &partir_ir::Func, schedule: &Schedule) -> f64 {
+    let hw = tpu_mesh(8, 4);
+    let start = Instant::now();
+    let _ = partir_jit(func, &hw, schedule).expect("schedule applies");
+    ms(start.elapsed())
+}
+
+fn run_model(rows: &mut Vec<Row>, name: &str, func: &partir_ir::Func, manual: Schedule) {
+    rows.push(
+        Row::new("fig11", name, "manual").metric("time_ms", time_schedule(func, &manual)),
+    );
+    for (axes, label) in [(vec![MODEL], "auto-1axis"), (vec![BATCH, MODEL], "auto-2axes")] {
+        for budget in [8usize, 16, 32] {
+            let schedule = Schedule::new([AutomaticPartition::new(
+                format!("auto{budget}"),
+                axes.clone(),
+            )
+            .with_budget(budget)
+            .into()]);
+            rows.push(
+                Row::new("fig11", name, &format!("{label}-b{budget}"))
+                    .metric("time_ms", time_schedule(func, &schedule)),
+            );
+        }
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    let gns = partir_models::gns::build_train_step(&GnsConfig::paper()).expect("GNS");
+    run_model(
+        &mut rows,
+        "GNS",
+        &gns.func,
+        Schedule::new([schedules::g_es()]),
+    );
+
+    let unet = partir_models::unet::build_train_step(&UNetConfig::paper()).expect("UNet");
+    run_model(
+        &mut rows,
+        "UNet",
+        &unet.func,
+        Schedule::new([schedules::u_bp(), schedules::u_z3()]),
+    );
+
+    emit(&rows);
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Figure 9** (Appendix A.5.1): analytical runtime
+//! estimates versus "measured" runtime, per model and schedule, on a
+//! 32-device mesh. Closer to zero is better.
+//!
+//! The measured side is the event-level execution model (dispatch
+//! overheads, async overlap, deterministic jitter) standing in for
+//! TPUv3 hardware — see DESIGN.md substitutions.
+//!
+//! Run with: `cargo run --release -p partir-bench --bin fig9 [--json]`
+
+use partir_bench::{emit, tpu_mesh, Row};
+use partir_models::schedules;
+use partir_models::{
+    gns::GnsConfig, itransformer::ITransformerConfig, transformer::TransformerConfig,
+    unet::UNetConfig,
+};
+use partir_sched::{partir_jit, Schedule};
+use partir_sim::event::{measure, EventConfig};
+use partir_sim::{SimConfig, Simulator};
+
+fn run_rows(
+    rows: &mut Vec<Row>,
+    model_name: &str,
+    func: &partir_ir::Func,
+    schedules: Vec<(&'static str, Schedule)>,
+) {
+    let hw = tpu_mesh(8, 4);
+    let sim = Simulator::new(&hw, SimConfig::default());
+    for (name, schedule) in schedules {
+        match partir_jit(func, &hw, &schedule) {
+            Ok(jitted) => {
+                let est = sim.simulate(jitted.program.func()).expect("estimate");
+                let meas = measure(jitted.program.func(), &hw, &EventConfig::default())
+                    .expect("measurement model");
+                rows.push(
+                    Row::new("fig9", model_name, name)
+                        .metric("estimated_ms", est.runtime_s * 1e3)
+                        .metric("measured_ms", meas.runtime_s * 1e3)
+                        .metric("error_ms", (est.runtime_s - meas.runtime_s) * 1e3),
+                );
+            }
+            Err(e) => eprintln!("{model_name} {name}: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    let t32 =
+        partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
+    run_rows(&mut rows, "T32", &t32.func, schedules::transformer_table2());
+
+    let it32 = partir_models::itransformer::build_serving(&ITransformerConfig::it32(4))
+        .expect("IT32");
+    run_rows(
+        &mut rows,
+        "IT32",
+        &it32.func,
+        schedules::itransformer_table2(),
+    );
+
+    let unet = partir_models::unet::build_train_step(&UNetConfig::paper()).expect("UNet");
+    run_rows(&mut rows, "UNet", &unet.func, schedules::unet_table2());
+
+    let gns = partir_models::gns::build_train_step(&GnsConfig::paper()).expect("GNS");
+    run_rows(&mut rows, "GNS", &gns.func, schedules::gns_table2());
+
+    emit(&rows);
+}

@@ -1,0 +1,92 @@
+//! Shared harness utilities for the experiment binaries (one per paper
+//! table/figure — see DESIGN.md's experiment index).
+
+use std::time::Duration;
+
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::schedules::{BATCH, MODEL};
+
+/// A machine-readable experiment row, dumped as JSON when `--json` is
+/// passed so EXPERIMENTS.md tables can be regenerated.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Row {
+    /// Experiment id (e.g. `table2`).
+    pub experiment: String,
+    /// Model name.
+    pub model: String,
+    /// Schedule label.
+    pub schedule: String,
+    /// Named metrics.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(experiment: &str, model: &str, schedule: &str) -> Self {
+        Row {
+            experiment: experiment.to_string(),
+            model: model.to_string(),
+            schedule: schedule.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds a metric.
+    pub fn metric(mut self, name: &str, value: f64) -> Self {
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+}
+
+/// Prints rows, as an aligned table and (with `--json` in argv) JSON.
+pub fn emit(rows: &[Row]) {
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(rows).expect("rows serialise")
+        );
+        return;
+    }
+    for row in rows {
+        print!("{:<6} {:<6} {:<16}", row.experiment, row.model, row.schedule);
+        for (name, value) in &row.metrics {
+            if value.fract() == 0.0 && value.abs() < 1e12 {
+                print!("  {name}={value:.0}");
+            } else {
+                print!("  {name}={value:.4}");
+            }
+        }
+        println!();
+    }
+}
+
+/// The standard 2-D benchmark machine: `{batch: b, model: m}` TPU pod.
+pub fn tpu_mesh(batch: usize, model: usize) -> HardwareConfig {
+    let mesh = Mesh::new([(BATCH, batch), (MODEL, model)]).expect("valid mesh");
+    HardwareConfig::tpu_v3_pod(mesh)
+}
+
+/// The GPU variant of the benchmark machine.
+pub fn gpu_mesh(batch: usize, model: usize) -> HardwareConfig {
+    let mesh = Mesh::new([(BATCH, batch), (MODEL, model)]).expect("valid mesh");
+    HardwareConfig::a100_cluster(mesh)
+}
+
+/// Pretty duration in milliseconds.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_build_and_meshes_resolve() {
+        let row = Row::new("table2", "T32", "BP").metric("AR", 290.0);
+        assert_eq!(row.metrics.len(), 1);
+        assert_eq!(tpu_mesh(4, 2).mesh.num_devices(), 8);
+        assert_eq!(gpu_mesh(2, 2).mesh.num_devices(), 4);
+    }
+}

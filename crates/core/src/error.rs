@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use partir_mesh::Axis;
+
+/// Errors produced by PartIR:Core actions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The named axis is not declared by the module's mesh.
+    UnknownAxis(Axis),
+    /// The value already carries an entry for the axis — nested loops over
+    /// one axis are forbidden (paper §5.2.3).
+    AxisAlreadyUsed {
+        /// The offending axis.
+        axis: Axis,
+        /// Human readable description of the value.
+        value: String,
+    },
+    /// A tiling action whose dimension does not exist or whose (residual)
+    /// size is not divisible by the axis size (paper §8 "padding").
+    BadTile {
+        /// Description of what went wrong.
+        detail: String,
+    },
+    /// The value cannot be tiled because it was marked atomic on the axis.
+    Atomic {
+        /// The axis the value was pinned on.
+        axis: Axis,
+    },
+    /// Malformed input (unknown value, wrong function, …).
+    Invalid(String),
+}
+
+impl CoreError {
+    pub(crate) fn invalid(detail: impl Into<String>) -> Self {
+        CoreError::Invalid(detail.into())
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownAxis(a) => write!(f, "unknown mesh axis {a:?}"),
+            CoreError::AxisAlreadyUsed { axis, value } => {
+                write!(f, "value {value} already partitioned along axis {axis:?}")
+            }
+            CoreError::BadTile { detail } => write!(f, "invalid tiling: {detail}"),
+            CoreError::Atomic { axis } => {
+                write!(f, "value is atomic (kept replicated) along axis {axis:?}")
+            }
+            CoreError::Invalid(d) => write!(f, "invalid partitioning request: {d}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<partir_mesh::MeshError> for CoreError {
+    fn from(e: partir_mesh::MeshError) -> Self {
+        match e {
+            partir_mesh::MeshError::UnknownAxis(a) => CoreError::UnknownAxis(a),
+            other => CoreError::Invalid(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! PartIR:Core — tiling actions, the tile-mapping registry (TMR) and the
+//! propagation pass (paper §5, Appendix B).
+//!
+//! The paper implements PartIR:Core as MLIR rewrites that wrap ops in
+//! functional `loop`/`slice` nests. Without MLIR this crate implements the
+//! equivalent *sharding dataflow* formulation (see DESIGN.md): every value
+//! carries an ordered [`ValueCtx`] of `(axis, tile/atomic)` entries — the
+//! loop nest it conceptually lives under — and every op carries an
+//! [`OpCtx`] recording the TMR entry used per axis. The rules are the
+//! paper's rules:
+//!
+//! * a value can acquire each mesh axis at most once (no nested loops over
+//!   one axis, §5.2.3), which is what makes tactic ordering — e.g. batch
+//!   parallelism before Z3 parameter sharding — meaningful;
+//! * propagation matches TMR entries encoding linear-algebra homomorphisms
+//!   and only fires on a *unique* candidate; multiple candidates are a
+//!   conflict that is reported, never resolved heuristically;
+//! * partial matches are completed by *inference*: missing operand tilings
+//!   are introduced (paper §5.2.2), which is how optimizer state follows
+//!   parameter sharding;
+//! * `atomic` entries block propagation to keep values replicated (§8).
+//!
+//! The [`temporal`] module gives the sharded program *sequential*
+//! semantics (the paper's PartIR:Temporal): each op is executed as an
+//! explicit loop nest over its context, slicing operands and
+//! concatenating/reducing results. Equality with the unpartitioned
+//! reference interpreter is the soundness test for every TMR rule.
+//!
+//! # Examples
+//!
+//! Batch-parallelise the matmul chain from the paper (§2.3):
+//!
+//! ```
+//! use partir_core::{Partitioning, ShardKind};
+//! use partir_ir::{FuncBuilder, TensorType};
+//! use partir_mesh::Mesh;
+//!
+//! let mut b = FuncBuilder::new("main");
+//! let x = b.param("x", TensorType::f32([256, 8]));
+//! let w1 = b.param("w1", TensorType::f32([8, 16]));
+//! let w2 = b.param("w2", TensorType::f32([16, 8]));
+//! let h = b.matmul(x, w1)?;
+//! let y = b.matmul(h, w2)?;
+//! let f = b.build([y])?;
+//!
+//! let mesh = Mesh::new([("B", 4), ("M", 2)]).unwrap();
+//! let mut part = Partitioning::new(&f, mesh)?;
+//! part.tile(&f, x, 0, &"B".into())?;
+//! part.propagate(&f);
+//! // Propagation pushed the batch tiling through both matmuls.
+//! assert!(matches!(
+//!     part.value_ctx(y).entry(&"B".into()),
+//!     Some(partir_core::ShardKind::Tile { dim: 0 })
+//! ));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod context;
+mod error;
+pub mod microbatch;
+pub mod print;
+mod state;
+pub mod temporal;
+pub mod tmr;
+
+pub use context::{ShardKind, ValueCtx};
+pub use error::CoreError;
+pub use state::{Conflict, OpAxisCtx, OpCtx, Partitioning, PropagationReport};
+pub use tmr::{tmr_entries, ResultAction, TmrEntry};

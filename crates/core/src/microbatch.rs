@@ -1,0 +1,271 @@
+//! Automatic microbatching — the paper's example application of the
+//! PartIR:Temporal dialect (§4: Core loops "are interpreted as sequential
+//! loops in PartIR:Temporal, whose main use is a reference semantics …
+//! alongside more niche applications like automatic microbatching
+//! transforms").
+//!
+//! Tiling the batch dimension by `k` and giving the loop *sequential*
+//! semantics instead of SPMD semantics yields gradient-accumulation-style
+//! execution: the transform rewrites a mean-reduced loss function into a
+//! `for` loop over `k` microbatches that accumulates the per-microbatch
+//! losses, trading peak activation memory for sequential steps.
+
+use std::collections::HashMap;
+
+use partir_ir::{
+    BinaryOp, Func, FuncBuilder, IrError, Literal, OpId, OpKind, ValueId,
+};
+
+/// Rewrites `func` so that the inputs named in `batch_inputs` are
+/// processed in `k` sequential microbatches (slices of their leading
+/// dimension), with every (scalar, mean-style) output accumulated across
+/// microbatches.
+///
+/// The transform is exact for outputs that are *batch-linear*: sums of
+/// per-example terms with constant normalisers (arithmetic means over the
+/// batch, as the model zoo's losses are). The inlined body keeps the
+/// original normalisation constants, so summing the per-microbatch
+/// outputs reconstructs the full-batch value exactly.
+///
+/// # Errors
+///
+/// Fails if a named input is missing or its leading dimension is not
+/// divisible by `k`, if an output is not a scalar f32, or if the function
+/// contains region ops (nested loops are not microbatched).
+pub fn microbatch(func: &Func, batch_inputs: &[&str], k: usize) -> Result<Func, IrError> {
+    if k == 0 {
+        return Err(IrError::invalid("microbatch factor must be positive"));
+    }
+    for &r in func.results() {
+        let ty = func.value_type(r);
+        if ty.rank() != 0 || !ty.dtype.is_float() {
+            return Err(IrError::invalid(format!(
+                "microbatch requires scalar f32 outputs, found {ty}"
+            )));
+        }
+    }
+    let mut batch_values = Vec::with_capacity(batch_inputs.len());
+    for name in batch_inputs {
+        let v = func
+            .param_by_name(name)
+            .ok_or_else(|| IrError::invalid(format!("no input named {name:?}")))?;
+        let ty = func.value_type(v);
+        if ty.rank() == 0 || !ty.shape.dim(0).is_multiple_of(k) {
+            return Err(IrError::invalid(format!(
+                "input {name:?} of type {ty} cannot be split into {k} microbatches"
+            )));
+        }
+        batch_values.push(v);
+    }
+    if func
+        .op_ids()
+        .any(|op| func.op(op).region.is_some())
+    {
+        return Err(IrError::invalid(
+            "microbatch does not support functions with region ops",
+        ));
+    }
+
+    let mut b = FuncBuilder::new(format!("{}_mb{k}", func.name()));
+    let mut outer: HashMap<ValueId, ValueId> = HashMap::new();
+    for &p in func.params() {
+        let name = func
+            .value(p)
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("arg{}", p.0));
+        let np = b.param(name, func.value_type(p).clone());
+        outer.insert(p, np);
+    }
+    // Zero accumulators, one per output.
+    let mut accs = Vec::with_capacity(func.results().len());
+    for _ in func.results() {
+        accs.push(b.constant(Literal::scalar_f32(0.0))?);
+    }
+    let results = b.for_loop(k, &accs, |b, i, carried| {
+        // Slice each batch input for this microbatch.
+        let mut map: HashMap<ValueId, ValueId> = outer.clone();
+        for &v in &batch_values {
+            let ty = func.value_type(v);
+            let mb = ty.shape.dim(0) / k;
+            let step = b.const_i32(mb as i32)?;
+            let start = b.binary(BinaryOp::Mul, i, step)?;
+            let zero = b.const_i32(0)?;
+            let mut indices = vec![start];
+            indices.extend(std::iter::repeat_n(zero, ty.rank() - 1));
+            let mut sizes = ty.shape.dims().to_vec();
+            sizes[0] = mb;
+            let sliced = b.dynamic_slice(outer[&v], &indices, sizes)?;
+            map.insert(v, sliced);
+        }
+        // Inline the body on the microbatch.
+        rebuild_ops(func, b, func.body(), &mut map)?;
+        // Accumulate each output's contribution. The inlined body still
+        // normalises by the *full* batch count (those constants were baked
+        // from the original shapes), so each microbatch contributes its
+        // exact share and plain summation reconstructs the full-batch
+        // value.
+        let mut yields = Vec::with_capacity(carried.len());
+        for (acc, &r) in carried.iter().zip(func.results()) {
+            let out = *map
+                .get(&r)
+                .ok_or_else(|| IrError::invalid("output not rebuilt"))?;
+            yields.push(b.add(*acc, out)?);
+        }
+        Ok(yields)
+    })?;
+    b.build(results)
+}
+
+fn rebuild_ops(
+    func: &Func,
+    b: &mut FuncBuilder,
+    body: &[OpId],
+    map: &mut HashMap<ValueId, ValueId>,
+) -> Result<(), IrError> {
+    for &op_id in body {
+        let op = func.op(op_id);
+        let operands: Vec<ValueId> = op
+            .operands
+            .iter()
+            .map(|v| {
+                map.get(v)
+                    .copied()
+                    .ok_or_else(|| IrError::invalid("operand not rebuilt"))
+            })
+            .collect::<Result<_, _>>()?;
+        // Shape-bearing attributes must shrink with the microbatch: reuse
+        // the localisation helper with the recomputed result shape.
+        let kind = match &op.kind {
+            OpKind::Reshape { .. }
+            | OpKind::BroadcastInDim { .. }
+            | OpKind::Iota { .. }
+            | OpKind::Slice { .. }
+            | OpKind::DynamicSlice { .. } => {
+                // Derive the microbatched result shape: if the original
+                // result's leading dim tracked the batch, scale it.
+                let orig = &func.value_type(op.results[0]).shape;
+                let scaled = scale_shape(func, op_id, orig, map, b)?;
+                crate::temporal::localize_kind(&op.kind, &scaled)?
+            }
+            other => other.clone(),
+        };
+        let results = b.emit(kind, &operands)?;
+        for (&old, &new) in op.results.iter().zip(&results) {
+            map.insert(old, new);
+        }
+    }
+    Ok(())
+}
+
+/// Infers the microbatched result shape of a shape-attribute op from its
+/// (already rebuilt, hence already shrunk) operands where possible,
+/// falling back to the original shape.
+fn scale_shape(
+    func: &Func,
+    op_id: OpId,
+    orig: &partir_ir::Shape,
+    map: &HashMap<ValueId, ValueId>,
+    b: &FuncBuilder,
+) -> Result<partir_ir::Shape, IrError> {
+    let op = func.op(op_id);
+    // Ratio of the first operand's element count shrinkage tells us the
+    // batch factor (batch dims only ever shrink by the same k).
+    if let Some(&first) = op.operands.first() {
+        let before = func.value_type(first).shape.num_elements();
+        let after = b.ty(*map.get(&first).expect("operand rebuilt")).shape.num_elements();
+        if before != after && before.is_multiple_of(after) {
+            let factor = before / after;
+            // Shrink the first dimension of the result that is divisible
+            // by the factor and tracks the batch (leading dim heuristic:
+            // models put batch first).
+            let mut dims = orig.dims().to_vec();
+            for d in dims.iter_mut() {
+                if *d % factor == 0 && *d >= factor {
+                    *d /= factor;
+                    return Ok(partir_ir::Shape::from(dims));
+                }
+            }
+        }
+    }
+    Ok(orig.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{interp::interpret, TensorType};
+
+    fn rand_lit(dims: &[usize], salt: u64) -> Literal {
+        let n: usize = dims.iter().product();
+        let mut state = salt | 1;
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        Literal::from_f32(data, dims.to_vec()).unwrap()
+    }
+
+    /// mean((x·w)²) over the batch.
+    fn mse_like() -> Func {
+        let mut b = FuncBuilder::new("loss");
+        let x = b.param("x", TensorType::f32([8, 4]));
+        let w = b.param("w", TensorType::f32([4, 2]));
+        let y = b.matmul(x, w).unwrap();
+        let sq = b.mul(y, y).unwrap();
+        let sum = b.reduce_sum(sq, vec![0, 1]).unwrap();
+        let loss = b.binary_scalar(BinaryOp::Div, sum, 16.0).unwrap();
+        b.build([loss]).unwrap()
+    }
+
+    #[test]
+    fn microbatched_loss_equals_full_batch_loss() {
+        let func = mse_like();
+        for k in [1, 2, 4] {
+            let mb = microbatch(&func, &["x"], k).unwrap();
+            partir_ir::verify::verify_func(&mb, None).unwrap();
+            let inputs = vec![rand_lit(&[8, 4], 3), rand_lit(&[4, 2], 5)];
+            let full = interpret(&func, &inputs).unwrap();
+            let split = interpret(&mb, &inputs).unwrap();
+            let diff = full[0].max_abs_diff(&split[0]).unwrap();
+            assert!(diff < 1e-5, "k={k}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn microbatch_validates_inputs() {
+        let func = mse_like();
+        assert!(microbatch(&func, &["x"], 0).is_err());
+        assert!(microbatch(&func, &["nope"], 2).is_err());
+        assert!(microbatch(&func, &["x"], 3).is_err()); // 8 % 3 != 0
+        // Non-scalar output.
+        let mut b = FuncBuilder::new("vec");
+        let x = b.param("x", TensorType::f32([4]));
+        let f = b.build([x]).unwrap();
+        assert!(microbatch(&f, &["x"], 2).is_err());
+    }
+
+    #[test]
+    fn microbatch_handles_broadcast_and_softmax_style_ops() {
+        // A loss with broadcasts whose shapes must shrink with the batch.
+        let mut b = FuncBuilder::new("loss");
+        let x = b.param("x", TensorType::f32([8, 4]));
+        let mx = b.reduce_max(x, vec![1]).unwrap();
+        let mxb = b.broadcast_in_dim(mx, [8, 4], vec![0]).unwrap();
+        let shifted = b.sub(x, mxb).unwrap();
+        let e = b.exp(shifted).unwrap();
+        let sum = b.reduce_sum(e, vec![0, 1]).unwrap();
+        let loss = b.binary_scalar(BinaryOp::Div, sum, 8.0).unwrap();
+        let func = b.build([loss]).unwrap();
+
+        let mb = microbatch(&func, &["x"], 4).unwrap();
+        let inputs = vec![rand_lit(&[8, 4], 9)];
+        let full = interpret(&func, &inputs).unwrap();
+        let split = interpret(&mb, &inputs).unwrap();
+        assert!(full[0].max_abs_diff(&split[0]).unwrap() < 1e-5);
+    }
+}

@@ -1,0 +1,850 @@
+//! Partitioning state and the propagation pass (paper §5.2.2–5.2.4).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use partir_ir::{Func, OpId, TensorType, ValueDef, ValueId};
+use partir_mesh::{Axis, Mesh};
+
+use crate::context::{ShardKind, ValueCtx};
+use crate::tmr::{tmr_entries, ResultAction, TmrEntry};
+use crate::CoreError;
+
+/// The loop context an op acquired along one axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpAxisCtx {
+    /// A TMR entry was applied: the op executes inside a loop over the
+    /// axis, slicing operands per the entry and combining results per the
+    /// entry's action.
+    Entry(TmrEntry),
+}
+
+/// The ordered loop-nest context of an op (outermost axis first).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpCtx {
+    entries: Vec<(Axis, OpAxisCtx)>,
+}
+
+impl OpCtx {
+    /// Entries in nesting order.
+    pub fn entries(&self) -> &[(Axis, OpAxisCtx)] {
+        &self.entries
+    }
+
+    /// Whether the op is already inside a loop over `axis`
+    /// (the nesting restriction of §5.2.3).
+    pub fn contains_axis(&self, axis: &Axis) -> bool {
+        self.entries.iter().any(|(a, _)| a == axis)
+    }
+
+    /// The TMR entry applied along `axis`, if any.
+    pub fn entry(&self, axis: &Axis) -> Option<&TmrEntry> {
+        self.entries.iter().find_map(|(a, c)| match c {
+            OpAxisCtx::Entry(e) if a == axis => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Whether any axis context reduces (`#sum`) the result.
+    pub fn reduces(&self) -> bool {
+        self.entries.iter().any(|(_, c)| match c {
+            OpAxisCtx::Entry(e) => matches!(e.result, ResultAction::Reduce(_)),
+        })
+    }
+}
+
+/// A propagation conflict: multiple TMR entries matched the evidence and
+/// PartIR refuses to pick one (paper §5.2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conflict {
+    /// The op whose rewrite is ambiguous.
+    pub op: OpId,
+    /// The axis being propagated.
+    pub axis: Axis,
+    /// The competing entries.
+    pub candidates: Vec<TmrEntry>,
+}
+
+impl Conflict {
+    /// Human-readable description naming the op and axis, for the
+    /// incremental debugging workflow the paper describes (§3): users
+    /// inspect conflicts after each tactic and resolve them by ordering
+    /// or `atomic`/`tag` actions.
+    pub fn describe(&self, func: &Func) -> String {
+        let op = func.op(self.op);
+        let entries = self
+            .candidates
+            .iter()
+            .map(|e| {
+                let operands = e
+                    .operands
+                    .iter()
+                    .map(|t| match t {
+                        Some(d) => format!("#tile<{d}>"),
+                        None => "⊥".to_string(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let result = match e.result {
+                    ResultAction::Tile(d) => format!("#tile<{d}>"),
+                    ResultAction::Reduce(r) => format!("#sum<{r:?}>"),
+                };
+                format!("({operands}) ↪ {result}")
+            })
+            .collect::<Vec<_>>()
+            .join("  vs  ");
+        format!(
+            "conflict at `{}` along axis \"{}\": {entries}",
+            op.kind.name(),
+            self.axis
+        )
+    }
+}
+
+/// Result of a [`Partitioning::propagate`] run.
+#[derive(Debug, Clone, Default)]
+pub struct PropagationReport {
+    /// Number of op rewrites applied (loops introduced) in this run.
+    pub applied: usize,
+    /// Number of value contexts extended (inference-introduced tilings
+    /// plus result tilings) in this run.
+    pub inferred: usize,
+    /// Remaining ambiguous sites after the fixpoint.
+    pub conflicts: Vec<Conflict>,
+}
+
+impl PropagationReport {
+    /// One-line summary plus one line per conflict.
+    pub fn summary(&self, func: &Func) -> String {
+        let mut out = format!(
+            "{} rewrites, {} context extensions, {} conflicts",
+            self.applied,
+            self.inferred,
+            self.conflicts.len()
+        );
+        for c in &self.conflicts {
+            out.push('\n');
+            out.push_str(&c.describe(func));
+        }
+        out
+    }
+}
+
+/// The mutable partitioning state of one function: per-value tiling
+/// contexts and per-op loop contexts.
+///
+/// Actions ([`Partitioning::tile`], [`Partitioning::atomic`]) are never
+/// undone; [`Partitioning::propagate`] is a fixpoint over TMR matches.
+/// This is the compiler API targeted by the tactics in `partir-sched`.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    mesh: Mesh,
+    value_ctx: Vec<ValueCtx>,
+    op_ctx: Vec<OpCtx>,
+    num_values: usize,
+}
+
+impl Partitioning {
+    /// Creates the identity (fully replicated) partitioning of `func`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; reserved for future validation.
+    pub fn new(func: &Func, mesh: Mesh) -> Result<Self, CoreError> {
+        Ok(Partitioning {
+            mesh,
+            value_ctx: vec![ValueCtx::new(); func.num_values()],
+            op_ctx: vec![OpCtx::default(); func.num_ops()],
+            num_values: func.num_values(),
+        })
+    }
+
+    /// The mesh being partitioned for.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The tiling context of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the function this state was
+    /// created for.
+    pub fn value_ctx(&self, v: ValueId) -> &ValueCtx {
+        &self.value_ctx[v.0 as usize]
+    }
+
+    /// The loop context of an op.
+    pub fn op_ctx(&self, op: OpId) -> &OpCtx {
+        &self.op_ctx[op.0 as usize]
+    }
+
+    /// The device-local type of `v` under the current contexts.
+    pub fn local_type(&self, func: &Func, v: ValueId) -> TensorType {
+        self.value_ctx(v).local_type(func.value_type(v), &self.mesh)
+    }
+
+    /// The paper's `tile<value, dim, axis>` action: marks `v` as tiled on
+    /// `dim` across `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the axis is unknown, the value already uses the axis
+    /// (nested loops over one axis are illegal), the value is atomic on
+    /// the axis, or the (residual) dimension is not divisible.
+    pub fn tile(
+        &mut self,
+        func: &Func,
+        v: ValueId,
+        dim: usize,
+        axis: &Axis,
+    ) -> Result<(), CoreError> {
+        self.check_value(func, v)?;
+        let axis_size = self.mesh.axis_size(axis)?;
+        let ctx = &self.value_ctx[v.0 as usize];
+        match ctx.entry(axis) {
+            Some(ShardKind::Atomic) => return Err(CoreError::Atomic { axis: axis.clone() }),
+            Some(ShardKind::Tile { .. }) => {
+                return Err(CoreError::AxisAlreadyUsed {
+                    axis: axis.clone(),
+                    value: describe(func, v),
+                })
+            }
+            None => {}
+        }
+        let ty = func.value_type(v);
+        if dim >= ty.rank() {
+            return Err(CoreError::BadTile {
+                detail: format!("dim {dim} out of range for {ty}"),
+            });
+        }
+        let local = ctx.local_shape(&ty.shape, &self.mesh);
+        if !local.dim(dim).is_multiple_of(axis_size) {
+            return Err(CoreError::BadTile {
+                detail: format!(
+                    "residual dim {dim} of size {} not divisible by axis {axis} of size {axis_size}",
+                    local.dim(dim)
+                ),
+            });
+        }
+        self.value_ctx[v.0 as usize].push(axis.clone(), ShardKind::Tile { dim });
+        Ok(())
+    }
+
+    /// The paper's `atomic<value, axis>` action (§8): pins `v` replicated
+    /// across `axis`, blocking propagation through it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the axis is unknown or already used by the value.
+    pub fn atomic(&mut self, func: &Func, v: ValueId, axis: &Axis) -> Result<(), CoreError> {
+        self.check_value(func, v)?;
+        self.mesh.axis_size(axis)?;
+        if self.value_ctx[v.0 as usize].contains_axis(axis) {
+            return Err(CoreError::AxisAlreadyUsed {
+                axis: axis.clone(),
+                value: describe(func, v),
+            });
+        }
+        self.value_ctx[v.0 as usize].push(axis.clone(), ShardKind::Atomic);
+        Ok(())
+    }
+
+    /// Runs propagation to a fixpoint (paper §5.2.2): greedily applies
+    /// uniquely-matching TMR entries, introducing operand tilings by
+    /// inference, and reports the sites left ambiguous.
+    pub fn propagate(&mut self, func: &Func) -> PropagationReport {
+        let uses = func.uses();
+        let mut report = PropagationReport::default();
+        let mut queue: VecDeque<OpId> = func.op_ids().collect();
+        let mut queued: HashSet<OpId> = queue.iter().copied().collect();
+        let axes: Vec<Axis> = self.mesh.axis_names().cloned().collect();
+
+        while let Some(op) = queue.pop_front() {
+            queued.remove(&op);
+            for axis in &axes {
+                let changed = if func.op(op).region.is_some() {
+                    self.unify_for(func, op, axis)
+                } else {
+                    self.try_rewrite(func, op, axis, &mut report)
+                };
+                for v in changed {
+                    // Revisit the producer and all users of every value
+                    // whose context we extended.
+                    let mut enqueue = |o: OpId| {
+                        if queued.insert(o) {
+                            queue.push_back(o);
+                        }
+                    };
+                    match func.value(v).def {
+                        ValueDef::OpResult { op, .. } | ValueDef::RegionParam { op, .. } => {
+                            enqueue(op)
+                        }
+                        ValueDef::Param(_) => {}
+                    }
+                    if let Some(users) = uses.get(&v) {
+                        for &u in users {
+                            enqueue(u);
+                        }
+                    }
+                    report.inferred += 1;
+                }
+            }
+        }
+
+        // Final conflict scan: ambiguous sites that never became unique.
+        for op in func.op_ids() {
+            if func.op(op).region.is_some() {
+                continue;
+            }
+            for axis in &axes {
+                if self.op_ctx[op.0 as usize].contains_axis(axis) {
+                    continue;
+                }
+                let candidates = self.candidates(func, op, axis);
+                if candidates.len() > 1 {
+                    report.conflicts.push(Conflict {
+                        op,
+                        axis: axis.clone(),
+                        candidates,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// The candidate TMR entries for rewriting `op` along `axis` under
+    /// the current evidence — the public variant used by external tools
+    /// (e.g. a GSPMD-style baseline) that resolve conflicts themselves.
+    pub fn candidate_entries(&self, func: &Func, op: OpId, axis: &Axis) -> Vec<TmrEntry> {
+        if self.op_ctx[op.0 as usize].contains_axis(axis) {
+            return Vec::new();
+        }
+        self.candidates(func, op, axis)
+    }
+
+    /// Force-applies one TMR entry to `op` along `axis`, performing the
+    /// same inference-tiling a unique propagation match would. This is the
+    /// hook heuristic conflict resolvers (GSPMD-style baselines) use;
+    /// PartIR itself never calls it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the op already uses the axis or the entry's tilings are
+    /// inconsistent with current contexts.
+    pub fn apply_entry(
+        &mut self,
+        func: &Func,
+        op: OpId,
+        axis: &Axis,
+        entry: &TmrEntry,
+    ) -> Result<(), CoreError> {
+        if self.op_ctx[op.0 as usize].contains_axis(axis) {
+            return Err(CoreError::AxisAlreadyUsed {
+                axis: axis.clone(),
+                value: format!("op {op:?}"),
+            });
+        }
+        let data = func.op(op);
+        for (i, &need) in entry.operands.iter().enumerate() {
+            let operand = data.operands[i];
+            if let Some(d) = need {
+                match self.value_ctx[operand.0 as usize].entry(axis) {
+                    Some(ShardKind::Tile { dim }) if dim == d => {}
+                    Some(_) => {
+                        return Err(CoreError::invalid(format!(
+                            "operand {i} context incompatible with entry"
+                        )))
+                    }
+                    None => {
+                        if !self.can_tile(func, operand, d, axis) {
+                            return Err(CoreError::BadTile {
+                                detail: format!("operand {i} cannot tile dim {d}"),
+                            });
+                        }
+                        self.value_ctx[operand.0 as usize]
+                            .push(axis.clone(), ShardKind::Tile { dim: d });
+                    }
+                }
+            }
+        }
+        if let ResultAction::Tile(d) = entry.result {
+            let result = data.results[0];
+            match self.value_ctx[result.0 as usize].entry(axis) {
+                Some(ShardKind::Tile { dim }) if dim == d => {}
+                Some(_) => {
+                    return Err(CoreError::invalid(
+                        "result context incompatible with entry".to_string(),
+                    ))
+                }
+                None => {
+                    if !self.can_tile(func, result, d, axis) {
+                        return Err(CoreError::BadTile {
+                            detail: format!("result cannot tile dim {d}"),
+                        });
+                    }
+                    self.value_ctx[result.0 as usize]
+                        .push(axis.clone(), ShardKind::Tile { dim: d });
+                }
+            }
+        }
+        self.op_ctx[op.0 as usize]
+            .entries
+            .push((axis.clone(), OpAxisCtx::Entry(entry.clone())));
+        Ok(())
+    }
+
+    /// Whether a value can acquire `Tile{dim}` on `axis` right now.
+    fn can_tile(&self, func: &Func, v: ValueId, dim: usize, axis: &Axis) -> bool {
+        let ty = func.value_type(v);
+        if dim >= ty.rank() {
+            return false;
+        }
+        let ctx = &self.value_ctx[v.0 as usize];
+        if ctx.contains_axis(axis) {
+            return false;
+        }
+        let axis_size = match self.mesh.axis_size(axis) {
+            Ok(s) => s,
+            Err(_) => return false,
+        };
+        let local = ctx.local_shape(&ty.shape, &self.mesh);
+        local.dim(dim).is_multiple_of(axis_size)
+    }
+
+    /// Candidate TMR entries for rewriting `op` along `axis` under the
+    /// current evidence. Exactly one candidate means propagation can fire;
+    /// more than one is a conflict.
+    fn candidates(&self, func: &Func, op: OpId, axis: &Axis) -> Vec<TmrEntry> {
+        let data = func.op(op);
+        if data.results.len() != 1 {
+            return Vec::new();
+        }
+        let result = data.results[0];
+        let result_obs = self.value_ctx[result.0 as usize].entry(axis);
+        if matches!(result_obs, Some(ShardKind::Atomic)) {
+            return Vec::new();
+        }
+        let mut candidates = Vec::new();
+        'entry: for entry in tmr_entries(func, op) {
+            let mut evidence = false;
+            match entry.result {
+                ResultAction::Tile(d) => match result_obs {
+                    Some(ShardKind::Tile { dim }) if dim == d => evidence = true,
+                    Some(_) => continue 'entry,
+                    None => {
+                        if !self.can_tile(func, result, d, axis) {
+                            continue 'entry;
+                        }
+                    }
+                },
+                ResultAction::Reduce(_) => {
+                    // A reduction produces the full result; any downstream
+                    // slicing of the result is reconciled at lowering
+                    // (all_reduce + all_slice fuse to reduce_scatter).
+                }
+            }
+            // Required inferred tilings, deduplicated per value so that an
+            // op using one value in two slots stays consistent.
+            let mut inferred: HashMap<ValueId, usize> = HashMap::new();
+            for (i, &need) in entry.operands.iter().enumerate() {
+                let operand = data.operands[i];
+                let obs = self.value_ctx[operand.0 as usize].entry(axis);
+                match (need, obs) {
+                    (Some(d), Some(ShardKind::Tile { dim })) if dim == d => evidence = true,
+                    (Some(_), Some(_)) => continue 'entry,
+                    (Some(d), None) => {
+                        if let Some(&prev) = inferred.get(&operand) {
+                            if prev != d {
+                                continue 'entry;
+                            }
+                        } else {
+                            if !self.can_tile(func, operand, d, axis) {
+                                continue 'entry;
+                            }
+                            inferred.insert(operand, d);
+                        }
+                    }
+                    (None, _) => {}
+                }
+            }
+            if evidence {
+                candidates.push(entry);
+            }
+        }
+        candidates
+    }
+
+    /// Attempts one rewrite of `op` along `axis`; returns the values whose
+    /// contexts were extended.
+    fn try_rewrite(
+        &mut self,
+        func: &Func,
+        op: OpId,
+        axis: &Axis,
+        report: &mut PropagationReport,
+    ) -> Vec<ValueId> {
+        if self.op_ctx[op.0 as usize].contains_axis(axis) {
+            return Vec::new();
+        }
+        let candidates = self.candidates(func, op, axis);
+        if candidates.len() != 1 {
+            return Vec::new();
+        }
+        let entry = candidates.into_iter().next().expect("len checked");
+        let data = func.op(op);
+        let result = data.results[0];
+        let mut changed = Vec::new();
+        for (i, &need) in entry.operands.iter().enumerate() {
+            let operand = data.operands[i];
+            if let Some(d) = need {
+                if self.value_ctx[operand.0 as usize].entry(axis).is_none() {
+                    self.value_ctx[operand.0 as usize]
+                        .push(axis.clone(), ShardKind::Tile { dim: d });
+                    changed.push(operand);
+                }
+            }
+        }
+        if let ResultAction::Tile(d) = entry.result {
+            if self.value_ctx[result.0 as usize].entry(axis).is_none() {
+                self.value_ctx[result.0 as usize].push(axis.clone(), ShardKind::Tile { dim: d });
+                changed.push(result);
+            }
+        }
+        self.op_ctx[op.0 as usize]
+            .entries
+            .push((axis.clone(), OpAxisCtx::Entry(entry)));
+        report.applied += 1;
+        changed
+    }
+
+    /// Unifies contexts across a `for` op boundary: each carried tuple
+    /// (init, region param, yielded value, result) must share its tiling.
+    fn unify_for(&mut self, func: &Func, op: OpId, axis: &Axis) -> Vec<ValueId> {
+        let data = func.op(op);
+        let Some(region) = &data.region else {
+            return Vec::new();
+        };
+        let mut changed = Vec::new();
+        for i in 0..data.operands.len() {
+            let group = [
+                data.operands[i],
+                region.params[i + 1],
+                region.results[i],
+                data.results[i],
+            ];
+            let mut tile_dim: Option<usize> = None;
+            let mut atomic = false;
+            let mut consistent = true;
+            for &v in &group {
+                match self.value_ctx[v.0 as usize].entry(axis) {
+                    Some(ShardKind::Tile { dim }) => match tile_dim {
+                        Some(d) if d != dim => consistent = false,
+                        _ => tile_dim = Some(dim),
+                    },
+                    Some(ShardKind::Atomic) => atomic = true,
+                    None => {}
+                }
+            }
+            if !consistent || (atomic && tile_dim.is_some()) {
+                continue; // mixed intents: leave for lowering to reconcile
+            }
+            if atomic {
+                for &v in &group {
+                    if !self.value_ctx[v.0 as usize].contains_axis(axis) {
+                        self.value_ctx[v.0 as usize].push(axis.clone(), ShardKind::Atomic);
+                        changed.push(v);
+                    }
+                }
+            } else if let Some(d) = tile_dim {
+                if group.iter().all(|&v| {
+                    self.value_ctx[v.0 as usize].contains_axis(axis)
+                        || self.can_tile(func, v, d, axis)
+                }) {
+                    for &v in &group {
+                        if !self.value_ctx[v.0 as usize].contains_axis(axis) {
+                            self.value_ctx[v.0 as usize]
+                                .push(axis.clone(), ShardKind::Tile { dim: d });
+                            changed.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    fn check_value(&self, func: &Func, v: ValueId) -> Result<(), CoreError> {
+        if v.0 as usize >= self.num_values || func.num_values() != self.num_values {
+            return Err(CoreError::invalid(format!(
+                "value {v:?} does not belong to the partitioned function"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn describe(func: &Func, v: ValueId) -> String {
+    match &func.value(v).name {
+        Some(n) => format!("%{n}"),
+        None => format!("%{}", v.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{FuncBuilder, TensorType};
+
+    fn matmul_chain() -> (Func, [ValueId; 4]) {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param("x", TensorType::f32([256, 8]));
+        let w1 = b.param("w1", TensorType::f32([8, 16]));
+        let w2 = b.param("w2", TensorType::f32([16, 8]));
+        let h = b.matmul(x, w1).unwrap();
+        let y = b.matmul(h, w2).unwrap();
+        let f = b.build([y]).unwrap();
+        (f, [x, w1, w2, y])
+    }
+
+    fn mesh_bm() -> Mesh {
+        Mesh::new([("B", 4), ("M", 2)]).unwrap()
+    }
+
+    #[test]
+    fn batch_parallelism_propagates_forward() {
+        let (f, [x, w1, w2, y]) = matmul_chain();
+        let mut p = Partitioning::new(&f, mesh_bm()).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(report.conflicts.is_empty());
+        assert_eq!(
+            p.value_ctx(y).entry(&"B".into()),
+            Some(ShardKind::Tile { dim: 0 })
+        );
+        // Weights stay replicated.
+        assert!(p.value_ctx(w1).is_empty());
+        assert!(p.value_ctx(w2).is_empty());
+        // Both matmuls acquired the B loop.
+        assert_eq!(p.op_ctx(f.body()[0]).entries().len(), 1);
+        assert_eq!(p.op_ctx(f.body()[1]).entries().len(), 1);
+    }
+
+    #[test]
+    fn megatron_inference_from_w2_tiling() {
+        // Tiling w2 on its contracting dim infers the matching tiling of
+        // the intermediate, yielding a #sum context (paper §5.2.2).
+        let (f, [x, w1, w2, _y]) = matmul_chain();
+        let mut p = Partitioning::new(&f, mesh_bm()).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.propagate(&f);
+        p.tile(&f, w1, 1, &"M".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(report.conflicts.is_empty());
+        // w2 inferred tiled on dim 0 along M.
+        assert_eq!(
+            p.value_ctx(w2).entry(&"M".into()),
+            Some(ShardKind::Tile { dim: 0 })
+        );
+        // Second matmul reduces over M.
+        let second = f.body()[1];
+        assert!(p.op_ctx(second).reduces());
+        assert_eq!(
+            p.value_ctx(x).entries().len(),
+            1 // only B
+        );
+    }
+
+    #[test]
+    fn single_tactic_double_tiling_conflicts() {
+        // Tiling x(0) and w1(1) along the same axis before propagating
+        // matches two TMR entries: the §5.2.3 conflict.
+        let (f, [x, w1, _, _]) = matmul_chain();
+        let mut p = Partitioning::new(&f, Mesh::single("B", 4).unwrap()).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.tile(&f, w1, 1, &"B".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(!report.conflicts.is_empty());
+        let c = &report.conflicts[0];
+        assert_eq!(c.op, f.body()[0]);
+        assert_eq!(c.candidates.len(), 2);
+    }
+
+    #[test]
+    fn incremental_tiling_resolves_the_same_conflict() {
+        // Same actions, but propagating between them (two tactics): the
+        // matmul joins the B loop first, the later w1 tiling is then
+        // blocked by the nesting rule — Z3-style prioritisation.
+        let (f, [x, w1, _, _]) = matmul_chain();
+        let mut p = Partitioning::new(&f, Mesh::single("B", 4).unwrap()).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        let r1 = p.propagate(&f);
+        assert!(r1.conflicts.is_empty());
+        p.tile(&f, w1, 1, &"B".into()).unwrap();
+        let r2 = p.propagate(&f);
+        assert!(r2.conflicts.is_empty());
+        // w1 is stored tiled but the matmul kept its batch-loop context.
+        assert_eq!(
+            p.value_ctx(w1).entry(&"B".into()),
+            Some(ShardKind::Tile { dim: 1 })
+        );
+        let first = f.body()[0];
+        assert_eq!(p.op_ctx(first).entries().len(), 1);
+        assert_eq!(
+            p.op_ctx(first).entry(&"B".into()).unwrap().operands,
+            vec![Some(0), None]
+        );
+    }
+
+    #[test]
+    fn atomic_blocks_inference() {
+        // add(p, u) with u tiled would infer p tiled; atomic prevents it.
+        let mut b = FuncBuilder::new("f");
+        let param = b.param("p", TensorType::f32([8]));
+        let update = b.param("u", TensorType::f32([8]));
+        let new_p = b.sub(param, update).unwrap();
+        let f = b.build([new_p]).unwrap();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.atomic(&f, param, &"B".into()).unwrap();
+        p.tile(&f, update, 0, &"B".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(report.conflicts.is_empty());
+        // Op acquired no context; result stays replicated.
+        assert!(p.op_ctx(f.body()[0]).entries().is_empty());
+        assert_eq!(p.value_ctx(new_p).entry(&"B".into()), None);
+        assert_eq!(
+            p.value_ctx(param).entry(&"B".into()),
+            Some(ShardKind::Atomic)
+        );
+    }
+
+    #[test]
+    fn backward_propagation_from_result_tiling() {
+        let (f, [x, _, _, y]) = matmul_chain();
+        let mut p = Partitioning::new(&f, mesh_bm()).unwrap();
+        p.tile(&f, y, 0, &"B".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(report.conflicts.is_empty());
+        assert_eq!(
+            p.value_ctx(x).entry(&"B".into()),
+            Some(ShardKind::Tile { dim: 0 })
+        );
+    }
+
+    #[test]
+    fn tile_validates_divisibility_and_duplicates() {
+        let (f, [x, ..]) = matmul_chain();
+        let mesh = Mesh::new([("B", 3)]).unwrap(); // 256 % 3 != 0
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        assert!(matches!(
+            p.tile(&f, x, 0, &"B".into()),
+            Err(CoreError::BadTile { .. })
+        ));
+        let mut p = Partitioning::new(&f, mesh_bm()).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        assert!(matches!(
+            p.tile(&f, x, 1, &"B".into()),
+            Err(CoreError::AxisAlreadyUsed { .. })
+        ));
+        assert!(matches!(
+            p.tile(&f, x, 5, &"M".into()),
+            Err(CoreError::BadTile { .. })
+        ));
+        assert!(matches!(
+            p.tile(&f, x, 0, &"Z".into()),
+            Err(CoreError::UnknownAxis(_))
+        ));
+    }
+
+    #[test]
+    fn deep_tiling_composes_across_axes() {
+        let (f, [x, ..]) = matmul_chain();
+        let mut p = Partitioning::new(&f, mesh_bm()).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.tile(&f, x, 0, &"M".into()).unwrap(); // further tiling of dim 0
+        let local = p.local_type(&f, x);
+        assert_eq!(local.shape.dims(), &[32, 8]); // 256 / (4*2)
+    }
+
+    #[test]
+    fn inference_through_elementwise_chains() {
+        // Optimizer-state pattern: m tiled infers g tiled through the
+        // element-wise update arithmetic.
+        let mut b = FuncBuilder::new("adam");
+        let m = b.param("m", TensorType::f32([8]));
+        let g = b.param("g", TensorType::f32([8]));
+        let gm = b.add(m, g).unwrap();
+        let upd = b.mul(gm, gm).unwrap();
+        let f = b.build([upd]).unwrap();
+        let mesh = Mesh::single("B", 2).unwrap();
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.tile(&f, m, 0, &"B".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(report.conflicts.is_empty());
+        assert_eq!(
+            p.value_ctx(g).entry(&"B".into()),
+            Some(ShardKind::Tile { dim: 0 })
+        );
+        assert_eq!(
+            p.value_ctx(upd).entry(&"B".into()),
+            Some(ShardKind::Tile { dim: 0 })
+        );
+    }
+
+    #[test]
+    fn for_loop_unifies_carried_tilings() {
+        let mut b = FuncBuilder::new("serve");
+        let x = b.param("x", TensorType::f32([8, 4]));
+        let out = b
+            .for_loop(3, &[x], |b, _i, c| Ok(vec![b.neg(c[0])?]))
+            .unwrap();
+        let f = b.build(out.clone()).unwrap();
+        let mesh = Mesh::single("B", 2).unwrap();
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(report.conflicts.is_empty());
+        assert_eq!(
+            p.value_ctx(out[0]).entry(&"B".into()),
+            Some(ShardKind::Tile { dim: 0 })
+        );
+        // The neg op inside the region runs tiled too.
+        let neg_op = f
+            .op_ids()
+            .find(|&o| matches!(f.op(o).kind, partir_ir::OpKind::Unary(_)))
+            .unwrap();
+        assert_eq!(p.op_ctx(neg_op).entries().len(), 1);
+    }
+
+    #[test]
+    fn transpose_diagonal_conflict_needs_atomic_tag() {
+        // Paper §8: matmul(x, transpose(x)) — tiling x on dim 0 makes the
+        // transpose tiled on dim 1, a conflict at the matmul.
+        let mut b = FuncBuilder::new("diag");
+        let x = b.param("x", TensorType::f32([8, 8]));
+        let t = b.transpose(x, vec![1, 0]).unwrap();
+        let y = b.matmul(x, t).unwrap();
+        let f = b.build([y]).unwrap();
+        let mesh = Mesh::single("M", 2).unwrap();
+
+        let mut p = Partitioning::new(&f, mesh.clone()).unwrap();
+        p.tile(&f, x, 0, &"M".into()).unwrap();
+        let report = p.propagate(&f);
+        assert_eq!(report.conflicts.len(), 1);
+
+        // Applying atomic on the transposed value resolves the ambiguity.
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.atomic(&f, t, &"M".into()).unwrap();
+        p.tile(&f, x, 0, &"M".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(report.conflicts.is_empty());
+        // The matmul runs batch-tiled on dim 0; the transpose operand will
+        // be all-gathered at lowering.
+        let matmul = f.body()[1];
+        assert_eq!(
+            p.op_ctx(matmul).entry(&"M".into()).unwrap().operands,
+            vec![Some(0), None]
+        );
+    }
+}

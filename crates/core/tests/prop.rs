@@ -1,0 +1,183 @@
+//! Property-based tests of propagation soundness: for random programs
+//! and random action sequences, the sharded program under sequential
+//! (temporal) semantics must equal the unpartitioned reference — the
+//! executable form of the paper's semantics-preservation claim — and
+//! propagation must be monotone and idempotent.
+
+use proptest::prelude::*;
+
+use partir_core::{temporal::interpret_sharded, Partitioning};
+use partir_ir::{interp::interpret, BinaryOp, Func, FuncBuilder, Literal, TensorType, UnaryOp, ValueId};
+use partir_mesh::Mesh;
+
+const N: usize = 8;
+
+/// One step of random program construction over a pool of `[N, N]` values.
+#[derive(Debug, Clone)]
+enum Step {
+    Unary(UnaryOp, usize),
+    Binary(BinaryOp, usize, usize),
+    Matmul(usize, usize),
+    Transpose(usize),
+    RowSumBroadcast(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (
+            prop_oneof![Just(UnaryOp::Tanh), Just(UnaryOp::Neg), Just(UnaryOp::Abs)],
+            any::<prop::sample::Index>()
+        )
+            .prop_map(|(u, i)| Step::Unary(u, i.index(64))),
+        (
+            prop_oneof![
+                Just(BinaryOp::Add),
+                Just(BinaryOp::Sub),
+                Just(BinaryOp::Mul),
+                Just(BinaryOp::Max)
+            ],
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>()
+        )
+            .prop_map(|(b, i, j)| Step::Binary(b, i.index(64), j.index(64))),
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(i, j)| Step::Matmul(i.index(64), j.index(64))),
+        any::<prop::sample::Index>().prop_map(|i| Step::Transpose(i.index(64))),
+        any::<prop::sample::Index>().prop_map(|i| Step::RowSumBroadcast(i.index(64))),
+    ]
+}
+
+/// An action on a random value: (value index, dim, axis index, atomic?).
+type Action = (usize, usize, usize, bool);
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    (
+        any::<prop::sample::Index>(),
+        0usize..2,
+        0usize..2,
+        prop::bool::weighted(0.2),
+    )
+        .prop_map(|(v, d, a, at)| (v.index(64), d, a, at))
+}
+
+fn build_program(steps: &[Step]) -> (Func, Vec<ValueId>) {
+    let mut b = FuncBuilder::new("prop");
+    let mut pool = vec![
+        b.param("x", TensorType::f32([N, N])),
+        b.param("y", TensorType::f32([N, N])),
+        b.param("z", TensorType::f32([N, N])),
+    ];
+    for step in steps {
+        let pick = |i: usize| pool[i % pool.len()];
+        let v = match step {
+            Step::Unary(u, i) => b.unary(*u, pick(*i)).unwrap(),
+            Step::Binary(op, i, j) => b.binary(*op, pick(*i), pick(*j)).unwrap(),
+            Step::Matmul(i, j) => b.matmul(pick(*i), pick(*j)).unwrap(),
+            Step::Transpose(i) => b.transpose(pick(*i), vec![1, 0]).unwrap(),
+            Step::RowSumBroadcast(i) => {
+                let s = b.reduce_sum(pick(*i), vec![1]).unwrap();
+                b.broadcast_in_dim(s, [N, N], vec![0]).unwrap()
+            }
+        };
+        pool.push(v);
+    }
+    let result = *pool.last().unwrap();
+    let func = b.build([result]).unwrap();
+    (func, pool)
+}
+
+fn inputs_for(func: &Func, seed: u64) -> Vec<Literal> {
+    let mut state = seed | 1;
+    func.params()
+        .iter()
+        .map(|&p| {
+            let ty = func.value_type(p);
+            let data: Vec<f32> = (0..ty.shape.num_elements())
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+                })
+                .collect();
+            Literal::from_f32(data, ty.shape.clone()).unwrap()
+        })
+        .collect()
+}
+
+fn apply_actions(
+    func: &Func,
+    pool: &[ValueId],
+    actions: &[Action],
+) -> Partitioning {
+    let mesh = Mesh::new([("a", 2), ("b", 2)]).unwrap();
+    let axes = [partir_mesh::Axis::new("a"), partir_mesh::Axis::new("b")];
+    let mut part = Partitioning::new(func, mesh).unwrap();
+    for &(v, dim, axis, atomic) in actions {
+        let value = pool[v % pool.len()];
+        let axis = &axes[axis];
+        // Actions may legitimately be rejected (axis in use, atomic,
+        // indivisible); propagation soundness must hold regardless.
+        if atomic {
+            let _ = part.atomic(func, value, axis);
+        } else {
+            let _ = part.tile(func, value, dim, axis);
+        }
+        part.propagate(func);
+    }
+    part
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn temporal_semantics_match_reference(
+        steps in prop::collection::vec(step_strategy(), 1..12),
+        actions in prop::collection::vec(action_strategy(), 0..6),
+        seed in any::<u64>(),
+    ) {
+        let (func, pool) = build_program(&steps);
+        let part = apply_actions(&func, &pool, &actions);
+        let inputs = inputs_for(&func, seed);
+        let reference = interpret(&func, &inputs).unwrap();
+        let temporal = interpret_sharded(&func, &part, &inputs).unwrap();
+        let diff = reference[0].max_abs_diff(&temporal[0]).unwrap();
+        // Tolerance scales with magnitude (matmul chains can grow).
+        let scale = reference[0]
+            .as_f32()
+            .unwrap()
+            .iter()
+            .fold(1.0f32, |m, v| m.max(v.abs()));
+        prop_assert!(diff <= 1e-4 * scale, "diff {diff} at scale {scale}");
+    }
+
+    #[test]
+    fn propagation_is_idempotent_and_monotone(
+        steps in prop::collection::vec(step_strategy(), 1..12),
+        actions in prop::collection::vec(action_strategy(), 1..6),
+    ) {
+        let (func, pool) = build_program(&steps);
+        let part = apply_actions(&func, &pool, &actions);
+        // A second propagate applies nothing new.
+        let mut again = part.clone();
+        let report = again.propagate(&func);
+        prop_assert_eq!(report.applied, 0);
+        prop_assert_eq!(report.inferred, 0);
+        // Contexts never mention an axis twice and tiled dims stay in
+        // bounds and divisible.
+        let mesh = part.mesh().clone();
+        for v in func.value_ids() {
+            let ctx = part.value_ctx(v);
+            let mut seen = std::collections::HashSet::new();
+            for (axis, kind) in ctx.entries() {
+                prop_assert!(seen.insert(axis.clone()), "duplicate axis in ctx");
+                if let partir_core::ShardKind::Tile { dim } = kind {
+                    prop_assert!(*dim < func.value_type(v).rank());
+                }
+            }
+            // Local shape divisibility holds (local_shape panics otherwise).
+            let _ = ctx.local_shape(&func.value_type(v).shape, &mesh);
+        }
+    }
+}

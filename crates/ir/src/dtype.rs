@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// Only the types needed by the paper's workloads are provided; training
+/// numerics use `F32`, token ids use `I32` and comparison results use
+/// `Pred`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 32-bit signed integer.
+    I32,
+    /// Boolean predicate.
+    Pred,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// `Pred` is modelled as one byte, matching XLA's `pred` layout.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::Pred => 1,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F32 => f.write_str("f32"),
+            DType::I32 => f.write_str("i32"),
+            DType::Pred => f.write_str("i1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_display() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::Pred.size_bytes(), 1);
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::Pred.to_string(), "i1");
+        assert!(DType::F32.is_float());
+        assert!(!DType::I32.is_float());
+    }
+}

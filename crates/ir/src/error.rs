@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::DType;
+
+/// Errors produced while building, verifying or interpreting IR.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A structurally invalid construction (bad attribute, length
+    /// mismatch, malformed region, …).
+    Invalid(String),
+    /// Shapes incompatible for an operation.
+    ShapeMismatch {
+        /// Name of the op being built or executed.
+        op: String,
+        /// Human readable description of the mismatch.
+        detail: String,
+    },
+    /// An element-type mismatch.
+    TypeMismatch {
+        /// What was expected.
+        expected: String,
+        /// The dtype actually found.
+        found: DType,
+    },
+    /// An op that the current pass or interpreter does not handle,
+    /// e.g. collectives in the reference interpreter.
+    Unsupported(String),
+}
+
+impl IrError {
+    /// Creates an [`IrError::Invalid`].
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        IrError::Invalid(detail.into())
+    }
+
+    /// Creates an [`IrError::ShapeMismatch`].
+    pub fn shape(op: impl Into<String>, detail: impl Into<String>) -> Self {
+        IrError::ShapeMismatch {
+            op: op.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates an [`IrError::TypeMismatch`].
+    pub fn type_mismatch(expected: impl Into<String>, found: DType) -> Self {
+        IrError::TypeMismatch {
+            expected: expected.into(),
+            found,
+        }
+    }
+
+    /// Creates an [`IrError::Unsupported`].
+    pub fn unsupported(detail: impl Into<String>) -> Self {
+        IrError::Unsupported(detail.into())
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Invalid(d) => write!(f, "invalid IR: {d}"),
+            IrError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+            IrError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            IrError::Unsupported(d) => write!(f, "unsupported operation: {d}"),
+        }
+    }
+}
+
+impl Error for IrError {}

@@ -1,0 +1,804 @@
+//! Result-type inference for every [`OpKind`].
+//!
+//! Used by the builder (to assign result types) and by the verifier
+//! (to re-check stored types).
+
+use partir_mesh::Mesh;
+
+use crate::{Collective, DType, IrError, OpKind, TensorType};
+
+/// Infers the result types of `kind` applied to operands of the given
+/// types. Collectives additionally need the `mesh` to resolve axis sizes.
+///
+/// # Errors
+///
+/// Returns a descriptive [`IrError`] when operand arity, shapes, dtypes or
+/// attributes are inconsistent.
+pub fn infer_result_types(
+    kind: &OpKind,
+    operands: &[TensorType],
+    mesh: Option<&Mesh>,
+) -> Result<Vec<TensorType>, IrError> {
+    match kind {
+        OpKind::Constant(lit) => {
+            expect_arity(kind, operands, 0)?;
+            Ok(vec![lit.ty()])
+        }
+        OpKind::Iota { dim, shape, dtype } => {
+            expect_arity(kind, operands, 0)?;
+            if *dim >= shape.rank() {
+                return Err(IrError::invalid(format!(
+                    "iota dim {dim} out of range for shape {shape}"
+                )));
+            }
+            Ok(vec![TensorType::new(shape.clone(), *dtype)])
+        }
+        OpKind::Unary(_) => {
+            expect_arity(kind, operands, 1)?;
+            if !operands[0].dtype.is_float() {
+                return Err(IrError::type_mismatch("float operand", operands[0].dtype));
+            }
+            Ok(vec![operands[0].clone()])
+        }
+        OpKind::Binary(_) => {
+            expect_arity(kind, operands, 2)?;
+            if operands[0] != operands[1] {
+                return Err(IrError::shape(
+                    kind.name(),
+                    format!("operand types differ: {} vs {}", operands[0], operands[1]),
+                ));
+            }
+            Ok(vec![operands[0].clone()])
+        }
+        OpKind::Compare(_) => {
+            expect_arity(kind, operands, 2)?;
+            if operands[0] != operands[1] {
+                return Err(IrError::shape(
+                    kind.name(),
+                    format!("operand types differ: {} vs {}", operands[0], operands[1]),
+                ));
+            }
+            Ok(vec![TensorType::pred(operands[0].shape.clone())])
+        }
+        OpKind::Select => {
+            expect_arity(kind, operands, 3)?;
+            if operands[0].dtype != DType::Pred {
+                return Err(IrError::type_mismatch("pred condition", operands[0].dtype));
+            }
+            if operands[0].shape != operands[1].shape || operands[1] != operands[2] {
+                return Err(IrError::shape(
+                    "select",
+                    format!(
+                        "operand types {} / {} / {} incompatible",
+                        operands[0], operands[1], operands[2]
+                    ),
+                ));
+            }
+            Ok(vec![operands[1].clone()])
+        }
+        OpKind::Convert(to) => {
+            expect_arity(kind, operands, 1)?;
+            Ok(vec![TensorType::new(operands[0].shape.clone(), *to)])
+        }
+        OpKind::Dot(dims) => {
+            expect_arity(kind, operands, 2)?;
+            let (lhs, rhs) = (&operands[0], &operands[1]);
+            if dims.lhs_batch.len() != dims.rhs_batch.len()
+                || dims.lhs_contract.len() != dims.rhs_contract.len()
+            {
+                return Err(IrError::invalid(
+                    "dot dimension number lists must pair up".to_string(),
+                ));
+            }
+            for (&lb, &rb) in dims.lhs_batch.iter().zip(&dims.rhs_batch) {
+                if lhs.shape.dim(lb) != rhs.shape.dim(rb) {
+                    return Err(IrError::shape(
+                        "dot",
+                        format!(
+                            "batch dims {lb}/{rb} disagree: {} vs {}",
+                            lhs.shape.dim(lb),
+                            rhs.shape.dim(rb)
+                        ),
+                    ));
+                }
+            }
+            for (&lc, &rc) in dims.lhs_contract.iter().zip(&dims.rhs_contract) {
+                if lhs.shape.dim(lc) != rhs.shape.dim(rc) {
+                    return Err(IrError::shape(
+                        "dot",
+                        format!(
+                            "contracting dims {lc}/{rc} disagree: {} vs {}",
+                            lhs.shape.dim(lc),
+                            rhs.shape.dim(rc)
+                        ),
+                    ));
+                }
+            }
+            if lhs.dtype != rhs.dtype {
+                return Err(IrError::type_mismatch("matching dot dtypes", rhs.dtype));
+            }
+            let mut out = Vec::new();
+            for &b in &dims.lhs_batch {
+                out.push(lhs.shape.dim(b));
+            }
+            for d in dims.free_dims(lhs.rank(), true) {
+                out.push(lhs.shape.dim(d));
+            }
+            for d in dims.free_dims(rhs.rank(), false) {
+                out.push(rhs.shape.dim(d));
+            }
+            Ok(vec![TensorType::new(out, lhs.dtype)])
+        }
+        OpKind::Transpose { perm } => {
+            expect_arity(kind, operands, 1)?;
+            let shape = &operands[0].shape;
+            if perm.len() != shape.rank() {
+                return Err(IrError::invalid(format!(
+                    "transpose perm rank {} vs operand rank {}",
+                    perm.len(),
+                    shape.rank()
+                )));
+            }
+            let mut seen = vec![false; perm.len()];
+            for &p in perm {
+                if p >= perm.len() || seen[p] {
+                    return Err(IrError::invalid("transpose perm is not a permutation"));
+                }
+                seen[p] = true;
+            }
+            let dims: Vec<usize> = perm.iter().map(|&p| shape.dim(p)).collect();
+            Ok(vec![TensorType::new(dims, operands[0].dtype)])
+        }
+        OpKind::Reshape { shape } => {
+            expect_arity(kind, operands, 1)?;
+            if shape.num_elements() != operands[0].shape.num_elements() {
+                return Err(IrError::shape(
+                    "reshape",
+                    format!(
+                        "element count mismatch: {} vs {}",
+                        operands[0].shape, shape
+                    ),
+                ));
+            }
+            Ok(vec![TensorType::new(shape.clone(), operands[0].dtype)])
+        }
+        OpKind::BroadcastInDim {
+            shape,
+            broadcast_dims,
+        } => {
+            expect_arity(kind, operands, 1)?;
+            let op_shape = &operands[0].shape;
+            if broadcast_dims.len() != op_shape.rank() {
+                return Err(IrError::invalid(format!(
+                    "broadcast_dims rank {} vs operand rank {}",
+                    broadcast_dims.len(),
+                    op_shape.rank()
+                )));
+            }
+            for (i, &bd) in broadcast_dims.iter().enumerate() {
+                if bd >= shape.rank() {
+                    return Err(IrError::invalid(format!(
+                        "broadcast dim {bd} out of range for {shape}"
+                    )));
+                }
+                let od = op_shape.dim(i);
+                if od != shape.dim(bd) && od != 1 {
+                    return Err(IrError::shape(
+                        "broadcast_in_dim",
+                        format!(
+                            "operand dim {i} (size {od}) incompatible with result dim {bd} (size {})",
+                            shape.dim(bd)
+                        ),
+                    ));
+                }
+            }
+            Ok(vec![TensorType::new(shape.clone(), operands[0].dtype)])
+        }
+        OpKind::Reduce { dims, .. } => {
+            expect_arity(kind, operands, 1)?;
+            let shape = &operands[0].shape;
+            for &d in dims {
+                if d >= shape.rank() {
+                    return Err(IrError::invalid(format!(
+                        "reduce dim {d} out of range for {shape}"
+                    )));
+                }
+            }
+            if dims.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(IrError::invalid("reduce dims must be strictly increasing"));
+            }
+            let out: Vec<usize> = (0..shape.rank())
+                .filter(|d| !dims.contains(d))
+                .map(|d| shape.dim(d))
+                .collect();
+            Ok(vec![TensorType::new(out, operands[0].dtype)])
+        }
+        OpKind::Slice {
+            starts,
+            limits,
+            strides,
+        } => {
+            expect_arity(kind, operands, 1)?;
+            let shape = &operands[0].shape;
+            let r = shape.rank();
+            if starts.len() != r || limits.len() != r || strides.len() != r {
+                return Err(IrError::invalid("slice attribute ranks must match operand"));
+            }
+            let mut out = Vec::with_capacity(r);
+            for d in 0..r {
+                if strides[d] == 0 {
+                    return Err(IrError::invalid("slice stride must be nonzero"));
+                }
+                if starts[d] > limits[d] || limits[d] > shape.dim(d) {
+                    return Err(IrError::shape(
+                        "slice",
+                        format!(
+                            "bad bounds [{}, {}) for dim {d} of size {}",
+                            starts[d],
+                            limits[d],
+                            shape.dim(d)
+                        ),
+                    ));
+                }
+                out.push((limits[d] - starts[d]).div_ceil(strides[d]));
+            }
+            Ok(vec![TensorType::new(out, operands[0].dtype)])
+        }
+        OpKind::Pad { low, high } => {
+            expect_arity(kind, operands, 2)?;
+            let shape = &operands[0].shape;
+            if operands[1].rank() != 0 || operands[1].dtype != operands[0].dtype {
+                return Err(IrError::shape(
+                    "pad",
+                    "padding value must be a scalar of the operand dtype".to_string(),
+                ));
+            }
+            if low.len() != shape.rank() || high.len() != shape.rank() {
+                return Err(IrError::invalid("pad attribute ranks must match operand"));
+            }
+            let mut out = Vec::with_capacity(shape.rank());
+            for d in 0..shape.rank() {
+                let size = shape.dim(d) as i64 + low[d] + high[d];
+                if size < 0 {
+                    return Err(IrError::shape(
+                        "pad",
+                        format!("dim {d} would have negative size"),
+                    ));
+                }
+                out.push(size as usize);
+            }
+            Ok(vec![TensorType::new(out, operands[0].dtype)])
+        }
+        OpKind::Concatenate { dim } => {
+            if operands.is_empty() {
+                return Err(IrError::invalid("concatenate needs at least one operand"));
+            }
+            let first = &operands[0];
+            if *dim >= first.rank() {
+                return Err(IrError::invalid(format!(
+                    "concatenate dim {dim} out of range"
+                )));
+            }
+            let mut size = 0;
+            for t in operands {
+                if t.rank() != first.rank() || t.dtype != first.dtype {
+                    return Err(IrError::shape("concatenate", "operand ranks/dtypes differ"));
+                }
+                for d in 0..t.rank() {
+                    if d != *dim && t.shape.dim(d) != first.shape.dim(d) {
+                        return Err(IrError::shape(
+                            "concatenate",
+                            format!("non-concatenated dim {d} differs"),
+                        ));
+                    }
+                }
+                size += t.shape.dim(*dim);
+            }
+            Ok(vec![TensorType::new(
+                first.shape.with_dim(*dim, size),
+                first.dtype,
+            )])
+        }
+        OpKind::DynamicSlice { sizes } => {
+            let r = sizes.len();
+            if operands.len() != 1 + r {
+                return Err(IrError::invalid(format!(
+                    "dynamic_slice needs operand plus {r} indices, got {} operands",
+                    operands.len()
+                )));
+            }
+            let shape = &operands[0].shape;
+            if shape.rank() != r {
+                return Err(IrError::shape(
+                    "dynamic_slice",
+                    "sizes rank must match operand rank",
+                ));
+            }
+            for (d, &s) in sizes.iter().enumerate() {
+                if s > shape.dim(d) {
+                    return Err(IrError::shape(
+                        "dynamic_slice",
+                        format!("size {s} exceeds dim {d} of size {}", shape.dim(d)),
+                    ));
+                }
+            }
+            for idx in &operands[1..] {
+                if idx.rank() != 0 || idx.dtype != DType::I32 {
+                    return Err(IrError::shape(
+                        "dynamic_slice",
+                        "indices must be scalar i32",
+                    ));
+                }
+            }
+            Ok(vec![TensorType::new(sizes.clone(), operands[0].dtype)])
+        }
+        OpKind::DynamicUpdateSlice => {
+            if operands.len() < 2 {
+                return Err(IrError::invalid(
+                    "dynamic_update_slice needs operand, update and indices",
+                ));
+            }
+            let (operand, update) = (&operands[0], &operands[1]);
+            let r = operand.rank();
+            if update.rank() != r || update.dtype != operand.dtype {
+                return Err(IrError::shape(
+                    "dynamic_update_slice",
+                    "update must have operand rank and dtype",
+                ));
+            }
+            if operands.len() != 2 + r {
+                return Err(IrError::invalid(format!(
+                    "dynamic_update_slice needs {r} indices"
+                )));
+            }
+            for d in 0..r {
+                if update.shape.dim(d) > operand.shape.dim(d) {
+                    return Err(IrError::shape(
+                        "dynamic_update_slice",
+                        format!("update dim {d} larger than operand"),
+                    ));
+                }
+            }
+            for idx in &operands[2..] {
+                if idx.rank() != 0 || idx.dtype != DType::I32 {
+                    return Err(IrError::shape(
+                        "dynamic_update_slice",
+                        "indices must be scalar i32",
+                    ));
+                }
+            }
+            Ok(vec![operand.clone()])
+        }
+        OpKind::Gather { axis } => {
+            expect_arity(kind, operands, 2)?;
+            let (operand, indices) = (&operands[0], &operands[1]);
+            if *axis >= operand.rank() {
+                return Err(IrError::invalid(format!("gather axis {axis} out of range")));
+            }
+            if indices.rank() != 1 || indices.dtype != DType::I32 {
+                return Err(IrError::shape("gather", "indices must be rank-1 i32"));
+            }
+            let out = operand.shape.with_dim(*axis, indices.shape.dim(0));
+            Ok(vec![TensorType::new(out, operand.dtype)])
+        }
+        OpKind::ScatterAdd { axis, size } => {
+            expect_arity(kind, operands, 2)?;
+            let (src, indices) = (&operands[0], &operands[1]);
+            if *axis >= src.rank() {
+                return Err(IrError::invalid(format!(
+                    "scatter_add axis {axis} out of range"
+                )));
+            }
+            if indices.rank() != 1
+                || indices.dtype != DType::I32
+                || indices.shape.dim(0) != src.shape.dim(*axis)
+            {
+                return Err(IrError::shape(
+                    "scatter_add",
+                    "indices must be rank-1 i32 with length equal to the scattered dim",
+                ));
+            }
+            let out = src.shape.with_dim(*axis, *size);
+            Ok(vec![TensorType::new(out, src.dtype)])
+        }
+        OpKind::Convolution(dims) => {
+            expect_arity(kind, operands, 2)?;
+            let (input, kernel) = (&operands[0], &operands[1]);
+            conv_check(input, kernel)?;
+            let (n, ci, h, w) = nchw(input)?;
+            let (co, ki, kh, kw) = nchw(kernel)?;
+            if ci != ki {
+                return Err(IrError::shape(
+                    "convolution",
+                    format!("input channels {ci} vs kernel channels {ki}"),
+                ));
+            }
+            let (ho, wo) = conv_out_hw((h, w), (kh, kw), dims.strides, dims.padding)?;
+            Ok(vec![TensorType::new(vec![n, co, ho, wo], input.dtype)])
+        }
+        OpKind::ConvInputGrad { dims, input_hw } => {
+            expect_arity(kind, operands, 2)?;
+            let (out_grad, kernel) = (&operands[0], &operands[1]);
+            conv_check(out_grad, kernel)?;
+            let (n, co_g, ho, wo) = nchw(out_grad)?;
+            let (co, ci, kh, kw) = nchw(kernel)?;
+            if co != co_g {
+                return Err(IrError::shape(
+                    "conv_input_grad",
+                    "out_grad channels must match kernel output channels",
+                ));
+            }
+            let (eho, ewo) = conv_out_hw(*input_hw, (kh, kw), dims.strides, dims.padding)?;
+            if (eho, ewo) != (ho, wo) {
+                return Err(IrError::shape(
+                    "conv_input_grad",
+                    format!("out_grad spatial {ho}x{wo} inconsistent with forward {eho}x{ewo}"),
+                ));
+            }
+            Ok(vec![TensorType::new(
+                vec![n, ci, input_hw.0, input_hw.1],
+                out_grad.dtype,
+            )])
+        }
+        OpKind::ConvFilterGrad { dims, kernel_hw } => {
+            expect_arity(kind, operands, 2)?;
+            let (input, out_grad) = (&operands[0], &operands[1]);
+            conv_check(input, out_grad)?;
+            let (n, ci, h, w) = nchw(input)?;
+            let (ng, co, ho, wo) = nchw(out_grad)?;
+            if n != ng {
+                return Err(IrError::shape("conv_filter_grad", "batch sizes differ"));
+            }
+            let (eho, ewo) = conv_out_hw((h, w), *kernel_hw, dims.strides, dims.padding)?;
+            if (eho, ewo) != (ho, wo) {
+                return Err(IrError::shape(
+                    "conv_filter_grad",
+                    format!("out_grad spatial {ho}x{wo} inconsistent with forward {eho}x{ewo}"),
+                ));
+            }
+            Ok(vec![TensorType::new(
+                vec![co, ci, kernel_hw.0, kernel_hw.1],
+                input.dtype,
+            )])
+        }
+        OpKind::ArgMax { dim } => {
+            expect_arity(kind, operands, 1)?;
+            let shape = &operands[0].shape;
+            if *dim >= shape.rank() {
+                return Err(IrError::invalid(format!("argmax dim {dim} out of range")));
+            }
+            let out: Vec<usize> = (0..shape.rank())
+                .filter(|d| d != dim)
+                .map(|d| shape.dim(d))
+                .collect();
+            Ok(vec![TensorType::new(out, DType::I32)])
+        }
+        OpKind::For { .. } => {
+            // Carried values go in and come out with the same types.
+            Ok(operands.to_vec())
+        }
+        OpKind::Collective(c) => infer_collective(c, operands, mesh),
+    }
+}
+
+fn infer_collective(
+    c: &Collective,
+    operands: &[TensorType],
+    mesh: Option<&Mesh>,
+) -> Result<Vec<TensorType>, IrError> {
+    if operands.len() != 1 {
+        return Err(IrError::invalid("collectives take exactly one operand"));
+    }
+    let mesh = mesh.ok_or_else(|| {
+        IrError::invalid("collective type inference requires a mesh".to_string())
+    })?;
+    let t = &operands[0];
+    let axis_product = |axes: &[partir_mesh::Axis]| -> Result<usize, IrError> {
+        let mut p = 1;
+        for a in axes {
+            p *= mesh
+                .axis_size(a)
+                .map_err(|e| IrError::invalid(e.to_string()))?;
+        }
+        Ok(p)
+    };
+    match c {
+        Collective::AllReduce { .. } => Ok(vec![t.clone()]),
+        Collective::AllGather { dim_axes } => {
+            check_dim_axes(t, dim_axes)?;
+            let mut dims = t.shape.dims().to_vec();
+            for (d, axes) in dim_axes.iter().enumerate() {
+                dims[d] *= axis_product(axes)?;
+            }
+            Ok(vec![TensorType::new(dims, t.dtype)])
+        }
+        Collective::AllSlice { dim_axes } | Collective::ReduceScatter { dim_axes, .. } => {
+            check_dim_axes(t, dim_axes)?;
+            let mut dims = t.shape.dims().to_vec();
+            for (d, axes) in dim_axes.iter().enumerate() {
+                let p = axis_product(axes)?;
+                if !dims[d].is_multiple_of(p) {
+                    return Err(IrError::shape(
+                        "all_slice",
+                        format!("dim {d} of size {} not divisible by axes product {p}", dims[d]),
+                    ));
+                }
+                dims[d] /= p;
+            }
+            Ok(vec![TensorType::new(dims, t.dtype)])
+        }
+        Collective::AllToAll {
+            src_dim,
+            dst_dim,
+            axes,
+        } => {
+            if *src_dim >= t.rank() || *dst_dim >= t.rank() || src_dim == dst_dim {
+                return Err(IrError::invalid("all_to_all dims out of range or equal"));
+            }
+            let p = axis_product(axes)?;
+            if !t.shape.dim(*dst_dim).is_multiple_of(p) {
+                return Err(IrError::shape(
+                    "all_to_all",
+                    format!("dst dim not divisible by axes product {p}"),
+                ));
+            }
+            let mut dims = t.shape.dims().to_vec();
+            dims[*src_dim] *= p;
+            dims[*dst_dim] /= p;
+            Ok(vec![TensorType::new(dims, t.dtype)])
+        }
+    }
+}
+
+fn check_dim_axes(t: &TensorType, dim_axes: &[Vec<partir_mesh::Axis>]) -> Result<(), IrError> {
+    if dim_axes.len() != t.rank() {
+        return Err(IrError::invalid(format!(
+            "per-dim axis list rank {} does not match operand rank {}",
+            dim_axes.len(),
+            t.rank()
+        )));
+    }
+    Ok(())
+}
+
+fn expect_arity(kind: &OpKind, operands: &[TensorType], n: usize) -> Result<(), IrError> {
+    if operands.len() != n {
+        return Err(IrError::invalid(format!(
+            "{} expects {n} operands, got {}",
+            kind.name(),
+            operands.len()
+        )));
+    }
+    Ok(())
+}
+
+fn nchw(t: &TensorType) -> Result<(usize, usize, usize, usize), IrError> {
+    if t.rank() != 4 {
+        return Err(IrError::shape("convolution", "operands must be rank 4"));
+    }
+    let d = t.shape.dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+fn conv_check(a: &TensorType, b: &TensorType) -> Result<(), IrError> {
+    if a.dtype != b.dtype || !a.dtype.is_float() {
+        return Err(IrError::shape("convolution", "operands must share a float dtype"));
+    }
+    Ok(())
+}
+
+/// Output spatial size of a convolution.
+pub(crate) fn conv_out_hw(
+    hw: (usize, usize),
+    k: (usize, usize),
+    strides: (usize, usize),
+    padding: (usize, usize),
+) -> Result<(usize, usize), IrError> {
+    let out = |size: usize, k: usize, s: usize, p: usize| -> Result<usize, IrError> {
+        let padded = size + 2 * p;
+        if padded < k {
+            return Err(IrError::shape(
+                "convolution",
+                format!("kernel {k} larger than padded input {padded}"),
+            ));
+        }
+        Ok((padded - k) / s + 1)
+    };
+    Ok((
+        out(hw.0, k.0, strides.0, padding.0)?,
+        out(hw.1, k.1, strides.1, padding.1)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinaryOp, DotDims, Shape};
+
+    fn f32t(dims: &[usize]) -> TensorType {
+        TensorType::f32(dims.to_vec())
+    }
+
+    #[test]
+    fn binary_requires_matching_types() {
+        let k = OpKind::Binary(BinaryOp::Add);
+        assert!(infer_result_types(&k, &[f32t(&[2]), f32t(&[2])], None).is_ok());
+        assert!(infer_result_types(&k, &[f32t(&[2]), f32t(&[3])], None).is_err());
+        assert!(infer_result_types(&k, &[f32t(&[2])], None).is_err());
+    }
+
+    #[test]
+    fn dot_general_shapes() {
+        // Plain matmul.
+        let k = OpKind::Dot(DotDims::matmul());
+        let out = infer_result_types(&k, &[f32t(&[4, 8]), f32t(&[8, 16])], None).unwrap();
+        assert_eq!(out[0], f32t(&[4, 16]));
+        // Batched attention-style dot.
+        let k = OpKind::Dot(DotDims {
+            lhs_batch: vec![0, 1],
+            rhs_batch: vec![0, 1],
+            lhs_contract: vec![3],
+            rhs_contract: vec![2],
+        });
+        let out =
+            infer_result_types(&k, &[f32t(&[2, 3, 5, 7]), f32t(&[2, 3, 7, 11])], None).unwrap();
+        assert_eq!(out[0], f32t(&[2, 3, 5, 11]));
+        // Contraction size mismatch.
+        assert!(infer_result_types(
+            &OpKind::Dot(DotDims::matmul()),
+            &[f32t(&[4, 8]), f32t(&[9, 16])],
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn transpose_and_reshape() {
+        let k = OpKind::Transpose { perm: vec![1, 0] };
+        let out = infer_result_types(&k, &[f32t(&[2, 5])], None).unwrap();
+        assert_eq!(out[0], f32t(&[5, 2]));
+        assert!(infer_result_types(
+            &OpKind::Transpose { perm: vec![0, 0] },
+            &[f32t(&[2, 5])],
+            None
+        )
+        .is_err());
+        let k = OpKind::Reshape {
+            shape: Shape::from([10]),
+        };
+        assert!(infer_result_types(&k, &[f32t(&[2, 5])], None).is_ok());
+        assert!(infer_result_types(&k, &[f32t(&[3, 5])], None).is_err());
+    }
+
+    #[test]
+    fn reduce_removes_dims() {
+        let k = OpKind::Reduce {
+            op: crate::ReduceOp::Sum,
+            dims: vec![0, 2],
+        };
+        let out = infer_result_types(&k, &[f32t(&[2, 3, 4])], None).unwrap();
+        assert_eq!(out[0], f32t(&[3]));
+        assert!(infer_result_types(
+            &OpKind::Reduce {
+                op: crate::ReduceOp::Sum,
+                dims: vec![2, 0]
+            },
+            &[f32t(&[2, 3, 4])],
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn slice_pad_concat() {
+        let k = OpKind::Slice {
+            starts: vec![1, 0],
+            limits: vec![3, 4],
+            strides: vec![1, 2],
+        };
+        let out = infer_result_types(&k, &[f32t(&[4, 4])], None).unwrap();
+        assert_eq!(out[0], f32t(&[2, 2]));
+        let k = OpKind::Pad {
+            low: vec![1, 0],
+            high: vec![0, 2],
+        };
+        let out =
+            infer_result_types(&k, &[f32t(&[2, 2]), TensorType::scalar(DType::F32)], None)
+                .unwrap();
+        assert_eq!(out[0], f32t(&[3, 4]));
+        let k = OpKind::Concatenate { dim: 1 };
+        let out = infer_result_types(&k, &[f32t(&[2, 2]), f32t(&[2, 5])], None).unwrap();
+        assert_eq!(out[0], f32t(&[2, 7]));
+    }
+
+    #[test]
+    fn gather_scatter() {
+        let k = OpKind::Gather { axis: 0 };
+        let out =
+            infer_result_types(&k, &[f32t(&[10, 4]), TensorType::i32([6])], None).unwrap();
+        assert_eq!(out[0], f32t(&[6, 4]));
+        let k = OpKind::ScatterAdd { axis: 0, size: 10 };
+        let out = infer_result_types(&k, &[f32t(&[6, 4]), TensorType::i32([6])], None).unwrap();
+        assert_eq!(out[0], f32t(&[10, 4]));
+        // Mismatched index length.
+        assert!(
+            infer_result_types(&k, &[f32t(&[6, 4]), TensorType::i32([5])], None).is_err()
+        );
+    }
+
+    #[test]
+    fn convolution_shapes() {
+        let dims = crate::ConvDims {
+            strides: (1, 1),
+            padding: (1, 1),
+        };
+        let k = OpKind::Convolution(dims);
+        let out =
+            infer_result_types(&k, &[f32t(&[2, 3, 8, 8]), f32t(&[5, 3, 3, 3])], None).unwrap();
+        assert_eq!(out[0], f32t(&[2, 5, 8, 8]));
+        let k = OpKind::ConvInputGrad {
+            dims,
+            input_hw: (8, 8),
+        };
+        let out =
+            infer_result_types(&k, &[f32t(&[2, 5, 8, 8]), f32t(&[5, 3, 3, 3])], None).unwrap();
+        assert_eq!(out[0], f32t(&[2, 3, 8, 8]));
+        let k = OpKind::ConvFilterGrad {
+            dims,
+            kernel_hw: (3, 3),
+        };
+        let out =
+            infer_result_types(&k, &[f32t(&[2, 3, 8, 8]), f32t(&[2, 5, 8, 8])], None).unwrap();
+        assert_eq!(out[0], f32t(&[5, 3, 3, 3]));
+    }
+
+    #[test]
+    fn collectives_need_mesh() {
+        use partir_mesh::Mesh;
+        let mesh = Mesh::new([("x", 2), ("y", 4)]).unwrap();
+        let k = OpKind::Collective(Collective::AllGather {
+            dim_axes: vec![vec!["x".into()], vec![]],
+        });
+        assert!(infer_result_types(&k, &[f32t(&[4, 4])], None).is_err());
+        let out = infer_result_types(&k, &[f32t(&[4, 4])], Some(&mesh)).unwrap();
+        assert_eq!(out[0], f32t(&[8, 4]));
+        let k = OpKind::Collective(Collective::AllSlice {
+            dim_axes: vec![vec!["y".into()], vec![]],
+        });
+        let out = infer_result_types(&k, &[f32t(&[8, 4])], Some(&mesh)).unwrap();
+        assert_eq!(out[0], f32t(&[2, 4]));
+        // Indivisible slice.
+        let k = OpKind::Collective(Collective::AllSlice {
+            dim_axes: vec![vec!["y".into()], vec![]],
+        });
+        assert!(infer_result_types(&k, &[f32t(&[6, 4])], Some(&mesh)).is_err());
+        // all_to_all moves a factor between dims.
+        let k = OpKind::Collective(Collective::AllToAll {
+            src_dim: 0,
+            dst_dim: 1,
+            axes: vec!["x".into()],
+        });
+        let out = infer_result_types(&k, &[f32t(&[4, 4])], Some(&mesh)).unwrap();
+        assert_eq!(out[0], f32t(&[8, 2]));
+    }
+
+    #[test]
+    fn argmax_and_dynamic_ops() {
+        let out =
+            infer_result_types(&OpKind::ArgMax { dim: 1 }, &[f32t(&[2, 7])], None).unwrap();
+        assert_eq!(out[0], TensorType::i32([2]));
+        let idx = TensorType::scalar(DType::I32);
+        let k = OpKind::DynamicSlice { sizes: vec![1, 4] };
+        let out =
+            infer_result_types(&k, &[f32t(&[8, 4]), idx.clone(), idx.clone()], None).unwrap();
+        assert_eq!(out[0], f32t(&[1, 4]));
+        let k = OpKind::DynamicUpdateSlice;
+        let out = infer_result_types(
+            &k,
+            &[f32t(&[8, 4]), f32t(&[1, 4]), idx.clone(), idx],
+            None,
+        )
+        .unwrap();
+        assert_eq!(out[0], f32t(&[8, 4]));
+    }
+}

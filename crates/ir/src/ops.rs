@@ -1,0 +1,478 @@
+use partir_mesh::Axis;
+
+use crate::{DType, Literal, Shape};
+
+/// Element-wise unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `e^x`
+    Exp,
+    /// `ln x`
+    Log,
+    /// `tanh x`
+    Tanh,
+    /// `sqrt x`
+    Sqrt,
+    /// `1 / sqrt x`
+    Rsqrt,
+    /// `|x|`
+    Abs,
+    /// logistic sigmoid `1 / (1 + e^-x)`
+    Logistic,
+    /// `sin x`
+    Sin,
+    /// `cos x`
+    Cos,
+}
+
+/// Element-wise binary operations (operands must have identical types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `x + y`
+    Add,
+    /// `x - y`
+    Sub,
+    /// `x * y`
+    Mul,
+    /// `x / y`
+    Div,
+    /// `max(x, y)`
+    Max,
+    /// `min(x, y)`
+    Min,
+    /// `x ^ y`
+    Pow,
+}
+
+/// Comparison directions for the `compare` op (result dtype is `i1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareDir {
+    /// `x == y`
+    Eq,
+    /// `x != y`
+    Ne,
+    /// `x < y`
+    Lt,
+    /// `x <= y`
+    Le,
+    /// `x > y`
+    Gt,
+    /// `x >= y`
+    Ge,
+}
+
+/// Reduction monoids for `reduce`, `all_reduce` and `reduce_scatter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Sum.
+    Sum,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Product.
+    Prod,
+}
+
+/// Dimension numbers for the general dot product (`stablehlo.dot_general`).
+///
+/// The result shape is `batch ++ lhs_free ++ rhs_free` where free dims are
+/// the non-batch, non-contracting dims in operand order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DotDims {
+    /// Batch dimensions of the LHS, paired with `rhs_batch`.
+    pub lhs_batch: Vec<usize>,
+    /// Batch dimensions of the RHS.
+    pub rhs_batch: Vec<usize>,
+    /// Contracting dimensions of the LHS, paired with `rhs_contract`.
+    pub lhs_contract: Vec<usize>,
+    /// Contracting dimensions of the RHS.
+    pub rhs_contract: Vec<usize>,
+}
+
+impl DotDims {
+    /// Dimension numbers of a plain 2-D matrix multiplication.
+    pub fn matmul() -> Self {
+        DotDims {
+            lhs_batch: vec![],
+            rhs_batch: vec![],
+            lhs_contract: vec![1],
+            rhs_contract: vec![0],
+        }
+    }
+
+    /// Free (non-batch, non-contracting) dims of an operand with `rank`
+    /// dims, in order.
+    pub fn free_dims(&self, rank: usize, is_lhs: bool) -> Vec<usize> {
+        let (batch, contract) = if is_lhs {
+            (&self.lhs_batch, &self.lhs_contract)
+        } else {
+            (&self.rhs_batch, &self.rhs_contract)
+        };
+        (0..rank)
+            .filter(|d| !batch.contains(d) && !contract.contains(d))
+            .collect()
+    }
+}
+
+/// Dimension attributes for 2-D convolutions and their gradients.
+///
+/// Layouts are fixed: input `[N, Ci, H, W]`, kernel `[Co, Ci, kh, kw]`,
+/// output `[N, Co, Ho, Wo]` — the NCHW/OIHW convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvDims {
+    /// Spatial strides `(stride_h, stride_w)`.
+    pub strides: (usize, usize),
+    /// Symmetric zero padding `(pad_h, pad_w)` applied on both sides.
+    pub padding: (usize, usize),
+}
+
+impl Default for ConvDims {
+    fn default() -> Self {
+        ConvDims {
+            strides: (1, 1),
+            padding: (0, 0),
+        }
+    }
+}
+
+/// SPMD collective communication ops over *mesh axes* (paper §6).
+///
+/// Unlike XLA HLO collectives, these never mention device ids: each op names
+/// the mesh axes it communicates across, which keeps the encoding
+/// independent of the device count and easy to fuse and cost.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Collective {
+    /// Reduce across `axes`, replicating the result on every participant.
+    AllReduce {
+        /// Mesh axes reduced over.
+        axes: Vec<Axis>,
+        /// Reduction monoid (the paper's `<@red_fn>`).
+        reduce: ReduceOp,
+    },
+    /// Per result dimension, gather shards along the given axes
+    /// (dual of `AllSlice`). Dim size is multiplied by the axes' product.
+    AllGather {
+        /// For each dimension, the axes gathered in that dimension.
+        dim_axes: Vec<Vec<Axis>>,
+    },
+    /// Per result dimension, keep only this device's shard along the given
+    /// axes. Dim size is divided by the axes' product.
+    AllSlice {
+        /// For each dimension, the axes sliced in that dimension.
+        dim_axes: Vec<Vec<Axis>>,
+    },
+    /// Fusion of `AllReduce` over the union of axes followed by `AllSlice`.
+    ReduceScatter {
+        /// For each dimension, the axes scattered in that dimension.
+        dim_axes: Vec<Vec<Axis>>,
+        /// Reduction monoid.
+        reduce: ReduceOp,
+    },
+    /// Fusion of `AllGather` in `src_dim` followed by `AllSlice` in
+    /// `dst_dim` over the same axes.
+    AllToAll {
+        /// Dimension gathered.
+        src_dim: usize,
+        /// Dimension sliced.
+        dst_dim: usize,
+        /// Axes the exchange spans.
+        axes: Vec<Axis>,
+    },
+}
+
+impl Collective {
+    /// All mesh axes this collective communicates over (with duplicates
+    /// removed, in first-occurrence order).
+    pub fn axes(&self) -> Vec<Axis> {
+        let raw: Vec<Axis> = match self {
+            Collective::AllReduce { axes, .. } | Collective::AllToAll { axes, .. } => {
+                axes.clone()
+            }
+            Collective::AllGather { dim_axes }
+            | Collective::AllSlice { dim_axes }
+            | Collective::ReduceScatter { dim_axes, .. } => {
+                dim_axes.iter().flatten().cloned().collect()
+            }
+        };
+        let mut out = Vec::new();
+        for a in raw {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// Short mnemonic used in statistics tables: AR, AG, AS, RS, A2A.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Collective::AllReduce { .. } => "AR",
+            Collective::AllGather { .. } => "AG",
+            Collective::AllSlice { .. } => "AS",
+            Collective::ReduceScatter { .. } => "RS",
+            Collective::AllToAll { .. } => "A2A",
+        }
+    }
+}
+
+/// The operation set of the IR.
+///
+/// A deliberately small but complete subset of StableHLO, plus the SPMD
+/// collective dialect ([`Collective`]) and a counted `for` loop region op
+/// used for the autoregressive serving loop of the IT32 benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// A compile-time constant.
+    Constant(Literal),
+    /// Values `0..n` laid out along `dim` of the declared result shape.
+    Iota {
+        /// Dimension along which values increase.
+        dim: usize,
+        /// Result shape.
+        shape: Shape,
+        /// Result element type.
+        dtype: DType,
+    },
+    /// Element-wise unary op.
+    Unary(UnaryOp),
+    /// Element-wise binary op; operand types must match exactly.
+    Binary(BinaryOp),
+    /// Element-wise comparison producing `i1`.
+    Compare(CompareDir),
+    /// `select(pred, on_true, on_false)`, element-wise.
+    Select,
+    /// Element type cast.
+    Convert(DType),
+    /// General dot product.
+    Dot(DotDims),
+    /// Dimension permutation.
+    Transpose {
+        /// `result[i] = operand[perm[i]]` dimension mapping.
+        perm: Vec<usize>,
+    },
+    /// Bit-preserving reshape to `shape`.
+    Reshape {
+        /// Target shape (same element count as the operand).
+        shape: Shape,
+    },
+    /// Broadcast: `broadcast_dims[i]` is the result dim that operand dim
+    /// `i` maps to; other result dims are copies.
+    BroadcastInDim {
+        /// Target shape.
+        shape: Shape,
+        /// Mapping from operand dims to result dims.
+        broadcast_dims: Vec<usize>,
+    },
+    /// Reduction over `dims` (removed from the result shape).
+    Reduce {
+        /// Reduction monoid.
+        op: ReduceOp,
+        /// Dimensions reduced away, strictly increasing.
+        dims: Vec<usize>,
+    },
+    /// Static strided slice.
+    Slice {
+        /// Inclusive start per dim.
+        starts: Vec<usize>,
+        /// Exclusive limit per dim.
+        limits: Vec<usize>,
+        /// Stride per dim.
+        strides: Vec<usize>,
+    },
+    /// Zero-interior pad; operands are `(operand, pad_value scalar)`.
+    Pad {
+        /// Padding added before dim start (may be negative = truncate).
+        low: Vec<i64>,
+        /// Padding added after dim end (may be negative = truncate).
+        high: Vec<i64>,
+    },
+    /// Concatenation along `dim`.
+    Concatenate {
+        /// Concatenated dimension.
+        dim: usize,
+    },
+    /// Dynamic slice: operands are `(operand, idx_0, …, idx_{r-1})` with
+    /// scalar i32 start indices (clamped), producing shape `sizes`.
+    DynamicSlice {
+        /// Result dimension sizes.
+        sizes: Vec<usize>,
+    },
+    /// Dynamic update slice: operands are `(operand, update, idx_0, …)`;
+    /// writes `update` into `operand` at the (clamped) start indices.
+    DynamicUpdateSlice,
+    /// Simplified gather (`take`): operands `(operand, indices)` where
+    /// `indices` is rank-1 i32; picks slices of `operand` along `axis`.
+    Gather {
+        /// Gathered dimension of the operand.
+        axis: usize,
+    },
+    /// Scatter-add (dual of [`OpKind::Gather`]): operands
+    /// `(src, indices)`; adds rows of `src` into a zero tensor whose
+    /// `axis` dimension has size `size`.
+    ScatterAdd {
+        /// Scattered dimension.
+        axis: usize,
+        /// Result size of the scattered dimension.
+        size: usize,
+    },
+    /// 2-D convolution, NCHW/OIHW layout.
+    Convolution(ConvDims),
+    /// Gradient of convolution w.r.t. its input; operands
+    /// `(out_grad, kernel)`, attribute carries the forward dims and the
+    /// forward input spatial shape.
+    ConvInputGrad {
+        /// Forward convolution attributes.
+        dims: ConvDims,
+        /// Forward input spatial size `(H, W)`.
+        input_hw: (usize, usize),
+    },
+    /// Gradient of convolution w.r.t. its kernel; operands
+    /// `(input, out_grad)`.
+    ConvFilterGrad {
+        /// Forward convolution attributes.
+        dims: ConvDims,
+        /// Forward kernel spatial size `(kh, kw)`.
+        kernel_hw: (usize, usize),
+    },
+    /// Index of the maximum along `dim` (i32 result, `dim` removed).
+    ArgMax {
+        /// Reduced dimension.
+        dim: usize,
+    },
+    /// Counted loop with a single region: region params are
+    /// `(i32 index, carried…)`; region results and op results are the
+    /// carried values.
+    For {
+        /// Number of iterations.
+        trip_count: usize,
+    },
+    /// SPMD collective (PartIR:HLO dialect, paper §6). Illegal before SPMD
+    /// lowering and in the reference interpreter.
+    Collective(Collective),
+}
+
+impl OpKind {
+    /// A short stable name used in diagnostics and the pretty printer.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Constant(_) => "constant",
+            OpKind::Iota { .. } => "iota",
+            OpKind::Unary(u) => match u {
+                UnaryOp::Neg => "neg",
+                UnaryOp::Exp => "exp",
+                UnaryOp::Log => "log",
+                UnaryOp::Tanh => "tanh",
+                UnaryOp::Sqrt => "sqrt",
+                UnaryOp::Rsqrt => "rsqrt",
+                UnaryOp::Abs => "abs",
+                UnaryOp::Logistic => "logistic",
+                UnaryOp::Sin => "sin",
+                UnaryOp::Cos => "cos",
+            },
+            OpKind::Binary(b) => match b {
+                BinaryOp::Add => "add",
+                BinaryOp::Sub => "sub",
+                BinaryOp::Mul => "mul",
+                BinaryOp::Div => "div",
+                BinaryOp::Max => "max",
+                BinaryOp::Min => "min",
+                BinaryOp::Pow => "pow",
+            },
+            OpKind::Compare(_) => "compare",
+            OpKind::Select => "select",
+            OpKind::Convert(_) => "convert",
+            OpKind::Dot(_) => "dot",
+            OpKind::Transpose { .. } => "transpose",
+            OpKind::Reshape { .. } => "reshape",
+            OpKind::BroadcastInDim { .. } => "broadcast_in_dim",
+            OpKind::Reduce { .. } => "reduce",
+            OpKind::Slice { .. } => "slice",
+            OpKind::Pad { .. } => "pad",
+            OpKind::Concatenate { .. } => "concatenate",
+            OpKind::DynamicSlice { .. } => "dynamic_slice",
+            OpKind::DynamicUpdateSlice => "dynamic_update_slice",
+            OpKind::Gather { .. } => "gather",
+            OpKind::ScatterAdd { .. } => "scatter_add",
+            OpKind::Convolution(_) => "convolution",
+            OpKind::ConvInputGrad { .. } => "conv_input_grad",
+            OpKind::ConvFilterGrad { .. } => "conv_filter_grad",
+            OpKind::ArgMax { .. } => "arg_max",
+            OpKind::For { .. } => "for",
+            OpKind::Collective(c) => match c {
+                Collective::AllReduce { .. } => "all_reduce",
+                Collective::AllGather { .. } => "all_gather",
+                Collective::AllSlice { .. } => "all_slice",
+                Collective::ReduceScatter { .. } => "reduce_scatter",
+                Collective::AllToAll { .. } => "all_to_all",
+            },
+        }
+    }
+
+    /// Whether this op is an SPMD collective.
+    pub fn is_collective(&self) -> bool {
+        matches!(self, OpKind::Collective(_))
+    }
+
+    /// Whether this op carries a region ([`OpKind::For`]).
+    pub fn has_region(&self) -> bool {
+        matches!(self, OpKind::For { .. })
+    }
+
+    /// Whether this op is element-wise (same-shape in, same-shape out,
+    /// pointwise semantics) — the class the TMR's "tile all operands the
+    /// same way" rule applies to.
+    pub fn is_elementwise(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Unary(_)
+                | OpKind::Binary(_)
+                | OpKind::Compare(_)
+                | OpKind::Select
+                | OpKind::Convert(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_dims_free_dims() {
+        let d = DotDims {
+            lhs_batch: vec![0],
+            rhs_batch: vec![0],
+            lhs_contract: vec![2],
+            rhs_contract: vec![1],
+        };
+        assert_eq!(d.free_dims(3, true), vec![1]);
+        assert_eq!(d.free_dims(3, false), vec![2]);
+        assert_eq!(DotDims::matmul().free_dims(2, true), vec![0]);
+    }
+
+    #[test]
+    fn collective_axes_dedup() {
+        let c = Collective::AllGather {
+            dim_axes: vec![vec!["a".into(), "b".into()], vec!["a".into()]],
+        };
+        assert_eq!(c.axes(), vec![Axis::new("a"), Axis::new("b")]);
+        assert_eq!(c.mnemonic(), "AG");
+    }
+
+    #[test]
+    fn op_names() {
+        assert_eq!(OpKind::Binary(BinaryOp::Add).name(), "add");
+        assert_eq!(OpKind::Dot(DotDims::matmul()).name(), "dot");
+        assert!(OpKind::Select.is_elementwise());
+        assert!(!OpKind::Dot(DotDims::matmul()).is_elementwise());
+        assert!(OpKind::For { trip_count: 2 }.has_region());
+        assert!(OpKind::Collective(Collective::AllReduce {
+            axes: vec!["m".into()],
+            reduce: ReduceOp::Sum
+        })
+        .is_collective());
+    }
+}

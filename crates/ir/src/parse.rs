@@ -1,0 +1,384 @@
+//! A parser for the MLIR-ish textual form produced by [`crate::print`].
+//!
+//! Round-tripping programs through text makes golden tests robust and
+//! gives the crate a self-contained serialisation format for simple
+//! (region- and collective-free) functions — the subset the paper's
+//! listings use.
+//!
+//! # Examples
+//!
+//! ```
+//! use partir_ir::{parse::parse_func, print::print_func};
+//!
+//! let text = "\
+//! func @main(%x: tensor<4x8xf32>, %w: tensor<8x2xf32>) {
+//!   %0 = dot(%x, %w) : tensor<4x2xf32>
+//!   return %0 : tensor<4x2xf32>
+//! }
+//! ";
+//! let func = parse_func(text)?;
+//! assert_eq!(func.name(), "main");
+//! assert_eq!(print_func(&func), text);
+//! # Ok::<(), partir_ir::IrError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::{
+    BinaryOp, CompareDir, DType, FuncBuilder, IrError, ReduceOp, Shape, TensorType, UnaryOp,
+    ValueId,
+};
+
+/// Parses a function printed by [`crate::print::print_func`].
+///
+/// Supported subset: parameters, the structural/elementwise op set with
+/// default attributes (the attribute-bearing forms the printer emits for
+/// transpose/reduce/slice/… are parsed where the attribute text is
+/// unambiguous), and a final `return`. `for` regions and collectives are
+/// not supported.
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] with a line-referenced message on
+/// malformed input.
+pub fn parse_func(text: &str) -> Result<crate::Func, IrError> {
+    let mut lines = text.lines().enumerate().peekable();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| IrError::invalid("empty input"))?;
+    let (name, params) = parse_header(header)?;
+    let mut b = FuncBuilder::new(name);
+    let mut env: HashMap<String, ValueId> = HashMap::new();
+    for (pname, ty) in params {
+        let v = b.param(pname.clone(), ty);
+        env.insert(pname, v);
+    }
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line == "}" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("return") {
+            let results = parse_return(rest, &env, lineno)?;
+            return b.build(results);
+        }
+        parse_op_line(line, &mut b, &mut env, lineno)?;
+    }
+    Err(IrError::invalid("missing return statement"))
+}
+
+fn err(lineno: usize, msg: impl std::fmt::Display) -> IrError {
+    IrError::invalid(format!("line {}: {msg}", lineno + 1))
+}
+
+fn parse_header(header: &str) -> Result<(String, Vec<(String, TensorType)>), IrError> {
+    let rest = header
+        .trim()
+        .strip_prefix("func @")
+        .ok_or_else(|| IrError::invalid("expected `func @name(...)`"))?;
+    let open = rest
+        .find('(')
+        .ok_or_else(|| IrError::invalid("missing `(` in header"))?;
+    let close = rest
+        .rfind(')')
+        .ok_or_else(|| IrError::invalid("missing `)` in header"))?;
+    let name = rest[..open].to_string();
+    let mut params = Vec::new();
+    let body = &rest[open + 1..close];
+    if !body.trim().is_empty() {
+        for part in body.split(',') {
+            let (pname, ty) = part
+                .split_once(':')
+                .ok_or_else(|| IrError::invalid("parameter missing `:`"))?;
+            let pname = pname
+                .trim()
+                .strip_prefix('%')
+                .ok_or_else(|| IrError::invalid("parameter missing `%`"))?;
+            params.push((pname.to_string(), parse_type(ty.trim())?));
+        }
+    }
+    Ok((name, params))
+}
+
+/// Parses `tensor<4x8xf32>`-style types.
+pub fn parse_type(text: &str) -> Result<TensorType, IrError> {
+    let inner = text
+        .strip_prefix("tensor<")
+        .and_then(|t| t.strip_suffix('>'))
+        .ok_or_else(|| IrError::invalid(format!("bad type {text:?}")))?;
+    let mut dims = Vec::new();
+    let mut parts: Vec<&str> = inner.split('x').collect();
+    let dtype = match parts.pop() {
+        Some("f32") => DType::F32,
+        Some("i32") => DType::I32,
+        Some("i1") => DType::Pred,
+        other => return Err(IrError::invalid(format!("bad dtype {other:?}"))),
+    };
+    for p in parts {
+        dims.push(
+            p.parse::<usize>()
+                .map_err(|_| IrError::invalid(format!("bad dim {p:?}")))?,
+        );
+    }
+    Ok(TensorType::new(Shape::from(dims), dtype))
+}
+
+fn parse_return(
+    rest: &str,
+    env: &HashMap<String, ValueId>,
+    lineno: usize,
+) -> Result<Vec<ValueId>, IrError> {
+    let mut results = Vec::new();
+    for part in rest.split(',') {
+        let name_part = part.trim();
+        if name_part.is_empty() {
+            continue;
+        }
+        // Strip the `: type` annotation.
+        let value_text = name_part.split(':').next().unwrap_or("").trim();
+        let vname = value_text
+            .strip_prefix('%')
+            .ok_or_else(|| err(lineno, "return operand missing `%`"))?;
+        let v = env
+            .get(vname)
+            .ok_or_else(|| err(lineno, format!("unknown value %{vname}")))?;
+        results.push(*v);
+    }
+    Ok(results)
+}
+
+fn parse_op_line(
+    line: &str,
+    b: &mut FuncBuilder,
+    env: &mut HashMap<String, ValueId>,
+    lineno: usize,
+) -> Result<(), IrError> {
+    let (lhs, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| err(lineno, "expected `%name = op(...)`"))?;
+    let result_name = lhs
+        .trim()
+        .strip_prefix('%')
+        .ok_or_else(|| err(lineno, "result missing `%`"))?
+        .to_string();
+    let rhs = rhs.trim();
+    // Split off the trailing `: type` (types are re-inferred).
+    let body = match rhs.rsplit_once(" : ") {
+        Some((body, _ty)) => body.trim(),
+        None => rhs,
+    };
+    // `op {attrs} (args)` or `op(args)`.
+    let open = body
+        .find('(')
+        .ok_or_else(|| err(lineno, "op missing `(`"))?;
+    let close = body
+        .rfind(')')
+        .ok_or_else(|| err(lineno, "op missing `)`"))?;
+    let head = body[..open].trim();
+    let (op_name, attrs) = match head.split_once('{') {
+        Some((n, a)) => (
+            n.trim(),
+            Some(
+                a.strip_suffix('}')
+                    .map(str::trim)
+                    .ok_or_else(|| err(lineno, "unclosed attribute block"))?,
+            ),
+        ),
+        None => (head, None),
+    };
+    let mut args = Vec::new();
+    let arg_text = &body[open + 1..close];
+    if !arg_text.trim().is_empty() {
+        for part in arg_text.split(',') {
+            let vname = part
+                .trim()
+                .strip_prefix('%')
+                .ok_or_else(|| err(lineno, "operand missing `%`"))?;
+            args.push(
+                *env.get(vname)
+                    .ok_or_else(|| err(lineno, format!("unknown value %{vname}")))?,
+            );
+        }
+    }
+    let result = build_op(b, op_name, attrs, &args, lineno)?;
+    b.set_name(result, result_name.clone());
+    env.insert(result_name, result);
+    Ok(())
+}
+
+fn parse_usize_list(text: &str) -> Result<Vec<usize>, IrError> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| IrError::invalid(format!("bad list {text:?}")))?;
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| IrError::invalid(format!("bad number {p:?}")))
+        })
+        .collect()
+}
+
+fn build_op(
+    b: &mut FuncBuilder,
+    op: &str,
+    attrs: Option<&str>,
+    args: &[ValueId],
+    lineno: usize,
+) -> Result<ValueId, IrError> {
+    let unary = |u: UnaryOp, b: &mut FuncBuilder| b.unary(u, args[0]);
+    let binary = |op: BinaryOp, b: &mut FuncBuilder| b.binary(op, args[0], args[1]);
+    match op {
+        "neg" => unary(UnaryOp::Neg, b),
+        "exp" => unary(UnaryOp::Exp, b),
+        "log" => unary(UnaryOp::Log, b),
+        "tanh" => unary(UnaryOp::Tanh, b),
+        "sqrt" => unary(UnaryOp::Sqrt, b),
+        "rsqrt" => unary(UnaryOp::Rsqrt, b),
+        "abs" => unary(UnaryOp::Abs, b),
+        "logistic" => unary(UnaryOp::Logistic, b),
+        "sin" => unary(UnaryOp::Sin, b),
+        "cos" => unary(UnaryOp::Cos, b),
+        "add" => binary(BinaryOp::Add, b),
+        "sub" => binary(BinaryOp::Sub, b),
+        "mul" => binary(BinaryOp::Mul, b),
+        "div" => binary(BinaryOp::Div, b),
+        "max" => binary(BinaryOp::Max, b),
+        "min" => binary(BinaryOp::Min, b),
+        "pow" => binary(BinaryOp::Pow, b),
+        "select" => b.select(args[0], args[1], args[2]),
+        "dot" => b.matmul(args[0], args[1]),
+        "compare" => b.compare(CompareDir::Eq, args[0], args[1]),
+        "transpose" => {
+            let attrs = attrs.ok_or_else(|| err(lineno, "transpose needs {dims=[..]}"))?;
+            let list = attrs
+                .trim()
+                .strip_prefix("dims=")
+                .ok_or_else(|| err(lineno, "transpose attr must be dims=[..]"))?;
+            b.transpose(args[0], parse_usize_list(list)?)
+        }
+        "reshape" => {
+            let attrs = attrs.ok_or_else(|| err(lineno, "reshape needs {to=[..]}"))?;
+            let list = attrs
+                .trim()
+                .strip_prefix("to=")
+                .ok_or_else(|| err(lineno, "reshape attr must be to=[..]"))?;
+            b.reshape(args[0], Shape::from(parse_usize_list(list)?))
+        }
+        "reduce" => {
+            let attrs = attrs.ok_or_else(|| err(lineno, "reduce needs {Op over [..]}"))?;
+            let (op_text, dims_text) = attrs
+                .split_once("over")
+                .ok_or_else(|| err(lineno, "reduce attr must be `Op over [..]`"))?;
+            let rop = match op_text.trim() {
+                "Sum" => ReduceOp::Sum,
+                "Max" => ReduceOp::Max,
+                "Min" => ReduceOp::Min,
+                "Prod" => ReduceOp::Prod,
+                other => return Err(err(lineno, format!("bad reduce op {other:?}"))),
+            };
+            b.reduce(rop, args[0], parse_usize_list(dims_text)?)
+        }
+        "concatenate" => {
+            let attrs = attrs.ok_or_else(|| err(lineno, "concatenate needs {dim=N}"))?;
+            let dim = attrs
+                .trim()
+                .strip_prefix("dim=")
+                .and_then(|d| d.trim().parse::<usize>().ok())
+                .ok_or_else(|| err(lineno, "concatenate attr must be dim=N"))?;
+            b.concatenate(args, dim)
+        }
+        "slice" => {
+            let attrs = attrs.ok_or_else(|| err(lineno, "slice needs {[..]..[..]}"))?;
+            let (starts, limits) = attrs
+                .split_once("..")
+                .ok_or_else(|| err(lineno, "slice attr must be `[..]..[..]`"))?;
+            b.slice(args[0], parse_usize_list(starts)?, parse_usize_list(limits)?)
+        }
+        other => Err(err(lineno, format!("unsupported op {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_func;
+
+    fn roundtrip(build: impl FnOnce(&mut FuncBuilder) -> Vec<ValueId>) {
+        let mut b = FuncBuilder::new("main");
+        let results = build(&mut b);
+        let func = b.build(results).unwrap();
+        let text = print_func(&func);
+        let parsed = parse_func(&text).expect("parses");
+        assert_eq!(print_func(&parsed), text, "round-trip mismatch");
+    }
+
+    #[test]
+    fn roundtrips_matmul_chain() {
+        roundtrip(|b| {
+            let x = b.param("x", TensorType::f32([4, 8]));
+            let w1 = b.param("w1", TensorType::f32([8, 16]));
+            let w2 = b.param("w2", TensorType::f32([16, 8]));
+            let h = b.matmul(x, w1).unwrap();
+            let y = b.matmul(h, w2).unwrap();
+            vec![y]
+        });
+    }
+
+    #[test]
+    fn roundtrips_elementwise_and_structure() {
+        roundtrip(|b| {
+            let x = b.param("x", TensorType::f32([4, 4]));
+            let t = b.transpose(x, vec![1, 0]).unwrap();
+            let s = b.add(x, t).unwrap();
+            let e = b.exp(s).unwrap();
+            let r = b.reduce_sum(e, vec![1]).unwrap();
+            let c = b.concatenate(&[r, r], 0).unwrap();
+            let sl = b.slice(c, vec![2], vec![6]).unwrap();
+            vec![sl]
+        });
+    }
+
+    #[test]
+    fn parses_paper_listing_2() {
+        // Listing 2 from the paper, modulo syntax detail.
+        let text = "\
+func @main(%x: tensor<256x8xf32>, %w1: tensor<8x16xf32>, %w2: tensor<16x8xf32>) {
+  %x1 = dot(%x, %w1) : tensor<256x16xf32>
+  %x2 = dot(%x1, %w2) : tensor<256x8xf32>
+  return %x2 : tensor<256x8xf32>
+}
+";
+        let func = parse_func(text).unwrap();
+        assert_eq!(func.params().len(), 3);
+        assert_eq!(func.num_ops(), 2);
+        crate::verify::verify_func(&func, None).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_func("").is_err());
+        assert!(parse_func("func @f() {\n}").is_err()); // no return
+        assert!(parse_func("func @f() {\n  return %nope\n}").is_err());
+        assert!(parse_func(
+            "func @f(%x: tensor<4xf32>) {\n  %y = frobnicate(%x) : tensor<4xf32>\n  return %y\n}"
+        )
+        .is_err());
+        assert!(parse_type("tensor<4xf99>").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_func(
+            "func @f(%x: tensor<4xf32>) {\n  %y = add(%x, %zz) : tensor<4xf32>\n  return %y\n}",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+}

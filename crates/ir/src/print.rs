@@ -1,0 +1,242 @@
+//! MLIR-flavoured pretty printer, used for debugging and golden tests.
+//!
+//! Output resembles the listings in the paper:
+//!
+//! ```text
+//! func @main(%x: tensor<256x8xf32>, %w1: tensor<8x16xf32>) {
+//!   %0 = dot(%x, %w1) : tensor<256x16xf32>
+//!   return %0 : tensor<256x16xf32>
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{Collective, Func, OpId, OpKind, ValueId};
+
+/// Renders `func` as MLIR-ish text.
+pub fn print_func(func: &Func) -> String {
+    let mut out = String::new();
+    write!(out, "func @{}(", func.name()).expect("string write");
+    for (i, &p) in func.params().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{}: {}", value_name(func, p), func.value_type(p)).expect("string write");
+    }
+    out.push_str(") {\n");
+    print_body(func, func.body(), &mut out, 1);
+    out.push_str("  return");
+    for (i, &r) in func.results().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, " {} : {}", value_name(func, r), func.value_type(r)).expect("string write");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn print_body(func: &Func, body: &[OpId], out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    for &op_id in body {
+        let op = func.op(op_id);
+        out.push_str(&pad);
+        for (i, &r) in op.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&value_name(func, r));
+        }
+        if !op.results.is_empty() {
+            out.push_str(" = ");
+        }
+        out.push_str(&op_text(func, op_id));
+        out.push('\n');
+        if let Some(region) = &op.region {
+            let inner_pad = "  ".repeat(indent + 1);
+            print_body(func, &region.body, out, indent + 1);
+            out.push_str(&inner_pad);
+            out.push_str("yield");
+            for (i, &y) in region.results.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, " {}", value_name(func, y)).expect("string write");
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn op_text(func: &Func, op_id: OpId) -> String {
+    let op = func.op(op_id);
+    let operands = op
+        .operands
+        .iter()
+        .map(|&v| value_name(func, v))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let result_ty = op
+        .results
+        .first()
+        .map(|&r| func.value_type(r).to_string())
+        .unwrap_or_default();
+    match &op.kind {
+        OpKind::For { trip_count } => {
+            let region = op.region.as_ref().expect("for has region");
+            let params = region
+                .params
+                .iter()
+                .map(|&p| format!("{}: {}", value_name(func, p), func.value_type(p)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("for {trip_count} ({operands}) ({params}) {{")
+        }
+        OpKind::Collective(c) => collective_text(c, &operands, &result_ty),
+        OpKind::Constant(lit) => format!("constant {lit}"),
+        kind => {
+            let attrs = attr_text(kind);
+            if attrs.is_empty() {
+                format!("{}({operands}) : {result_ty}", kind.name())
+            } else {
+                format!("{} {attrs}({operands}) : {result_ty}", kind.name())
+            }
+        }
+    }
+}
+
+fn collective_text(c: &Collective, operands: &str, result_ty: &str) -> String {
+    let axes_list = |axes: &[partir_mesh::Axis]| -> String {
+        axes.iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let dim_axes_list = |dim_axes: &[Vec<partir_mesh::Axis>]| -> String {
+        let parts: Vec<String> = dim_axes
+            .iter()
+            .map(|axes| format!("{{{}}}", axes_list(axes)))
+            .collect();
+        format!("[{}]", parts.join(", "))
+    };
+    match c {
+        Collective::AllReduce { axes, .. } => {
+            format!("all_reduce <{}> {operands} : {result_ty}", axes_list(axes))
+        }
+        Collective::AllGather { dim_axes } => {
+            format!(
+                "all_gather {} {operands} : {result_ty}",
+                dim_axes_list(dim_axes)
+            )
+        }
+        Collective::AllSlice { dim_axes } => {
+            format!(
+                "all_slice {} {operands} : {result_ty}",
+                dim_axes_list(dim_axes)
+            )
+        }
+        Collective::ReduceScatter { dim_axes, .. } => {
+            format!(
+                "reduce_scatter {} {operands} : {result_ty}",
+                dim_axes_list(dim_axes)
+            )
+        }
+        Collective::AllToAll {
+            src_dim,
+            dst_dim,
+            axes,
+        } => format!(
+            "all_to_all {{{src_dim} -> {dst_dim}}} <{}> {operands} : {result_ty}",
+            axes_list(axes)
+        ),
+    }
+}
+
+fn attr_text(kind: &OpKind) -> String {
+    match kind {
+        OpKind::Transpose { perm } => format!("{{dims={perm:?}}} "),
+        OpKind::Reshape { shape } => format!("{{to={shape}}} "),
+        OpKind::BroadcastInDim { broadcast_dims, .. } => {
+            format!("{{dims={broadcast_dims:?}}} ")
+        }
+        OpKind::Reduce { op, dims } => format!("{{{op:?} over {dims:?}}} "),
+        OpKind::Slice { starts, limits, .. } => format!("{{{starts:?}..{limits:?}}} "),
+        OpKind::Concatenate { dim } => format!("{{dim={dim}}} "),
+        OpKind::Gather { axis } | OpKind::ScatterAdd { axis, .. } => {
+            format!("{{axis={axis}}} ")
+        }
+        OpKind::ArgMax { dim } => format!("{{dim={dim}}} "),
+        OpKind::Iota { dim, .. } => format!("{{dim={dim}}} "),
+        _ => String::new(),
+    }
+}
+
+fn value_name(func: &Func, v: ValueId) -> String {
+    match &func.value(v).name {
+        Some(n) => format!("%{n}"),
+        None => format!("%{}", v.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FuncBuilder, TensorType};
+
+    #[test]
+    fn prints_params_ops_and_return() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.param("x", TensorType::f32([4, 8]));
+        let w = b.param("w1", TensorType::f32([8, 4]));
+        let y = b.matmul(x, w).unwrap();
+        let f = b.build([y]).unwrap();
+        let text = super::print_func(&f);
+        assert!(text.contains("func @main(%x: tensor<4x8xf32>, %w1: tensor<8x4xf32>)"));
+        assert!(text.contains("dot(%x, %w1) : tensor<4x4xf32>"));
+        assert!(text.contains("return"));
+    }
+
+    #[test]
+    fn prints_for_regions_nested() {
+        let mut b = FuncBuilder::new("l");
+        let x = b.param("x", TensorType::f32([2]));
+        let out = b
+            .for_loop(3, &[x], |b, _i, c| Ok(vec![b.neg(c[0])?]))
+            .unwrap();
+        let f = b.build(out).unwrap();
+        let text = super::print_func(&f);
+        assert!(text.contains("for 3"));
+        assert!(text.contains("yield"));
+    }
+
+    #[test]
+    fn prints_collectives_like_paper() {
+        use crate::{Collective, ReduceOp};
+        use partir_mesh::Mesh;
+        let mesh = Mesh::new([("B", 4), ("M", 2)]).unwrap();
+        let mut b = FuncBuilder::with_mesh("spmd", mesh);
+        let x = b.param("x", TensorType::f32([8, 8]));
+        let s = b
+            .collective(
+                Collective::AllSlice {
+                    dim_axes: vec![vec!["B".into()], vec![]],
+                },
+                x,
+            )
+            .unwrap();
+        let r = b
+            .collective(
+                Collective::AllReduce {
+                    axes: vec!["M".into()],
+                    reduce: ReduceOp::Sum,
+                },
+                s,
+            )
+            .unwrap();
+        let f = b.build([r]).unwrap();
+        let text = super::print_func(&f);
+        assert!(text.contains("all_slice [{\"B\"}, {}] %x : tensor<2x8xf32>"));
+        assert!(text.contains("all_reduce <\"M\">"));
+    }
+}

@@ -1,0 +1,220 @@
+use std::fmt;
+
+/// A static tensor shape (row-major).
+///
+/// # Examples
+///
+/// ```
+/// use partir_ir::Shape;
+///
+/// let s = Shape::from(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.num_elements(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The size of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.rank()`.
+    pub fn dim(&self, dim: usize) -> usize {
+        self.0[dim]
+    }
+
+    /// Total number of elements (1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank mismatches or any coordinate is out of
+    /// bounds (debug assertions).
+    pub fn linear_index(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank());
+        let mut off = 0;
+        for (i, &ix) in index.iter().enumerate() {
+            debug_assert!(ix < self.0[i], "index out of bounds");
+            off = off * self.0[i] + ix;
+        }
+        off
+    }
+
+    /// The multi-index of a linear offset (inverse of
+    /// [`Shape::linear_index`]).
+    pub fn multi_index(&self, mut linear: usize) -> Vec<usize> {
+        let mut idx = vec![0; self.rank()];
+        for i in (0..self.rank()).rev() {
+            idx[i] = linear % self.0[i];
+            linear /= self.0[i];
+        }
+        idx
+    }
+
+    /// Iterates over all multi-indices in row-major order.
+    pub fn indices(&self) -> Indices {
+        Indices {
+            shape: self.clone(),
+            next: 0,
+            total: self.num_elements(),
+        }
+    }
+
+    /// Returns a copy with dimension `dim` replaced by `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.rank()`.
+    pub fn with_dim(&self, dim: usize, size: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims[dim] = size;
+        Shape(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Row-major iterator over the multi-indices of a [`Shape`]; produced by
+/// [`Shape::indices`].
+#[derive(Debug, Clone)]
+pub struct Indices {
+    shape: Shape,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for Indices {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.next >= self.total {
+            return None;
+        }
+        let idx = self.shape.multi_index(self.next);
+        self.next += 1;
+        Some(idx)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Indices {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.linear_index(&[]), 0);
+        assert_eq!(s.indices().count(), 1);
+    }
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let s = Shape::from([2, 3, 4]);
+        for lin in 0..s.num_elements() {
+            let idx = s.multi_index(lin);
+            assert_eq!(s.linear_index(&idx), lin);
+        }
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn indices_iterate_in_row_major_order() {
+        let s = Shape::from([2, 2]);
+        let all: Vec<_> = s.indices().collect();
+        assert_eq!(
+            all,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+        assert_eq!(s.indices().len(), 4);
+    }
+
+    #[test]
+    fn with_dim_replaces_one_dimension() {
+        let s = Shape::from([4, 8]).with_dim(0, 1);
+        assert_eq!(s.dims(), &[1, 8]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2,3]");
+    }
+}

@@ -1,0 +1,187 @@
+//! Structural and type verification for [`Func`]s.
+//!
+//! The builder already infers types; this pass re-derives them
+//! independently and additionally checks SSA dominance (every operand is
+//! defined by an earlier op, a region parameter in scope, or a function
+//! parameter) and region well-formedness.
+
+use std::collections::HashSet;
+
+use partir_mesh::Mesh;
+
+use crate::{Func, IrError, OpId, OpKind, TensorType, ValueId};
+
+/// Verifies a function; `mesh` is required when the function contains
+/// collectives.
+///
+/// # Errors
+///
+/// Returns the first structural or type error found.
+pub fn verify_func(func: &Func, mesh: Option<&Mesh>) -> Result<(), IrError> {
+    let mut defined: HashSet<ValueId> = func.params().iter().copied().collect();
+    let mut visited: HashSet<OpId> = HashSet::new();
+    verify_region_ops(func, func.body(), &mut defined, &mut visited, mesh)?;
+    for &r in func.results() {
+        if !defined.contains(&r) {
+            return Err(IrError::invalid(format!(
+                "function result {r:?} is not defined at top level"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn verify_region_ops(
+    func: &Func,
+    body: &[OpId],
+    defined: &mut HashSet<ValueId>,
+    visited: &mut HashSet<OpId>,
+    mesh: Option<&Mesh>,
+) -> Result<(), IrError> {
+    for &op_id in body {
+        if !visited.insert(op_id) {
+            return Err(IrError::invalid(format!(
+                "op {op_id:?} appears in more than one region body"
+            )));
+        }
+        let op = func.op(op_id);
+        for &operand in &op.operands {
+            if !defined.contains(&operand) {
+                return Err(IrError::invalid(format!(
+                    "op {op_id:?} ({}) uses value {operand:?} before definition",
+                    op.kind.name()
+                )));
+            }
+        }
+        let operand_tys: Vec<TensorType> = op
+            .operands
+            .iter()
+            .map(|&v| func.value_type(v).clone())
+            .collect();
+        let inferred = crate::infer::infer_result_types(&op.kind, &operand_tys, mesh)?;
+        if inferred.len() != op.results.len() {
+            return Err(IrError::invalid(format!(
+                "op {op_id:?} ({}) result arity mismatch",
+                op.kind.name()
+            )));
+        }
+        for (&r, ty) in op.results.iter().zip(&inferred) {
+            if func.value_type(r) != ty {
+                return Err(IrError::shape(
+                    op.kind.name(),
+                    format!(
+                        "stored result type {} differs from inferred {ty}",
+                        func.value_type(r)
+                    ),
+                ));
+            }
+        }
+        match (&op.kind, &op.region) {
+            (OpKind::For { .. }, Some(region)) => {
+                if region.params.len() != op.operands.len() + 1 {
+                    return Err(IrError::invalid(
+                        "for region must have index plus one param per carried value",
+                    ));
+                }
+                let mut inner = defined.clone();
+                inner.extend(region.params.iter().copied());
+                verify_region_ops(func, &region.body, &mut inner, visited, mesh)?;
+                if region.results.len() != op.operands.len() {
+                    return Err(IrError::invalid("for region yields wrong arity"));
+                }
+                for (&y, &init) in region.results.iter().zip(&op.operands) {
+                    if !inner.contains(&y) {
+                        return Err(IrError::invalid(
+                            "for region yields a value not defined in scope",
+                        ));
+                    }
+                    if func.value_type(y) != func.value_type(init) {
+                        return Err(IrError::shape(
+                            "for",
+                            "yielded type differs from carried type",
+                        ));
+                    }
+                }
+            }
+            (OpKind::For { .. }, None) => {
+                return Err(IrError::invalid("for op is missing its region"));
+            }
+            (_, Some(_)) => {
+                return Err(IrError::invalid(format!(
+                    "op {} must not carry a region",
+                    op.kind.name()
+                )));
+            }
+            (_, None) => {}
+        }
+        defined.extend(op.results.iter().copied());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuncBuilder, TensorType};
+
+    #[test]
+    fn accepts_well_formed_function() {
+        let mut b = FuncBuilder::new("ok");
+        let x = b.param("x", TensorType::f32([4, 4]));
+        let y = b.matmul(x, x).unwrap();
+        let f = b.build([y]).unwrap();
+        verify_func(&f, None).unwrap();
+    }
+
+    #[test]
+    fn accepts_for_loops() {
+        let mut b = FuncBuilder::new("loop");
+        let x = b.param("x", TensorType::f32([4]));
+        let out = b
+            .for_loop(2, &[x], |b, _i, c| Ok(vec![b.neg(c[0])?]))
+            .unwrap();
+        let f = b.build(out).unwrap();
+        verify_func(&f, None).unwrap();
+    }
+
+    #[test]
+    fn detects_type_corruption() {
+        let mut b = FuncBuilder::new("bad");
+        let x = b.param("x", TensorType::f32([4, 4]));
+        let y = b.matmul(x, x).unwrap();
+        let mut f = b.build([y]).unwrap();
+        // Corrupt the stored result type behind the builder's back.
+        f.values_mut()[y.0 as usize].ty = TensorType::f32([2, 2]);
+        assert!(verify_func(&f, None).is_err());
+    }
+
+    #[test]
+    fn detects_use_before_def() {
+        let mut b = FuncBuilder::new("bad");
+        let x = b.param("x", TensorType::f32([4]));
+        let y = b.neg(x).unwrap();
+        let mut f = b.build([y]).unwrap();
+        // Swap the operand of the op to its own result: use-before-def.
+        f.ops_mut()[0].operands = vec![y];
+        assert!(verify_func(&f, None).is_err());
+    }
+
+    #[test]
+    fn collectives_verify_only_with_mesh() {
+        use partir_mesh::Mesh;
+        let mesh = Mesh::single("m", 2).unwrap();
+        let mut b = FuncBuilder::with_mesh("spmd", mesh.clone());
+        let x = b.param("x", TensorType::f32([4]));
+        let y = b
+            .collective(
+                crate::Collective::AllGather {
+                    dim_axes: vec![vec!["m".into()]],
+                },
+                x,
+            )
+            .unwrap();
+        let f = b.build([y]).unwrap();
+        assert!(verify_func(&f, None).is_err());
+        verify_func(&f, Some(&mesh)).unwrap();
+    }
+}

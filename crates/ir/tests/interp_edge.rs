@@ -1,0 +1,159 @@
+//! Edge-case tests for the reference interpreter.
+
+use partir_ir::{
+    interp::interpret, BinaryOp, CompareDir, DType, FuncBuilder, Literal, OpKind, TensorType,
+};
+
+fn f32s(data: Vec<f32>, dims: &[usize]) -> Literal {
+    Literal::from_f32(data, dims.to_vec()).unwrap()
+}
+
+#[test]
+fn negative_pad_truncates() {
+    let mut b = FuncBuilder::new("pad");
+    let x = b.param("x", TensorType::f32([5]));
+    let v = b.const_f32(9.0).unwrap();
+    let y = b.pad(x, v, vec![-1], vec![-2]).unwrap();
+    let f = b.build([y]).unwrap();
+    let out = interpret(&f, &[f32s(vec![1., 2., 3., 4., 5.], &[5])]).unwrap();
+    assert_eq!(out[0].as_f32().unwrap(), &[2., 3.]);
+}
+
+#[test]
+fn strided_slice() {
+    let mut b = FuncBuilder::new("slice");
+    let x = b.param("x", TensorType::f32([6]));
+    let y = b
+        .emit(
+            OpKind::Slice {
+                starts: vec![1],
+                limits: vec![6],
+                strides: vec![2],
+            },
+            &[x],
+        )
+        .unwrap()[0];
+    let f = b.build([y]).unwrap();
+    let out = interpret(&f, &[f32s(vec![0., 1., 2., 3., 4., 5.], &[6])]).unwrap();
+    assert_eq!(out[0].as_f32().unwrap(), &[1., 3., 5.]);
+}
+
+#[test]
+fn convert_roundtrips_and_pred_conversion() {
+    let mut b = FuncBuilder::new("cv");
+    let x = b.param("x", TensorType::f32([3]));
+    let i = b.convert(x, DType::I32).unwrap();
+    let back = b.convert(i, DType::F32).unwrap();
+    let p = b.convert(x, DType::Pred).unwrap();
+    let f = b.build([back, p]).unwrap();
+    let out = interpret(&f, &[f32s(vec![1.7, 0.0, -2.3], &[3])]).unwrap();
+    assert_eq!(out[0].as_f32().unwrap(), &[1.0, 0.0, -2.0]);
+    assert_eq!(out[1].as_pred().unwrap(), &[true, false, true]);
+}
+
+#[test]
+fn integer_division_by_zero_is_an_error() {
+    let mut b = FuncBuilder::new("div0");
+    let x = b.param("x", TensorType::i32([1]));
+    let z = b.constant(Literal::from_i32(vec![0], [1]).unwrap()).unwrap();
+    let y = b.binary(BinaryOp::Div, x, z).unwrap();
+    let f = b.build([y]).unwrap();
+    assert!(interpret(&f, &[Literal::from_i32(vec![7], [1]).unwrap()]).is_err());
+}
+
+#[test]
+fn integer_pow_is_unsupported() {
+    let mut b = FuncBuilder::new("ipow");
+    let x = b.param("x", TensorType::i32([1]));
+    let y = b.binary(BinaryOp::Pow, x, x).unwrap();
+    let f = b.build([y]).unwrap();
+    assert!(interpret(&f, &[Literal::from_i32(vec![2], [1]).unwrap()]).is_err());
+}
+
+#[test]
+fn gather_clamps_out_of_range_indices() {
+    let mut b = FuncBuilder::new("g");
+    let x = b.param("x", TensorType::f32([3, 1]));
+    let idx = b
+        .constant(Literal::from_i32(vec![-5, 99], [2]).unwrap())
+        .unwrap();
+    let y = b.gather(x, idx, 0).unwrap();
+    let f = b.build([y]).unwrap();
+    let out = interpret(&f, &[f32s(vec![10., 20., 30.], &[3, 1])]).unwrap();
+    assert_eq!(out[0].as_f32().unwrap(), &[10., 30.]);
+}
+
+#[test]
+fn scatter_drops_out_of_range_updates() {
+    let mut b = FuncBuilder::new("s");
+    let src = b.param("src", TensorType::f32([3, 1]));
+    let idx = b
+        .constant(Literal::from_i32(vec![0, -1, 7], [3]).unwrap())
+        .unwrap();
+    let y = b.scatter_add(src, idx, 0, 2).unwrap();
+    let f = b.build([y]).unwrap();
+    let out = interpret(&f, &[f32s(vec![1., 2., 3.], &[3, 1])]).unwrap();
+    assert_eq!(out[0].as_f32().unwrap(), &[1., 0.]);
+}
+
+#[test]
+fn dynamic_slice_clamps_start() {
+    let mut b = FuncBuilder::new("ds");
+    let x = b.param("x", TensorType::f32([4]));
+    let idx = b.const_i32(100).unwrap();
+    let y = b.dynamic_slice(x, &[idx], vec![2]).unwrap();
+    let f = b.build([y]).unwrap();
+    let out = interpret(&f, &[f32s(vec![0., 1., 2., 3.], &[4])]).unwrap();
+    // Clamped to start = 2.
+    assert_eq!(out[0].as_f32().unwrap(), &[2., 3.]);
+}
+
+#[test]
+fn zero_trip_for_loop_passes_inits_through() {
+    let mut b = FuncBuilder::new("zt");
+    let x = b.param("x", TensorType::f32([2]));
+    let out = b
+        .for_loop(0, &[x], |b, _i, c| Ok(vec![b.neg(c[0])?]))
+        .unwrap();
+    let f = b.build(out).unwrap();
+    let input = f32s(vec![5., -5.], &[2]);
+    let r = interpret(&f, std::slice::from_ref(&input)).unwrap();
+    assert_eq!(r[0], input);
+}
+
+#[test]
+fn compare_on_i32_and_select_on_i32() {
+    let mut b = FuncBuilder::new("cmp");
+    let x = b.param("x", TensorType::i32([3]));
+    let y = b.param("y", TensorType::i32([3]));
+    let gt = b.compare(CompareDir::Gt, x, y).unwrap();
+    let sel = b.select(gt, x, y).unwrap(); // elementwise max
+    let f = b.build([sel]).unwrap();
+    let out = interpret(
+        &f,
+        &[
+            Literal::from_i32(vec![3, 1, 2], [3]).unwrap(),
+            Literal::from_i32(vec![2, 5, 2], [3]).unwrap(),
+        ],
+    )
+    .unwrap();
+    assert_eq!(out[0].as_i32().unwrap(), &[3, 5, 2]);
+}
+
+#[test]
+fn nested_for_loops() {
+    let mut b = FuncBuilder::new("nest");
+    let x = b.param("x", TensorType::f32([1]));
+    let out = b
+        .for_loop(3, &[x], |b, _i, c| {
+            let inner = b.for_loop(2, &[c[0]], |b, _j, d| {
+                Ok(vec![b.binary_scalar(BinaryOp::Add, d[0], 1.0)?])
+            })?;
+            Ok(vec![inner[0]])
+        })
+        .unwrap();
+    let f = b.build(out).unwrap();
+    partir_ir::verify::verify_func(&f, None).unwrap();
+    let r = interpret(&f, &[f32s(vec![0.], &[1])]).unwrap();
+    assert_eq!(r[0].as_f32().unwrap(), &[6.0]); // 3 × 2 increments
+}

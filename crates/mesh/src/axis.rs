@@ -1,0 +1,87 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// A named mesh axis, such as `"batch"` or `"model"`.
+///
+/// Axes are cheap to clone (reference-counted) and compare by name.
+///
+/// # Examples
+///
+/// ```
+/// use partir_mesh::Axis;
+///
+/// let a = Axis::new("batch");
+/// let b: Axis = "batch".into();
+/// assert_eq!(a, b);
+/// assert_eq!(a.name(), "batch");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Axis(Arc<str>);
+
+impl Axis {
+    /// Creates an axis with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Axis(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the axis name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Axis {
+    fn from(name: &str) -> Self {
+        Axis::new(name)
+    }
+}
+
+impl From<String> for Axis {
+    fn from(name: String) -> Self {
+        Axis::new(name)
+    }
+}
+
+impl AsRef<str> for Axis {
+    fn as_ref(&self) -> &str {
+        self.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn axis_equality_is_by_name() {
+        assert_eq!(Axis::new("x"), Axis::new("x"));
+        assert_ne!(Axis::new("x"), Axis::new("y"));
+    }
+
+    #[test]
+    fn axis_hashes_by_name() {
+        let mut set = HashSet::new();
+        set.insert(Axis::new("x"));
+        assert!(set.contains(&Axis::new("x")));
+        assert!(!set.contains(&Axis::new("y")));
+    }
+
+    #[test]
+    fn axis_display_and_as_ref() {
+        let a = Axis::new("model");
+        assert_eq!(a.to_string(), "model");
+        assert_eq!(a.as_ref(), "model");
+    }
+
+    #[test]
+    fn axis_orders_lexicographically() {
+        assert!(Axis::new("a") < Axis::new("b"));
+    }
+}

@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Axis;
+
+/// Errors produced when constructing or querying a [`crate::Mesh`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeshError {
+    /// The mesh was constructed with no axes.
+    Empty,
+    /// An axis appeared more than once in the mesh definition.
+    DuplicateAxis(Axis),
+    /// An axis was declared with size zero.
+    ZeroSizedAxis(Axis),
+    /// The queried axis does not exist in the mesh.
+    UnknownAxis(Axis),
+    /// A device id was out of range for the mesh.
+    DeviceOutOfRange {
+        /// The offending device id.
+        device: usize,
+        /// The number of devices in the mesh.
+        num_devices: usize,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::Empty => write!(f, "mesh must have at least one axis"),
+            MeshError::DuplicateAxis(a) => write!(f, "duplicate mesh axis {a:?}"),
+            MeshError::ZeroSizedAxis(a) => write!(f, "mesh axis {a:?} has size zero"),
+            MeshError::UnknownAxis(a) => write!(f, "unknown mesh axis {a:?}"),
+            MeshError::DeviceOutOfRange {
+                device,
+                num_devices,
+            } => write!(
+                f,
+                "device id {device} out of range for mesh with {num_devices} devices"
+            ),
+        }
+    }
+}
+
+impl Error for MeshError {}

@@ -1,0 +1,33 @@
+//! Device meshes, axes and hardware descriptions for PartIR-rs.
+//!
+//! A [`Mesh`] is an n-dimensional logical view of a set of devices with
+//! *named axes* (paper §2.1), e.g. `{"B": 4, "M": 2}`. Partitioning actions
+//! and SPMD collectives refer to mesh axes by name, never to raw device ids,
+//! which keeps the IR encoding independent of the total device count.
+//!
+//! [`DeviceSpec`] and [`Topology`] describe the simulated hardware
+//! (paper Appendix A.2): peak FLOPS, HBM capacity and per-axis interconnect
+//! bandwidth. They drive the analytical simulator in `partir-sim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use partir_mesh::Mesh;
+//!
+//! let mesh = Mesh::new([("B", 4), ("M", 2)])?;
+//! assert_eq!(mesh.num_devices(), 8);
+//! assert_eq!(mesh.axis_size(&"B".into())?, 4);
+//! let coords = mesh.coordinates(5);
+//! assert_eq!(mesh.device_id(&coords), 5);
+//! # Ok::<(), partir_mesh::MeshError>(())
+//! ```
+
+mod axis;
+mod error;
+mod hardware;
+mod mesh;
+
+pub use axis::Axis;
+pub use error::MeshError;
+pub use hardware::{DeviceKind, DeviceSpec, HardwareConfig, Topology};
+pub use mesh::{Coordinates, Mesh};

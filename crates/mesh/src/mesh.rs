@@ -1,0 +1,327 @@
+use std::fmt;
+
+use crate::{Axis, MeshError};
+
+/// Per-axis device coordinates within a [`Mesh`], in axis declaration order.
+pub type Coordinates = Vec<usize>;
+
+/// An n-dimensional logical arrangement of devices with named axes.
+///
+/// The axis order is significant: device ids are laid out row-major with the
+/// *last* axis varying fastest, matching `jax.sharding.Mesh`.
+///
+/// # Examples
+///
+/// ```
+/// use partir_mesh::Mesh;
+///
+/// let mesh = Mesh::new([("x", 2), ("y", 3)])?;
+/// assert_eq!(mesh.num_devices(), 6);
+/// assert_eq!(mesh.coordinates(4), vec![1, 1]);
+/// # Ok::<(), partir_mesh::MeshError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mesh {
+    axes: Vec<(Axis, usize)>,
+}
+
+impl Mesh {
+    /// Creates a mesh from `(axis, size)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::Empty`] for an empty axis list,
+    /// [`MeshError::DuplicateAxis`] if an axis name repeats and
+    /// [`MeshError::ZeroSizedAxis`] if any size is zero.
+    pub fn new<A: Into<Axis>>(
+        axes: impl IntoIterator<Item = (A, usize)>,
+    ) -> Result<Self, MeshError> {
+        let axes: Vec<(Axis, usize)> = axes
+            .into_iter()
+            .map(|(a, s)| (a.into(), s))
+            .collect();
+        if axes.is_empty() {
+            return Err(MeshError::Empty);
+        }
+        for (i, (axis, size)) in axes.iter().enumerate() {
+            if *size == 0 {
+                return Err(MeshError::ZeroSizedAxis(axis.clone()));
+            }
+            if axes[..i].iter().any(|(a, _)| a == axis) {
+                return Err(MeshError::DuplicateAxis(axis.clone()));
+            }
+        }
+        Ok(Mesh { axes })
+    }
+
+    /// A single-axis mesh, convenient for tests.
+    pub fn single(axis: impl Into<Axis>, size: usize) -> Result<Self, MeshError> {
+        Mesh::new([(axis.into(), size)])
+    }
+
+    /// Total number of devices (product of axis sizes).
+    pub fn num_devices(&self) -> usize {
+        self.axes.iter().map(|(_, s)| s).product()
+    }
+
+    /// The `(axis, size)` pairs in declaration order.
+    pub fn axes(&self) -> &[(Axis, usize)] {
+        &self.axes
+    }
+
+    /// Iterator over axis names in declaration order.
+    pub fn axis_names(&self) -> impl Iterator<Item = &Axis> {
+        self.axes.iter().map(|(a, _)| a)
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Whether this mesh declares `axis`.
+    pub fn contains_axis(&self, axis: &Axis) -> bool {
+        self.axes.iter().any(|(a, _)| a == axis)
+    }
+
+    /// The size of `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownAxis`] if the axis is not in the mesh.
+    pub fn axis_size(&self, axis: &Axis) -> Result<usize, MeshError> {
+        self.axes
+            .iter()
+            .find(|(a, _)| a == axis)
+            .map(|(_, s)| *s)
+            .ok_or_else(|| MeshError::UnknownAxis(axis.clone()))
+    }
+
+    /// Index of `axis` in declaration order.
+    pub fn axis_index(&self, axis: &Axis) -> Result<usize, MeshError> {
+        self.axes
+            .iter()
+            .position(|(a, _)| a == axis)
+            .ok_or_else(|| MeshError::UnknownAxis(axis.clone()))
+    }
+
+    /// Per-axis coordinates of a device id (row-major, last axis fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= self.num_devices()`; use
+    /// [`Mesh::try_coordinates`] for a fallible variant.
+    pub fn coordinates(&self, device: usize) -> Coordinates {
+        self.try_coordinates(device)
+            .expect("device id out of range")
+    }
+
+    /// Fallible variant of [`Mesh::coordinates`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::DeviceOutOfRange`] for invalid device ids.
+    pub fn try_coordinates(&self, device: usize) -> Result<Coordinates, MeshError> {
+        let n = self.num_devices();
+        if device >= n {
+            return Err(MeshError::DeviceOutOfRange {
+                device,
+                num_devices: n,
+            });
+        }
+        let mut rem = device;
+        let mut coords = vec![0; self.axes.len()];
+        for (i, (_, size)) in self.axes.iter().enumerate().rev() {
+            coords[i] = rem % size;
+            rem /= size;
+        }
+        Ok(coords)
+    }
+
+    /// The device id for a coordinate tuple (inverse of [`Mesh::coordinates`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate rank or any coordinate is out of range.
+    pub fn device_id(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.axes.len(), "coordinate rank mismatch");
+        let mut id = 0;
+        for ((_, size), &c) in self.axes.iter().zip(coords) {
+            assert!(c < *size, "coordinate out of range");
+            id = id * size + c;
+        }
+        id
+    }
+
+    /// The coordinate of `device` along `axis`.
+    pub fn coordinate_along(&self, device: usize, axis: &Axis) -> Result<usize, MeshError> {
+        let idx = self.axis_index(axis)?;
+        Ok(self.try_coordinates(device)?[idx])
+    }
+
+    /// Groups of device ids that communicate in a collective over `axes`:
+    /// devices sharing all coordinates *except* those along `axes`.
+    ///
+    /// Each group is returned ordered by the devices' coordinates along
+    /// `axes` (first axis outermost), which defines shard order for
+    /// collectives that concatenate data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownAxis`] if any axis is not in the mesh.
+    pub fn collective_groups(&self, axes: &[Axis]) -> Result<Vec<Vec<usize>>, MeshError> {
+        let mut axis_indices = Vec::with_capacity(axes.len());
+        for a in axes {
+            axis_indices.push(self.axis_index(a)?);
+        }
+        let n = self.num_devices();
+        let group_size: usize = axis_indices
+            .iter()
+            .map(|&i| self.axes[i].1)
+            .product();
+        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(n / group_size.max(1));
+        let mut key_to_group: std::collections::HashMap<Vec<usize>, usize> =
+            std::collections::HashMap::new();
+        // Collect devices keyed by their non-axis coordinates; sort within a
+        // group by the coordinates along `axes` in the given axis order.
+        let mut members: Vec<(Vec<usize>, Vec<usize>, usize)> = Vec::with_capacity(n);
+        for d in 0..n {
+            let coords = self.try_coordinates(d)?;
+            let key: Vec<usize> = coords
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !axis_indices.contains(i))
+                .map(|(_, &c)| c)
+                .collect();
+            let pos: Vec<usize> = axis_indices.iter().map(|&i| coords[i]).collect();
+            members.push((key, pos, d));
+        }
+        members.sort();
+        for (key, _, d) in members {
+            let gi = *key_to_group.entry(key).or_insert_with(|| {
+                groups.push(Vec::with_capacity(group_size));
+                groups.len() - 1
+            });
+            groups[gi].push(d);
+        }
+        Ok(groups)
+    }
+}
+
+impl fmt::Display for Mesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, s)) in self.axes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "\"{a}\": {s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh2d() -> Mesh {
+        Mesh::new([("x", 2), ("y", 4)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_constructions() {
+        assert_eq!(
+            Mesh::new(Vec::<(&str, usize)>::new()).unwrap_err(),
+            MeshError::Empty
+        );
+        assert_eq!(
+            Mesh::new([("x", 2), ("x", 4)]).unwrap_err(),
+            MeshError::DuplicateAxis(Axis::new("x"))
+        );
+        assert_eq!(
+            Mesh::new([("x", 0)]).unwrap_err(),
+            MeshError::ZeroSizedAxis(Axis::new("x"))
+        );
+    }
+
+    #[test]
+    fn device_count_and_axis_queries() {
+        let m = mesh2d();
+        assert_eq!(m.num_devices(), 8);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(m.axis_size(&"y".into()).unwrap(), 4);
+        assert!(m.contains_axis(&"x".into()));
+        assert!(!m.contains_axis(&"z".into()));
+        assert_eq!(
+            m.axis_size(&"z".into()).unwrap_err(),
+            MeshError::UnknownAxis(Axis::new("z"))
+        );
+    }
+
+    #[test]
+    fn coordinates_roundtrip() {
+        let m = mesh2d();
+        for d in 0..m.num_devices() {
+            let c = m.coordinates(d);
+            assert_eq!(m.device_id(&c), d);
+        }
+        assert_eq!(m.coordinates(0), vec![0, 0]);
+        assert_eq!(m.coordinates(7), vec![1, 3]);
+        assert_eq!(m.coordinates(5), vec![1, 1]);
+    }
+
+    #[test]
+    fn coordinates_out_of_range() {
+        let m = mesh2d();
+        assert_eq!(
+            m.try_coordinates(8).unwrap_err(),
+            MeshError::DeviceOutOfRange {
+                device: 8,
+                num_devices: 8
+            }
+        );
+    }
+
+    #[test]
+    fn collective_groups_single_axis() {
+        let m = mesh2d();
+        // Groups over "y": devices sharing x coordinate.
+        let groups = m.collective_groups(&["y".into()]).unwrap();
+        assert_eq!(groups, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+        // Groups over "x": devices sharing y coordinate.
+        let groups = m.collective_groups(&["x".into()]).unwrap();
+        assert_eq!(
+            groups,
+            vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]
+        );
+    }
+
+    #[test]
+    fn collective_groups_all_axes() {
+        let m = mesh2d();
+        let groups = m.collective_groups(&["x".into(), "y".into()]).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 8);
+    }
+
+    #[test]
+    fn collective_group_ordering_follows_axis_order() {
+        let m = mesh2d();
+        // Over ["y", "x"] each group should be ordered y-major.
+        let groups = m.collective_groups(&["y".into(), "x".into()]).unwrap();
+        assert_eq!(groups[0], vec![0, 4, 1, 5, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn display_formats_like_paper() {
+        assert_eq!(mesh2d().to_string(), "{\"x\": 2, \"y\": 4}");
+    }
+
+    #[test]
+    fn coordinate_along_axis() {
+        let m = mesh2d();
+        assert_eq!(m.coordinate_along(6, &"x".into()).unwrap(), 1);
+        assert_eq!(m.coordinate_along(6, &"y".into()).unwrap(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for mesh coordinate arithmetic and collective
+//! grouping.
+
+use proptest::prelude::*;
+
+use partir_mesh::{Axis, Mesh};
+
+fn mesh_strategy() -> impl Strategy<Value = Mesh> {
+    prop::collection::vec(1usize..5, 1..4).prop_map(|sizes| {
+        let axes: Vec<(String, usize)> = sizes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (format!("ax{i}"), s))
+            .collect();
+        Mesh::new(axes).expect("valid mesh")
+    })
+}
+
+proptest! {
+    #[test]
+    fn coordinates_roundtrip(mesh in mesh_strategy()) {
+        for d in 0..mesh.num_devices() {
+            let coords = mesh.coordinates(d);
+            prop_assert_eq!(coords.len(), mesh.rank());
+            prop_assert_eq!(mesh.device_id(&coords), d);
+            for (c, (_, size)) in coords.iter().zip(mesh.axes()) {
+                prop_assert!(c < size);
+            }
+        }
+    }
+
+    #[test]
+    fn collective_groups_partition_devices(
+        mesh in mesh_strategy(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let axes: Vec<Axis> = mesh.axis_names().cloned().collect();
+        let axis = axes[pick.index(axes.len())].clone();
+        let groups = mesh.collective_groups(std::slice::from_ref(&axis)).unwrap();
+        // Groups partition all devices.
+        let mut seen = std::collections::HashSet::new();
+        for group in &groups {
+            prop_assert_eq!(group.len(), mesh.axis_size(&axis).unwrap());
+            for &d in group {
+                prop_assert!(seen.insert(d), "device {} in two groups", d);
+            }
+            // Members differ only along the collective axis.
+            let idx = mesh.axis_index(&axis).unwrap();
+            let base = mesh.coordinates(group[0]);
+            for (pos, &d) in group.iter().enumerate() {
+                let coords = mesh.coordinates(d);
+                prop_assert_eq!(coords[idx], pos, "ordered by coordinate");
+                for (i, (&c, &b)) in coords.iter().zip(&base).enumerate() {
+                    if i != idx {
+                        prop_assert_eq!(c, b);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), mesh.num_devices());
+    }
+
+    #[test]
+    fn groups_over_all_axes_are_one_group(mesh in mesh_strategy()) {
+        let axes: Vec<Axis> = mesh.axis_names().cloned().collect();
+        let groups = mesh.collective_groups(&axes).unwrap();
+        prop_assert_eq!(groups.len(), 1);
+        prop_assert_eq!(groups[0].len(), mesh.num_devices());
+    }
+}

@@ -1,0 +1,273 @@
+//! Inference Transformer with KV caching (the paper's IT32, §7.1,
+//! citing the multi-query serving work of Pope et al.).
+//!
+//! The model decodes autoregressively inside a `for` serving loop
+//! carrying the token buffer and per-layer KV caches; the paper notes
+//! this loop "greatly amplifies the number of collectives" (Table 2's
+//! 98304 all-reduces are 2 per layer × 32 layers × the loop trips).
+//! Attention is *multi-query*: one shared K/V head, which is what makes
+//! the paper's MQ sharding strategy (batch-sharded caches, A2A exchanges)
+//! interesting.
+
+use partir_ir::{
+    BinaryOp, CompareDir, DotDims, DType, FuncBuilder, IrError, Literal, Shape, TensorType,
+    ValueId,
+};
+
+use crate::nn;
+use crate::train::{int_input, BuiltModel, Init};
+
+/// Inference-transformer hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ITransformerConfig {
+    /// Decoder blocks.
+    pub layers: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Query heads (K/V is multi-query: a single shared head).
+    pub heads: usize,
+    /// MLP hidden width.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Batch of sequences decoded together.
+    pub batch: usize,
+    /// Prompt length already in the buffer.
+    pub prompt: usize,
+    /// Serving-loop steps (tokens generated).
+    pub steps: usize,
+}
+
+impl ITransformerConfig {
+    /// The paper's IT32 structure (32 layers; the serving loop multiplies
+    /// per-layer collectives) at CPU-simulable width. The paper's counts
+    /// imply 1536 loop trips; we keep the structure and let the bench
+    /// pick the trip count.
+    pub fn it32(steps: usize) -> Self {
+        ITransformerConfig {
+            layers: 32,
+            d_model: 64,
+            heads: 8,
+            d_ff: 256,
+            vocab: 128,
+            batch: 16,
+            prompt: 8,
+            steps,
+        }
+    }
+
+    /// A tiny configuration for interpreter tests.
+    pub fn tiny() -> Self {
+        ITransformerConfig {
+            layers: 2,
+            d_model: 8,
+            heads: 2,
+            d_ff: 16,
+            vocab: 16,
+            batch: 4,
+            prompt: 2,
+            steps: 3,
+        }
+    }
+
+    /// Per-head width.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Total token-buffer length.
+    pub fn buffer_len(&self) -> usize {
+        self.prompt + self.steps
+    }
+}
+
+struct Block {
+    ln1_scale: ValueId,
+    w_q: ValueId,  // [d, d] (H query heads)
+    w_kv: ValueId, // [d, 2·dh] (single shared K/V head)
+    w_o: ValueId,  // [d, d]
+    ln2_scale: ValueId,
+    w_up: ValueId,
+    w_down: ValueId,
+}
+
+/// Builds the serving loop. Function inputs: parameters, the initial
+/// token buffer (`tokens`, prompt left-aligned) and zeroed KV caches.
+/// Outputs: the decoded token buffer and final caches.
+///
+/// # Errors
+///
+/// Fails only on internal IR construction errors.
+pub fn build_serving(cfg: &ITransformerConfig) -> Result<BuiltModel, IrError> {
+    let mut b = FuncBuilder::new("itransformer_serve");
+    let mut inits: Vec<Init> = Vec::new();
+    let d = cfg.d_model;
+    let dh = cfg.d_head();
+    let (bsz, h) = (cfg.batch, cfg.heads);
+    let total = cfg.buffer_len();
+    let scale = 1.0 / (d as f32).sqrt();
+
+    let emb = b.param("params.emb", TensorType::f32([cfg.vocab, d]));
+    inits.push(Init::Uniform(0.05));
+    let mut blocks = Vec::with_capacity(cfg.layers);
+    for layer in 0..cfg.layers {
+        let mut p = |name: &str, ty: TensorType, init: Init| {
+            let v = b.param(format!("params.blk{layer}.{name}"), ty);
+            inits.push(init);
+            v
+        };
+        blocks.push(Block {
+            ln1_scale: p("ln1_scale", TensorType::f32([d]), Init::Ones),
+            w_q: p("w_q", TensorType::f32([d, d]), Init::Uniform(scale)),
+            w_kv: p("w_kv", TensorType::f32([d, 2 * dh]), Init::Uniform(scale)),
+            w_o: p("w_o", TensorType::f32([d, d]), Init::Uniform(scale)),
+            ln2_scale: p("ln2_scale", TensorType::f32([d]), Init::Ones),
+            w_up: p("w_up", TensorType::f32([d, cfg.d_ff]), Init::Uniform(scale)),
+            w_down: p(
+                "w_down",
+                TensorType::f32([cfg.d_ff, d]),
+                Init::Uniform(1.0 / (cfg.d_ff as f32).sqrt()),
+            ),
+        });
+    }
+    let tokens = int_input(&mut b, &mut inits, "tokens", vec![bsz, total], cfg.vocab as i32);
+    let mut caches = Vec::with_capacity(2 * cfg.layers);
+    for layer in 0..cfg.layers {
+        for which in ["k_cache", "v_cache"] {
+            let c = b.param(
+                format!("{which}{layer}"),
+                TensorType::f32([bsz, total, dh]),
+            );
+            inits.push(Init::Zeros);
+            caches.push(c);
+        }
+    }
+
+    let mut carried = vec![tokens];
+    carried.extend(&caches);
+    let results = b.for_loop(cfg.steps, &carried, |b, i, carried| {
+        let tokens = carried[0];
+        // Decode position: prompt - 1 + i.
+        let base = b.const_i32(cfg.prompt as i32 - 1)?;
+        let pos = b.binary(BinaryOp::Add, base, i)?;
+        let zero = b.const_i32(0)?;
+        let cur = b.dynamic_slice(tokens, &[zero, pos], vec![bsz, 1])?; // [B, 1]
+        let cur_flat = b.reshape(cur, [bsz])?;
+        let mut x = b.gather(emb, cur_flat, 0)?; // [B, d]
+
+        let mut new_caches = Vec::with_capacity(carried.len() - 1);
+        for (layer, blk) in blocks.iter().enumerate() {
+            let k_cache = carried[1 + 2 * layer];
+            let v_cache = carried[2 + 2 * layer];
+            let normed = nn::rms_scale(b, x, blk.ln1_scale)?;
+            // Queries: H heads.
+            let q = nn::linear(b, normed, blk.w_q)?; // [B, d]
+            let q = b.reshape(q, [bsz, h, dh])?;
+            // Shared K/V (multi-query).
+            let kv = nn::linear(b, normed, blk.w_kv)?; // [B, 2·dh]
+            let k_new = b.slice(kv, vec![0, 0], vec![bsz, dh])?;
+            let v_new = b.slice(kv, vec![0, dh], vec![bsz, 2 * dh])?;
+            let k_row = b.reshape(k_new, [bsz, 1, dh])?;
+            let v_row = b.reshape(v_new, [bsz, 1, dh])?;
+            let k_cache = b.dynamic_update_slice(k_cache, k_row, &[zero, pos, zero])?;
+            let v_cache = b.dynamic_update_slice(v_cache, v_row, &[zero, pos, zero])?;
+            new_caches.push(k_cache);
+            new_caches.push(v_cache);
+            // Attention over the cache.
+            let scores = b.dot(
+                q,
+                k_cache,
+                DotDims {
+                    lhs_batch: vec![0],
+                    rhs_batch: vec![0],
+                    lhs_contract: vec![2],
+                    rhs_contract: vec![2],
+                },
+            )?; // [B, H, T]
+            let scaled =
+                b.binary_scalar(BinaryOp::Mul, scores, 1.0 / (dh as f32).sqrt())?;
+            // Mask positions beyond `pos`.
+            let idx = b.iota(2, Shape::from([bsz, h, total]), DType::I32)?;
+            let pos_b = b.broadcast_in_dim(pos, [bsz, h, total], vec![])?;
+            let visible = b.compare(CompareDir::Le, idx, pos_b)?;
+            let neg_scalar = b.constant(Literal::scalar_f32(-1e9))?;
+            let neg = b.broadcast_in_dim(neg_scalar, [bsz, h, total], vec![])?;
+            let masked = b.select(visible, scaled, neg)?;
+            let probs = nn::softmax(b, masked)?;
+            let ctx = b.dot(
+                probs,
+                v_cache,
+                DotDims {
+                    lhs_batch: vec![0],
+                    rhs_batch: vec![0],
+                    lhs_contract: vec![2],
+                    rhs_contract: vec![1],
+                },
+            )?; // [B, H, dh]
+            let merged = b.reshape(ctx, [bsz, d])?;
+            let attn = nn::linear(b, merged, blk.w_o)?;
+            x = b.add(x, attn)?;
+            // MLP.
+            let normed2 = nn::rms_scale(b, x, blk.ln2_scale)?;
+            let up = nn::linear(b, normed2, blk.w_up)?;
+            let act = b.tanh(up)?;
+            let down = nn::linear(b, act, blk.w_down)?;
+            x = b.add(x, down)?;
+        }
+        // Greedy next token, written at pos + 1.
+        let emb_t = b.transpose(emb, vec![1, 0])?;
+        let logits = nn::linear(b, x, emb_t)?; // [B, V]
+        let next = b.argmax(logits, 1)?; // [B]
+        let next = b.reshape(next, [bsz, 1])?;
+        let one = b.const_i32(1)?;
+        let next_pos = b.binary(BinaryOp::Add, pos, one)?;
+        let tokens = b.dynamic_update_slice(tokens, next, &[zero, next_pos])?;
+        let mut yields = vec![tokens];
+        yields.extend(new_caches);
+        Ok(yields)
+    })?;
+
+    let num_param_tensors = 7 * cfg.layers + 1;
+    let func = b.build(results)?;
+    Ok(BuiltModel {
+        func,
+        inits,
+        num_param_tensors,
+        name: format!("IT{}", cfg.layers),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::synthetic_inputs;
+    use partir_ir::interp::interpret;
+
+    #[test]
+    fn tiny_serving_loop_decodes_tokens() {
+        let cfg = ITransformerConfig::tiny();
+        let model = build_serving(&cfg).unwrap();
+        partir_ir::verify::verify_func(&model.func, None).unwrap();
+        let inputs = synthetic_inputs(&model, 9);
+        let out = interpret(&model.func, &inputs).unwrap();
+        // First output is the decoded buffer: ints within the vocabulary.
+        let tokens = out[0].as_i32().unwrap();
+        assert_eq!(out[0].shape().dims(), &[cfg.batch, cfg.buffer_len()]);
+        assert!(tokens.iter().all(|&t| t >= 0 && t < cfg.vocab as i32));
+        // Generated positions must be filled deterministically.
+        let again = interpret(&model.func, &inputs).unwrap();
+        assert_eq!(out[0], again[0]);
+    }
+
+    #[test]
+    fn it32_structure() {
+        let cfg = ITransformerConfig::it32(4);
+        assert_eq!(cfg.layers, 32);
+        let model = build_serving(&cfg).unwrap();
+        // Params + tokens + 2 caches per layer.
+        assert_eq!(
+            model.func.params().len(),
+            model.num_param_tensors + 1 + 2 * cfg.layers
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! The benchmark model zoo (paper §7.1, Appendix A.3).
+//!
+//! Every model builds a complete IR program with *named* inputs —
+//! `params.*` for parameters, `opt.m.*` / `opt.v.*` for Adam state — the
+//! handles PartIR tactics address. Training models are full steps:
+//! forward pass, loss, reverse-mode backward pass and Adam update, built
+//! through `partir-autodiff`; the inference Transformer is an
+//! autoregressive serving loop with KV caches.
+//!
+//! Models:
+//!
+//! * [`transformer`] — Chinchilla-style decoder Transformer. `t32()` /
+//!   `t48()` reproduce the paper's layer/parameter-tensor structure
+//!   (9 tensors per block + tied embedding ⇒ 289 parameter tensors for
+//!   T32); `tiny()` is small enough to execute in tests.
+//! * [`itransformer`] — the inference model (IT32) with multi-query
+//!   attention, KV caches and a `for` serving loop.
+//! * [`unet`] — the diffusion reverse-process U-Net.
+//! * [`gns`] — the Graph Network Simulator with gather/scatter message
+//!   passing (edge sharding).
+//! * [`mlp`] — small models for examples and quickstarts.
+//!
+//! [`schedules`] builds the paper's tactic sequences (BP, MP, Z2, Z3,
+//! EMB, MQ, ES, Auto*) for each model, mirroring Appendix A.6.
+
+pub mod gns;
+pub mod itransformer;
+pub mod mlp;
+pub mod nn;
+pub mod schedules;
+pub mod train;
+pub mod transformer;
+pub mod unet;
+
+pub use train::{synthetic_inputs, BuiltModel, Init};

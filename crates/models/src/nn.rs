@@ -1,0 +1,261 @@
+//! Neural-network building blocks over the IR builder.
+
+use partir_ir::{
+    BinaryOp, CompareDir, DType, DotDims, FuncBuilder, IrError, Literal, Shape, ValueId,
+};
+#[cfg(test)]
+use partir_ir::TensorType;
+
+/// Contraction of the last dim of `x` with the first dim of `w`
+/// (a "linear" layer for any-rank activations).
+pub fn linear(b: &mut FuncBuilder, x: ValueId, w: ValueId) -> Result<ValueId, IrError> {
+    let xr = b.ty(x).rank();
+    b.dot(
+        x,
+        w,
+        DotDims {
+            lhs_batch: vec![],
+            rhs_batch: vec![],
+            lhs_contract: vec![xr - 1],
+            rhs_contract: vec![0],
+        },
+    )
+}
+
+/// Broadcasts a rank-1 value (`[d]`) over the last dim of `like`.
+pub fn broadcast_last(
+    b: &mut FuncBuilder,
+    v: ValueId,
+    like: ValueId,
+) -> Result<ValueId, IrError> {
+    let shape = b.ty(like).shape.clone();
+    let last = shape.rank() - 1;
+    b.broadcast_in_dim(v, shape, vec![last])
+}
+
+/// Layer normalisation over the last dimension with learnable scale and
+/// bias.
+pub fn layer_norm(
+    b: &mut FuncBuilder,
+    x: ValueId,
+    scale: ValueId,
+    bias: ValueId,
+) -> Result<ValueId, IrError> {
+    let ty = b.ty(x).clone();
+    let last = ty.rank() - 1;
+    let d = ty.shape.dim(last) as f32;
+    let kept: Vec<usize> = (0..last).collect();
+    let sum = b.reduce_sum(x, vec![last])?;
+    let mean = b.binary_scalar(BinaryOp::Div, sum, d)?;
+    let mean_b = b.broadcast_in_dim(mean, ty.shape.clone(), kept.clone())?;
+    let centred = b.sub(x, mean_b)?;
+    let sq = b.mul(centred, centred)?;
+    let var_sum = b.reduce_sum(sq, vec![last])?;
+    let var = b.binary_scalar(BinaryOp::Div, var_sum, d)?;
+    let var_eps = b.binary_scalar(BinaryOp::Add, var, 1e-5)?;
+    let rstd = b.rsqrt(var_eps)?;
+    let rstd_b = b.broadcast_in_dim(rstd, ty.shape.clone(), kept)?;
+    let normed = b.mul(centred, rstd_b)?;
+    let scale_b = broadcast_last(b, scale, x)?;
+    let bias_b = broadcast_last(b, bias, x)?;
+    let scaled = b.mul(normed, scale_b)?;
+    b.add(scaled, bias_b)
+}
+
+/// RMS-style scale-only normalisation (the T32 "additional normalization
+/// layer").
+pub fn rms_scale(b: &mut FuncBuilder, x: ValueId, scale: ValueId) -> Result<ValueId, IrError> {
+    let scale_b = broadcast_last(b, scale, x)?;
+    b.mul(x, scale_b)
+}
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax(b: &mut FuncBuilder, x: ValueId) -> Result<ValueId, IrError> {
+    let ty = b.ty(x).clone();
+    let last = ty.rank() - 1;
+    let kept: Vec<usize> = (0..last).collect();
+    let mx = b.reduce_max(x, vec![last])?;
+    let mx_b = b.broadcast_in_dim(mx, ty.shape.clone(), kept.clone())?;
+    let shifted = b.sub(x, mx_b)?;
+    let e = b.exp(shifted)?;
+    let denom = b.reduce_sum(e, vec![last])?;
+    let denom_b = b.broadcast_in_dim(denom, ty.shape, kept)?;
+    b.div(e, denom_b)
+}
+
+/// Softmax cross-entropy against integer targets, averaged over all
+/// positions. `logits` is `[..., V]`; `targets` the matching `[...]` i32.
+pub fn softmax_xent_mean(
+    b: &mut FuncBuilder,
+    logits: ValueId,
+    targets: ValueId,
+) -> Result<ValueId, IrError> {
+    let ty = b.ty(logits).clone();
+    let last = ty.rank() - 1;
+    let vocab = ty.shape.dim(last);
+    let kept: Vec<usize> = (0..last).collect();
+    // log-softmax.
+    let mx = b.reduce_max(logits, vec![last])?;
+    let mx_b = b.broadcast_in_dim(mx, ty.shape.clone(), kept.clone())?;
+    let shifted = b.sub(logits, mx_b)?;
+    let e = b.exp(shifted)?;
+    let denom = b.reduce_sum(e, vec![last])?;
+    let log_denom = b.log(denom)?;
+    let log_denom_b = b.broadcast_in_dim(log_denom, ty.shape.clone(), kept.clone())?;
+    let log_probs = b.sub(shifted, log_denom_b)?;
+    // One-hot of the targets via iota + compare.
+    let iota = b.iota(last, ty.shape.clone(), DType::I32)?;
+    let targets_b = b.broadcast_in_dim(targets, ty.shape.clone(), kept)?;
+    let one_hot_pred = b.compare(CompareDir::Eq, iota, targets_b)?;
+    let zero = b.constant(Literal::scalar_f32(0.0))?;
+    let zeros = b.broadcast_in_dim(zero, ty.shape.clone(), vec![])?;
+    let picked = {
+        let sel = b.select(one_hot_pred, log_probs, zeros)?;
+        let dims: Vec<usize> = (0..ty.rank()).collect();
+        b.reduce_sum(sel, dims)?
+    };
+    let count = (ty.shape.num_elements() / vocab) as f32;
+    let avg = b.binary_scalar(BinaryOp::Div, picked, count)?;
+    b.neg(avg)
+}
+
+/// Mean-squared-error between two same-shaped values.
+pub fn mse(b: &mut FuncBuilder, pred: ValueId, target: ValueId) -> Result<ValueId, IrError> {
+    let diff = b.sub(pred, target)?;
+    let sq = b.mul(diff, diff)?;
+    crate::train::mean_all(b, sq)
+}
+
+/// A stack of `linear → tanh` layers followed by a final linear.
+/// `weights` has `n_layers` matrices (already declared as params).
+pub fn mlp_stack(
+    b: &mut FuncBuilder,
+    mut x: ValueId,
+    weights: &[ValueId],
+) -> Result<ValueId, IrError> {
+    for (i, &w) in weights.iter().enumerate() {
+        x = linear(b, x, w)?;
+        if i + 1 < weights.len() {
+            x = b.tanh(x)?;
+        }
+    }
+    Ok(x)
+}
+
+/// 2× nearest-neighbour spatial upsample of `[N, C, H, W]` via
+/// reshape/broadcast (no dedicated resize op needed).
+pub fn upsample2x(b: &mut FuncBuilder, x: ValueId) -> Result<ValueId, IrError> {
+    let dims = b.ty(x).shape.dims().to_vec();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let r1 = b.reshape(x, [n, c, h, 1, w, 1])?;
+    let bc = b.broadcast_in_dim(
+        r1,
+        [n, c, h, 2, w, 2],
+        vec![0, 1, 2, 3, 4, 5],
+    )?;
+    b.reshape(bc, [n, c, 2 * h, 2 * w])
+}
+
+/// A causal (lower-triangular) attention mask `[T, T]` as predicate.
+pub fn causal_mask(b: &mut FuncBuilder, t: usize) -> Result<ValueId, IrError> {
+    let shape = Shape::from([t, t]);
+    let rows = b.iota(0, shape.clone(), DType::I32)?;
+    let cols = b.iota(1, shape, DType::I32)?;
+    b.compare(CompareDir::Le, cols, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::interp::interpret;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut b = FuncBuilder::new("sm");
+        let x = b.param("x", TensorType::f32([2, 4]));
+        let s = softmax(&mut b, x).unwrap();
+        let f = b.build([s]).unwrap();
+        let out = interpret(
+            &f,
+            &[Literal::from_f32(vec![1., 2., 3., 4., -1., 0., 1., 2.], [2, 4]).unwrap()],
+        )
+        .unwrap();
+        let v = out[0].as_f32().unwrap();
+        let row0: f32 = v[..4].iter().sum();
+        let row1: f32 = v[4..].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-5 && (row1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn layer_norm_centres_and_scales() {
+        let mut b = FuncBuilder::new("ln");
+        let x = b.param("x", TensorType::f32([1, 4]));
+        let scale = b.param("s", TensorType::f32([4]));
+        let bias = b.param("b", TensorType::f32([4]));
+        let y = layer_norm(&mut b, x, scale, bias).unwrap();
+        let f = b.build([y]).unwrap();
+        let out = interpret(
+            &f,
+            &[
+                Literal::from_f32(vec![1., 2., 3., 4.], [1, 4]).unwrap(),
+                Literal::ones(&TensorType::f32([4])),
+                Literal::zeros(&TensorType::f32([4])),
+            ],
+        )
+        .unwrap();
+        let v = out[0].as_f32().unwrap();
+        let mean: f32 = v.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!(v[3] > v[0]);
+    }
+
+    #[test]
+    fn xent_of_perfect_prediction_is_small() {
+        let mut b = FuncBuilder::new("x");
+        let logits = b.param("logits", TensorType::f32([2, 3]));
+        let targets = b.param("t", TensorType::i32([2]));
+        let loss = softmax_xent_mean(&mut b, logits, targets).unwrap();
+        let f = b.build([loss]).unwrap();
+        let confident =
+            Literal::from_f32(vec![10., 0., 0., 0., 10., 0.], [2, 3]).unwrap();
+        let targets_lit = Literal::from_i32(vec![0, 1], [2]).unwrap();
+        let out = interpret(&f, &[confident, targets_lit]).unwrap();
+        let loss_v = out[0].as_f32().unwrap()[0];
+        assert!(loss_v < 0.01, "loss {loss_v}");
+        // Wrong targets give large loss.
+        let wrong = Literal::from_i32(vec![2, 2], [2]).unwrap();
+        let confident =
+            Literal::from_f32(vec![10., 0., 0., 0., 10., 0.], [2, 3]).unwrap();
+        let out = interpret(&f, &[confident, wrong]).unwrap();
+        assert!(out[0].as_f32().unwrap()[0] > 5.0);
+    }
+
+    #[test]
+    fn upsample_doubles_spatial_dims() {
+        let mut b = FuncBuilder::new("up");
+        let x = b.param("x", TensorType::f32([1, 1, 2, 2]));
+        let y = upsample2x(&mut b, x).unwrap();
+        let f = b.build([y]).unwrap();
+        let out = interpret(
+            &f,
+            &[Literal::from_f32(vec![1., 2., 3., 4.], [1, 1, 2, 2]).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(out[0].shape().dims(), &[1, 1, 4, 4]);
+        let v = out[0].as_f32().unwrap();
+        assert_eq!(&v[..4], &[1., 1., 2., 2.]);
+        assert_eq!(&v[4..8], &[1., 1., 2., 2.]);
+    }
+
+    #[test]
+    fn causal_mask_is_lower_triangular() {
+        let mut b = FuncBuilder::new("m");
+        let m = causal_mask(&mut b, 3).unwrap();
+        let f = b.build([m]).unwrap();
+        let out = interpret(&f, &[]).unwrap();
+        assert_eq!(
+            out[0].as_pred().unwrap(),
+            &[true, false, false, true, true, false, true, true, true]
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! Diffusion-reverse-process U-Net (paper §7.1, Appendix A.3).
+//!
+//! Matches the paper's structure: a down path of residual convolution
+//! blocks (9 at the default depth), a middle of two residual blocks
+//! around an attention layer, and an up path of 12 residual blocks with
+//! skip connections, where each residual block's pair of convolutions
+//! widens to a 4× hidden channel count ("this allows for efficient
+//! partitioning along the channel dimensions"). Upsampling is a
+//! nearest-neighbour reshape/broadcast; downsampling a stride-2 conv.
+//! The training step regresses predicted noise with MSE + Adam.
+
+use partir_ir::{ConvDims, FuncBuilder, IrError, TensorType, ValueId};
+
+use crate::nn;
+use crate::train::{f32_input, finish_train_step, param_with_opt, BuiltModel, Init};
+
+/// U-Net hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UNetConfig {
+    /// Batch size.
+    pub batch: usize,
+    /// Input/output image channels.
+    pub in_channels: usize,
+    /// Base feature channels.
+    pub channels: usize,
+    /// Resolution levels (downsamples = levels − 1).
+    pub levels: usize,
+    /// Residual blocks per level on the down path.
+    pub blocks_down: usize,
+    /// Residual blocks per level on the up path.
+    pub blocks_up: usize,
+    /// Input spatial size (square).
+    pub image: usize,
+    /// Attention heads in the middle block.
+    pub heads: usize,
+}
+
+impl UNetConfig {
+    /// The paper's block structure (3 levels × 3 = 9 down, 3 × 4 = 12 up,
+    /// two middle residual blocks around one attention layer) at
+    /// CPU-simulable width.
+    pub fn paper() -> Self {
+        UNetConfig {
+            batch: 8,
+            in_channels: 4,
+            channels: 16,
+            levels: 3,
+            blocks_down: 3,
+            blocks_up: 4,
+            image: 16,
+            heads: 4,
+        }
+    }
+
+    /// A tiny configuration for interpreter tests.
+    pub fn tiny() -> Self {
+        UNetConfig {
+            batch: 2,
+            in_channels: 2,
+            channels: 4,
+            levels: 2,
+            blocks_down: 1,
+            blocks_up: 1,
+            image: 8,
+            heads: 2,
+        }
+    }
+}
+
+type Triple = (ValueId, ValueId, ValueId);
+
+struct ResBlock {
+    norm1: Triple,
+    conv1: Triple, // [4C, C_in, 3, 3]
+    norm2: Triple,
+    conv2: Triple, // [C_out, 4C, 3, 3]
+    skip: Option<Triple>, // 1x1 conv when C_in != C_out
+}
+
+fn declare_res_block(
+    b: &mut FuncBuilder,
+    inits: &mut Vec<Init>,
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+) -> ResBlock {
+    let hidden = 4 * c_out;
+    let scale = 0.3 / (c_in as f32).sqrt();
+    ResBlock {
+        norm1: param_with_opt(
+            b,
+            inits,
+            &format!("{name}.norm1"),
+            TensorType::f32([c_in]),
+            Init::Ones,
+        ),
+        conv1: param_with_opt(
+            b,
+            inits,
+            &format!("{name}.conv1_w"),
+            TensorType::f32([hidden, c_in, 3, 3]),
+            Init::Uniform(scale),
+        ),
+        norm2: param_with_opt(
+            b,
+            inits,
+            &format!("{name}.norm2"),
+            TensorType::f32([hidden]),
+            Init::Ones,
+        ),
+        conv2: param_with_opt(
+            b,
+            inits,
+            &format!("{name}.conv2_w"),
+            TensorType::f32([c_out, hidden, 3, 3]),
+            Init::Uniform(0.3 / (hidden as f32).sqrt()),
+        ),
+        skip: (c_in != c_out).then(|| {
+            param_with_opt(
+                b,
+                inits,
+                &format!("{name}.skip_w"),
+                TensorType::f32([c_out, c_in, 1, 1]),
+                Init::Uniform(scale),
+            )
+        }),
+    }
+}
+
+/// Channel-wise scale "norm" for `[N, C, H, W]`.
+fn channel_scale(b: &mut FuncBuilder, x: ValueId, scale: ValueId) -> Result<ValueId, IrError> {
+    let shape = b.ty(x).shape.clone();
+    let s = b.broadcast_in_dim(scale, shape, vec![1])?;
+    b.mul(x, s)
+}
+
+fn res_block_forward(b: &mut FuncBuilder, blk: &ResBlock, x: ValueId) -> Result<ValueId, IrError> {
+    let same = ConvDims {
+        strides: (1, 1),
+        padding: (1, 1),
+    };
+    let h = channel_scale(b, x, blk.norm1.0)?;
+    let h = b.tanh(h)?;
+    let h = b.convolution(h, blk.conv1.0, same)?;
+    let h = channel_scale(b, h, blk.norm2.0)?;
+    let h = b.tanh(h)?;
+    let h = b.convolution(h, blk.conv2.0, same)?;
+    let shortcut = match &blk.skip {
+        Some(skip) => b.convolution(x, skip.0, ConvDims::default())?,
+        None => x,
+    };
+    b.add(shortcut, h)
+}
+
+struct AttnBlock {
+    norm: Triple,
+    wq: Triple,
+    wk: Triple,
+    wv: Triple,
+    wo: Triple,
+}
+
+fn declare_attn(b: &mut FuncBuilder, inits: &mut Vec<Init>, name: &str, c: usize) -> AttnBlock {
+    let scale = 1.0 / (c as f32).sqrt();
+    let mat = |b: &mut FuncBuilder, inits: &mut Vec<Init>, n: String| {
+        param_with_opt(b, inits, &n, TensorType::f32([c, c]), Init::Uniform(scale))
+    };
+    AttnBlock {
+        norm: param_with_opt(
+            b,
+            inits,
+            &format!("{name}.attn_norm"),
+            TensorType::f32([c]),
+            Init::Ones,
+        ),
+        wq: mat(b, inits, format!("{name}.attn_wq")),
+        wk: mat(b, inits, format!("{name}.attn_wk")),
+        wv: mat(b, inits, format!("{name}.attn_wv")),
+        wo: mat(b, inits, format!("{name}.attn_wo")),
+    }
+}
+
+fn attn_forward(
+    b: &mut FuncBuilder,
+    cfg: &UNetConfig,
+    blk: &AttnBlock,
+    x: ValueId,
+) -> Result<ValueId, IrError> {
+    let dims = b.ty(x).shape.dims().to_vec();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let hw = h * w;
+    let heads = cfg.heads;
+    let dh = c / heads;
+    let normed = channel_scale(b, x, blk.norm.0)?;
+    let flat = b.reshape(normed, [n, c, hw])?;
+    let tokens = b.transpose(flat, vec![0, 2, 1])?; // [N, HW, C]
+    let project = |b: &mut FuncBuilder, w_: ValueId| -> Result<ValueId, IrError> {
+        let p = nn::linear(b, tokens, w_)?; // [N, HW, C]
+        let heads_split = b.reshape(p, [n, hw, heads, dh])?;
+        b.transpose(heads_split, vec![0, 2, 1, 3]) // [N, H, HW, dh]
+    };
+    let q = project(b, blk.wq.0)?;
+    let k = project(b, blk.wk.0)?;
+    let v = project(b, blk.wv.0)?;
+    let kt = b.transpose(k, vec![0, 1, 3, 2])?;
+    let scores = b.dot(
+        q,
+        kt,
+        partir_ir::DotDims {
+            lhs_batch: vec![0, 1],
+            rhs_batch: vec![0, 1],
+            lhs_contract: vec![3],
+            rhs_contract: vec![2],
+        },
+    )?;
+    let scaled = b.binary_scalar(partir_ir::BinaryOp::Mul, scores, 1.0 / (dh as f32).sqrt())?;
+    let probs = nn::softmax(b, scaled)?;
+    let ctx = b.dot(
+        probs,
+        v,
+        partir_ir::DotDims {
+            lhs_batch: vec![0, 1],
+            rhs_batch: vec![0, 1],
+            lhs_contract: vec![3],
+            rhs_contract: vec![2],
+        },
+    )?; // [N, H, HW, dh]
+    let merged = b.transpose(ctx, vec![0, 2, 1, 3])?;
+    let merged = b.reshape(merged, [n, hw, c])?;
+    let out = nn::linear(b, merged, blk.wo.0)?; // [N, HW, C]
+    let back = b.transpose(out, vec![0, 2, 1])?;
+    let back = b.reshape(back, [n, c, h, w])?;
+    b.add(x, back)
+}
+
+/// Builds the U-Net noise-prediction training step.
+///
+/// # Errors
+///
+/// Fails only on internal IR construction errors.
+pub fn build_train_step(cfg: &UNetConfig) -> Result<BuiltModel, IrError> {
+    let mut b = FuncBuilder::new("unet_train");
+    let mut inits = Vec::new();
+    let mut params: Vec<Triple> = Vec::new();
+    let same = ConvDims {
+        strides: (1, 1),
+        padding: (1, 1),
+    };
+    let down2 = ConvDims {
+        strides: (2, 2),
+        padding: (1, 1),
+    };
+
+    // Stem.
+    let conv_in = param_with_opt(
+        &mut b,
+        &mut inits,
+        "conv_in_w",
+        TensorType::f32([cfg.channels, cfg.in_channels, 3, 3]),
+        Init::Uniform(0.3),
+    );
+    params.push(conv_in);
+
+    // Declare all blocks first so parameters precede data inputs.
+    let push_res = |params: &mut Vec<Triple>, blk: &ResBlock| {
+        for t in [blk.norm1, blk.conv1, blk.norm2, blk.conv2] {
+            params.push(t);
+        }
+        if let Some(s) = blk.skip {
+            params.push(s);
+        }
+    };
+    let mut down_blocks = Vec::new();
+    let mut down_samplers = Vec::new();
+    let mut ch = cfg.channels;
+    for level in 0..cfg.levels {
+        let mut level_blocks = Vec::new();
+        for i in 0..cfg.blocks_down {
+            let blk =
+                declare_res_block(&mut b, &mut inits, &format!("down{level}.res{i}"), ch, ch);
+            push_res(&mut params, &blk);
+            level_blocks.push(blk);
+        }
+        down_blocks.push(level_blocks);
+        if level + 1 < cfg.levels {
+            let next = ch * 2;
+            let w = param_with_opt(
+                &mut b,
+                &mut inits,
+                &format!("down{level}.downsample_w"),
+                TensorType::f32([next, ch, 3, 3]),
+                Init::Uniform(0.2),
+            );
+            down_samplers.push(w);
+            params.push(w);
+            ch = next;
+        }
+    }
+    let mid1 = declare_res_block(&mut b, &mut inits, "mid.res0", ch, ch);
+    push_res(&mut params, &mid1);
+    let attn = declare_attn(&mut b, &mut inits, "mid", ch);
+    for t in [attn.norm, attn.wq, attn.wk, attn.wv, attn.wo] {
+        params.push(t);
+    }
+    let mid2 = declare_res_block(&mut b, &mut inits, "mid.res1", ch, ch);
+    push_res(&mut params, &mid2);
+    let mut up_blocks = Vec::new();
+    let mut up_samplers = Vec::new();
+    {
+        let mut c = ch;
+        for level in (0..cfg.levels).rev() {
+            let mut level_blocks = Vec::new();
+            for i in 0..cfg.blocks_up {
+                // The first up block consumes the concatenated skip.
+                let c_in = if i == 0 { 2 * c } else { c };
+                let blk = declare_res_block(
+                    &mut b,
+                    &mut inits,
+                    &format!("up{level}.res{i}"),
+                    c_in,
+                    c,
+                );
+                push_res(&mut params, &blk);
+                level_blocks.push(blk);
+            }
+            up_blocks.push(level_blocks);
+            if level > 0 {
+                let next = c / 2;
+                let w = param_with_opt(
+                    &mut b,
+                    &mut inits,
+                    &format!("up{level}.upconv_w"),
+                    TensorType::f32([next, c, 3, 3]),
+                    Init::Uniform(0.2),
+                );
+                up_samplers.push(w);
+                params.push(w);
+                c = next;
+            }
+        }
+    }
+    let conv_out = param_with_opt(
+        &mut b,
+        &mut inits,
+        "conv_out_w",
+        TensorType::f32([cfg.in_channels, cfg.channels, 3, 3]),
+        Init::Uniform(0.2),
+    );
+    params.push(conv_out);
+
+    // Data.
+    let x_in = f32_input(
+        &mut b,
+        &mut inits,
+        "x",
+        vec![cfg.batch, cfg.in_channels, cfg.image, cfg.image],
+    );
+    let noise = f32_input(
+        &mut b,
+        &mut inits,
+        "noise",
+        vec![cfg.batch, cfg.in_channels, cfg.image, cfg.image],
+    );
+
+    // Forward.
+    let mut h = b.convolution(x_in, conv_in.0, same)?;
+    let mut skips = Vec::new();
+    for (level, level_blocks) in down_blocks.iter().enumerate() {
+        for blk in level_blocks {
+            h = res_block_forward(&mut b, blk, h)?;
+        }
+        skips.push(h);
+        if level + 1 < cfg.levels {
+            h = b.convolution(h, down_samplers[level].0, down2)?;
+        }
+    }
+    h = res_block_forward(&mut b, &mid1, h)?;
+    h = attn_forward(&mut b, cfg, &attn, h)?;
+    h = res_block_forward(&mut b, &mid2, h)?;
+    for (idx, level_blocks) in up_blocks.iter().enumerate() {
+        let level = cfg.levels - 1 - idx;
+        let skip = skips[level];
+        h = b.concatenate(&[h, skip], 1)?;
+        for blk in level_blocks {
+            h = res_block_forward(&mut b, blk, h)?;
+        }
+        if level > 0 {
+            h = nn::upsample2x(&mut b, h)?;
+            h = b.convolution(h, up_samplers[idx].0, same)?;
+        }
+    }
+    let pred = b.convolution(h, conv_out.0, same)?;
+    let loss = nn::mse(&mut b, pred, noise)?;
+
+    let num_param_tensors = params.len();
+    let func = finish_train_step(b, loss, &params)?;
+    Ok(BuiltModel {
+        func,
+        inits,
+        num_param_tensors,
+        name: "UNet".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::synthetic_inputs;
+    use partir_ir::interp::interpret;
+
+    #[test]
+    fn paper_config_has_9_down_and_12_up_blocks() {
+        let cfg = UNetConfig::paper();
+        assert_eq!(cfg.levels * cfg.blocks_down, 9);
+        assert_eq!(cfg.levels * cfg.blocks_up, 12);
+    }
+
+    #[test]
+    fn tiny_unet_builds_and_runs() {
+        let model = build_train_step(&UNetConfig::tiny()).unwrap();
+        partir_ir::verify::verify_func(&model.func, None).unwrap();
+        let inputs = synthetic_inputs(&model, 11);
+        let out = interpret(&model.func, &inputs).unwrap();
+        let loss = out[0].as_f32().unwrap()[0];
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The scaling claim behind our Table 2 methodology: collective *counts*
+//! depend only on the model's structure (layers, parameter tensors, op
+//! graph), not on tensor widths. This is what licenses running the
+//! paper's count experiments at CPU-friendly widths.
+
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_models::transformer::TransformerConfig;
+use partir_sched::partir_jit;
+
+#[test]
+fn collective_counts_are_width_invariant() {
+    let narrow = TransformerConfig {
+        layers: 4,
+        d_model: 32,
+        heads: 4,
+        d_ff: 64,
+        vocab: 64,
+        seq: 8,
+        batch: 16,
+    };
+    let wide = TransformerConfig {
+        layers: 4,
+        d_model: 128,
+        heads: 8,
+        d_ff: 512,
+        vocab: 256,
+        seq: 32,
+        batch: 32,
+    };
+    let hw = HardwareConfig::tpu_v3_pod(Mesh::new([(BATCH, 4), (MODEL, 2)]).unwrap());
+    for (name, schedule) in schedules::transformer_table2() {
+        let narrow_model = partir_models::transformer::build_train_step(&narrow).unwrap();
+        let wide_model = partir_models::transformer::build_train_step(&wide).unwrap();
+        let narrow_stats = partir_jit(&narrow_model.func, &hw, &schedule)
+            .unwrap()
+            .program
+            .stats();
+        let wide_stats = partir_jit(&wide_model.func, &hw, &schedule)
+            .unwrap()
+            .program
+            .stats();
+        assert_eq!(
+            narrow_stats, wide_stats,
+            "{name}: counts must not depend on width"
+        );
+    }
+}
+
+#[test]
+fn collective_counts_scale_linearly_with_layers() {
+    // Megatron's 4-AR-per-layer law as a scaling test.
+    let hw = HardwareConfig::tpu_v3_pod(Mesh::new([(BATCH, 2), (MODEL, 2)]).unwrap());
+    let mut last = None;
+    for layers in [2, 4, 6] {
+        let cfg = TransformerConfig {
+            layers,
+            ..TransformerConfig::tiny()
+        };
+        let model = partir_models::transformer::build_train_step(&cfg).unwrap();
+        let schedule = partir_sched::Schedule::new([schedules::t_mp()]);
+        let stats = partir_jit(&model.func, &hw, &schedule).unwrap().program.stats();
+        assert_eq!(stats.all_reduce, 4 * layers);
+        if let Some(prev) = last {
+            assert_eq!(stats.all_reduce - prev, 8, "constant per-layer increment");
+        }
+        last = Some(stats.all_reduce);
+    }
+}
+
+#[test]
+fn counts_are_mesh_size_invariant_for_divisible_meshes() {
+    // Mesh-axis collectives reference axes, not device ids (paper §6):
+    // the program (and so the counts) is identical for any axis sizes
+    // that divide the tensors.
+    let cfg = TransformerConfig::tiny();
+    let model = partir_models::transformer::build_train_step(&cfg).unwrap();
+    let schedule = partir_sched::Schedule::new([schedules::t_bp(), schedules::t_mp()]);
+    let mut counts = Vec::new();
+    for (b, m) in [(2, 2), (4, 2), (8, 2)] {
+        let hw = HardwareConfig::tpu_v3_pod(Mesh::new([(BATCH, b), (MODEL, m)]).unwrap());
+        counts.push(partir_jit(&model.func, &hw, &schedule).unwrap().program.stats());
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}

@@ -1,0 +1,408 @@
+//! The `AutomaticPartition` tactic: Monte-Carlo tree search over tiling
+//! actions (paper §3 and Appendix A.5.3; algorithm in the Automap line of
+//! work the paper cites).
+//!
+//! States are [`Partitioning`]s (propagated after every action); actions
+//! are `tile(value, dim, axis)` over the function's inputs plus a
+//! terminating `stop`. The reward is the analytical simulator's runtime
+//! estimate with a hard penalty for exceeding device memory — the paper's
+//! cost model "seeks runtime improvement and penalizes models that exceed
+//! device memory limits". Child states are materialised lazily and the
+//! branching factor is capped to the largest tensors, keeping searches on
+//! 10k-op training steps tractable.
+
+use partir_core::Partitioning;
+use partir_ir::{Func, ValueId};
+use partir_mesh::{Axis, HardwareConfig};
+use partir_sim::{SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SchedError;
+
+/// Search-based tactic over one or more mesh axes.
+#[derive(Debug, Clone)]
+pub struct AutomaticPartition {
+    name: String,
+    axes: Vec<Axis>,
+    /// Number of MCTS simulations.
+    pub budget: usize,
+    /// RNG seed (searches are deterministic given a seed).
+    pub seed: u64,
+    /// Maximum actions per rollout/plan.
+    pub max_actions: usize,
+    /// UCT exploration constant.
+    pub exploration: f64,
+    /// Maximum candidate actions considered per node (largest tensors
+    /// first).
+    pub max_branching: usize,
+}
+
+impl AutomaticPartition {
+    /// Creates a search tactic over `axes`.
+    pub fn new<A: Into<Axis>>(name: impl Into<String>, axes: impl IntoIterator<Item = A>) -> Self {
+        AutomaticPartition {
+            name: name.into(),
+            axes: axes.into_iter().map(Into::into).collect(),
+            budget: 64,
+            seed: 0xA77A,
+            max_actions: 8,
+            exploration: 0.7,
+            max_branching: 24,
+        }
+    }
+
+    /// Tactic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the simulation budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the search and applies the best action sequence to `part`.
+    /// Returns the number of actions applied.
+    ///
+    /// # Errors
+    ///
+    /// Fails if lowering/simulation of a candidate fails (indicating a
+    /// bug rather than a bad candidate).
+    pub fn apply(
+        &self,
+        func: &Func,
+        hw: &HardwareConfig,
+        part: &mut Partitioning,
+    ) -> Result<usize, SchedError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let evaluator = Evaluator { func, hw };
+        let baseline = evaluator.cost(part)?;
+
+        let mut root = Node::with_state(part.clone());
+        for _ in 0..self.budget {
+            self.one_simulation(&mut root, func, &evaluator, baseline, &mut rng)?;
+        }
+
+        // Extract the principal variation by visit count, stopping when
+        // the best child does not improve on stopping here.
+        let mut applied = 0;
+        let mut cursor = &root;
+        while let Some(best) = cursor
+            .children
+            .iter()
+            .filter(|n| n.visits > 0)
+            .max_by_key(|n| n.visits)
+        {
+            let here = evaluator.reward(cursor.state.as_ref().expect("visited"), baseline)?;
+            let there = best.total / best.visits as f64;
+            let Some(action) = &best.action else { break };
+            if there <= here {
+                break;
+            }
+            part.tile(func, action.value, action.dim, &action.axis)?;
+            part.propagate(func);
+            applied += 1;
+            cursor = best;
+            if applied >= self.max_actions {
+                break;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// One select→expand→rollout→backpropagate pass. Implemented
+    /// recursively so lazily-materialised child states can borrow their
+    /// parent's.
+    fn one_simulation(
+        &self,
+        node: &mut Node,
+        func: &Func,
+        evaluator: &Evaluator,
+        baseline: f64,
+        rng: &mut StdRng,
+    ) -> Result<f64, SchedError> {
+        let state = node.state.as_ref().expect("caller materialised state");
+        if !node.expanded {
+            node.expanded = true;
+            let mut actions = candidate_actions(func, state, &self.axes);
+            actions.truncate(self.max_branching);
+            node.children = actions
+                .into_iter()
+                .map(|a| Node::unexplored(Some(a)))
+                .collect();
+            // Explicit stop child keeps "do nothing more" competitive.
+            node.children.push(Node::unexplored(None));
+        }
+        let reward = if node.children.is_empty() {
+            evaluator.reward(state, baseline)?
+        } else {
+            // Pick: first unvisited child (in order), else UCT.
+            let idx = match node.children.iter().position(|c| c.visits == 0) {
+                Some(i) => i,
+                None => best_child(&node.children, node.visits, self.exploration),
+            };
+            // Materialise the child state if needed.
+            let parent_state = state.clone();
+            let child = &mut node.children[idx];
+            if child.state.is_none() {
+                let mut s = parent_state;
+                match &child.action {
+                    Some(a) => {
+                        if s.tile(func, a.value, a.dim, &a.axis).is_ok() {
+                            s.propagate(func);
+                        } else {
+                            child.terminal = true;
+                        }
+                    }
+                    None => child.terminal = true, // stop
+                }
+                child.state = Some(s);
+            }
+            if child.terminal {
+                let r = evaluator.reward(child.state.as_ref().expect("set above"), baseline)?;
+                child.visits += 1;
+                child.total += r;
+                r
+            } else if child.visits == 0 {
+                // First visit: score the state itself plus one random
+                // rollout; keep the better (the evaluator is exact).
+                let own =
+                    evaluator.reward(child.state.as_ref().expect("set above"), baseline)?;
+                let mut roll = child.state.clone().expect("set above");
+                let mut depth = 0;
+                while depth < 3 {
+                    let actions = candidate_actions(func, &roll, &self.axes);
+                    if actions.is_empty() || rng.gen_bool(0.4) {
+                        break;
+                    }
+                    let a = &actions[rng.gen_range(0..actions.len().min(self.max_branching))];
+                    if roll.tile(func, a.value, a.dim, &a.axis).is_err() {
+                        break;
+                    }
+                    roll.propagate(func);
+                    depth += 1;
+                }
+                let r = own.max(evaluator.reward(&roll, baseline)?);
+                child.visits += 1;
+                child.total += r;
+                r
+            } else {
+                self.one_simulation(child, func, evaluator, baseline, rng)?
+            }
+        };
+        node.visits += 1;
+        node.total += reward;
+        Ok(reward)
+    }
+}
+
+/// One search action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TileAction {
+    value: ValueId,
+    dim: usize,
+    axis: Axis,
+}
+
+struct Node {
+    /// The edge from the parent (`None` = stop here).
+    action: Option<TileAction>,
+    /// Materialised lazily on first visit.
+    state: Option<Partitioning>,
+    visits: u32,
+    total: f64,
+    expanded: bool,
+    terminal: bool,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn with_state(state: Partitioning) -> Self {
+        Node {
+            action: None,
+            state: Some(state),
+            visits: 0,
+            total: 0.0,
+            expanded: false,
+            terminal: false,
+            children: Vec::new(),
+        }
+    }
+
+    fn unexplored(action: Option<TileAction>) -> Self {
+        Node {
+            action,
+            state: None,
+            visits: 0,
+            total: 0.0,
+            expanded: false,
+            terminal: false,
+            children: Vec::new(),
+        }
+    }
+}
+
+fn best_child(children: &[Node], parent_visits: u32, exploration: f64) -> usize {
+    let ln_n = (parent_visits.max(1) as f64).ln();
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, child) in children.iter().enumerate() {
+        let score = if child.visits == 0 {
+            f64::INFINITY
+        } else {
+            child.total / child.visits as f64 + exploration * (ln_n / child.visits as f64).sqrt()
+        };
+        if score > best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Legal tile actions over the function's inputs, largest tensors first
+/// (the decisions that matter most come first when branching is capped).
+fn candidate_actions(func: &Func, part: &Partitioning, axes: &[Axis]) -> Vec<TileAction> {
+    let mut out: Vec<(usize, TileAction)> = Vec::new();
+    for axis in axes {
+        let Ok(size) = part.mesh().axis_size(axis) else {
+            continue;
+        };
+        for &v in func.params() {
+            let ctx = part.value_ctx(v);
+            if ctx.contains_axis(axis) {
+                continue;
+            }
+            let local = part.local_type(func, v);
+            for d in 0..local.rank() {
+                if local.shape.dim(d).is_multiple_of(size) && local.shape.dim(d) >= size {
+                    out.push((
+                        local.size_bytes(),
+                        TileAction {
+                            value: v,
+                            dim: d,
+                            axis: axis.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.0.cmp(&a.0).then_with(|| {
+            (a.1.value, a.1.dim, a.1.axis.name().to_string()).cmp(&(
+                b.1.value,
+                b.1.dim,
+                b.1.axis.name().to_string(),
+            ))
+        })
+    });
+    out.into_iter().map(|(_, a)| a).collect()
+}
+
+struct Evaluator<'a> {
+    func: &'a Func,
+    hw: &'a HardwareConfig,
+}
+
+impl Evaluator<'_> {
+    /// Cost = estimated runtime, with a multiplicative penalty once the
+    /// partition exceeds device memory.
+    fn cost(&self, part: &Partitioning) -> Result<f64, SchedError> {
+        let program = partir_spmd::lower(self.func, part)?.fused()?;
+        let report = Simulator::new(self.hw, SimConfig::default()).simulate(program.func())?;
+        let mem = report.peak_memory_bytes as f64;
+        let cap = self.hw.device.hbm_bytes as f64;
+        let penalty = if mem > cap { 10.0 * (mem / cap) } else { 1.0 };
+        Ok(report.runtime_s * penalty)
+    }
+
+    /// Reward = speedup over the tactic's starting point.
+    fn reward(&self, part: &Partitioning, baseline: f64) -> Result<f64, SchedError> {
+        Ok(baseline / self.cost(part)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{FuncBuilder, TensorType};
+    use partir_mesh::Mesh;
+
+    fn chain() -> Func {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([4096, 512]));
+        let w1 = b.param("w1", TensorType::f32([512, 512]));
+        let w2 = b.param("w2", TensorType::f32([512, 512]));
+        let h = b.matmul(x, w1).unwrap();
+        let y = b.matmul(h, w2).unwrap();
+        b.build([y]).unwrap()
+    }
+
+    #[test]
+    fn auto_search_finds_batch_parallelism() {
+        let f = chain();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        let tactic = AutomaticPartition::new("auto", ["B"]).with_budget(48);
+        let applied = tactic.apply(&f, &hw, &mut p).unwrap();
+        assert!(applied >= 1);
+        // The searched partition must beat the replicated baseline.
+        let program = partir_spmd::lower(&f, &p).unwrap().fused().unwrap();
+        let report = Simulator::new(&hw, SimConfig::default())
+            .simulate(program.func())
+            .unwrap();
+        let base = Simulator::new(&hw, SimConfig::default()).simulate(&f).unwrap();
+        assert!(report.runtime_s < base.runtime_s);
+    }
+
+    #[test]
+    fn auto_search_is_deterministic_per_seed() {
+        let f = chain();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let run = |seed| {
+            let mut p = Partitioning::new(&f, mesh.clone()).unwrap();
+            AutomaticPartition::new("auto", ["B"])
+                .with_budget(24)
+                .with_seed(seed)
+                .apply(&f, &hw, &mut p)
+                .unwrap();
+            format!("{p:?}")
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn zero_budget_applies_nothing() {
+        let f = chain();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        let applied = AutomaticPartition::new("auto", ["B"])
+            .with_budget(0)
+            .apply(&f, &hw, &mut p)
+            .unwrap();
+        assert_eq!(applied, 0);
+    }
+
+    #[test]
+    fn candidates_are_largest_first_and_capped() {
+        let f = chain();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let p = Partitioning::new(&f, mesh).unwrap();
+        let actions = candidate_actions(&f, &p, &["B".into()]);
+        // x (4096x512) actions come before the smaller weights.
+        assert_eq!(actions[0].value, f.params()[0]);
+        assert!(actions.len() >= 6);
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while applying schedules.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A core partitioning action failed.
+    Core(partir_core::CoreError),
+    /// Lowering or simulation failed.
+    Ir(partir_ir::IrError),
+    /// A tactic referenced a value that does not exist.
+    UnknownValue(String),
+    /// The schedule is malformed.
+    Invalid(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Core(e) => write!(f, "partitioning action failed: {e}"),
+            SchedError::Ir(e) => write!(f, "lowering failed: {e}"),
+            SchedError::UnknownValue(n) => write!(f, "no value named {n:?}"),
+            SchedError::Invalid(d) => write!(f, "invalid schedule: {d}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Core(e) => Some(e),
+            SchedError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<partir_core::CoreError> for SchedError {
+    fn from(e: partir_core::CoreError) -> Self {
+        SchedError::Core(e)
+    }
+}
+
+impl From<partir_ir::IrError> for SchedError {
+    fn from(e: partir_ir::IrError) -> Self {
+        SchedError::Ir(e)
+    }
+}

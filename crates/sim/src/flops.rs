@@ -1,0 +1,115 @@
+//! Per-op FLOP counting.
+
+use partir_ir::{Func, OpId, OpKind, TensorType};
+
+/// Floating point operations performed by one op with the given operand
+/// and result types. Elementwise ops count one flop per output element;
+/// contractions count multiply-accumulates as two.
+pub fn op_flops(kind: &OpKind, operands: &[&TensorType], result: &TensorType) -> f64 {
+    match kind {
+        OpKind::Dot(dims) => {
+            let contract: f64 = dims
+                .lhs_contract
+                .iter()
+                .map(|&d| operands[0].shape.dim(d) as f64)
+                .product();
+            2.0 * result.shape.num_elements() as f64 * contract
+        }
+        OpKind::Convolution(_) => {
+            let k = &operands[1].shape;
+            // per output element: Ci * kh * kw MACs.
+            2.0 * result.shape.num_elements() as f64
+                * (k.dim(1) * k.dim(2) * k.dim(3)) as f64
+        }
+        OpKind::ConvInputGrad { .. } => {
+            let k = &operands[1].shape;
+            2.0 * operands[0].shape.num_elements() as f64
+                * (k.dim(1) * k.dim(2) * k.dim(3)) as f64
+        }
+        OpKind::ConvFilterGrad { .. } => {
+            let g = &operands[1].shape;
+            2.0 * result.shape.num_elements() as f64 * (g.dim(0) * g.dim(2) * g.dim(3)) as f64
+        }
+        OpKind::Reduce { .. } | OpKind::ArgMax { .. } => {
+            operands[0].shape.num_elements() as f64
+        }
+        OpKind::Unary(_)
+        | OpKind::Binary(_)
+        | OpKind::Compare(_)
+        | OpKind::Select
+        | OpKind::Convert(_) => result.shape.num_elements() as f64,
+        OpKind::ScatterAdd { .. } => operands[0].shape.num_elements() as f64,
+        // Data movement and bookkeeping ops: no flops.
+        OpKind::Constant(_)
+        | OpKind::Iota { .. }
+        | OpKind::Transpose { .. }
+        | OpKind::Reshape { .. }
+        | OpKind::BroadcastInDim { .. }
+        | OpKind::Slice { .. }
+        | OpKind::Pad { .. }
+        | OpKind::Concatenate { .. }
+        | OpKind::DynamicSlice { .. }
+        | OpKind::DynamicUpdateSlice
+        | OpKind::Gather { .. }
+        | OpKind::For { .. }
+        | OpKind::Collective(_) => 0.0,
+    }
+}
+
+/// Total flops of a function, multiplying through `for` trip counts.
+/// On an unpartitioned function this is the paper's "model FLOPs"
+/// (Appendix A.1); on a device-local program it is per-device flops.
+pub fn func_flops(func: &Func) -> f64 {
+    fn body_flops(func: &Func, body: &[OpId]) -> f64 {
+        let mut total = 0.0;
+        for &op_id in body {
+            let op = func.op(op_id);
+            if let (OpKind::For { trip_count }, Some(region)) = (&op.kind, &op.region) {
+                total += *trip_count as f64 * body_flops(func, &region.body);
+                continue;
+            }
+            let operand_tys: Vec<&TensorType> =
+                op.operands.iter().map(|&v| func.value_type(v)).collect();
+            total += op_flops(&op.kind, &operand_tys, func.value_type(op.results[0]));
+        }
+        total
+    }
+    body_flops(func, func.body())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::FuncBuilder;
+
+    #[test]
+    fn matmul_flops_are_2mnk() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([4, 8]));
+        let w = b.param("w", TensorType::f32([8, 16]));
+        let y = b.matmul(x, w).unwrap();
+        let f = b.build([y]).unwrap();
+        assert_eq!(func_flops(&f), 2.0 * 4.0 * 8.0 * 16.0);
+    }
+
+    #[test]
+    fn loops_multiply_flops() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([4, 4]));
+        let out = b
+            .for_loop(5, &[x], |b, _i, c| Ok(vec![b.matmul(c[0], c[0])?]))
+            .unwrap();
+        let f = b.build(out).unwrap();
+        assert_eq!(func_flops(&f), 5.0 * 2.0 * 4.0 * 4.0 * 4.0);
+    }
+
+    #[test]
+    fn elementwise_counts_output_elements() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([10]));
+        let y = b.add(x, x).unwrap();
+        let z = b.exp(y).unwrap();
+        let f = b.build([z]).unwrap();
+        assert_eq!(func_flops(&f), 20.0);
+    }
+}

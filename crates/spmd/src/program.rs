@@ -1,0 +1,194 @@
+use partir_core::ValueCtx;
+use partir_ir::{Func, IrError, Literal};
+use partir_mesh::Mesh;
+
+use crate::interp::{run_devices, shard_value, unshard_value};
+use crate::stats::{collect_stats, CollectiveStats};
+
+/// A lowered device-local SPMD program plus the sharding of its interface.
+///
+/// Produced by [`crate::lower`]; run it with
+/// [`SpmdProgram::execute_global`] (which shards inputs, runs every
+/// device, and reassembles outputs) or inspect its communication with
+/// [`SpmdProgram::stats`].
+#[derive(Debug, Clone)]
+pub struct SpmdProgram {
+    func: Func,
+    mesh: Mesh,
+    input_ctxs: Vec<ValueCtx>,
+    output_ctxs: Vec<ValueCtx>,
+}
+
+impl SpmdProgram {
+    pub(crate) fn new(
+        func: Func,
+        mesh: Mesh,
+        input_ctxs: Vec<ValueCtx>,
+        output_ctxs: Vec<ValueCtx>,
+    ) -> Self {
+        SpmdProgram {
+            func,
+            mesh,
+            input_ctxs,
+            output_ctxs,
+        }
+    }
+
+    /// The device-local function.
+    pub fn func(&self) -> &Func {
+        &self.func
+    }
+
+    /// The mesh the program runs on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Sharding of each function input.
+    pub fn input_ctxs(&self) -> &[ValueCtx] {
+        &self.input_ctxs
+    }
+
+    /// Sharding of each function output.
+    pub fn output_ctxs(&self) -> &[ValueCtx] {
+        &self.output_ctxs
+    }
+
+    /// Collective statistics (Table 2 of the paper).
+    pub fn stats(&self) -> CollectiveStats {
+        collect_stats(&self.func)
+    }
+
+    /// Returns the program with collective pairs fused
+    /// (`all_slice∘all_gather → all_to_all`,
+    /// `all_slice∘all_reduce → reduce_scatter`) and dead code removed.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on malformed programs.
+    pub fn fused(&self) -> Result<SpmdProgram, IrError> {
+        let func = crate::fuse::fuse_collectives(&self.func, &self.mesh)?;
+        Ok(SpmdProgram {
+            func,
+            mesh: self.mesh.clone(),
+            input_ctxs: self.input_ctxs.clone(),
+            output_ctxs: self.output_ctxs.clone(),
+        })
+    }
+
+    /// Shards `inputs` per the input contexts, runs every device in
+    /// lockstep and reassembles global outputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if inputs mismatch the original (global) parameter types.
+    pub fn execute_global(&self, inputs: &[Literal]) -> Result<Vec<Literal>, IrError> {
+        let n = self.mesh.num_devices();
+        let mut per_device: Vec<Vec<Literal>> = Vec::with_capacity(n);
+        for device in 0..n {
+            let mut dev_inputs = Vec::with_capacity(inputs.len());
+            for (lit, ctx) in inputs.iter().zip(&self.input_ctxs) {
+                dev_inputs.push(shard_value(lit, ctx, &self.mesh, device)?);
+            }
+            per_device.push(dev_inputs);
+        }
+        let outputs = run_devices(&self.func, &self.mesh, &per_device)?;
+        let mut global = Vec::with_capacity(self.output_ctxs.len());
+        for (i, ctx) in self.output_ctxs.iter().enumerate() {
+            let shards: Vec<Literal> = outputs.iter().map(|o| o[i].clone()).collect();
+            global.push(unshard_value(&shards, ctx, &self.mesh)?);
+        }
+        Ok(global)
+    }
+
+    /// Pretty-prints the device-local program.
+    pub fn to_text(&self) -> String {
+        partir_ir::print::print_func(&self.func)
+    }
+
+    /// A `jax.sharding`-style summary of the interface: one line per
+    /// input/output with its per-dimension partitioning, e.g.
+    /// `in  %x: P("B", -)` — the metadata `partir.jit` hands back so
+    /// callers can lay out their arrays (paper §3).
+    pub fn interface_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let spec = |ctx: &ValueCtx, rank: usize| -> String {
+            let parts: Vec<String> = ctx
+                .dim_axes(rank)
+                .into_iter()
+                .map(|axes| {
+                    if axes.is_empty() {
+                        "-".to_string()
+                    } else {
+                        axes.iter()
+                            .map(|a| format!("\"{a}\""))
+                            .collect::<Vec<_>>()
+                            .join("·")
+                    }
+                })
+                .collect();
+            format!("P({})", parts.join(", "))
+        };
+        let mut out = String::new();
+        for (i, (&p, ctx)) in self
+            .func
+            .params()
+            .iter()
+            .zip(&self.input_ctxs)
+            .enumerate()
+        {
+            let name = self
+                .func
+                .value(p)
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("arg{i}"));
+            writeln!(
+                out,
+                "in  %{name}: {}",
+                spec(ctx, self.func.value_type(p).rank())
+            )
+            .expect("string write");
+        }
+        for (i, (&r, ctx)) in self
+            .func
+            .results()
+            .iter()
+            .zip(&self.output_ctxs)
+            .enumerate()
+        {
+            writeln!(
+                out,
+                "out #{i}: {}",
+                spec(ctx, self.func.value_type(r).rank())
+            )
+            .expect("string write");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use partir_core::Partitioning;
+    use partir_ir::{FuncBuilder, TensorType};
+    use partir_mesh::Mesh;
+
+    #[test]
+    fn interface_summary_shows_shardings() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([8, 4]));
+        let w = b.param("w", TensorType::f32([4, 4]));
+        let y = b.matmul(x, w).unwrap();
+        let f = b.build([y]).unwrap();
+        let mesh = Mesh::new([("B", 2), ("M", 2)]).unwrap();
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.propagate(&f);
+        let program = crate::lower(&f, &p).unwrap();
+        let summary = program.interface_summary();
+        assert!(summary.contains("in  %x: P(\"B\", -)"), "{summary}");
+        assert!(summary.contains("in  %w: P(-, -)"), "{summary}");
+        assert!(summary.contains("out #0: P(\"B\", -)"), "{summary}");
+    }
+}

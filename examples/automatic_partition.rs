@@ -1,0 +1,52 @@
+//! Mixing manual and automatic tactics (paper §3 Listing 7, §7.3.1).
+//!
+//! Partitions the GNS model three ways: fully manual edge sharding (ES),
+//! ES plus an automatic search over the model axis (ES+AutoMP), and a
+//! fully automatic search over both axes (AllAuto). Prints the simulator
+//! estimates the search optimises — the same numbers Table 3 reports.
+//!
+//! Run with: `cargo run --release -p partir-bench --example automatic_partition`
+
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::gns::GnsConfig;
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_sched::{partir_jit, AutomaticPartition, Schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = partir_models::gns::build_train_step(&GnsConfig::paper())?;
+    let mesh = Mesh::new([(BATCH, 8), (MODEL, 4)])?;
+    let hw = HardwareConfig::tpu_v3_pod(mesh);
+
+    let auto_mp = || AutomaticPartition::new("AutoMP", [MODEL]).with_budget(24);
+    let auto_all =
+        || AutomaticPartition::new("AllAuto", [BATCH, MODEL]).with_budget(32);
+    let strategies: Vec<(&str, Schedule)> = vec![
+        ("ES", Schedule::new([schedules::g_es()])),
+        (
+            "ES+AutoMP",
+            Schedule::new([schedules::g_es(), auto_mp().into()]),
+        ),
+        ("AllAuto", Schedule::new([auto_all().into()])),
+    ];
+
+    println!("GNS on mesh {} — manual vs automatic tactics\n", hw.mesh);
+    println!(
+        "{:<12} {:>10} {:>12} {:>28}",
+        "strategy", "est (ms)", "mem (MiB)", "collectives"
+    );
+    for (name, schedule) in strategies {
+        let start = std::time::Instant::now();
+        let jitted = partir_jit(&model.func, &hw, &schedule)?;
+        let last = jitted.reports.last().expect("at least one tactic");
+        println!(
+            "{:<12} {:>10.3} {:>12.2} {:>28}   (search {:?})",
+            name,
+            last.sim.runtime_s * 1e3,
+            last.sim.peak_memory_bytes as f64 / (1024.0 * 1024.0),
+            last.stats.to_string(),
+            start.elapsed(),
+        );
+    }
+    println!("\nautomatic tactics search with the analytical simulator as cost model");
+    Ok(())
+}

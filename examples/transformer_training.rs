@@ -1,0 +1,59 @@
+//! Partitioning a full Transformer training step with composed manual
+//! tactics — the paper's flagship workflow (§7.3).
+//!
+//! Builds the T32-structured model (32 layers, 289 parameter tensors,
+//! width scaled for CPU), applies the Table 2 schedules, and prints the
+//! per-tactic incremental feedback a performance engineer would inspect:
+//! collective counts, estimated runtime and peak memory after each
+//! tactic, without compiling or profiling anything downstream.
+//!
+//! Run with: `cargo run --release -p partir-bench --example transformer_training`
+
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_models::transformer::TransformerConfig;
+use partir_sched::partir_jit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = TransformerConfig::t32();
+    let model = partir_models::transformer::build_train_step(&cfg)?;
+    println!(
+        "T32 structure: {} layers, {} parameter tensors, {} ops in the training step",
+        cfg.layers,
+        model.num_param_tensors,
+        model.func.num_ops()
+    );
+
+    let mesh = Mesh::new([(BATCH, 8), (MODEL, 4)])?;
+    let hw = HardwareConfig::tpu_v3_pod(mesh);
+    println!("mesh {}\n", hw.mesh);
+
+    for (name, schedule) in schedules::transformer_table2() {
+        let jitted = match partir_jit(&model.func, &hw, &schedule) {
+            Ok(j) => j,
+            Err(e) => {
+                println!("{name:>14}: failed to partition: {e}");
+                continue;
+            }
+        };
+        println!("schedule {name}:");
+        for report in &jitted.reports {
+            println!(
+                "  + {:<4} actions={:<3} rewrites={:<5} conflicts={} [{}] est {:>8.2} ms  mem {:>6.1} MiB",
+                report.tactic,
+                report.actions,
+                report.rewrites,
+                report.conflicts,
+                report.stats,
+                report.sim.runtime_s * 1e3,
+                report.sim.peak_memory_bytes as f64 / (1024.0 * 1024.0),
+            );
+        }
+        let stats = jitted.program.stats();
+        println!(
+            "  final: {stats}  (partition time {:?})\n",
+            jitted.partition_time
+        );
+    }
+    Ok(())
+}

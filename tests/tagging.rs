@@ -1,0 +1,87 @@
+//! The paper's §8 "model-internal annotations" workflow, end to end:
+//! a matrix multiplied by its own transpose creates a propagation
+//! conflict that tactic ordering cannot fix; the user `tag`s the
+//! intermediate and pins it replicated, and the lowered program gathers
+//! it before the multiplication — exactly the paper's final listing.
+
+use partir_ir::{interp::interpret, FuncBuilder, Literal, TensorType};
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_sched::{partir_jit, DimSpec, ManualPartition, Matcher, Schedule};
+
+fn diag_like() -> partir_ir::Func {
+    let mut b = FuncBuilder::new("diag");
+    let x = b.param("x", TensorType::f32([8, 8]));
+    let t = b.transpose(x, vec![1, 0]).unwrap();
+    let y = b.matmul(x, t).unwrap();
+    let mut f = b.build([y]).unwrap();
+    // The paper's `tag` primitive: name the intermediate so tactics can
+    // address it.
+    f.set_value_name(t, "tx").unwrap();
+    f
+}
+
+#[test]
+fn untagged_diagonalization_conflicts() {
+    let f = diag_like();
+    let hw = HardwareConfig::tpu_v3_pod(Mesh::single("M", 2).unwrap());
+    let schedule = Schedule::new([ManualPartition::new("MP", "M").dim("x", 0).into()]);
+    let jitted = partir_jit(&f, &hw, &schedule).unwrap();
+    assert!(
+        jitted.reports[0].conflicts > 0,
+        "x sharded on dim 0 makes its transpose sharded on dim 1: conflict"
+    );
+}
+
+#[test]
+fn tagged_atomic_resolves_with_an_all_gather() {
+    let f = diag_like();
+    let hw = HardwareConfig::tpu_v3_pod(Mesh::single("M", 2).unwrap());
+    // atomic<%tx, "M"> before the tiling action, via the schedule API.
+    let schedule = Schedule::new([ManualPartition::new("MP", "M")
+        .rule(Matcher::Exact("tx".into()), DimSpec::Replicated)
+        .dim("x", 0)
+        .into()]);
+    let jitted = partir_jit(&f, &hw, &schedule).unwrap();
+    assert_eq!(jitted.reports[0].conflicts, 0);
+    // "the final partitioned multiplication requires an all_gather for
+    // its second operand" (§8).
+    assert_eq!(jitted.program.stats().all_gather, 1);
+
+    // And of course it still computes x·xᵀ.
+    let input = Literal::from_f32((0..64).map(|v| v as f32 * 0.1).collect(), [8, 8]).unwrap();
+    let reference = interpret(&f, std::slice::from_ref(&input)).unwrap();
+    let spmd = jitted.program.execute_global(&[input]).unwrap();
+    assert!(reference[0].max_abs_diff(&spmd[0]).unwrap() < 1e-3);
+}
+
+#[test]
+fn microbatching_composes_with_partitioning() {
+    // The Temporal-dialect application (§4): microbatch the batch dim
+    // sequentially, then still batch-parallelise the microbatched program
+    // over the mesh — gradient accumulation on top of data parallelism.
+    let mut b = FuncBuilder::new("loss");
+    let x = b.param("x", TensorType::f32([16, 4]));
+    let w = b.param("w", TensorType::f32([4, 4]));
+    let y = b.matmul(x, w).unwrap();
+    let sq = b.mul(y, y).unwrap();
+    let s = b.reduce_sum(sq, vec![0, 1]).unwrap();
+    let loss = b
+        .binary_scalar(partir_ir::BinaryOp::Div, s, 64.0)
+        .unwrap();
+    let func = b.build([loss]).unwrap();
+
+    let mb = partir_core::microbatch::microbatch(&func, &["x"], 2).unwrap();
+    let hw = HardwareConfig::tpu_v3_pod(Mesh::single("B", 2).unwrap());
+    let schedule = Schedule::new([ManualPartition::new("BP", "B").dim("x", 1).into()]);
+    // Note: after microbatching, the batch lives in the loop; we shard
+    // the *feature* dim instead (dim 1 of x) to keep the example small.
+    let jitted = partir_jit(&mb, &hw, &schedule).unwrap();
+
+    let inputs = vec![
+        Literal::from_f32((0..64).map(|v| v as f32 * 0.01).collect(), [16, 4]).unwrap(),
+        Literal::from_f32((0..16).map(|v| v as f32 * 0.05).collect(), [4, 4]).unwrap(),
+    ];
+    let reference = interpret(&func, &inputs).unwrap();
+    let spmd = jitted.program.execute_global(&inputs).unwrap();
+    assert!(reference[0].max_abs_diff(&spmd[0]).unwrap() < 1e-4);
+}
