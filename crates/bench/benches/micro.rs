@@ -1,10 +1,15 @@
-//! Criterion micro-benchmarks for the PartIR-rs compiler stack:
-//! propagation, SPMD lowering, collective fusion, the analytical
-//! simulator and the end-to-end `partir_jit`.
+//! Micro-benchmarks for the PartIR-rs compiler stack: propagation, SPMD
+//! lowering, collective fusion, the analytical simulator and the
+//! end-to-end `partir_jit`.
+//!
+//! The workspace is registry-free, so this is a self-timed harness
+//! (`harness = false`) instead of criterion: each benchmark runs a
+//! warm-up, then reports the median and minimum wall-clock over a fixed
+//! number of iterations.
 //!
 //! Run with: `cargo bench -p partir-bench`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 use partir_core::Partitioning;
 use partir_mesh::{HardwareConfig, Mesh};
@@ -12,6 +17,25 @@ use partir_models::schedules::{self, BATCH, MODEL};
 use partir_models::transformer::TransformerConfig;
 use partir_sched::{partir_jit, Schedule};
 use partir_sim::{SimConfig, Simulator};
+
+/// Times `f` over `iters` iterations (after `warmup` discarded runs) and
+/// prints `name: median min` in microseconds.
+fn bench<T>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!("{name:<40} median {median:>10.1} µs   min {min:>10.1} µs");
+}
 
 fn machine() -> HardwareConfig {
     HardwareConfig::tpu_v3_pod(Mesh::new([(BATCH, 4), (MODEL, 2)]).unwrap())
@@ -27,69 +51,59 @@ fn transformer_func(layers: usize) -> partir_ir::Func {
         .func
 }
 
-fn bench_propagation(c: &mut Criterion) {
+fn bench_propagation() {
     let func = transformer_func(4);
     let hw = machine();
     let x = func.param_by_name("tokens").unwrap();
-    c.bench_function("propagate/transformer-4L", |b| {
-        b.iter(|| {
-            let mut part = Partitioning::new(&func, hw.mesh.clone()).unwrap();
-            part.tile(&func, x, 0, &BATCH.into()).unwrap();
-            let report = part.propagate(&func);
-            assert!(report.conflicts.is_empty());
-            part
-        })
+    bench("propagate/transformer-4L", 2, 10, || {
+        let mut part = Partitioning::new(&func, hw.mesh.clone()).unwrap();
+        part.tile(&func, x, 0, &BATCH.into()).unwrap();
+        let report = part.propagate(&func);
+        assert!(report.conflicts.is_empty());
+        part
     });
 }
 
-fn bench_lowering_and_fusion(c: &mut Criterion) {
+fn bench_lowering_and_fusion() {
     let func = transformer_func(4);
     let hw = machine();
     let x = func.param_by_name("tokens").unwrap();
     let mut part = Partitioning::new(&func, hw.mesh.clone()).unwrap();
     part.tile(&func, x, 0, &BATCH.into()).unwrap();
     part.propagate(&func);
-    c.bench_function("lower/transformer-4L", |b| {
-        b.iter(|| partir_spmd::lower(&func, &part).unwrap())
+    bench("lower/transformer-4L", 2, 10, || {
+        partir_spmd::lower(&func, &part).unwrap()
     });
     let program = partir_spmd::lower(&func, &part).unwrap();
-    c.bench_function("fuse/transformer-4L", |b| {
-        b.iter(|| program.fused().unwrap())
-    });
+    bench("fuse/transformer-4L", 2, 10, || program.fused().unwrap());
     let fused = program.fused().unwrap();
-    c.bench_function("simulate/transformer-4L", |b| {
-        let sim = Simulator::new(&hw, SimConfig::default());
-        b.iter(|| sim.simulate(fused.func()).unwrap())
+    let sim = Simulator::new(&hw, SimConfig::default());
+    bench("simulate/transformer-4L", 2, 10, || {
+        sim.simulate(fused.func()).unwrap()
     });
 }
 
-fn bench_end_to_end_jit(c: &mut Criterion) {
+fn bench_end_to_end_jit() {
     let func = transformer_func(2);
     let hw = machine();
-    let schedule = Schedule::new([
-        schedules::t_bp(),
-        schedules::t_mp(),
-        schedules::t_z3(),
-    ]);
-    c.bench_function("partir_jit/transformer-2L-BP+MP+Z3", |b| {
-        b.iter(|| partir_jit(&func, &hw, &schedule).unwrap())
+    let schedule = Schedule::new([schedules::t_bp(), schedules::t_mp(), schedules::t_z3()]);
+    bench("partir_jit/transformer-2L-BP+MP+Z3", 2, 10, || {
+        partir_jit(&func, &hw, &schedule).unwrap()
     });
 }
 
-fn bench_tmr_queries(c: &mut Criterion) {
+fn bench_tmr_queries() {
     let func = transformer_func(2);
-    c.bench_function("tmr/whole-function", |b| {
-        b.iter(|| {
-            func.op_ids()
-                .map(|op| partir_core::tmr_entries(&func, op).len())
-                .sum::<usize>()
-        })
+    bench("tmr/whole-function", 2, 10, || {
+        func.op_ids()
+            .map(|op| partir_core::tmr_entries(&func, op).len())
+            .sum::<usize>()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_propagation, bench_lowering_and_fusion, bench_end_to_end_jit, bench_tmr_queries
+fn main() {
+    bench_propagation();
+    bench_lowering_and_fusion();
+    bench_end_to_end_jit();
+    bench_tmr_queries();
 }
-criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Search-throughput benchmark: MCTS nodes/second and evaluation-cache
+//! hit-rate on the Transformer training step, with and without the
+//! fingerprint-keyed evaluation cache.
+//!
+//! Writes machine-readable results to `BENCH_search.json` in the current
+//! directory (and prints the usual aligned table; `--json` prints the
+//! rows as JSON too).
+//!
+//! Run with: `cargo run --release -p partir-bench --bin bench_search`
+
+use std::time::Instant;
+
+use partir_bench::{emit, rows_to_json, tpu_mesh, Row};
+use partir_core::Partitioning;
+use partir_models::transformer::{build_train_step, TransformerConfig};
+use partir_sched::{AutomaticPartition, EvalCache};
+
+struct SearchRun {
+    label: &'static str,
+    applied: usize,
+    seconds: f64,
+    nodes: u64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+fn run_search(func: &partir_ir::Func, budget: usize, cached: bool) -> SearchRun {
+    let hw = tpu_mesh(4, 2);
+    let cache = if cached {
+        EvalCache::new()
+    } else {
+        EvalCache::disabled()
+    };
+    let mut part = Partitioning::new(func, hw.mesh.clone()).expect("state");
+    let tactic = AutomaticPartition::new("automap", ["batch", "model"])
+        .with_budget(budget)
+        .with_seed(0xA77A);
+    let start = Instant::now();
+    let applied = tactic
+        .apply_with_cache(func, &hw, &mut part, &cache)
+        .expect("search");
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = cache.stats();
+    SearchRun {
+        label: if cached { "cached" } else { "uncached" },
+        applied,
+        seconds,
+        // Every evaluation request corresponds to one search node visit
+        // (tree node, rollout state or PV extraction step).
+        nodes: stats.hits + stats.misses,
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: stats.hit_rate(),
+    }
+}
+
+fn main() {
+    let cfg = TransformerConfig {
+        layers: 2,
+        d_model: 32,
+        heads: 2,
+        d_ff: 128,
+        vocab: 64,
+        seq: 32,
+        batch: 256,
+    };
+    let model = build_train_step(&cfg).expect("model builds");
+    let budget = 48;
+
+    let runs = [
+        run_search(&model.func, budget, true),
+        run_search(&model.func, budget, false),
+    ];
+
+    let rows: Vec<Row> = runs
+        .iter()
+        .map(|r| {
+            Row::new("search", "T-train", r.label)
+                .metric("budget", budget as f64)
+                .metric("applied", r.applied as f64)
+                .metric("nodes", r.nodes as f64)
+                .metric("nodes_per_s", r.nodes as f64 / r.seconds)
+                .metric("evals", r.misses as f64)
+                .metric("cache_hits", r.hits as f64)
+                .metric("cache_hit_rate", r.hit_rate)
+                .metric("wall_s", r.seconds)
+        })
+        .collect();
+    emit(&rows);
+
+    let json = rows_to_json(&rows);
+    std::fs::write("BENCH_search.json", format!("{json}\n")).expect("write BENCH_search.json");
+    eprintln!("wrote BENCH_search.json");
+}

@@ -8,7 +8,7 @@ use partir_models::schedules::{BATCH, MODEL};
 
 /// A machine-readable experiment row, dumped as JSON when `--json` is
 /// passed so EXPERIMENTS.md tables can be regenerated.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Experiment id (e.g. `table2`).
     pub experiment: String,
@@ -38,14 +38,77 @@ impl Row {
     }
 }
 
+/// Escapes a string for inclusion in a JSON document. The workspace is
+/// registry-free, so JSON output is rendered by hand instead of through
+/// serde; experiment strings are plain ASCII but escaping keeps the
+/// output valid regardless.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a JSON number: finite floats as-is, integral values without a
+/// trailing `.0`, non-finite values as `null` (JSON has no NaN/inf).
+pub fn json_number(value: f64) -> String {
+    if !value.is_finite() {
+        "null".to_string()
+    } else if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Serialises rows to a pretty-printed JSON array (the format the old
+/// serde_json path produced: a list of objects with a `metrics` list of
+/// `[name, value]` pairs).
+pub fn rows_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!(
+            "    \"experiment\": \"{}\",\n",
+            json_escape(&row.experiment)
+        ));
+        out.push_str(&format!("    \"model\": \"{}\",\n", json_escape(&row.model)));
+        out.push_str(&format!(
+            "    \"schedule\": \"{}\",\n",
+            json_escape(&row.schedule)
+        ));
+        out.push_str("    \"metrics\": [");
+        for (j, (name, value)) in row.metrics.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "[\"{}\", {}]",
+                json_escape(name),
+                json_number(*value)
+            ));
+        }
+        out.push_str("]\n");
+        out.push_str(if i + 1 < rows.len() { "  },\n" } else { "  }\n" });
+    }
+    out.push(']');
+    out
+}
+
 /// Prints rows, as an aligned table and (with `--json` in argv) JSON.
 pub fn emit(rows: &[Row]) {
     let json = std::env::args().any(|a| a == "--json");
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(rows).expect("rows serialise")
-        );
+        println!("{}", rows_to_json(rows));
         return;
     }
     for row in rows {
@@ -88,5 +151,30 @@ mod tests {
         assert_eq!(row.metrics.len(), 1);
         assert_eq!(tpu_mesh(4, 2).mesh.num_devices(), 8);
         assert_eq!(gpu_mesh(2, 2).mesh.num_devices(), 4);
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_escaped() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_number(290.0), "290");
+        assert_eq!(json_number(0.5), "0.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        let rows = vec![
+            Row::new("t", "m", "s").metric("x", 1.0).metric("y", 2.5),
+            Row::new("t", "m", "s2"),
+        ];
+        let json = rows_to_json(&rows);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("[\"x\", 1], [\"y\", 2.5]"));
+        assert!(json.contains("\"schedule\": \"s2\""));
+        // Balanced brackets/braces (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
     }
 }

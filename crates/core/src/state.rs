@@ -1,8 +1,27 @@
 //! Partitioning state and the propagation pass (paper §5.2.2–5.2.4).
+//!
+//! Since the fingerprinted-evaluation refactor this module also maintains
+//! two pieces of incremental state (see DESIGN.md "Fingerprints &
+//! evaluation cache"):
+//!
+//! * a 128-bit [`Partitioning::fingerprint`] — the function's structural
+//!   hash XOR-combined with a hash of every decision taken (per-value
+//!   tile/atomic entries and per-op TMR entries), maintained in O(1) per
+//!   decision. Equal fingerprints mean identical partitionings of the
+//!   same function on the same mesh, which is what the evaluation cache
+//!   in `partir-sched` keys on;
+//! * a dirty set of values/ops touched since the last propagation, so
+//!   [`Partitioning::propagate`] runs a *worklist* seeded only from the
+//!   changed neighbourhood instead of re-scanning the whole module. The
+//!   whole-module fixed point survives as
+//!   [`Partitioning::propagate_full`] and is re-run as a debug-assert
+//!   oracle after every incremental propagation in debug builds.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
 
-use partir_ir::{Func, OpId, TensorType, ValueDef, ValueId};
+use partir_ir::{Fingerprint, Func, OpId, StableHasher, TensorType, ValueDef, ValueId};
 use partir_mesh::{Axis, Mesh};
 
 use crate::context::{ShardKind, ValueCtx};
@@ -135,12 +154,78 @@ impl PropagationReport {
 /// Actions ([`Partitioning::tile`], [`Partitioning::atomic`]) are never
 /// undone; [`Partitioning::propagate`] is a fixpoint over TMR matches.
 /// This is the compiler API targeted by the tactics in `partir-sched`.
-#[derive(Debug, Clone)]
+///
+/// The state also carries a cheap structural [`Partitioning::fingerprint`]
+/// used as the evaluation-cache key during search, and tracks which
+/// values/ops changed since the last propagation so `propagate` only
+/// revisits the affected neighbourhood.
+#[derive(Clone)]
 pub struct Partitioning {
     mesh: Mesh,
     value_ctx: Vec<ValueCtx>,
     op_ctx: Vec<OpCtx>,
     num_values: usize,
+    /// Base (function ⊕ mesh) hash XOR one hash per decision taken.
+    fp: Fingerprint,
+    /// Reverse def-use map indexed by value id, *including* the edges from
+    /// a region's yielded values to the owning region op (which
+    /// [`Func::uses`] omits — it only walks operand lists). Shared by all
+    /// clones so MCTS child states copy a pointer, not the map.
+    uses: Arc<Vec<Vec<OpId>>>,
+    /// Values whose context gained entries since the last `propagate`.
+    dirty_values: BTreeSet<ValueId>,
+    /// Ops whose loop context gained entries since the last `propagate`
+    /// (only [`Partitioning::apply_entry`] adds these outside propagation).
+    dirty_ops: BTreeSet<OpId>,
+    /// Ambiguous sites as of the last propagation, keyed by
+    /// `(op, axis index)`. BTreeMap so report order matches the historic
+    /// whole-module scan (ops ascending, axes in mesh order).
+    conflicts: BTreeMap<(OpId, usize), Vec<TmrEntry>>,
+}
+
+/// `uses` is derived from the function and identical across clones;
+/// printing it (and the transient dirty sets) would only add noise, and
+/// the search's determinism tests compare `format!("{p:?}")` output.
+impl fmt::Debug for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Partitioning")
+            .field("mesh", &self.mesh)
+            .field("value_ctx", &self.value_ctx)
+            .field("op_ctx", &self.op_ctx)
+            .field("fingerprint", &self.fp)
+            .finish()
+    }
+}
+
+fn build_uses(func: &Func) -> Vec<Vec<OpId>> {
+    let mut uses = vec![Vec::new(); func.num_values()];
+    for op in func.op_ids() {
+        let data = func.op(op);
+        for &operand in &data.operands {
+            uses[operand.0 as usize].push(op);
+        }
+        if let Some(region) = &data.region {
+            // A change to a yielded value's context must re-unify the
+            // owning `for` op.
+            for &r in &region.results {
+                uses[r.0 as usize].push(op);
+            }
+        }
+    }
+    uses
+}
+
+fn base_fingerprint(func: &Func, mesh: &Mesh) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_u64(0x5041_5254_4954_4e47); // "PARTITNG" domain tag
+    h.write_u64(func.fingerprint().0 as u64);
+    h.write_u64((func.fingerprint().0 >> 64) as u64);
+    h.write_usize(mesh.axes().len());
+    for (axis, size) in mesh.axes() {
+        h.write_str(axis.name());
+        h.write_usize(*size);
+    }
+    h.finish()
 }
 
 impl Partitioning {
@@ -150,17 +235,93 @@ impl Partitioning {
     ///
     /// Currently infallible in practice; reserved for future validation.
     pub fn new(func: &Func, mesh: Mesh) -> Result<Self, CoreError> {
+        let fp = base_fingerprint(func, &mesh);
         Ok(Partitioning {
+            uses: Arc::new(build_uses(func)),
             mesh,
             value_ctx: vec![ValueCtx::new(); func.num_values()],
             op_ctx: vec![OpCtx::default(); func.num_ops()],
             num_values: func.num_values(),
+            fp,
+            dirty_values: BTreeSet::new(),
+            dirty_ops: BTreeSet::new(),
+            conflicts: BTreeMap::new(),
         })
     }
 
     /// The mesh being partitioned for.
     pub fn mesh(&self) -> &Mesh {
         &self.mesh
+    }
+
+    /// A stable 128-bit fingerprint of this partitioning: the function's
+    /// structural hash and the mesh, XOR-combined with a positional hash
+    /// of every per-value sharding entry and per-op TMR entry. Two states
+    /// built over the same function/mesh that took the same decisions
+    /// (in any interleaving that yields the same per-slot entry order)
+    /// compare equal — this is the key of the evaluation cache in
+    /// `partir-sched`. Maintained incrementally in O(1) per decision.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fp
+    }
+
+    /// Extends a value context and folds the decision into the
+    /// fingerprint. Every context mutation in this module funnels through
+    /// here (or [`Partitioning::record_op_entry`]) so the fingerprint and
+    /// dirty sets can never drift from the contexts.
+    fn record_value_entry(&mut self, v: ValueId, axis: &Axis, kind: ShardKind) {
+        let pos = self.value_ctx[v.0 as usize].entries().len();
+        self.value_ctx[v.0 as usize].push(axis.clone(), kind);
+        let mut h = StableHasher::new();
+        h.write_u64(0x76); // 'v': value-entry domain
+        h.write_usize(v.0 as usize);
+        h.write_usize(pos);
+        h.write_str(axis.name());
+        match kind {
+            ShardKind::Tile { dim } => {
+                h.write_u64(1);
+                h.write_usize(dim);
+            }
+            ShardKind::Atomic => h.write_u64(2),
+        }
+        self.fp = Fingerprint(self.fp.0 ^ h.finish().0);
+        self.dirty_values.insert(v);
+    }
+
+    /// Extends an op's loop context and folds the applied entry into the
+    /// fingerprint. Counterpart of [`Partitioning::record_value_entry`].
+    fn record_op_entry(&mut self, op: OpId, axis: &Axis, entry: TmrEntry) {
+        let pos = self.op_ctx[op.0 as usize].entries.len();
+        let mut h = StableHasher::new();
+        h.write_u64(0x6f); // 'o': op-entry domain
+        h.write_usize(op.0 as usize);
+        h.write_usize(pos);
+        h.write_str(axis.name());
+        h.write_usize(entry.operands.len());
+        for o in &entry.operands {
+            match o {
+                Some(d) => {
+                    h.write_u64(1);
+                    h.write_usize(*d);
+                }
+                None => h.write_u64(0),
+            }
+        }
+        match &entry.result {
+            ResultAction::Tile(d) => {
+                h.write_u64(1);
+                h.write_usize(*d);
+            }
+            ResultAction::Reduce(r) => {
+                h.write_u64(2);
+                h.write_str(&format!("{r:?}"));
+            }
+        }
+        self.fp = Fingerprint(self.fp.0 ^ h.finish().0);
+        self.op_ctx[op.0 as usize]
+            .entries
+            .push((axis.clone(), OpAxisCtx::Entry(entry)));
+        self.dirty_ops.insert(op);
     }
 
     /// The tiling context of a value.
@@ -226,7 +387,7 @@ impl Partitioning {
                 ),
             });
         }
-        self.value_ctx[v.0 as usize].push(axis.clone(), ShardKind::Tile { dim });
+        self.record_value_entry(v, axis, ShardKind::Tile { dim });
         Ok(())
     }
 
@@ -245,22 +406,91 @@ impl Partitioning {
                 value: describe(func, v),
             });
         }
-        self.value_ctx[v.0 as usize].push(axis.clone(), ShardKind::Atomic);
+        self.record_value_entry(v, axis, ShardKind::Atomic);
         Ok(())
     }
 
     /// Runs propagation to a fixpoint (paper §5.2.2): greedily applies
     /// uniquely-matching TMR entries, introducing operand tilings by
     /// inference, and reports the sites left ambiguous.
+    ///
+    /// This is *incremental*: the worklist is seeded only from the
+    /// neighbourhood (producer + users) of values and ops whose contexts
+    /// changed since the previous call — actions taken through
+    /// [`Partitioning::tile`]/[`Partitioning::atomic`]/
+    /// [`Partitioning::apply_entry`]. Any op that can fire a new rewrite
+    /// must see changed evidence on one of its operands or results, so
+    /// seeding from the dirty neighbourhood reaches the same fixpoint as
+    /// scanning the whole module; in debug builds this is checked against
+    /// the [`Partitioning::propagate_full`] oracle after every call.
     pub fn propagate(&mut self, func: &Func) -> PropagationReport {
-        let uses = func.uses();
-        let mut report = PropagationReport::default();
-        let mut queue: VecDeque<OpId> = func.op_ids().collect();
-        let mut queued: HashSet<OpId> = queue.iter().copied().collect();
-        let axes: Vec<Axis> = self.mesh.axis_names().cloned().collect();
+        let mut seeds: BTreeSet<OpId> = BTreeSet::new();
+        for &v in &self.dirty_values {
+            match func.value(v).def {
+                ValueDef::OpResult { op, .. } | ValueDef::RegionParam { op, .. } => {
+                    seeds.insert(op);
+                }
+                ValueDef::Param(_) => {}
+            }
+            for &u in &self.uses[v.0 as usize] {
+                seeds.insert(u);
+            }
+        }
+        seeds.extend(self.dirty_ops.iter().copied());
 
-        while let Some(op) = queue.pop_front() {
-            queued.remove(&op);
+        #[cfg(debug_assertions)]
+        let oracle_input = self.clone();
+
+        let report = self.run_worklist(func, seeds);
+
+        // Oracle: the whole-module fixpoint from the same pre-state must
+        // land on identical contexts, fingerprint and conflicts.
+        #[cfg(debug_assertions)]
+        {
+            let mut oracle = oracle_input;
+            oracle.run_worklist(func, func.op_ids().collect());
+            debug_assert_eq!(
+                self.value_ctx, oracle.value_ctx,
+                "incremental propagation diverged from the full fixpoint (value contexts)"
+            );
+            debug_assert_eq!(
+                self.op_ctx, oracle.op_ctx,
+                "incremental propagation diverged from the full fixpoint (op contexts)"
+            );
+            debug_assert_eq!(
+                self.fp, oracle.fp,
+                "incremental propagation diverged from the full fixpoint (fingerprint)"
+            );
+            debug_assert_eq!(
+                self.conflicts, oracle.conflicts,
+                "incremental propagation diverged from the full fixpoint (conflicts)"
+            );
+        }
+
+        report
+    }
+
+    /// Whole-module propagation: seeds the worklist with every op instead
+    /// of the dirty neighbourhood. Reaches the same fixpoint as
+    /// [`Partitioning::propagate`]; kept as the reference implementation
+    /// (and debug oracle) and for callers that constructed the state by
+    /// other means.
+    pub fn propagate_full(&mut self, func: &Func) -> PropagationReport {
+        self.run_worklist(func, func.op_ids().collect())
+    }
+
+    /// The shared worklist engine behind [`Partitioning::propagate`] and
+    /// [`Partitioning::propagate_full`]. Processes ops smallest-id first
+    /// (`BTreeSet::pop_first`), so runs that start from different seed
+    /// sets but the same fireable rewrites apply them in the same order
+    /// and produce identical entry orderings (hence fingerprints).
+    fn run_worklist(&mut self, func: &Func, seeds: BTreeSet<OpId>) -> PropagationReport {
+        let mut report = PropagationReport::default();
+        let axes: Vec<Axis> = self.mesh.axis_names().cloned().collect();
+        let mut queue = seeds;
+        let mut touched: BTreeSet<OpId> = queue.clone();
+
+        while let Some(op) = queue.pop_first() {
             for axis in &axes {
                 let changed = if func.op(op).region.is_some() {
                     self.unify_for(func, op, axis)
@@ -270,46 +500,59 @@ impl Partitioning {
                 for v in changed {
                     // Revisit the producer and all users of every value
                     // whose context we extended.
-                    let mut enqueue = |o: OpId| {
-                        if queued.insert(o) {
-                            queue.push_back(o);
-                        }
-                    };
                     match func.value(v).def {
                         ValueDef::OpResult { op, .. } | ValueDef::RegionParam { op, .. } => {
-                            enqueue(op)
+                            queue.insert(op);
+                            touched.insert(op);
                         }
                         ValueDef::Param(_) => {}
                     }
-                    if let Some(users) = uses.get(&v) {
-                        for &u in users {
-                            enqueue(u);
-                        }
+                    for &u in &self.uses[v.0 as usize] {
+                        queue.insert(u);
+                        touched.insert(u);
                     }
                     report.inferred += 1;
                 }
             }
         }
 
-        // Final conflict scan: ambiguous sites that never became unique.
-        for op in func.op_ids() {
+        // Conflict maintenance: only ops visited this run, plus ops that
+        // were ambiguous before, can have changed ambiguity (a candidate
+        // set depends solely on the op's operand/result contexts and its
+        // own loop context, all of which only change when the op is
+        // touched).
+        let recheck: Vec<OpId> = touched
+            .into_iter()
+            .chain(self.conflicts.keys().map(|&(op, _)| op))
+            .collect();
+        for op in recheck {
             if func.op(op).region.is_some() {
                 continue;
             }
-            for axis in &axes {
+            for (ai, axis) in axes.iter().enumerate() {
+                let key = (op, ai);
                 if self.op_ctx[op.0 as usize].contains_axis(axis) {
+                    self.conflicts.remove(&key);
                     continue;
                 }
                 let candidates = self.candidates(func, op, axis);
                 if candidates.len() > 1 {
-                    report.conflicts.push(Conflict {
-                        op,
-                        axis: axis.clone(),
-                        candidates,
-                    });
+                    self.conflicts.insert(key, candidates);
+                } else {
+                    self.conflicts.remove(&key);
                 }
             }
         }
+        for (&(op, ai), candidates) in &self.conflicts {
+            report.conflicts.push(Conflict {
+                op,
+                axis: axes[ai].clone(),
+                candidates: candidates.clone(),
+            });
+        }
+
+        self.dirty_values.clear();
+        self.dirty_ops.clear();
         report
     }
 
@@ -362,8 +605,7 @@ impl Partitioning {
                                 detail: format!("operand {i} cannot tile dim {d}"),
                             });
                         }
-                        self.value_ctx[operand.0 as usize]
-                            .push(axis.clone(), ShardKind::Tile { dim: d });
+                        self.record_value_entry(operand, axis, ShardKind::Tile { dim: d });
                     }
                 }
             }
@@ -383,14 +625,11 @@ impl Partitioning {
                             detail: format!("result cannot tile dim {d}"),
                         });
                     }
-                    self.value_ctx[result.0 as usize]
-                        .push(axis.clone(), ShardKind::Tile { dim: d });
+                    self.record_value_entry(result, axis, ShardKind::Tile { dim: d });
                 }
             }
         }
-        self.op_ctx[op.0 as usize]
-            .entries
-            .push((axis.clone(), OpAxisCtx::Entry(entry.clone())));
+        self.record_op_entry(op, axis, entry.clone());
         Ok(())
     }
 
@@ -499,21 +738,18 @@ impl Partitioning {
             let operand = data.operands[i];
             if let Some(d) = need {
                 if self.value_ctx[operand.0 as usize].entry(axis).is_none() {
-                    self.value_ctx[operand.0 as usize]
-                        .push(axis.clone(), ShardKind::Tile { dim: d });
+                    self.record_value_entry(operand, axis, ShardKind::Tile { dim: d });
                     changed.push(operand);
                 }
             }
         }
         if let ResultAction::Tile(d) = entry.result {
             if self.value_ctx[result.0 as usize].entry(axis).is_none() {
-                self.value_ctx[result.0 as usize].push(axis.clone(), ShardKind::Tile { dim: d });
+                self.record_value_entry(result, axis, ShardKind::Tile { dim: d });
                 changed.push(result);
             }
         }
-        self.op_ctx[op.0 as usize]
-            .entries
-            .push((axis.clone(), OpAxisCtx::Entry(entry)));
+        self.record_op_entry(op, axis, entry);
         report.applied += 1;
         changed
     }
@@ -552,7 +788,7 @@ impl Partitioning {
             if atomic {
                 for &v in &group {
                     if !self.value_ctx[v.0 as usize].contains_axis(axis) {
-                        self.value_ctx[v.0 as usize].push(axis.clone(), ShardKind::Atomic);
+                        self.record_value_entry(v, axis, ShardKind::Atomic);
                         changed.push(v);
                     }
                 }
@@ -563,8 +799,7 @@ impl Partitioning {
                 }) {
                     for &v in &group {
                         if !self.value_ctx[v.0 as usize].contains_axis(axis) {
-                            self.value_ctx[v.0 as usize]
-                                .push(axis.clone(), ShardKind::Tile { dim: d });
+                            self.record_value_entry(v, axis, ShardKind::Tile { dim: d });
                             changed.push(v);
                         }
                     }
@@ -815,6 +1050,95 @@ mod tests {
             .find(|&o| matches!(f.op(o).kind, partir_ir::OpKind::Unary(_)))
             .unwrap();
         assert_eq!(p.op_ctx(neg_op).entries().len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_decisions() {
+        let (f, [x, w1, ..]) = matmul_chain();
+        let base = Partitioning::new(&f, mesh_bm()).unwrap().fingerprint();
+
+        let mut p = Partitioning::new(&f, mesh_bm()).unwrap();
+        assert_eq!(p.fingerprint(), base);
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        let after_tile = p.fingerprint();
+        assert_ne!(after_tile, base);
+        p.propagate(&f);
+        assert_ne!(p.fingerprint(), after_tile);
+
+        // Same decisions ⇒ same fingerprint.
+        let mut q = Partitioning::new(&f, mesh_bm()).unwrap();
+        q.tile(&f, x, 0, &"B".into()).unwrap();
+        q.propagate(&f);
+        assert_eq!(p.fingerprint(), q.fingerprint());
+
+        // Divergent decisions ⇒ different fingerprints.
+        let mut r = Partitioning::new(&f, mesh_bm()).unwrap();
+        r.tile(&f, w1, 1, &"M".into()).unwrap();
+        r.propagate(&f);
+        assert_ne!(p.fingerprint(), r.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_across_slots() {
+        // Actions on distinct values commute: each decision hash encodes
+        // its slot and its position within that slot's entry list, not the
+        // global interleaving.
+        let (f, [x, w1, ..]) = matmul_chain();
+        let mut p = Partitioning::new(&f, mesh_bm()).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.tile(&f, w1, 1, &"M".into()).unwrap();
+        let mut q = Partitioning::new(&f, mesh_bm()).unwrap();
+        q.tile(&f, w1, 1, &"M".into()).unwrap();
+        q.tile(&f, x, 0, &"B".into()).unwrap();
+        assert_eq!(p.fingerprint(), q.fingerprint());
+
+        // ...but entry order *within* one value is significant.
+        let mut a = Partitioning::new(&f, mesh_bm()).unwrap();
+        a.tile(&f, x, 0, &"B".into()).unwrap();
+        a.tile(&f, x, 1, &"M".into()).unwrap();
+        let mut b = Partitioning::new(&f, mesh_bm()).unwrap();
+        b.tile(&f, x, 1, &"M".into()).unwrap();
+        b.tile(&f, x, 0, &"B".into()).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_depends_on_function_and_mesh() {
+        let (f, _) = matmul_chain();
+        let p = Partitioning::new(&f, mesh_bm()).unwrap();
+        let q = Partitioning::new(&f, Mesh::new([("B", 2), ("M", 4)]).unwrap()).unwrap();
+        assert_ne!(p.fingerprint(), q.fingerprint());
+
+        let mut b2 = FuncBuilder::new("other");
+        let x = b2.param("x", TensorType::f32([256, 8]));
+        let f2 = b2.build([x]).unwrap();
+        let r = Partitioning::new(&f2, mesh_bm()).unwrap();
+        assert_ne!(p.fingerprint(), r.fingerprint());
+    }
+
+    #[test]
+    fn incremental_propagate_matches_full_after_staged_actions() {
+        // Exercise the worklist seeding across several propagate rounds
+        // interleaved with actions; the release-build check (debug builds
+        // also assert this internally on every call).
+        let (f, [x, w1, w2, y]) = matmul_chain();
+        let mut inc = Partitioning::new(&f, mesh_bm()).unwrap();
+        let mut full = Partitioning::new(&f, mesh_bm()).unwrap();
+        for (v, dim, axis) in [(x, 0, "B"), (w1, 1, "M"), (w2, 0, "M")] {
+            let _ = inc.tile(&f, v, dim, &axis.into());
+            let _ = full.tile(&f, v, dim, &axis.into());
+            let ri = inc.propagate(&f);
+            let rf = full.propagate_full(&f);
+            assert_eq!(ri.conflicts, rf.conflicts);
+        }
+        assert_eq!(inc.fingerprint(), full.fingerprint());
+        for v in f.value_ids() {
+            assert_eq!(inc.value_ctx(v), full.value_ctx(v));
+        }
+        assert_eq!(
+            inc.value_ctx(y).entry(&"B".into()),
+            Some(ShardKind::Tile { dim: 0 })
+        );
     }
 
     #[test]

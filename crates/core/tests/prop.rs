@@ -1,14 +1,17 @@
 //! Property-based tests of propagation soundness: for random programs
 //! and random action sequences, the sharded program under sequential
 //! (temporal) semantics must equal the unpartitioned reference — the
-//! executable form of the paper's semantics-preservation claim — and
-//! propagation must be monotone and idempotent.
-
-use proptest::prelude::*;
+//! executable form of the paper's semantics-preservation claim —
+//! propagation must be monotone and idempotent, and the incremental
+//! worklist propagation must agree exactly with the whole-module
+//! fixed point.
 
 use partir_core::{temporal::interpret_sharded, Partitioning};
-use partir_ir::{interp::interpret, BinaryOp, Func, FuncBuilder, Literal, TensorType, UnaryOp, ValueId};
-use partir_mesh::Mesh;
+use partir_ir::{
+    interp::interpret, BinaryOp, Func, FuncBuilder, Literal, TensorType, UnaryOp, ValueId,
+};
+use partir_mesh::{Axis, Mesh};
+use partir_prng::{propcheck::check, Rng};
 
 const N: usize = 8;
 
@@ -22,42 +25,42 @@ enum Step {
     RowSumBroadcast(usize),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (
-            prop_oneof![Just(UnaryOp::Tanh), Just(UnaryOp::Neg), Just(UnaryOp::Abs)],
-            any::<prop::sample::Index>()
-        )
-            .prop_map(|(u, i)| Step::Unary(u, i.index(64))),
-        (
-            prop_oneof![
-                Just(BinaryOp::Add),
-                Just(BinaryOp::Sub),
-                Just(BinaryOp::Mul),
-                Just(BinaryOp::Max)
-            ],
-            any::<prop::sample::Index>(),
-            any::<prop::sample::Index>()
-        )
-            .prop_map(|(b, i, j)| Step::Binary(b, i.index(64), j.index(64))),
-        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(i, j)| Step::Matmul(i.index(64), j.index(64))),
-        any::<prop::sample::Index>().prop_map(|i| Step::Transpose(i.index(64))),
-        any::<prop::sample::Index>().prop_map(|i| Step::RowSumBroadcast(i.index(64))),
-    ]
+fn gen_step(rng: &mut Rng) -> Step {
+    match rng.gen_range(5) {
+        0 => {
+            let u = *rng.choose(&[UnaryOp::Tanh, UnaryOp::Neg, UnaryOp::Abs]);
+            Step::Unary(u, rng.gen_range(64))
+        }
+        1 => {
+            let b = *rng.choose(&[BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Max]);
+            Step::Binary(b, rng.gen_range(64), rng.gen_range(64))
+        }
+        2 => Step::Matmul(rng.gen_range(64), rng.gen_range(64)),
+        3 => Step::Transpose(rng.gen_range(64)),
+        _ => Step::RowSumBroadcast(rng.gen_range(64)),
+    }
+}
+
+fn gen_steps(rng: &mut Rng) -> Vec<Step> {
+    let len = rng.gen_range_in(1, 12);
+    (0..len).map(|_| gen_step(rng)).collect()
 }
 
 /// An action on a random value: (value index, dim, axis index, atomic?).
 type Action = (usize, usize, usize, bool);
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    (
-        any::<prop::sample::Index>(),
-        0usize..2,
-        0usize..2,
-        prop::bool::weighted(0.2),
-    )
-        .prop_map(|(v, d, a, at)| (v.index(64), d, a, at))
+fn gen_actions(rng: &mut Rng, min: usize) -> Vec<Action> {
+    let len = rng.gen_range_in(min, 6);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(64),
+                rng.gen_range(2),
+                rng.gen_range(2),
+                rng.gen_bool(0.2),
+            )
+        })
+        .collect()
 }
 
 fn build_program(steps: &[Step]) -> (Func, Vec<ValueId>) {
@@ -86,32 +89,26 @@ fn build_program(steps: &[Step]) -> (Func, Vec<ValueId>) {
     (func, pool)
 }
 
-fn inputs_for(func: &Func, seed: u64) -> Vec<Literal> {
-    let mut state = seed | 1;
+fn inputs_for(func: &Func, rng: &mut Rng) -> Vec<Literal> {
     func.params()
         .iter()
         .map(|&p| {
             let ty = func.value_type(p);
             let data: Vec<f32> = (0..ty.shape.num_elements())
-                .map(|_| {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
-                })
+                .map(|_| rng.unit_f32())
                 .collect();
             Literal::from_f32(data, ty.shape.clone()).unwrap()
         })
         .collect()
 }
 
-fn apply_actions(
-    func: &Func,
-    pool: &[ValueId],
-    actions: &[Action],
-) -> Partitioning {
+fn test_mesh() -> (Mesh, [Axis; 2]) {
     let mesh = Mesh::new([("a", 2), ("b", 2)]).unwrap();
-    let axes = [partir_mesh::Axis::new("a"), partir_mesh::Axis::new("b")];
+    (mesh, [Axis::new("a"), Axis::new("b")])
+}
+
+fn apply_actions(func: &Func, pool: &[ValueId], actions: &[Action]) -> Partitioning {
+    let (mesh, axes) = test_mesh();
     let mut part = Partitioning::new(func, mesh).unwrap();
     for &(v, dim, axis, atomic) in actions {
         let value = pool[v % pool.len()];
@@ -128,18 +125,14 @@ fn apply_actions(
     part
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn temporal_semantics_match_reference(
-        steps in prop::collection::vec(step_strategy(), 1..12),
-        actions in prop::collection::vec(action_strategy(), 0..6),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn temporal_semantics_match_reference() {
+    check("temporal semantics match reference", 48, |rng| {
+        let steps = gen_steps(rng);
+        let actions = gen_actions(rng, 0);
         let (func, pool) = build_program(&steps);
         let part = apply_actions(&func, &pool, &actions);
-        let inputs = inputs_for(&func, seed);
+        let inputs = inputs_for(&func, rng);
         let reference = interpret(&func, &inputs).unwrap();
         let temporal = interpret_sharded(&func, &part, &inputs).unwrap();
         let diff = reference[0].max_abs_diff(&temporal[0]).unwrap();
@@ -149,21 +142,33 @@ proptest! {
             .unwrap()
             .iter()
             .fold(1.0f32, |m, v| m.max(v.abs()));
-        prop_assert!(diff <= 1e-4 * scale, "diff {diff} at scale {scale}");
-    }
+        if diff <= 1e-4 * scale {
+            Ok(())
+        } else {
+            Err(format!("diff {diff} at scale {scale}"))
+        }
+    });
+}
 
-    #[test]
-    fn propagation_is_idempotent_and_monotone(
-        steps in prop::collection::vec(step_strategy(), 1..12),
-        actions in prop::collection::vec(action_strategy(), 1..6),
-    ) {
+#[test]
+fn propagation_is_idempotent_and_monotone() {
+    check("propagation is idempotent and monotone", 48, |rng| {
+        let steps = gen_steps(rng);
+        let actions = gen_actions(rng, 1);
         let (func, pool) = build_program(&steps);
         let part = apply_actions(&func, &pool, &actions);
         // A second propagate applies nothing new.
         let mut again = part.clone();
         let report = again.propagate(&func);
-        prop_assert_eq!(report.applied, 0);
-        prop_assert_eq!(report.inferred, 0);
+        if report.applied != 0 || report.inferred != 0 {
+            return Err(format!(
+                "not idempotent: {} rewrites, {} inferences on re-propagation",
+                report.applied, report.inferred
+            ));
+        }
+        if again.fingerprint() != part.fingerprint() {
+            return Err("re-propagation changed the fingerprint".to_string());
+        }
         // Contexts never mention an axis twice and tiled dims stay in
         // bounds and divisible.
         let mesh = part.mesh().clone();
@@ -171,13 +176,89 @@ proptest! {
             let ctx = part.value_ctx(v);
             let mut seen = std::collections::HashSet::new();
             for (axis, kind) in ctx.entries() {
-                prop_assert!(seen.insert(axis.clone()), "duplicate axis in ctx");
+                if !seen.insert(axis.clone()) {
+                    return Err(format!("duplicate axis {axis} in ctx of {v:?}"));
+                }
                 if let partir_core::ShardKind::Tile { dim } = kind {
-                    prop_assert!(*dim < func.value_type(v).rank());
+                    if *dim >= func.value_type(v).rank() {
+                        return Err(format!("tiled dim {dim} out of range for {v:?}"));
+                    }
                 }
             }
             // Local shape divisibility holds (local_shape panics otherwise).
             let _ = ctx.local_shape(&func.value_type(v).shape, &mesh);
         }
-    }
+        Ok(())
+    });
+}
+
+/// The tentpole property of the fingerprinted pipeline: the incremental
+/// worklist propagation (seeded from the dirty neighbourhood) must land
+/// on exactly the state the whole-module fixed point lands on — same
+/// contexts, same conflicts, same fingerprint — for every prefix of a
+/// random action sequence on a random program.
+#[test]
+fn incremental_propagation_matches_full_fixpoint() {
+    check("incremental propagation matches full fixpoint", 48, |rng| {
+        let steps = gen_steps(rng);
+        let actions = gen_actions(rng, 1);
+        let (func, pool) = build_program(&steps);
+        let (mesh, axes) = test_mesh();
+        let mut inc = Partitioning::new(&func, mesh.clone()).unwrap();
+        let mut full = Partitioning::new(&func, mesh).unwrap();
+        for &(v, dim, axis, atomic) in &actions {
+            let value = pool[v % pool.len()];
+            let axis = &axes[axis];
+            let (ri, rf) = if atomic {
+                (inc.atomic(&func, value, axis), full.atomic(&func, value, axis))
+            } else {
+                (
+                    inc.tile(&func, value, dim, axis),
+                    full.tile(&func, value, dim, axis),
+                )
+            };
+            if ri.is_ok() != rf.is_ok() {
+                return Err(format!(
+                    "action acceptance diverged on {value:?}: {ri:?} vs {rf:?}"
+                ));
+            }
+            let inc_report = inc.propagate(&func);
+            let full_report = full.propagate_full(&func);
+            if inc_report.conflicts != full_report.conflicts {
+                return Err(format!(
+                    "conflicts diverged: {:?} vs {:?}",
+                    inc_report.conflicts, full_report.conflicts
+                ));
+            }
+            if inc_report.applied != full_report.applied
+                || inc_report.inferred != full_report.inferred
+            {
+                return Err(format!(
+                    "work diverged: applied {} vs {}, inferred {} vs {}",
+                    inc_report.applied,
+                    full_report.applied,
+                    inc_report.inferred,
+                    full_report.inferred
+                ));
+            }
+        }
+        if inc.fingerprint() != full.fingerprint() {
+            return Err(format!(
+                "fingerprints diverged: {} vs {}",
+                inc.fingerprint(),
+                full.fingerprint()
+            ));
+        }
+        for v in func.value_ids() {
+            if inc.value_ctx(v) != full.value_ctx(v) {
+                return Err(format!("value ctx diverged at {v:?}"));
+            }
+        }
+        for op in func.op_ids() {
+            if inc.op_ctx(op) != full.op_ctx(op) {
+                return Err(format!("op ctx diverged at {op:?}"));
+            }
+        }
+        Ok(())
+    });
 }

@@ -1,0 +1,461 @@
+//! Stable structural fingerprints for [`Func`] and [`Module`].
+//!
+//! A fingerprint is a 128-bit content hash over a function's *structure*:
+//! the op sequence in execution order (recursing into regions), each op's
+//! kind and attributes, operand/result wiring, and value types. It is
+//! deliberately independent of:
+//!
+//! * **value numbering** — values and ops are renumbered canonically in
+//!   definition order during hashing, so two functions built in different
+//!   arena orders but describing the same program hash equal;
+//! * **value names** — `tag`/`set_value_name` renames do not change the
+//!   fingerprint (names are UI metadata; the partitioning decisions that
+//!   mention named values are fingerprinted separately by
+//!   `partir_core::Partitioning`).
+//!
+//! Fingerprints are the cache keys of the evaluation pipeline: the search
+//! in `partir-sched` keys its lowering+simulation cache on
+//! `Func::fingerprint() ⊕ partitioning decisions`, so the hash must be
+//! stable across processes and runs. Do not use `std::hash::Hasher`
+//! implementations here (`DefaultHasher` is not guaranteed stable);
+//! [`StableHasher`] below is a fixed, self-contained construction.
+
+use std::collections::HashMap;
+
+use crate::{Func, Literal, Module, OpId, OpKind, Shape, TensorType, ValueId};
+
+/// A 128-bit structural hash.
+///
+/// Displayed as 32 hex digits. Equality of fingerprints is used as
+/// equality of structures by the evaluation cache; with 128 bits the
+/// collision probability over any realistic search is negligible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Fingerprint {
+    /// Combines two fingerprints order-sensitively.
+    pub fn combine(self, other: Fingerprint) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_u64(self.0 as u64);
+        h.write_u64((self.0 >> 64) as u64);
+        h.write_u64(other.0 as u64);
+        h.write_u64((other.0 >> 64) as u64);
+        h.finish()
+    }
+}
+
+/// A fixed 128-bit mixing hasher (two 64-bit lanes, wide-multiply mix).
+///
+/// Stable by construction: the output depends only on the written word
+/// sequence, never on platform, process, or std implementation details.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+#[inline]
+fn mix(x: u64, y: u64) -> u64 {
+    let r = (x as u128).wrapping_mul((y | 1) as u128);
+    (r as u64) ^ ((r >> 64) as u64)
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        StableHasher {
+            a: 0x243F6A8885A308D3, // pi digits: arbitrary fixed offsets
+            b: 0x13198A2E03707344,
+        }
+    }
+
+    /// Absorbs one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        self.a = mix(self.a ^ w, 0x9E3779B97F4A7C15);
+        self.b = mix(self.b.rotate_left(23) ^ w, 0xC2B2AE3D27D4EB4F);
+    }
+
+    /// Absorbs a `usize` (hashed as u64, so 32/64-bit platforms agree).
+    #[inline]
+    pub fn write_usize(&mut self, w: usize) {
+        self.write_u64(w as u64);
+    }
+
+    /// Absorbs a byte string (length-prefixed).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Absorbs a string (length-prefixed bytes).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated 128-bit hash.
+    pub fn finish(&self) -> Fingerprint {
+        let mut a = self.a;
+        let mut b = self.b;
+        // Final avalanche so short inputs still spread over both lanes.
+        a = mix(a ^ b.rotate_left(32), 0xD6E8FEB86659FD93);
+        b = mix(b ^ a.rotate_left(17), 0xA5A3B1C9E4F50926);
+        Fingerprint(((a as u128) << 64) | b as u128)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// Canonical renumbering state: values and ops get dense ids in the order
+/// they are first defined walking params, then the body in execution
+/// order (region params before region bodies).
+struct Canon {
+    values: HashMap<ValueId, u64>,
+    ops: HashMap<OpId, u64>,
+}
+
+impl Canon {
+    fn value(&mut self, v: ValueId) -> u64 {
+        let next = self.values.len() as u64;
+        *self.values.entry(v).or_insert(next)
+    }
+
+    fn op(&mut self, op: OpId) -> u64 {
+        let next = self.ops.len() as u64;
+        *self.ops.entry(op).or_insert(next)
+    }
+}
+
+fn hash_shape(h: &mut StableHasher, s: &Shape) {
+    h.write_usize(s.rank());
+    for &d in s.dims() {
+        h.write_usize(d);
+    }
+}
+
+fn hash_type(h: &mut StableHasher, ty: &TensorType) {
+    hash_shape(h, &ty.shape);
+    // DType is #[non_exhaustive]; hash its display name, which is stable.
+    h.write_str(&ty.dtype.to_string());
+}
+
+fn hash_literal(h: &mut StableHasher, lit: &Literal) {
+    hash_shape(h, lit.shape());
+    h.write_str(&lit.dtype().to_string());
+    if let Ok(data) = lit.as_f32() {
+        for &v in data {
+            h.write_u64(v.to_bits() as u64);
+        }
+    } else if let Ok(data) = lit.as_i32() {
+        for &v in data {
+            h.write_u64(v as u32 as u64);
+        }
+    } else if let Ok(data) = lit.as_pred() {
+        for &v in data {
+            h.write_u64(v as u64);
+        }
+    }
+}
+
+fn hash_opkind(h: &mut StableHasher, kind: &OpKind) {
+    // The stable op name doubles as the discriminant; attributes follow.
+    h.write_str(kind.name());
+    match kind {
+        OpKind::Constant(lit) => hash_literal(h, lit),
+        OpKind::Iota { dim, shape, dtype } => {
+            h.write_usize(*dim);
+            hash_shape(h, shape);
+            h.write_str(&dtype.to_string());
+        }
+        OpKind::Unary(u) => h.write_str(&format!("{u:?}")),
+        OpKind::Binary(b) => h.write_str(&format!("{b:?}")),
+        OpKind::Compare(c) => h.write_str(&format!("{c:?}")),
+        OpKind::Select => {}
+        OpKind::Convert(d) => h.write_str(&d.to_string()),
+        OpKind::Dot(dims) => {
+            for list in [
+                &dims.lhs_batch,
+                &dims.rhs_batch,
+                &dims.lhs_contract,
+                &dims.rhs_contract,
+            ] {
+                h.write_usize(list.len());
+                for &d in list {
+                    h.write_usize(d);
+                }
+            }
+        }
+        OpKind::Transpose { perm } => {
+            h.write_usize(perm.len());
+            for &d in perm {
+                h.write_usize(d);
+            }
+        }
+        OpKind::Reshape { shape } => hash_shape(h, shape),
+        OpKind::BroadcastInDim {
+            shape,
+            broadcast_dims,
+        } => {
+            hash_shape(h, shape);
+            h.write_usize(broadcast_dims.len());
+            for &d in broadcast_dims {
+                h.write_usize(d);
+            }
+        }
+        OpKind::Reduce { op, dims } => {
+            h.write_str(&format!("{op:?}"));
+            h.write_usize(dims.len());
+            for &d in dims {
+                h.write_usize(d);
+            }
+        }
+        OpKind::Slice {
+            starts,
+            limits,
+            strides,
+        } => {
+            for list in [starts, limits, strides] {
+                h.write_usize(list.len());
+                for &d in list {
+                    h.write_usize(d);
+                }
+            }
+        }
+        OpKind::Pad { low, high } => {
+            for list in [low, high] {
+                h.write_usize(list.len());
+                for &d in list {
+                    h.write_u64(d as u64);
+                }
+            }
+        }
+        OpKind::Concatenate { dim } => h.write_usize(*dim),
+        OpKind::DynamicSlice { sizes } => {
+            h.write_usize(sizes.len());
+            for &d in sizes {
+                h.write_usize(d);
+            }
+        }
+        OpKind::DynamicUpdateSlice => {}
+        OpKind::Gather { axis } => h.write_usize(*axis),
+        OpKind::ScatterAdd { axis, size } => {
+            h.write_usize(*axis);
+            h.write_usize(*size);
+        }
+        OpKind::Convolution(dims) => {
+            h.write_usize(dims.strides.0);
+            h.write_usize(dims.strides.1);
+            h.write_usize(dims.padding.0);
+            h.write_usize(dims.padding.1);
+        }
+        OpKind::ConvInputGrad { dims, input_hw } => {
+            h.write_usize(dims.strides.0);
+            h.write_usize(dims.strides.1);
+            h.write_usize(dims.padding.0);
+            h.write_usize(dims.padding.1);
+            h.write_usize(input_hw.0);
+            h.write_usize(input_hw.1);
+        }
+        OpKind::ConvFilterGrad { dims, kernel_hw } => {
+            h.write_usize(dims.strides.0);
+            h.write_usize(dims.strides.1);
+            h.write_usize(dims.padding.0);
+            h.write_usize(dims.padding.1);
+            h.write_usize(kernel_hw.0);
+            h.write_usize(kernel_hw.1);
+        }
+        OpKind::ArgMax { dim } => h.write_usize(*dim),
+        OpKind::For { trip_count } => h.write_usize(*trip_count),
+        OpKind::Collective(c) => {
+            // Collectives appear only in lowered programs; hashing their
+            // debug form is stable (axis names + attributes).
+            h.write_str(&format!("{c:?}"));
+        }
+    }
+}
+
+fn hash_body(h: &mut StableHasher, func: &Func, body: &[OpId], canon: &mut Canon) {
+    h.write_usize(body.len());
+    for &op_id in body {
+        let data = func.op(op_id);
+        h.write_u64(canon.op(op_id));
+        hash_opkind(h, &data.kind);
+        h.write_usize(data.operands.len());
+        for &v in &data.operands {
+            h.write_u64(canon.value(v));
+        }
+        if let Some(region) = &data.region {
+            h.write_u64(1);
+            h.write_usize(region.params.len());
+            for &p in &region.params {
+                h.write_u64(canon.value(p));
+                hash_type(h, func.value_type(p));
+            }
+            hash_body(h, func, &region.body, canon);
+            h.write_usize(region.results.len());
+            for &r in &region.results {
+                h.write_u64(canon.value(r));
+            }
+        } else {
+            h.write_u64(0);
+        }
+        h.write_usize(data.results.len());
+        for &r in &data.results {
+            h.write_u64(canon.value(r));
+            hash_type(h, func.value_type(r));
+        }
+    }
+}
+
+/// Computes the structural fingerprint of `func`. Prefer the cached
+/// [`Func::fingerprint`] accessor.
+pub fn func_fingerprint(func: &Func) -> Fingerprint {
+    let mut h = StableHasher::new();
+    let mut canon = Canon {
+        values: HashMap::new(),
+        ops: HashMap::new(),
+    };
+    h.write_usize(func.params().len());
+    for &p in func.params() {
+        h.write_u64(canon.value(p));
+        hash_type(&mut h, func.value_type(p));
+    }
+    hash_body(&mut h, func, func.body(), &mut canon);
+    h.write_usize(func.results().len());
+    for &r in func.results() {
+        h.write_u64(canon.value(r));
+    }
+    h.finish()
+}
+
+/// Computes the fingerprint of a module: the main function's structural
+/// hash combined with the mesh (axis names and sizes in order).
+pub fn module_fingerprint(module: &Module) -> Fingerprint {
+    let mut h = StableHasher::new();
+    let func_fp = module.main.fingerprint();
+    h.write_u64(func_fp.0 as u64);
+    h.write_u64((func_fp.0 >> 64) as u64);
+    h.write_usize(module.mesh.axes().len());
+    for (axis, size) in module.mesh.axes() {
+        h.write_str(axis.name());
+        h.write_usize(*size);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuncBuilder, TensorType};
+    use partir_mesh::Mesh;
+
+    fn chain(flip_weights: bool) -> Func {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([8, 4]));
+        let (w1, w2) = if flip_weights {
+            let w2 = b.param("w2", TensorType::f32([4, 4]));
+            let w1 = b.param("w1", TensorType::f32([4, 4]));
+            (w1, w2)
+        } else {
+            let w1 = b.param("w1", TensorType::f32([4, 4]));
+            let w2 = b.param("w2", TensorType::f32([4, 4]));
+            (w1, w2)
+        };
+        let h = b.matmul(x, w1).unwrap();
+        let y = b.matmul(h, w2).unwrap();
+        b.build([y]).unwrap()
+    }
+
+    #[test]
+    fn identical_structure_identical_fingerprint() {
+        assert_eq!(chain(false).fingerprint(), chain(false).fingerprint());
+    }
+
+    #[test]
+    fn structural_difference_changes_fingerprint() {
+        // Flipping parameter declaration order changes which value feeds
+        // which matmul slot — a structural difference.
+        assert_ne!(chain(false).fingerprint(), chain(true).fingerprint());
+        // Different shapes differ.
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([16, 4]));
+        let y = b.neg(x).unwrap();
+        let f1 = b.build([y]).unwrap();
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([8, 4]));
+        let y = b.neg(x).unwrap();
+        let f2 = b.build([y]).unwrap();
+        assert_ne!(f1.fingerprint(), f2.fingerprint());
+    }
+
+    #[test]
+    fn names_do_not_affect_fingerprint() {
+        let f1 = chain(false);
+        let mut f2 = chain(false);
+        let v = f2.results()[0];
+        f2.set_value_name(v, "tagged").unwrap();
+        assert_eq!(f1.fingerprint(), f2.fingerprint());
+    }
+
+    #[test]
+    fn attribute_difference_changes_fingerprint() {
+        let build = |perm: Vec<usize>| {
+            let mut b = FuncBuilder::new("f");
+            let x = b.param("x", TensorType::f32([4, 4]));
+            let t = b.transpose(x, perm).unwrap();
+            b.build([t]).unwrap()
+        };
+        assert_ne!(
+            build(vec![1, 0]).fingerprint(),
+            build(vec![0, 1]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn region_structure_is_fingerprinted() {
+        let build = |trips: usize| {
+            let mut b = FuncBuilder::new("f");
+            let x = b.param("x", TensorType::f32([4]));
+            let out = b
+                .for_loop(trips, &[x], |b, _i, c| Ok(vec![b.neg(c[0])?]))
+                .unwrap();
+            b.build(out).unwrap()
+        };
+        assert_eq!(build(3).fingerprint(), build(3).fingerprint());
+        assert_ne!(build(3).fingerprint(), build(4).fingerprint());
+    }
+
+    #[test]
+    fn module_fingerprint_includes_mesh() {
+        let f = chain(false);
+        let m1 = Module::new(f.clone(), Mesh::single("B", 4).unwrap());
+        let m2 = Module::new(f.clone(), Mesh::single("B", 8).unwrap());
+        let m3 = Module::new(f, Mesh::single("B", 4).unwrap());
+        assert_eq!(m1.fingerprint(), m3.fingerprint());
+        assert_ne!(m1.fingerprint(), m2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_cached_and_stable_across_clones() {
+        let f = chain(false);
+        let fp = f.fingerprint();
+        assert_eq!(fp, f.fingerprint());
+        assert_eq!(fp, f.clone().fingerprint());
+        // Display renders 32 hex digits.
+        assert_eq!(fp.to_string().len(), 32);
+    }
+}

@@ -1,7 +1,9 @@
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use partir_mesh::Mesh;
 
+use crate::fingerprint::{func_fingerprint, module_fingerprint, Fingerprint};
 use crate::{IrError, OpKind, TensorType};
 
 /// Identifier of an SSA value within a [`Func`].
@@ -86,6 +88,9 @@ pub struct Func {
     ops: Vec<OpData>,
     body: Vec<OpId>,
     results: Vec<ValueId>,
+    /// Structural fingerprint, computed lazily. Value *names* are not part
+    /// of the structure, so [`Func::set_value_name`] need not invalidate.
+    fingerprint: OnceLock<Fingerprint>,
 }
 
 impl Func {
@@ -104,7 +109,16 @@ impl Func {
             ops,
             body,
             results,
+            fingerprint: OnceLock::new(),
         }
+    }
+
+    /// The canonical structural fingerprint of this function: a stable
+    /// 128-bit content hash over ops, attributes, types and region
+    /// structure, independent of value numbering and value names (see
+    /// [`crate::fingerprint`]). Computed once and cached.
+    pub fn fingerprint(&self) -> Fingerprint {
+        *self.fingerprint.get_or_init(|| func_fingerprint(self))
     }
 
     /// Function name.
@@ -234,11 +248,13 @@ impl Func {
 
     #[cfg(test)]
     pub(crate) fn values_mut(&mut self) -> &mut Vec<ValueInfo> {
+        self.fingerprint = OnceLock::new();
         &mut self.values
     }
 
     #[cfg(test)]
     pub(crate) fn ops_mut(&mut self) -> &mut Vec<OpData> {
+        self.fingerprint = OnceLock::new();
         &mut self.ops
     }
 
@@ -274,6 +290,13 @@ impl Module {
     /// Creates a module from an entry function and a mesh.
     pub fn new(main: Func, mesh: Mesh) -> Self {
         Module { main, mesh }
+    }
+
+    /// The module's structural fingerprint: the main function's
+    /// [`Func::fingerprint`] combined with the mesh's axis names and
+    /// sizes.
+    pub fn fingerprint(&self) -> Fingerprint {
+        module_fingerprint(self)
     }
 }
 

@@ -46,6 +46,7 @@
 mod builder;
 mod dtype;
 mod error;
+pub mod fingerprint;
 mod func;
 pub mod infer;
 pub mod interp;
@@ -60,6 +61,7 @@ pub mod verify;
 pub use builder::FuncBuilder;
 pub use dtype::DType;
 pub use error::IrError;
+pub use fingerprint::{Fingerprint, StableHasher};
 pub use func::{Func, Module, OpData, OpId, Region, ValueDef, ValueId, ValueInfo};
 pub use literal::Literal;
 pub use ops::{

@@ -1,70 +1,88 @@
 //! Property-based tests for mesh coordinate arithmetic and collective
 //! grouping.
 
-use proptest::prelude::*;
-
 use partir_mesh::{Axis, Mesh};
+use partir_prng::{propcheck::check, Rng};
 
-fn mesh_strategy() -> impl Strategy<Value = Mesh> {
-    prop::collection::vec(1usize..5, 1..4).prop_map(|sizes| {
-        let axes: Vec<(String, usize)> = sizes
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| (format!("ax{i}"), s))
-            .collect();
-        Mesh::new(axes).expect("valid mesh")
-    })
+fn gen_mesh(rng: &mut Rng) -> Mesh {
+    let rank = rng.gen_range_in(1, 4);
+    let axes: Vec<(String, usize)> = (0..rank)
+        .map(|i| (format!("ax{i}"), rng.gen_range_in(1, 5)))
+        .collect();
+    Mesh::new(axes).expect("valid mesh")
 }
 
-proptest! {
-    #[test]
-    fn coordinates_roundtrip(mesh in mesh_strategy()) {
+#[test]
+fn coordinates_roundtrip() {
+    check("coordinates roundtrip", 64, |rng| {
+        let mesh = gen_mesh(rng);
         for d in 0..mesh.num_devices() {
             let coords = mesh.coordinates(d);
-            prop_assert_eq!(coords.len(), mesh.rank());
-            prop_assert_eq!(mesh.device_id(&coords), d);
+            if coords.len() != mesh.rank() {
+                return Err(format!("rank mismatch for device {d}"));
+            }
+            if mesh.device_id(&coords) != d {
+                return Err(format!("device {d} does not roundtrip"));
+            }
             for (c, (_, size)) in coords.iter().zip(mesh.axes()) {
-                prop_assert!(c < size);
+                if c >= size {
+                    return Err(format!("coordinate {c} out of range {size}"));
+                }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn collective_groups_partition_devices(
-        mesh in mesh_strategy(),
-        pick in any::<prop::sample::Index>(),
-    ) {
+#[test]
+fn collective_groups_partition_devices() {
+    check("collective groups partition devices", 64, |rng| {
+        let mesh = gen_mesh(rng);
         let axes: Vec<Axis> = mesh.axis_names().cloned().collect();
-        let axis = axes[pick.index(axes.len())].clone();
+        let axis = rng.choose(&axes).clone();
         let groups = mesh.collective_groups(std::slice::from_ref(&axis)).unwrap();
         // Groups partition all devices.
         let mut seen = std::collections::HashSet::new();
         for group in &groups {
-            prop_assert_eq!(group.len(), mesh.axis_size(&axis).unwrap());
+            if group.len() != mesh.axis_size(&axis).unwrap() {
+                return Err(format!("group size {} wrong", group.len()));
+            }
             for &d in group {
-                prop_assert!(seen.insert(d), "device {} in two groups", d);
+                if !seen.insert(d) {
+                    return Err(format!("device {d} in two groups"));
+                }
             }
             // Members differ only along the collective axis.
             let idx = mesh.axis_index(&axis).unwrap();
             let base = mesh.coordinates(group[0]);
             for (pos, &d) in group.iter().enumerate() {
                 let coords = mesh.coordinates(d);
-                prop_assert_eq!(coords[idx], pos, "ordered by coordinate");
+                if coords[idx] != pos {
+                    return Err(format!("group not ordered by coordinate at {d}"));
+                }
                 for (i, (&c, &b)) in coords.iter().zip(&base).enumerate() {
-                    if i != idx {
-                        prop_assert_eq!(c, b);
+                    if i != idx && c != b {
+                        return Err(format!("device {d} differs off-axis"));
                     }
                 }
             }
         }
-        prop_assert_eq!(seen.len(), mesh.num_devices());
-    }
+        if seen.len() != mesh.num_devices() {
+            return Err("groups do not cover the mesh".to_string());
+        }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn groups_over_all_axes_are_one_group(mesh in mesh_strategy()) {
+#[test]
+fn groups_over_all_axes_are_one_group() {
+    check("groups over all axes are one group", 64, |rng| {
+        let mesh = gen_mesh(rng);
         let axes: Vec<Axis> = mesh.axis_names().cloned().collect();
         let groups = mesh.collective_groups(&axes).unwrap();
-        prop_assert_eq!(groups.len(), 1);
-        prop_assert_eq!(groups[0].len(), mesh.num_devices());
-    }
+        if groups.len() != 1 || groups[0].len() != mesh.num_devices() {
+            return Err(format!("expected one full group, got {groups:?}"));
+        }
+        Ok(())
+    });
 }

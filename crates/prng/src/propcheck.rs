@@ -1,0 +1,111 @@
+//! A miniature property-testing harness (offline `proptest` stand-in).
+//!
+//! [`check`] runs a property over `cases` generated inputs. Each case gets
+//! its own [`Rng`] derived from a fixed base seed, so the whole run is
+//! deterministic; on failure the panic message names the failing case
+//! seed, which can be replayed with [`replay`].
+//!
+//! There is no shrinking: generators here are expected to produce small
+//! cases by construction (the PartIR property tests generate programs of
+//! at most a dozen ops).
+//!
+//! # Examples
+//!
+//! ```
+//! use partir_prng::propcheck::check;
+//!
+//! check("addition commutes", 64, |rng| {
+//!     let a = rng.gen_range(1000) as i64;
+//!     let b = rng.gen_range(1000) as i64;
+//!     if a + b == b + a {
+//!         Ok(())
+//!     } else {
+//!         Err(format!("{a} + {b} misbehaved"))
+//!     }
+//! });
+//! ```
+
+use crate::Rng;
+
+/// Base seed mixed into every property (stable across runs).
+const BASE_SEED: u64 = 0x5EED_0F0A_2771_CB0F;
+
+/// Runs `property` over `cases` deterministic cases.
+///
+/// # Panics
+///
+/// Panics with the property name, case index, per-case seed and the
+/// property's error message on the first failing case.
+pub fn check<F>(name: &str, cases: u32, mut property: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut rng = Rng::seed_from_u64(seed);
+        if let Err(msg) = property(&mut rng) {
+            panic!(
+                "property {name:?} failed at case {case}/{cases} \
+                 (replay seed {seed:#x}): {msg}"
+            );
+        }
+    }
+}
+
+/// Re-runs a property on one specific seed (from a failure message).
+///
+/// # Panics
+///
+/// Panics if the property fails.
+pub fn replay<F>(name: &str, seed: u64, mut property: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    let mut rng = Rng::seed_from_u64(seed);
+    if let Err(msg) = property(&mut rng) {
+        panic!("property {name:?} failed on replay seed {seed:#x}: {msg}");
+    }
+}
+
+/// The per-case seed: a stable hash of the property name and case index.
+fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h = BASE_SEED;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001B3);
+    }
+    h = (h ^ case as u64).wrapping_mul(0x100000001B3);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0;
+        check("trivial", 10, |_| {
+            ran += 1;
+            Ok(())
+        });
+        assert_eq!(ran, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property \"fails\" failed")]
+    fn failing_property_panics_with_seed() {
+        check("fails", 10, |rng| {
+            if rng.gen_range(4) < 4 {
+                Err("boom".to_string())
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn case_seeds_differ_per_name_and_case() {
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+    }
+}

@@ -14,11 +14,9 @@
 use partir_core::Partitioning;
 use partir_ir::{Func, ValueId};
 use partir_mesh::{Axis, HardwareConfig};
-use partir_sim::{SimConfig, Simulator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use partir_prng::Rng;
 
-use crate::SchedError;
+use crate::{EvalCache, SchedError};
 
 /// Search-based tactic over one or more mesh axes.
 #[derive(Debug, Clone)]
@@ -70,7 +68,8 @@ impl AutomaticPartition {
     }
 
     /// Runs the search and applies the best action sequence to `part`.
-    /// Returns the number of actions applied.
+    /// Returns the number of actions applied. Uses a private
+    /// [`EvalCache`] as the transposition table.
     ///
     /// # Errors
     ///
@@ -82,8 +81,28 @@ impl AutomaticPartition {
         hw: &HardwareConfig,
         part: &mut Partitioning,
     ) -> Result<usize, SchedError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let evaluator = Evaluator { func, hw };
+        self.apply_with_cache(func, hw, part, &EvalCache::new())
+    }
+
+    /// [`AutomaticPartition::apply`] with a caller-supplied evaluation
+    /// cache — `partir_jit` shares one cache across all tactics of a
+    /// schedule, and tests pass [`EvalCache::disabled`] to check that
+    /// caching does not change search results. The search itself is a
+    /// pure function of the seed; the cache only memoises the (pure)
+    /// evaluation pipeline, so cached and uncached runs are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AutomaticPartition::apply`].
+    pub fn apply_with_cache(
+        &self,
+        func: &Func,
+        hw: &HardwareConfig,
+        part: &mut Partitioning,
+        cache: &EvalCache,
+    ) -> Result<usize, SchedError> {
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let evaluator = Evaluator { func, hw, cache };
         let baseline = evaluator.cost(part)?;
 
         let mut root = Node::with_state(part.clone());
@@ -127,7 +146,7 @@ impl AutomaticPartition {
         func: &Func,
         evaluator: &Evaluator,
         baseline: f64,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Result<f64, SchedError> {
         let state = node.state.as_ref().expect("caller materialised state");
         if !node.expanded {
@@ -183,7 +202,7 @@ impl AutomaticPartition {
                     if actions.is_empty() || rng.gen_bool(0.4) {
                         break;
                     }
-                    let a = &actions[rng.gen_range(0..actions.len().min(self.max_branching))];
+                    let a = &actions[rng.gen_range(actions.len().min(self.max_branching))];
                     if roll.tile(func, a.value, a.dim, &a.axis).is_err() {
                         break;
                     }
@@ -311,18 +330,15 @@ fn candidate_actions(func: &Func, part: &Partitioning, axes: &[Axis]) -> Vec<Til
 struct Evaluator<'a> {
     func: &'a Func,
     hw: &'a HardwareConfig,
+    cache: &'a EvalCache,
 }
 
 impl Evaluator<'_> {
     /// Cost = estimated runtime, with a multiplicative penalty once the
-    /// partition exceeds device memory.
+    /// partition exceeds device memory (see [`partir_sim::Evaluation`]).
+    /// Memoised through the shared evaluation cache.
     fn cost(&self, part: &Partitioning) -> Result<f64, SchedError> {
-        let program = partir_spmd::lower(self.func, part)?.fused()?;
-        let report = Simulator::new(self.hw, SimConfig::default()).simulate(program.func())?;
-        let mem = report.peak_memory_bytes as f64;
-        let cap = self.hw.device.hbm_bytes as f64;
-        let penalty = if mem > cap { 10.0 * (mem / cap) } else { 1.0 };
-        Ok(report.runtime_s * penalty)
+        Ok(self.cache.evaluate(self.func, part, self.hw)?.cost(self.hw))
     }
 
     /// Reward = speedup over the tactic's starting point.
@@ -357,12 +373,11 @@ mod tests {
         let applied = tactic.apply(&f, &hw, &mut p).unwrap();
         assert!(applied >= 1);
         // The searched partition must beat the replicated baseline.
-        let program = partir_spmd::lower(&f, &p).unwrap().fused().unwrap();
-        let report = Simulator::new(&hw, SimConfig::default())
-            .simulate(program.func())
-            .unwrap();
-        let base = Simulator::new(&hw, SimConfig::default()).simulate(&f).unwrap();
-        assert!(report.runtime_s < base.runtime_s);
+        let searched = partir_sim::evaluate(&f, &p, &hw).unwrap();
+        let replicated =
+            partir_sim::evaluate(&f, &Partitioning::new(&f, hw.mesh.clone()).unwrap(), &hw)
+                .unwrap();
+        assert!(searched.sim.runtime_s < replicated.sim.runtime_s);
     }
 
     #[test]
@@ -380,6 +395,34 @@ mod tests {
             format!("{p:?}")
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn cache_is_transparent_to_the_search() {
+        // Identical seed, cache on vs off: the chosen schedule, final
+        // state and cost must match exactly — the cache may only change
+        // how often the simulator runs, never what the search sees.
+        let f = chain();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let run = |cache: &EvalCache| {
+            let mut p = Partitioning::new(&f, mesh.clone()).unwrap();
+            let applied = AutomaticPartition::new("auto", ["B"])
+                .with_budget(32)
+                .with_seed(11)
+                .apply_with_cache(&f, &hw, &mut p, cache)
+                .unwrap();
+            (applied, format!("{p:?}"), p.fingerprint())
+        };
+        let cached = EvalCache::new();
+        let uncached = EvalCache::disabled();
+        assert_eq!(run(&cached), run(&uncached));
+        // The transposition table actually deduplicated work.
+        let (c, u) = (cached.stats(), uncached.stats());
+        assert!(c.hits > 0, "no transpositions hit: {c:?}");
+        assert_eq!(u.hits, 0);
+        assert!(c.misses < u.misses);
+        assert!(c.hit_rate() > 0.0);
     }
 
     #[test]

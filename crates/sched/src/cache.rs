@@ -1,0 +1,179 @@
+//! The evaluation cache: a fingerprint-keyed transposition table over
+//! [`partir_sim::evaluate`].
+//!
+//! MCTS revisits partitioning states constantly — different action
+//! orders reach the same state, rollouts re-score states the tree
+//! already expanded, and `partir_jit`'s per-tactic metadata re-evaluates
+//! states the search just scored. All of those share one [`EvalCache`],
+//! keyed by [`Partitioning::fingerprint`], so each distinct state is
+//! lowered and simulated exactly once per schedule run.
+//!
+//! The cache uses interior mutability so a single `&EvalCache` can be
+//! threaded through the recursive search without infecting it with
+//! `&mut` plumbing. It is not thread-safe; searches are single-threaded.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use partir_core::Partitioning;
+use partir_ir::{Fingerprint, Func};
+use partir_mesh::HardwareConfig;
+use partir_sim::{evaluate, Evaluation};
+
+use crate::SchedError;
+
+/// Hit/miss counters of an [`EvalCache`], surfaced in search reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that ran the lower+simulate pipeline.
+    pub misses: u64,
+    /// Distinct fingerprints stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Fingerprint-keyed memoisation of `evaluate(func, part, hw)`.
+///
+/// One cache is only valid for a single `(func, hw)` pair — the
+/// fingerprint covers the function and mesh but not the hardware's
+/// bandwidth/FLOPS numbers. `partir_jit` creates one per run.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    entries: RefCell<HashMap<Fingerprint, Evaluation>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    /// A disabled cache evaluates every request afresh (and counts every
+    /// lookup as a miss) — used to validate that caching never changes
+    /// search results.
+    enabled: bool,
+}
+
+impl EvalCache {
+    /// An empty, enabled cache.
+    pub fn new() -> Self {
+        EvalCache {
+            entries: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            enabled: true,
+        }
+    }
+
+    /// A cache that never stores or returns entries. Searches run with a
+    /// disabled cache must produce byte-identical results to cached runs.
+    pub fn disabled() -> Self {
+        EvalCache {
+            enabled: false,
+            ..EvalCache::new()
+        }
+    }
+
+    /// Evaluates `part`, answering from the cache when the fingerprint
+    /// was seen before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering/simulation failures (cache misses only).
+    pub fn evaluate(
+        &self,
+        func: &Func,
+        part: &Partitioning,
+        hw: &HardwareConfig,
+    ) -> Result<Evaluation, SchedError> {
+        if !self.enabled {
+            self.misses.set(self.misses.get() + 1);
+            return Ok(evaluate(func, part, hw)?);
+        }
+        let key = part.fingerprint();
+        if let Some(hit) = self.entries.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return Ok(*hit);
+        }
+        let eval = evaluate(func, part, hw)?;
+        self.misses.set(self.misses.get() + 1);
+        self.entries.borrow_mut().insert(key, eval);
+        Ok(eval)
+    }
+
+    /// Current hit/miss/entry counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            entries: self.entries.borrow().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{FuncBuilder, TensorType};
+    use partir_mesh::Mesh;
+
+    fn setup() -> (Func, Partitioning, HardwareConfig) {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([64, 16]));
+        let w = b.param("w", TensorType::f32([16, 16]));
+        let y = b.matmul(x, w).unwrap();
+        let f = b.build([y]).unwrap();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let p = Partitioning::new(&f, mesh).unwrap();
+        (f, p, hw)
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let (f, p, hw) = setup();
+        let cache = EvalCache::new();
+        let a = cache.evaluate(&f, &p, &hw).unwrap();
+        let b = cache.evaluate(&f, &p, &hw).unwrap();
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_states_occupy_distinct_entries() {
+        let (f, p, hw) = setup();
+        let cache = EvalCache::new();
+        cache.evaluate(&f, &p, &hw).unwrap();
+        let mut q = p.clone();
+        let x = f.params()[0];
+        q.tile(&f, x, 0, &"B".into()).unwrap();
+        q.propagate(&f);
+        cache.evaluate(&f, &q, &hw).unwrap();
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_but_agrees() {
+        let (f, p, hw) = setup();
+        let cached = EvalCache::new();
+        let uncached = EvalCache::disabled();
+        let a = cached.evaluate(&f, &p, &hw).unwrap();
+        let b = uncached.evaluate(&f, &p, &hw).unwrap();
+        let c = uncached.evaluate(&f, &p, &hw).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(uncached.stats().hits, 0);
+        assert_eq!(uncached.stats().misses, 2);
+        assert_eq!(uncached.stats().entries, 0);
+    }
+}

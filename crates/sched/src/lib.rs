@@ -45,12 +45,14 @@
 //! ```
 
 mod auto;
+mod cache;
 mod dsl;
 mod error;
 mod schedule;
 mod tactic;
 
 pub use auto::AutomaticPartition;
+pub use cache::{CacheStats, EvalCache};
 pub use dsl::parse_schedule;
 pub use error::SchedError;
 pub use schedule::{partir_jit, partir_jit_single_tactic, Jitted, Schedule, TacticReport};

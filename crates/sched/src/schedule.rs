@@ -5,10 +5,10 @@ use std::time::{Duration, Instant};
 use partir_core::Partitioning;
 use partir_ir::Func;
 use partir_mesh::HardwareConfig;
-use partir_sim::{SimConfig, SimReport, Simulator};
+use partir_sim::SimReport;
 use partir_spmd::{lower, CollectiveStats, SpmdProgram};
 
-use crate::{SchedError, Tactic};
+use crate::{CacheStats, EvalCache, SchedError, Tactic};
 
 /// An ordered list of tactics.
 #[derive(Debug, Clone, Default)]
@@ -77,6 +77,10 @@ pub struct Jitted {
     /// Total wall-clock spent partitioning (excludes the per-tactic
     /// lowering done only to produce metadata).
     pub partition_time: Duration,
+    /// Evaluation-cache counters for the run: automatic tactics and the
+    /// per-tactic metadata evaluations share one cache, so states the
+    /// search already scored are never lowered or simulated twice.
+    pub cache: CacheStats,
 }
 
 /// Applies `schedule` to `func` and lowers the result — the equivalent of
@@ -93,26 +97,29 @@ pub fn partir_jit(
     let mut part = Partitioning::new(func, hw.mesh.clone())?;
     let mut reports = Vec::with_capacity(schedule.tactics().len());
     let mut partition_time = Duration::ZERO;
+    // One evaluation cache for the whole run: searches use it as their
+    // transposition table, and the per-tactic metadata evaluation below
+    // hits it for any state a search already scored.
+    let cache = EvalCache::new();
     for tactic in schedule.tactics() {
         let start = Instant::now();
         let actions = match tactic {
             Tactic::Manual(m) => m.apply(func, &mut part)?,
-            Tactic::Auto(a) => a.apply(func, hw, &mut part)?,
+            Tactic::Auto(a) => a.apply_with_cache(func, hw, &mut part, &cache)?,
         };
         let report = part.propagate(func);
         let spent = start.elapsed();
         partition_time += spent;
-        // Metadata lowering: collective counts + simulator estimates as of
-        // this tactic (the user-facing incremental feedback).
-        let program = lower(func, &part)?.fused()?;
-        let sim = Simulator::new(hw, SimConfig::default()).simulate(program.func())?;
+        // Metadata evaluation: collective counts + simulator estimates as
+        // of this tactic (the user-facing incremental feedback).
+        let eval = cache.evaluate(func, &part, hw)?;
         reports.push(TacticReport {
             tactic: tactic.name().to_string(),
             actions,
             rewrites: report.applied,
             conflicts: report.conflicts.len(),
-            stats: program.stats(),
-            sim,
+            stats: eval.stats,
+            sim: eval.sim,
             partition_time: spent,
         });
     }
@@ -124,6 +131,7 @@ pub fn partir_jit(
         partitioning: part,
         reports,
         partition_time,
+        cache: cache.stats(),
     })
 }
 
@@ -155,9 +163,9 @@ pub fn partir_jit_single_tactic(
     }
     let report = part.propagate(func);
     let spent = start.elapsed();
+    let cache = EvalCache::new();
+    let eval = cache.evaluate(func, &part, hw)?;
     let program = lower(func, &part)?.fused()?;
-    let sim = Simulator::new(hw, SimConfig::default()).simulate(program.func())?;
-    let stats = program.stats();
     Ok(Jitted {
         program,
         partitioning: part,
@@ -166,11 +174,12 @@ pub fn partir_jit_single_tactic(
             actions,
             rewrites: report.applied,
             conflicts: report.conflicts.len(),
-            stats,
-            sim,
+            stats: eval.stats,
+            sim: eval.sim,
             partition_time: spent,
         }],
         partition_time: spent,
+        cache: cache.stats(),
     })
 }
 

@@ -1,0 +1,121 @@
+//! The single evaluation entry point of the pipeline: lower a
+//! partitioning to its device-local program, fuse collectives, and
+//! simulate the result.
+//!
+//! Search tactics (`partir-sched`) and benchmarks previously each glued
+//! `partir_spmd::lower` + `fused` + [`Simulator::simulate`] together by
+//! hand; [`evaluate`] is now the one place that composition lives, and
+//! the unit whose results the search's evaluation cache memoises (keyed
+//! by [`partir_core::Partitioning::fingerprint`]).
+
+use partir_core::Partitioning;
+use partir_ir::{Func, IrError};
+use partir_mesh::HardwareConfig;
+use partir_spmd::CollectiveStats;
+
+use crate::{SimConfig, SimReport, Simulator};
+
+/// Everything the pipeline knows about one partitioning of one function
+/// on one machine: the simulator's estimates plus the collective mix of
+/// the fused program.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Evaluation {
+    /// Simulated runtime/compute/comm/memory of the device-local program.
+    pub sim: SimReport,
+    /// Collective counts of the fused program.
+    pub stats: CollectiveStats,
+}
+
+impl Evaluation {
+    /// The scalar objective searches minimise: estimated runtime with a
+    /// multiplicative penalty once peak memory exceeds device HBM (the
+    /// paper's "penalizes models that exceed device memory limits").
+    pub fn cost(&self, hw: &HardwareConfig) -> f64 {
+        let mem = self.sim.peak_memory_bytes as f64;
+        let cap = hw.device.hbm_bytes as f64;
+        let penalty = if mem > cap { 10.0 * (mem / cap) } else { 1.0 };
+        self.sim.runtime_s * penalty
+    }
+}
+
+/// Lowers `func` under `part`, fuses collectives, and simulates the
+/// device-local program on `hw` with the default [`SimConfig`].
+///
+/// # Errors
+///
+/// Fails if lowering or simulation fails — both indicate a bug (an
+/// inconsistent partitioning or unsupported op), not a merely bad
+/// partitioning.
+pub fn evaluate(
+    func: &Func,
+    part: &Partitioning,
+    hw: &HardwareConfig,
+) -> Result<Evaluation, IrError> {
+    evaluate_with(func, part, hw, SimConfig::default())
+}
+
+/// [`evaluate`] with an explicit simulator configuration.
+///
+/// # Errors
+///
+/// Same failure modes as [`evaluate`].
+pub fn evaluate_with(
+    func: &Func,
+    part: &Partitioning,
+    hw: &HardwareConfig,
+    config: SimConfig,
+) -> Result<Evaluation, IrError> {
+    let program = partir_spmd::lower(func, part)?.fused()?;
+    let stats = program.stats();
+    let sim = Simulator::new(hw, config).simulate(program.func())?;
+    Ok(Evaluation { sim, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{FuncBuilder, TensorType};
+    use partir_mesh::Mesh;
+
+    fn matmul() -> (Func, partir_ir::ValueId) {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([256, 64]));
+        let w = b.param("w", TensorType::f32([64, 64]));
+        let y = b.matmul(x, w).unwrap();
+        (b.build([y]).unwrap(), x)
+    }
+
+    #[test]
+    fn evaluate_matches_manual_composition() {
+        let (f, x) = matmul();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.propagate(&f);
+
+        let eval = evaluate(&f, &p, &hw).unwrap();
+        let program = partir_spmd::lower(&f, &p).unwrap().fused().unwrap();
+        let report = Simulator::new(&hw, SimConfig::default())
+            .simulate(program.func())
+            .unwrap();
+        assert_eq!(eval.sim, report);
+        assert_eq!(eval.stats, program.stats());
+        // Pure data parallelism over one matmul needs no collectives.
+        assert_eq!(eval.stats.total(), 0);
+    }
+
+    #[test]
+    fn cost_penalises_out_of_memory() {
+        let (f, _) = matmul();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let p = Partitioning::new(&f, mesh).unwrap();
+        let eval = evaluate(&f, &p, &hw).unwrap();
+        assert!(eval.cost(&hw) > 0.0);
+
+        let mut tiny = hw.clone();
+        tiny.device.hbm_bytes = 1;
+        assert!(eval.cost(&tiny) > 10.0 * eval.cost(&hw));
+    }
+}

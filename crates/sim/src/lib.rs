@@ -40,11 +40,13 @@
 //! ```
 
 mod cost;
+mod evaluate;
 pub mod event;
 mod flops;
 mod memory;
 
 pub use cost::{collective_time, SimConfig, Simulator};
+pub use evaluate::{evaluate, evaluate_with, Evaluation};
 pub use flops::{func_flops, op_flops};
 pub use memory::peak_memory_bytes;
 

@@ -4,13 +4,12 @@
 //! the executable analogue of the paper's lowering-correctness proof —
 //! and fusion must never *increase* communication.
 
-use proptest::prelude::*;
-
 use partir_core::Partitioning;
 use partir_ir::{
     interp::interpret, BinaryOp, Func, FuncBuilder, Literal, TensorType, UnaryOp, ValueId,
 };
 use partir_mesh::Mesh;
+use partir_prng::{propcheck::check, Rng};
 use partir_spmd::lower;
 
 const N: usize = 8;
@@ -25,43 +24,37 @@ enum Step {
     Concat(usize, usize),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (
-            prop_oneof![Just(UnaryOp::Tanh), Just(UnaryOp::Neg), Just(UnaryOp::Exp)],
-            any::<prop::sample::Index>()
-        )
-            .prop_map(|(u, i)| Step::Unary(u, i.index(64))),
-        (
-            prop_oneof![
-                Just(BinaryOp::Add),
-                Just(BinaryOp::Sub),
-                Just(BinaryOp::Mul),
-                Just(BinaryOp::Min)
-            ],
-            any::<prop::sample::Index>(),
-            any::<prop::sample::Index>()
-        )
-            .prop_map(|(b, i, j)| Step::Binary(b, i.index(64), j.index(64))),
-        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(i, j)| Step::Matmul(i.index(64), j.index(64))),
-        any::<prop::sample::Index>().prop_map(|i| Step::Transpose(i.index(64))),
-        any::<prop::sample::Index>().prop_map(|i| Step::ColMaxBroadcast(i.index(64))),
-        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(i, j)| Step::Concat(i.index(64), j.index(64))),
-    ]
+fn gen_step(rng: &mut Rng) -> Step {
+    match rng.gen_range(6) {
+        0 => {
+            let u = *rng.choose(&[UnaryOp::Tanh, UnaryOp::Neg, UnaryOp::Exp]);
+            Step::Unary(u, rng.gen_range(64))
+        }
+        1 => {
+            let b = *rng.choose(&[BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Min]);
+            Step::Binary(b, rng.gen_range(64), rng.gen_range(64))
+        }
+        2 => Step::Matmul(rng.gen_range(64), rng.gen_range(64)),
+        3 => Step::Transpose(rng.gen_range(64)),
+        4 => Step::ColMaxBroadcast(rng.gen_range(64)),
+        _ => Step::Concat(rng.gen_range(64), rng.gen_range(64)),
+    }
 }
 
 type Action = (usize, usize, usize, bool);
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    (
-        any::<prop::sample::Index>(),
-        0usize..2,
-        0usize..2,
-        prop::bool::weighted(0.15),
-    )
-        .prop_map(|(v, d, a, at)| (v.index(64), d, a, at))
+fn gen_actions(rng: &mut Rng) -> Vec<Action> {
+    let len = rng.gen_range(6);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(64),
+                rng.gen_range(2),
+                rng.gen_range(2),
+                rng.gen_bool(0.15),
+            )
+        })
+        .collect()
 }
 
 fn build_program(steps: &[Step]) -> (Func, Vec<ValueId>) {
@@ -93,34 +86,27 @@ fn build_program(steps: &[Step]) -> (Func, Vec<ValueId>) {
     (func, pool)
 }
 
-fn inputs_for(func: &Func, seed: u64) -> Vec<Literal> {
-    let mut state = seed | 1;
+fn inputs_for(func: &Func, rng: &mut Rng) -> Vec<Literal> {
     func.params()
         .iter()
         .map(|&p| {
             let ty = func.value_type(p);
             let data: Vec<f32> = (0..ty.shape.num_elements())
-                .map(|_| {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
-                })
+                .map(|_| rng.unit_f32())
                 .collect();
             Literal::from_f32(data, ty.shape.clone()).unwrap()
         })
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn spmd_execution_matches_reference(
-        steps in prop::collection::vec(step_strategy(), 1..10),
-        actions in prop::collection::vec(action_strategy(), 0..6),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn spmd_execution_matches_reference() {
+    check("spmd execution matches reference", 48, |rng| {
+        let steps: Vec<Step> = {
+            let len = rng.gen_range_in(1, 10);
+            (0..len).map(|_| gen_step(rng)).collect()
+        };
+        let actions = gen_actions(rng);
         let (func, pool) = build_program(&steps);
         let mesh = Mesh::new([("a", 2), ("b", 2)]).unwrap();
         let axes = [partir_mesh::Axis::new("a"), partir_mesh::Axis::new("b")];
@@ -135,7 +121,7 @@ proptest! {
             part.propagate(&func);
         }
 
-        let inputs = inputs_for(&func, seed);
+        let inputs = inputs_for(&func, rng);
         let reference = interpret(&func, &inputs).unwrap();
         let scale = reference[0]
             .as_f32()
@@ -149,7 +135,10 @@ proptest! {
 
         // Unfused execution matches.
         let unfused = program.execute_global(&inputs).unwrap();
-        prop_assert!(reference[0].max_abs_diff(&unfused[0]).unwrap() <= 1e-4 * scale);
+        let diff = reference[0].max_abs_diff(&unfused[0]).unwrap();
+        if diff > 1e-4 * scale {
+            return Err(format!("unfused diff {diff} at scale {scale}"));
+        }
 
         // Fusion preserves semantics and never makes communication more
         // expensive (op *count* may grow when a multi-axis all_reduce
@@ -158,14 +147,17 @@ proptest! {
         let fused = program.fused().unwrap();
         partir_ir::verify::verify_func(fused.func(), Some(fused.mesh())).unwrap();
         let fused_out = fused.execute_global(&inputs).unwrap();
-        prop_assert!(reference[0].max_abs_diff(&fused_out[0]).unwrap() <= 1e-4 * scale);
+        let diff = reference[0].max_abs_diff(&fused_out[0]).unwrap();
+        if diff > 1e-4 * scale {
+            return Err(format!("fused diff {diff} at scale {scale}"));
+        }
         let hw = partir_mesh::HardwareConfig::tpu_v3_pod(program.mesh().clone());
         let sim = partir_sim::Simulator::new(&hw, partir_sim::SimConfig::default());
         let unfused_comm = sim.simulate(program.func()).unwrap().comm_s;
         let fused_comm = sim.simulate(fused.func()).unwrap().comm_s;
-        prop_assert!(
-            fused_comm <= unfused_comm + 1e-12,
-            "fused {fused_comm} > unfused {unfused_comm}"
-        );
-    }
+        if fused_comm > unfused_comm + 1e-12 {
+            return Err(format!("fused {fused_comm} > unfused {unfused_comm}"));
+        }
+        Ok(())
+    });
 }
