@@ -301,6 +301,41 @@ fn grad_of_select_and_softmax_composition() {
 }
 
 #[test]
+fn grad_of_mlp_loss_end_to_end() {
+    // A complete two-layer MLP with MSE loss — the composition the
+    // model-zoo training steps are built from. Checks every parameter's
+    // gradient (input, weights, biases, targets) against central
+    // differences, covering the dot_general, reduce, broadcast and
+    // elementwise (tanh, sub, mul) VJP rules interacting in one graph.
+    check_gradients(
+        &[
+            t(&[2, 3]), // x
+            t(&[3, 4]), // W1
+            t(&[4]),    // b1
+            t(&[4, 2]), // W2
+            t(&[2]),    // b2
+            t(&[2, 2]), // target
+        ],
+        |b, p| {
+            let h = b.matmul(p[0], p[1])?;
+            let bias1 = b.broadcast_in_dim(p[2], [2, 4], vec![1])?;
+            let pre = b.add(h, bias1)?;
+            let act = b.unary(UnaryOp::Tanh, pre)?;
+            let out = b.matmul(act, p[3])?;
+            let bias2 = b.broadcast_in_dim(p[4], [2, 2], vec![1])?;
+            let pred = b.add(out, bias2)?;
+            let err = b.sub(pred, p[5])?;
+            let sq = b.mul(err, err)?;
+            let total = b.reduce_sum(sq, vec![0, 1])?;
+            // Mean over the 4 output elements.
+            let quarter = b.const_f32(0.25)?;
+            b.mul(total, quarter)
+        },
+        2e-2,
+    );
+}
+
+#[test]
 fn unused_parameter_gets_zero_gradient() {
     let func = build_with_grads(&[t(&[2]), t(&[2])], |b, p| {
         let sq = b.mul(p[0], p[0])?;

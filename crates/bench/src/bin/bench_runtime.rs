@@ -1,0 +1,91 @@
+//! Threaded-runtime benchmark: wall time of the concurrent
+//! message-passing runtime vs the lockstep interpreter on model-zoo
+//! schedules, with the executed per-axis traffic (bytes, messages,
+//! rendezvous waits) and its agreement with the static prediction.
+//!
+//! Writes machine-readable results to `BENCH_runtime.json` in the
+//! current directory (and prints the usual aligned table; `--json`
+//! prints the rows as JSON too).
+//!
+//! Run with: `cargo run --release -p partir-bench --bin bench_runtime`
+
+use std::time::Instant;
+
+use partir_bench::{emit, rows_to_json, tpu_mesh, Row};
+use partir_core::Partitioning;
+use partir_mesh::HardwareConfig;
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_models::{mlp::MlpConfig, transformer::TransformerConfig, BuiltModel};
+use partir_sched::partir_jit;
+use partir_spmd::{RuntimeConfig, SpmdProgram};
+
+/// Times one closure, returning (seconds, result).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Benchmarks one lowered program: lockstep vs threaded execution.
+fn bench_program(model: &BuiltModel, program: &SpmdProgram, name: &str, schedule: &str) -> Row {
+    let inputs = partir_models::synthetic_inputs(model, 99);
+    let (lockstep_s, lockstep) = timed(|| program.execute_global(&inputs).expect("lockstep"));
+    let (threaded_s, out) = timed(|| {
+        program
+            .execute_global_threaded(&inputs, &RuntimeConfig::default())
+            .expect("threaded")
+    });
+    let (threaded, stats) = out;
+    assert_eq!(threaded, lockstep, "{name}/{schedule}: runtimes disagree");
+    let predicted = program.predicted_traffic().expect("prediction");
+    Row::new("runtime", name, schedule)
+        .metric("devices", program.mesh().num_devices() as f64)
+        .metric("lockstep_ms", lockstep_s * 1e3)
+        .metric("threaded_ms", threaded_s * 1e3)
+        .metric("speedup", lockstep_s / threaded_s.max(1e-12))
+        .metric("bytes", stats.total_bytes() as f64)
+        .metric("messages", stats.total_messages() as f64)
+        .metric("rendezvous_waits", stats.rendezvous_waits as f64)
+        .metric(
+            "matches_prediction",
+            f64::from(u8::from(stats.matches_prediction(&predicted))),
+        )
+}
+
+/// The MLP step with batch-tiled data and a Megatron-sharded layer.
+fn mlp_program(hw: &HardwareConfig) -> (BuiltModel, SpmdProgram) {
+    let model = partir_models::mlp::build_train_step(&MlpConfig::small()).expect("model");
+    let mut part = Partitioning::new(&model.func, hw.mesh.clone()).expect("state");
+    let params = model.func.params().to_vec();
+    part.tile(&model.func, params[0], 0, &BATCH.into()).expect("tile");
+    part.tile(&model.func, params[2], 1, &MODEL.into()).expect("tile");
+    part.propagate(&model.func);
+    let program = partir_spmd::lower(&model.func, &part)
+        .expect("lower")
+        .fused()
+        .expect("fuse");
+    (model, program)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    for (b, m) in [(2usize, 2usize), (4, 2)] {
+        let hw = tpu_mesh(b, m);
+        let (model, program) = mlp_program(&hw);
+        rows.push(bench_program(&model, &program, "MLP", &format!("mm {b}x{m}")));
+    }
+
+    let transformer =
+        partir_models::transformer::build_train_step(&TransformerConfig::tiny()).expect("model");
+    let hw = tpu_mesh(2, 2);
+    for (name, schedule) in schedules::transformer_table2() {
+        let jitted = partir_jit(&transformer.func, &hw, &schedule).expect("jit");
+        rows.push(bench_program(&transformer, &jitted.program, "T-tiny", name));
+    }
+
+    emit(&rows);
+    let json = rows_to_json(&rows);
+    std::fs::write("BENCH_runtime.json", format!("{json}\n")).expect("write BENCH_runtime.json");
+    eprintln!("wrote BENCH_runtime.json");
+}

@@ -2,8 +2,10 @@
 //!
 //! Round-tripping programs through text makes golden tests robust and
 //! gives the crate a self-contained serialisation format for simple
-//! (region- and collective-free) functions — the subset the paper's
-//! listings use.
+//! (region-free) functions — the subset the paper's listings use.
+//! Collectives (`all_reduce <"M"> …`, `all_gather [{"B"}, {}] …`, …)
+//! parse too, but their result types are inferred from mesh axis sizes,
+//! so they need [`parse_func_with_mesh`].
 //!
 //! # Examples
 //!
@@ -24,9 +26,11 @@
 
 use std::collections::HashMap;
 
+use partir_mesh::{Axis, Mesh};
+
 use crate::{
-    BinaryOp, CompareDir, DType, FuncBuilder, IrError, ReduceOp, Shape, TensorType, UnaryOp,
-    ValueId,
+    BinaryOp, Collective, CompareDir, DType, FuncBuilder, IrError, ReduceOp, Shape, TensorType,
+    UnaryOp, ValueId,
 };
 
 /// Parses a function printed by [`crate::print::print_func`].
@@ -34,20 +38,46 @@ use crate::{
 /// Supported subset: parameters, the structural/elementwise op set with
 /// default attributes (the attribute-bearing forms the printer emits for
 /// transpose/reduce/slice/… are parsed where the attribute text is
-/// unambiguous), and a final `return`. `for` regions and collectives are
-/// not supported.
+/// unambiguous), and a final `return`. `for` regions are not supported.
+/// Collective lines need a mesh for type inference — use
+/// [`parse_func_with_mesh`] for device-local SPMD programs.
 ///
 /// # Errors
 ///
 /// Returns [`IrError::Invalid`] with a line-referenced message on
 /// malformed input.
 pub fn parse_func(text: &str) -> Result<crate::Func, IrError> {
+    parse_func_impl(text, None)
+}
+
+/// Parses a device-local SPMD program printed by
+/// [`crate::print::print_func`], resolving collective result types
+/// against `mesh`.
+///
+/// This is the inverse of printing for everything `partir_spmd::lower`
+/// emits except `for` regions. The printer drops the reduction monoid of
+/// `all_reduce`/`reduce_scatter`, so those parse as [`ReduceOp::Sum`] —
+/// re-printing is still textually identical.
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] with a line-referenced message on
+/// malformed input, and shape errors when a collective does not divide
+/// evenly over the mesh axes.
+pub fn parse_func_with_mesh(text: &str, mesh: Mesh) -> Result<crate::Func, IrError> {
+    parse_func_impl(text, Some(mesh))
+}
+
+fn parse_func_impl(text: &str, mesh: Option<Mesh>) -> Result<crate::Func, IrError> {
     let mut lines = text.lines().enumerate().peekable();
     let (_, header) = lines
         .next()
         .ok_or_else(|| IrError::invalid("empty input"))?;
     let (name, params) = parse_header(header)?;
-    let mut b = FuncBuilder::new(name);
+    let mut b = match mesh {
+        Some(m) => FuncBuilder::with_mesh(name, m),
+        None => FuncBuilder::new(name),
+    };
     let mut env: HashMap<String, ValueId> = HashMap::new();
     for (pname, ty) in params {
         let v = b.param(pname.clone(), ty);
@@ -167,6 +197,15 @@ fn parse_op_line(
         Some((body, _ty)) => body.trim(),
         None => rhs,
     };
+    // Collectives print without parentheses: `all_reduce <"M"> %x`.
+    if let Some((kw, rest)) = body.split_once(' ') {
+        if COLLECTIVE_KEYWORDS.contains(&kw) {
+            let result = build_collective(b, kw, rest.trim(), env, lineno)?;
+            b.set_name(result, result_name.clone());
+            env.insert(result_name, result);
+            return Ok(());
+        }
+    }
     // `op {attrs} (args)` or `op(args)`.
     let open = body
         .find('(')
@@ -223,6 +262,147 @@ fn parse_usize_list(text: &str) -> Result<Vec<usize>, IrError> {
                 .map_err(|_| IrError::invalid(format!("bad number {p:?}")))
         })
         .collect()
+}
+
+const COLLECTIVE_KEYWORDS: &[&str] = &[
+    "all_reduce",
+    "all_gather",
+    "all_slice",
+    "reduce_scatter",
+    "all_to_all",
+];
+
+/// Splits `<open>inner<close> rest` into `(inner, rest)`.
+///
+/// Axis names never contain bracket characters, so the first `close` is
+/// always the matching one.
+fn split_bracketed(
+    text: &str,
+    open: char,
+    close: char,
+    lineno: usize,
+) -> Result<(&str, &str), IrError> {
+    let inner = text
+        .strip_prefix(open)
+        .ok_or_else(|| err(lineno, format!("expected `{open}`")))?;
+    let end = inner
+        .find(close)
+        .ok_or_else(|| err(lineno, format!("missing `{close}`")))?;
+    Ok((&inner[..end], inner[end + close.len_utf8()..].trim_start()))
+}
+
+/// Parses `"B", "M"` (possibly empty) into axes.
+fn parse_axis_names(text: &str, lineno: usize) -> Result<Vec<Axis>, IrError> {
+    if text.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .strip_prefix('"')
+                .and_then(|p| p.strip_suffix('"'))
+                .map(Axis::new)
+                .ok_or_else(|| err(lineno, format!("bad axis {part:?}")))
+        })
+        .collect()
+}
+
+/// Parses `[{"B"}, {}, {"a", "b"}]` into per-dimension axis lists.
+fn parse_dim_axes(text: &str, lineno: usize) -> Result<Vec<Vec<Axis>>, IrError> {
+    let mut rest = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(lineno, format!("bad dim-axes list {text:?}")))?
+        .trim();
+    let mut out = Vec::new();
+    while !rest.is_empty() {
+        let (inner, tail) = split_bracketed(rest, '{', '}', lineno)?;
+        out.push(parse_axis_names(inner, lineno)?);
+        rest = tail.strip_prefix(',').unwrap_or(tail).trim_start();
+    }
+    Ok(out)
+}
+
+/// Resolves a trailing `%name` operand.
+fn resolve_operand(
+    text: &str,
+    env: &HashMap<String, ValueId>,
+    lineno: usize,
+) -> Result<ValueId, IrError> {
+    let vname = text
+        .trim()
+        .strip_prefix('%')
+        .ok_or_else(|| err(lineno, "collective operand missing `%`"))?;
+    env.get(vname)
+        .copied()
+        .ok_or_else(|| err(lineno, format!("unknown value %{vname}")))
+}
+
+/// Builds a collective from its printed form (keyword already split off).
+///
+/// The printer does not record the reduction monoid, so reducing
+/// collectives parse as [`ReduceOp::Sum`].
+fn build_collective(
+    b: &mut FuncBuilder,
+    kw: &str,
+    rest: &str,
+    env: &HashMap<String, ValueId>,
+    lineno: usize,
+) -> Result<ValueId, IrError> {
+    match kw {
+        "all_reduce" => {
+            let (axes_text, operand) = split_bracketed(rest, '<', '>', lineno)?;
+            let axes = parse_axis_names(axes_text, lineno)?;
+            let x = resolve_operand(operand, env, lineno)?;
+            b.collective(
+                Collective::AllReduce {
+                    axes,
+                    reduce: ReduceOp::Sum,
+                },
+                x,
+            )
+        }
+        "all_gather" | "all_slice" | "reduce_scatter" => {
+            let space = rest
+                .rfind(' ')
+                .ok_or_else(|| err(lineno, "collective missing operand"))?;
+            let dim_axes = parse_dim_axes(&rest[..space], lineno)?;
+            let x = resolve_operand(&rest[space + 1..], env, lineno)?;
+            let c = match kw {
+                "all_gather" => Collective::AllGather { dim_axes },
+                "all_slice" => Collective::AllSlice { dim_axes },
+                _ => Collective::ReduceScatter {
+                    dim_axes,
+                    reduce: ReduceOp::Sum,
+                },
+            };
+            b.collective(c, x)
+        }
+        "all_to_all" => {
+            let (dims_text, rest) = split_bracketed(rest, '{', '}', lineno)?;
+            let (src, dst) = dims_text
+                .split_once("->")
+                .ok_or_else(|| err(lineno, "all_to_all dims must be `{src -> dst}`"))?;
+            let parse_dim = |t: &str| {
+                t.trim()
+                    .parse::<usize>()
+                    .map_err(|_| err(lineno, format!("bad all_to_all dim {t:?}")))
+            };
+            let (axes_text, operand) = split_bracketed(rest, '<', '>', lineno)?;
+            let axes = parse_axis_names(axes_text, lineno)?;
+            let x = resolve_operand(operand, env, lineno)?;
+            b.collective(
+                Collective::AllToAll {
+                    src_dim: parse_dim(src)?,
+                    dst_dim: parse_dim(dst)?,
+                    axes,
+                },
+                x,
+            )
+        }
+        other => Err(err(lineno, format!("unknown collective {other:?}"))),
+    }
 }
 
 fn build_op(
@@ -359,6 +539,103 @@ func @main(%x: tensor<256x8xf32>, %w1: tensor<8x16xf32>, %w2: tensor<16x8xf32>) 
         assert_eq!(func.params().len(), 3);
         assert_eq!(func.num_ops(), 2);
         crate::verify::verify_func(&func, None).unwrap();
+    }
+
+    #[test]
+    fn roundtrips_every_collective_with_mesh() {
+        // Chains all five collectives; every printed form must re-parse
+        // and re-print identically. The all_reduce deliberately uses Max
+        // to pin the documented caveat: the printer drops the monoid, the
+        // reparse defaults to Sum, and the *text* still round-trips.
+        let mesh = Mesh::new([("B", 4), ("M", 2)]).unwrap();
+        let mut b = FuncBuilder::with_mesh("spmd", mesh.clone());
+        let x = b.param("x", TensorType::f32([8, 8]));
+        let s = b
+            .collective(
+                Collective::AllSlice {
+                    dim_axes: vec![vec!["B".into()], vec![]],
+                },
+                x,
+            )
+            .unwrap();
+        let r = b
+            .collective(
+                Collective::AllReduce {
+                    axes: vec!["M".into()],
+                    reduce: ReduceOp::Max,
+                },
+                s,
+            )
+            .unwrap();
+        let g = b
+            .collective(
+                Collective::AllGather {
+                    dim_axes: vec![vec!["B".into()], vec![]],
+                },
+                r,
+            )
+            .unwrap();
+        let t = b
+            .collective(
+                Collective::AllToAll {
+                    src_dim: 0,
+                    dst_dim: 1,
+                    axes: vec!["M".into()],
+                },
+                g,
+            )
+            .unwrap();
+        let rs = b
+            .collective(
+                Collective::ReduceScatter {
+                    dim_axes: vec![vec![], vec!["M".into()]],
+                    reduce: ReduceOp::Sum,
+                },
+                t,
+            )
+            .unwrap();
+        let f = b.build([rs]).unwrap();
+        let text = print_func(&f);
+        let parsed = parse_func_with_mesh(&text, mesh).expect("parses");
+        assert_eq!(print_func(&parsed), text, "round-trip mismatch");
+    }
+
+    #[test]
+    fn collectives_need_a_mesh() {
+        let text = "\
+func @f(%x: tensor<4x8xf32>) {
+  %y = all_reduce <\"M\"> %x : tensor<4x8xf32>
+  return %y : tensor<4x8xf32>
+}
+";
+        assert!(parse_func(text).is_err());
+        let mesh = Mesh::new([("M", 2)]).unwrap();
+        let f = parse_func_with_mesh(text, mesh.clone()).expect("parses with mesh");
+        assert_eq!(f.num_ops(), 1);
+        crate::verify::verify_func(&f, Some(&mesh)).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_collectives() {
+        let mesh = Mesh::new([("M", 2)]).unwrap();
+        let bad = |line: &str| {
+            let text = format!(
+                "func @f(%x: tensor<4x8xf32>) {{\n  {line}\n  return %x : tensor<4x8xf32>\n}}\n"
+            );
+            parse_func_with_mesh(&text, mesh.clone()).unwrap_err()
+        };
+        // Unclosed axis list.
+        assert!(bad("%y = all_reduce <\"M\" %x : t").to_string().contains("line 2"));
+        // Unquoted axis.
+        assert!(bad("%y = all_reduce <M> %x : t").to_string().contains("bad axis"));
+        // Missing `->` in all_to_all dims.
+        assert!(bad("%y = all_to_all {0, 1} <\"M\"> %x : t")
+            .to_string()
+            .contains("src -> dst"));
+        // Unknown operand.
+        assert!(bad("%y = all_gather [{\"M\"}, {}] %zz : t")
+            .to_string()
+            .contains("unknown value"));
     }
 
     #[test]

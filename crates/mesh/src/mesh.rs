@@ -206,6 +206,46 @@ impl Mesh {
         }
         Ok(groups)
     }
+
+    /// The devices sharing all coordinates with `device` except along
+    /// `axis`, ordered by their coordinate on `axis` — the group `device`
+    /// communicates with in a single-axis collective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownAxis`] or [`MeshError::DeviceOutOfRange`].
+    pub fn axis_group(&self, device: usize, axis: &Axis) -> Result<Vec<usize>, MeshError> {
+        let idx = self.axis_index(axis)?;
+        let k = self.axes[idx].1;
+        let coords = self.try_coordinates(device)?;
+        let mut peers = Vec::with_capacity(k);
+        for c in 0..k {
+            let mut peer = coords.clone();
+            peer[idx] = c;
+            peers.push(self.device_id(&peer));
+        }
+        Ok(peers)
+    }
+
+    /// The ring neighbours of `device` along `axis`: `(prev, next)` where
+    /// `next` has coordinate `(c + 1) mod k` and `prev` has `(c - 1) mod k`.
+    ///
+    /// Ring collective algorithms send to `next` and receive from `prev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownAxis`] or [`MeshError::DeviceOutOfRange`].
+    pub fn ring_neighbors(&self, device: usize, axis: &Axis) -> Result<(usize, usize), MeshError> {
+        let idx = self.axis_index(axis)?;
+        let k = self.axes[idx].1;
+        let mut coords = self.try_coordinates(device)?;
+        let c = coords[idx];
+        coords[idx] = (c + k - 1) % k;
+        let prev = self.device_id(&coords);
+        coords[idx] = (c + 1) % k;
+        let next = self.device_id(&coords);
+        Ok((prev, next))
+    }
 }
 
 impl fmt::Display for Mesh {
@@ -316,6 +356,29 @@ mod tests {
     #[test]
     fn display_formats_like_paper() {
         assert_eq!(mesh2d().to_string(), "{\"x\": 2, \"y\": 4}");
+    }
+
+    #[test]
+    fn axis_group_matches_collective_groups() {
+        let m = mesh2d();
+        for d in 0..m.num_devices() {
+            let group = m.axis_group(d, &"y".into()).unwrap();
+            assert!(group.contains(&d));
+            let full = m.collective_groups(&["y".into()]).unwrap();
+            assert!(full.contains(&group));
+        }
+        assert!(m.axis_group(0, &"z".into()).is_err());
+        assert!(m.axis_group(99, &"x".into()).is_err());
+    }
+
+    #[test]
+    fn ring_neighbors_wrap_around() {
+        let m = mesh2d();
+        // Along "y" (size 4), device 3 has coordinate 3: next wraps to 0.
+        assert_eq!(m.ring_neighbors(3, &"y".into()).unwrap(), (2, 0));
+        assert_eq!(m.ring_neighbors(0, &"y".into()).unwrap(), (3, 1));
+        // Along "x" (size 2), prev == next.
+        assert_eq!(m.ring_neighbors(0, &"x".into()).unwrap(), (4, 4));
     }
 
     #[test]

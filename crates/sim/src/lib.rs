@@ -44,11 +44,13 @@ mod evaluate;
 pub mod event;
 mod flops;
 mod memory;
+pub mod reconcile;
 
 pub use cost::{collective_time, SimConfig, Simulator};
 pub use evaluate::{evaluate, evaluate_with, Evaluation};
 pub use flops::{func_flops, op_flops};
 pub use memory::peak_memory_bytes;
+pub use reconcile::{reconcile, AxisCheck, Reconciliation};
 
 /// Simulation results for one device-local program.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

@@ -1,0 +1,616 @@
+//! Channel-based collective exchange algorithms for the threaded runtime,
+//! plus an exact traffic predictor the simulator reconciles against.
+//!
+//! Each algorithm is written from the perspective of *one* device and
+//! communicates through the [`Exchange`] trait (implemented by the
+//! runtime's per-device channel endpoints). The algorithms are the
+//! standard hierarchical ones — per mesh axis, in axis order:
+//!
+//! * `all_reduce`: two-phase per axis — scatter chunks to distributed
+//!   roots which fold them *linearly in coordinate order*, then a ring
+//!   all-gather of the reduced chunks. The linear fold order makes the
+//!   result bit-identical to the staged lockstep interpreter.
+//! * `all_gather`: ring — `k-1` steps forwarding the most recently
+//!   received block, then concatenation in coordinate order.
+//! * `reduce_scatter`: per axis, direct exchange of the eventual output
+//!   slices, folded linearly in coordinate order (slicing commutes with
+//!   the elementwise fold, so this too is bit-identical to
+//!   all_reduce-then-slice).
+//! * `all_to_all`: single-axis direct pairwise exchange; multi-axis
+//!   falls back to ring all-gather + local slice.
+//! * `all_slice`: device-local, no communication.
+//!
+//! [`predict_traffic`] mirrors exactly what the algorithms move, byte for
+//! byte and message for message, from types alone — the executable
+//! counterpart of the analytical model's collective formulas, and the
+//! oracle `partir_sim::reconcile` checks [`RuntimeStats`] against.
+//!
+//! [`RuntimeStats`]: crate::runtime::RuntimeStats
+
+use std::collections::BTreeMap;
+
+use partir_ir::{
+    interp::eval_op, Collective, DType, Func, IrError, Literal, OpId, OpKind, ReduceOp,
+    TensorType,
+};
+use partir_mesh::{Axis, Mesh};
+
+use crate::interp::{reduce_binary, slice_chunk};
+use crate::runtime::RuntimeError;
+
+/// Bytes and message count moved over one mesh axis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AxisTraffic {
+    /// Payload bytes sent over links of this axis (summed over devices).
+    pub bytes: u64,
+    /// Messages sent over links of this axis (summed over devices).
+    pub messages: u64,
+}
+
+impl AxisTraffic {
+    /// Accumulates another traffic record.
+    pub fn add(&mut self, other: AxisTraffic) {
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+    }
+}
+
+/// Exact per-axis traffic a program will move under the threaded runtime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficPrediction {
+    /// Per-axis predicted traffic; axes that move no bytes are absent.
+    pub per_axis: BTreeMap<Axis, AxisTraffic>,
+}
+
+impl TrafficPrediction {
+    /// Total predicted bytes over all axes.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_axis.values().map(|t| t.bytes).sum()
+    }
+
+    /// Predicted bytes on one axis (0 if the axis moves nothing).
+    pub fn bytes_on(&self, axis: &Axis) -> u64 {
+        self.per_axis.get(axis).map_or(0, |t| t.bytes)
+    }
+}
+
+/// The communication endpoint one device's collectives run over.
+///
+/// `send` must be non-blocking (the runtime uses unbounded channels);
+/// `recv` blocks until the peer's message arrives or the rendezvous
+/// timeout fires.
+pub(crate) trait Exchange {
+    /// This device's id.
+    fn device(&self) -> usize;
+    /// The mesh the program runs on.
+    fn mesh(&self) -> &Mesh;
+    /// Sends `payload` to `dst`, attributing the traffic to `axis`.
+    fn send(&mut self, dst: usize, axis: &Axis, payload: Literal) -> Result<(), RuntimeError>;
+    /// Receives the next message from `src`, attributing it to `axis`.
+    fn recv(&mut self, src: usize, axis: &Axis) -> Result<Literal, RuntimeError>;
+}
+
+/// Element range of flat chunk `j` of `n` elements split `k` ways.
+///
+/// Chunks are contiguous, near-equal, and cover `0..n` exactly; chunk
+/// sizes differ by at most one and trailing chunks may be empty when
+/// `n < k`. Both the runtime and [`predict_traffic`] use this split, so
+/// executed and predicted traffic agree exactly.
+pub(crate) fn chunk_bounds(n: usize, k: usize, j: usize) -> (usize, usize) {
+    (j * n / k, (j + 1) * n / k)
+}
+
+fn invalid(e: impl std::fmt::Display) -> RuntimeError {
+    RuntimeError::Ir(IrError::invalid(e.to_string()))
+}
+
+/// Runs one collective for one device. `value` is the device-local
+/// operand; the return value is the device-local result.
+pub(crate) fn run_collective<E: Exchange>(
+    c: &Collective,
+    ex: &mut E,
+    value: Literal,
+) -> Result<Literal, RuntimeError> {
+    match c {
+        Collective::AllReduce { axes, reduce } => {
+            let mut val = value;
+            for axis in axes {
+                val = axis_all_reduce(ex, axis, *reduce, val)?;
+            }
+            Ok(val)
+        }
+        Collective::AllSlice { dim_axes } => local_slice(ex, dim_axes, value),
+        Collective::AllGather { dim_axes } => {
+            let mut val = value;
+            for (d, axes) in dim_axes.iter().enumerate() {
+                for axis in axes.iter().rev() {
+                    val = axis_ring_gather(ex, axis, d, val)?;
+                }
+            }
+            Ok(val)
+        }
+        Collective::ReduceScatter { dim_axes, reduce } => {
+            let mut val = value;
+            for axis in c.axes() {
+                let d = dim_axes
+                    .iter()
+                    .position(|axes| axes.contains(&axis))
+                    .expect("axis comes from dim_axes");
+                val = axis_reduce_scatter(ex, &axis, d, *reduce, val)?;
+            }
+            Ok(val)
+        }
+        Collective::AllToAll {
+            src_dim,
+            dst_dim,
+            axes,
+        } => {
+            if let [axis] = axes.as_slice() {
+                return axis_all_to_all(ex, axis, *src_dim, *dst_dim, value);
+            }
+            // Multi-axis: gather src_dim innermost-first, slice dst_dim —
+            // the unfused composition, kept for the rare multi-axis case.
+            let mut val = value;
+            for axis in axes.iter().rev() {
+                val = axis_ring_gather(ex, axis, *src_dim, val)?;
+            }
+            let rank = val.shape().rank();
+            let mut slice_axes = vec![Vec::new(); rank];
+            slice_axes[*dst_dim] = axes.clone();
+            local_slice(ex, &slice_axes, val)
+        }
+    }
+}
+
+/// This device's single-axis group and its position in it.
+fn group_of<E: Exchange>(ex: &E, axis: &Axis) -> Result<(Vec<usize>, usize), RuntimeError> {
+    let group = ex.mesh().axis_group(ex.device(), axis).map_err(invalid)?;
+    let pos = group
+        .iter()
+        .position(|&d| d == ex.device())
+        .expect("device in own group");
+    Ok((group, pos))
+}
+
+/// Extracts flat chunk `j` (1-D) of a literal split `k` ways.
+fn flat_chunk(lit: &Literal, k: usize, j: usize) -> Result<Option<Literal>, RuntimeError> {
+    let n = lit.num_elements();
+    let (start, end) = chunk_bounds(n, k, j);
+    if start == end {
+        return Ok(None);
+    }
+    let chunk = match lit.dtype() {
+        DType::F32 => Literal::from_f32(lit.as_f32()?[start..end].to_vec(), [end - start]),
+        DType::I32 => Literal::from_i32(lit.as_i32()?[start..end].to_vec(), [end - start]),
+        DType::Pred => Literal::from_pred(lit.as_pred()?[start..end].to_vec(), [end - start]),
+        other => Err(IrError::unsupported(format!("chunking dtype {other}"))),
+    }?;
+    Ok(Some(chunk))
+}
+
+/// Reassembles flat chunks (in order, `None` = empty) into `ty`'s shape.
+fn concat_flat(chunks: Vec<Option<Literal>>, ty: &TensorType) -> Result<Literal, RuntimeError> {
+    let lit = match ty.dtype {
+        DType::F32 => {
+            let mut data = Vec::with_capacity(ty.shape.num_elements());
+            for c in chunks.iter().flatten() {
+                data.extend_from_slice(c.as_f32()?);
+            }
+            Literal::from_f32(data, ty.shape.clone())?
+        }
+        DType::I32 => {
+            let mut data = Vec::with_capacity(ty.shape.num_elements());
+            for c in chunks.iter().flatten() {
+                data.extend_from_slice(c.as_i32()?);
+            }
+            Literal::from_i32(data, ty.shape.clone())?
+        }
+        DType::Pred => {
+            let mut data = Vec::with_capacity(ty.shape.num_elements());
+            for c in chunks.iter().flatten() {
+                data.extend_from_slice(c.as_pred()?);
+            }
+            Literal::from_pred(data, ty.shape.clone())?
+        }
+        other => return Err(invalid(format!("concatenating dtype {other}"))),
+    };
+    Ok(lit)
+}
+
+/// Folds `piece` into `acc` (linear, left-to-right).
+fn fold(
+    acc: Option<Literal>,
+    piece: Literal,
+    reduce: ReduceOp,
+) -> Result<Option<Literal>, RuntimeError> {
+    Ok(Some(match acc {
+        None => piece,
+        Some(acc) => {
+            let bin = reduce_binary(reduce);
+            let r = eval_op(&OpKind::Binary(bin), &[&acc, &piece], &acc.ty())?;
+            r.into_iter().next().expect("single result")
+        }
+    }))
+}
+
+/// Two-phase single-axis all-reduce: scatter-reduce to distributed roots
+/// (root `j` folds chunk `j` linearly in coordinate order), then a ring
+/// all-gather of the reduced chunks.
+fn axis_all_reduce<E: Exchange>(
+    ex: &mut E,
+    axis: &Axis,
+    reduce: ReduceOp,
+    val: Literal,
+) -> Result<Literal, RuntimeError> {
+    let (group, my_pos) = group_of(ex, axis)?;
+    let k = group.len();
+    if k == 1 {
+        return Ok(val);
+    }
+    let n = val.num_elements();
+    let ty = val.ty();
+
+    // Phase 1: every member sends chunk j to root j = group[j]; roots
+    // fold incoming chunks in group (coordinate) order.
+    for (j, &root) in group.iter().enumerate() {
+        if j == my_pos {
+            continue;
+        }
+        if let Some(chunk) = flat_chunk(&val, k, j)? {
+            ex.send(root, axis, chunk)?;
+        }
+    }
+    let mut acc: Option<Literal> = None;
+    if chunk_bounds(n, k, my_pos).0 < chunk_bounds(n, k, my_pos).1 {
+        for (m, &member) in group.iter().enumerate() {
+            let piece = if m == my_pos {
+                flat_chunk(&val, k, my_pos)?.expect("own chunk is non-empty")
+            } else {
+                ex.recv(member, axis)?
+            };
+            acc = fold(acc, piece, reduce)?;
+        }
+    }
+
+    // Phase 2: ring all-gather of the reduced chunks. At step s each
+    // device forwards the chunk originated at position (pos - s) mod k
+    // and receives the one originated at (pos - 1 - s) mod k.
+    let next = group[(my_pos + 1) % k];
+    let prev = group[(my_pos + k - 1) % k];
+    let mut reduced: Vec<Option<Literal>> = vec![None; k];
+    reduced[my_pos] = acc;
+    for s in 0..k - 1 {
+        let send_origin = (my_pos + k - s % k) % k;
+        if let Some(chunk) = &reduced[send_origin] {
+            ex.send(next, axis, chunk.clone())?;
+        }
+        let recv_origin = (my_pos + 2 * k - 1 - s % k) % k;
+        let (lo, hi) = chunk_bounds(n, k, recv_origin);
+        if lo < hi {
+            reduced[recv_origin] = Some(ex.recv(prev, axis)?);
+        }
+    }
+    concat_flat(reduced, &ty)
+}
+
+/// Ring all-gather along one axis in dimension `dim`: `k-1` forwarding
+/// steps, then concatenation in coordinate order.
+fn axis_ring_gather<E: Exchange>(
+    ex: &mut E,
+    axis: &Axis,
+    dim: usize,
+    val: Literal,
+) -> Result<Literal, RuntimeError> {
+    let (group, my_pos) = group_of(ex, axis)?;
+    let k = group.len();
+    if k == 1 {
+        return Ok(val);
+    }
+    let next = group[(my_pos + 1) % k];
+    let prev = group[(my_pos + k - 1) % k];
+    let mut blocks: Vec<Option<Literal>> = vec![None; k];
+    blocks[my_pos] = Some(val);
+    for s in 0..k - 1 {
+        let send_origin = (my_pos + k - s % k) % k;
+        let block = blocks[send_origin].clone().expect("block received");
+        ex.send(next, axis, block)?;
+        let recv_origin = (my_pos + 2 * k - 1 - s % k) % k;
+        blocks[recv_origin] = Some(ex.recv(prev, axis)?);
+    }
+    let ordered: Vec<Literal> = blocks
+        .into_iter()
+        .map(|b| b.expect("all blocks received"))
+        .collect();
+    let refs: Vec<&Literal> = ordered.iter().collect();
+    let mut out_ty = ordered[0].ty();
+    let mut dims = out_ty.shape.dims().to_vec();
+    dims[dim] *= k;
+    out_ty.shape = dims.into();
+    let out = eval_op(&OpKind::Concatenate { dim }, &refs, &out_ty)?;
+    Ok(out.into_iter().next().expect("single result"))
+}
+
+/// Direct-exchange reduce-scatter along one axis in dimension `dim`:
+/// every member sends slice `j` to the member at position `j`, which
+/// folds its incoming slices linearly in coordinate order.
+fn axis_reduce_scatter<E: Exchange>(
+    ex: &mut E,
+    axis: &Axis,
+    dim: usize,
+    reduce: ReduceOp,
+    val: Literal,
+) -> Result<Literal, RuntimeError> {
+    let (group, my_pos) = group_of(ex, axis)?;
+    let k = group.len();
+    if k == 1 {
+        return Ok(val);
+    }
+    for (j, &peer) in group.iter().enumerate() {
+        if j != my_pos {
+            ex.send(peer, axis, slice_chunk(&val, dim, j, k)?)?;
+        }
+    }
+    let mut acc: Option<Literal> = None;
+    for (m, &member) in group.iter().enumerate() {
+        let piece = if m == my_pos {
+            slice_chunk(&val, dim, my_pos, k)?
+        } else {
+            ex.recv(member, axis)?
+        };
+        acc = fold(acc, piece, reduce)?;
+    }
+    Ok(acc.expect("group is non-empty"))
+}
+
+/// Direct pairwise all-to-all over one axis: member `i` sends its
+/// `dst_dim` slice `j` to member `j` and concatenates what it receives
+/// along `src_dim` in coordinate order.
+fn axis_all_to_all<E: Exchange>(
+    ex: &mut E,
+    axis: &Axis,
+    src_dim: usize,
+    dst_dim: usize,
+    val: Literal,
+) -> Result<Literal, RuntimeError> {
+    let (group, my_pos) = group_of(ex, axis)?;
+    let k = group.len();
+    if k == 1 {
+        return Ok(val);
+    }
+    for (j, &peer) in group.iter().enumerate() {
+        if j != my_pos {
+            ex.send(peer, axis, slice_chunk(&val, dst_dim, j, k)?)?;
+        }
+    }
+    let mut parts: Vec<Literal> = Vec::with_capacity(k);
+    for (j, &peer) in group.iter().enumerate() {
+        parts.push(if j == my_pos {
+            slice_chunk(&val, dst_dim, my_pos, k)?
+        } else {
+            ex.recv(peer, axis)?
+        });
+    }
+    let refs: Vec<&Literal> = parts.iter().collect();
+    let mut out_ty = parts[0].ty();
+    let mut dims = out_ty.shape.dims().to_vec();
+    dims[src_dim] *= k;
+    out_ty.shape = dims.into();
+    let out = eval_op(&OpKind::Concatenate { dim: src_dim }, &refs, &out_ty)?;
+    Ok(out.into_iter().next().expect("single result"))
+}
+
+/// Device-local slicing (no communication).
+fn local_slice<E: Exchange>(
+    ex: &E,
+    dim_axes: &[Vec<Axis>],
+    mut val: Literal,
+) -> Result<Literal, RuntimeError> {
+    for (d, axes) in dim_axes.iter().enumerate() {
+        for axis in axes {
+            let k = ex.mesh().axis_size(axis).map_err(invalid)?;
+            let c = ex
+                .mesh()
+                .coordinate_along(ex.device(), axis)
+                .map_err(invalid)?;
+            val = slice_chunk(&val, d, c, k)?;
+        }
+    }
+    Ok(val)
+}
+
+// ---- Traffic prediction -------------------------------------------------
+
+/// Predicts, exactly, the traffic the threaded runtime moves executing
+/// `func` on `mesh`: per-axis bytes and message counts, with collectives
+/// inside `for` loops counted once per iteration.
+///
+/// # Errors
+///
+/// Fails if a collective references an axis missing from the mesh.
+pub fn predict_traffic(func: &Func, mesh: &Mesh) -> Result<TrafficPrediction, IrError> {
+    let mut pred = TrafficPrediction::default();
+    predict_body(func, mesh, func.body(), 1, &mut pred)?;
+    Ok(pred)
+}
+
+fn predict_body(
+    func: &Func,
+    mesh: &Mesh,
+    body: &[OpId],
+    multiplier: u64,
+    pred: &mut TrafficPrediction,
+) -> Result<(), IrError> {
+    for &op_id in body {
+        let op = func.op(op_id);
+        match &op.kind {
+            OpKind::For { trip_count } => {
+                if let Some(region) = &op.region {
+                    predict_body(func, mesh, &region.body, multiplier * *trip_count as u64, pred)?;
+                }
+            }
+            OpKind::Collective(c) => {
+                let ty = func.value_type(op.operands[0]);
+                predict_collective(c, ty, mesh, multiplier, pred)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn add_traffic(
+    pred: &mut TrafficPrediction,
+    axis: &Axis,
+    bytes: u64,
+    messages: u64,
+    multiplier: u64,
+) {
+    if bytes == 0 && messages == 0 {
+        return;
+    }
+    pred.per_axis.entry(axis.clone()).or_default().add(AxisTraffic {
+        bytes: bytes * multiplier,
+        messages: messages * multiplier,
+    });
+}
+
+fn predict_collective(
+    c: &Collective,
+    operand: &TensorType,
+    mesh: &Mesh,
+    multiplier: u64,
+    pred: &mut TrafficPrediction,
+) -> Result<(), IrError> {
+    let err = |e: partir_mesh::MeshError| IrError::invalid(e.to_string());
+    let devices = mesh.num_devices() as u64;
+    let eb = operand.element_bytes() as u64;
+    match c {
+        Collective::AllSlice { .. } => {}
+        Collective::AllReduce { axes, .. } => {
+            let n = operand.shape.num_elements();
+            for axis in axes {
+                let k = mesh.axis_size(axis).map_err(err)?;
+                if k == 1 {
+                    continue;
+                }
+                let groups = devices / k as u64;
+                let nonempty = (0..k)
+                    .filter(|&j| {
+                        let (lo, hi) = chunk_bounds(n, k, j);
+                        lo < hi
+                    })
+                    .count() as u64;
+                // Phase 1 (scatter-reduce) + phase 2 (ring gather) each
+                // move every element k-1 times per group.
+                let bytes = 2 * groups * (k as u64 - 1) * n as u64 * eb;
+                let messages = 2 * groups * (k as u64 - 1) * nonempty;
+                add_traffic(pred, axis, bytes, messages, multiplier);
+            }
+        }
+        Collective::AllGather { dim_axes } => {
+            let mut cur = operand.shape.num_elements() as u64;
+            for axes in dim_axes {
+                for axis in axes.iter().rev() {
+                    let k = mesh.axis_size(axis).map_err(err)? as u64;
+                    if k == 1 {
+                        continue;
+                    }
+                    let bytes = devices * (k - 1) * cur * eb;
+                    let messages = devices * (k - 1);
+                    add_traffic(pred, axis, bytes, messages, multiplier);
+                    cur *= k;
+                }
+            }
+        }
+        Collective::ReduceScatter { dim_axes, .. } => {
+            let mut cur = operand.shape.num_elements() as u64;
+            for axis in &c.axes() {
+                let k = mesh.axis_size(axis).map_err(err)? as u64;
+                if k == 1 {
+                    continue;
+                }
+                let _ = dim_axes;
+                let bytes = devices * (k - 1) * (cur / k) * eb;
+                let messages = devices * (k - 1);
+                add_traffic(pred, axis, bytes, messages, multiplier);
+                cur /= k;
+            }
+        }
+        Collective::AllToAll { axes, .. } => {
+            let n = operand.shape.num_elements() as u64;
+            if let [axis] = axes.as_slice() {
+                let k = mesh.axis_size(axis).map_err(err)? as u64;
+                if k > 1 {
+                    let bytes = devices * (k - 1) * (n / k) * eb;
+                    let messages = devices * (k - 1);
+                    add_traffic(pred, axis, bytes, messages, multiplier);
+                }
+            } else {
+                // Multi-axis fallback: ring gathers (sizes grow), free slice.
+                let mut cur = n;
+                for axis in axes.iter().rev() {
+                    let k = mesh.axis_size(axis).map_err(err)? as u64;
+                    if k == 1 {
+                        continue;
+                    }
+                    let bytes = devices * (k - 1) * cur * eb;
+                    let messages = devices * (k - 1);
+                    add_traffic(pred, axis, bytes, messages, multiplier);
+                    cur *= k;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for n in [0usize, 1, 3, 7, 8, 17] {
+            for k in [1usize, 2, 3, 4, 8] {
+                let mut total = 0;
+                for j in 0..k {
+                    let (lo, hi) = chunk_bounds(n, k, j);
+                    assert!(lo <= hi && hi <= n);
+                    total += hi - lo;
+                    if j + 1 < k {
+                        assert_eq!(hi, chunk_bounds(n, k, j + 1).0, "contiguous");
+                    }
+                }
+                assert_eq!(total, n, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_prediction_matches_ring_formula() {
+        // 4-way all_reduce of 1024 f32: 2 * (k-1)/k * bytes per device.
+        let mesh = Mesh::single("B", 4).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["B".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let mut pred = TrafficPrediction::default();
+        predict_collective(&c, &TensorType::f32([1024]), &mesh, 1, &mut pred).unwrap();
+        // Total = devices * 2 * (k-1)/k * n * 4 bytes = 4 * 2 * 3/4 * 4096.
+        assert_eq!(pred.total_bytes(), 4 * 2 * 3 * 1024);
+        assert_eq!(pred.per_axis[&Axis::new("B")].messages, 2 * 3 * 4);
+    }
+
+    #[test]
+    fn size_one_axes_move_nothing() {
+        let mesh = Mesh::new([("a", 1), ("b", 2)]).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["a".into(), "b".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let mut pred = TrafficPrediction::default();
+        predict_collective(&c, &TensorType::f32([8]), &mesh, 1, &mut pred).unwrap();
+        assert_eq!(pred.bytes_on(&"a".into()), 0);
+        assert!(pred.bytes_on(&"b".into()) > 0);
+    }
+}

@@ -183,7 +183,7 @@ pub fn apply_collective(
     }
 }
 
-fn reduce_binary(reduce: ReduceOp) -> BinaryOp {
+pub(crate) fn reduce_binary(reduce: ReduceOp) -> BinaryOp {
     match reduce {
         ReduceOp::Sum => BinaryOp::Add,
         ReduceOp::Max => BinaryOp::Max,
@@ -192,28 +192,40 @@ fn reduce_binary(reduce: ReduceOp) -> BinaryOp {
     }
 }
 
+/// Staged all-reduce: one axis at a time, in the given order, each stage
+/// folding its single-axis groups linearly in coordinate order.
+///
+/// Staging matters for floating point: the threaded runtime
+/// ([`crate::runtime`]) reduces hierarchically per axis, and staging the
+/// lockstep reference the same way makes the two bit-identical.
 fn all_reduce(
     mesh: &Mesh,
     axes: &[Axis],
     reduce: ReduceOp,
-    vals: Vec<Literal>,
+    mut vals: Vec<Literal>,
 ) -> Result<Vec<Literal>, IrError> {
-    let groups = mesh
-        .collective_groups(axes)
-        .map_err(|e| IrError::invalid(e.to_string()))?;
     let bin = reduce_binary(reduce);
-    let mut out: Vec<Option<Literal>> = vec![None; vals.len()];
-    for group in groups {
-        let mut acc = vals[group[0]].clone();
-        for &member in &group[1..] {
-            let r = eval_op(&OpKind::Binary(bin), &[&acc, &vals[member]], &acc.ty())?;
-            acc = r.into_iter().next().expect("single result");
+    for axis in axes {
+        let groups = mesh
+            .collective_groups(std::slice::from_ref(axis))
+            .map_err(|e| IrError::invalid(e.to_string()))?;
+        let mut out: Vec<Option<Literal>> = vec![None; vals.len()];
+        for group in groups {
+            let mut acc = vals[group[0]].clone();
+            for &member in &group[1..] {
+                let r = eval_op(&OpKind::Binary(bin), &[&acc, &vals[member]], &acc.ty())?;
+                acc = r.into_iter().next().expect("single result");
+            }
+            for &member in &group {
+                out[member] = Some(acc.clone());
+            }
         }
-        for &member in &group {
-            out[member] = Some(acc.clone());
-        }
+        vals = out
+            .into_iter()
+            .map(|v| v.expect("all devices covered"))
+            .collect();
     }
-    Ok(out.into_iter().map(|v| v.expect("all devices covered")).collect())
+    Ok(vals)
 }
 
 fn all_slice(
@@ -250,7 +262,9 @@ fn all_gather(
         for axis in axes.iter().rev() {
             let mut next = vals.clone();
             for (device, slot) in next.iter_mut().enumerate() {
-                let peers = peers_along(mesh, device, axis)?;
+                let peers = mesh
+                    .axis_group(device, axis)
+                    .map_err(|e| IrError::invalid(e.to_string()))?;
                 let chunks: Vec<&Literal> = peers.iter().map(|&p| &vals[p]).collect();
                 let out = eval_op(&OpKind::Concatenate { dim: d }, &chunks, &vals[device].ty())?;
                 *slot = out.into_iter().next().expect("single result");
@@ -261,28 +275,7 @@ fn all_gather(
     Ok(vals)
 }
 
-/// Devices sharing all coordinates with `device` except along `axis`,
-/// ordered by their coordinate on `axis`.
-fn peers_along(mesh: &Mesh, device: usize, axis: &Axis) -> Result<Vec<usize>, IrError> {
-    let coords = mesh
-        .try_coordinates(device)
-        .map_err(|e| IrError::invalid(e.to_string()))?;
-    let idx = mesh
-        .axis_index(axis)
-        .map_err(|e| IrError::invalid(e.to_string()))?;
-    let k = mesh
-        .axis_size(axis)
-        .map_err(|e| IrError::invalid(e.to_string()))?;
-    let mut peers = Vec::with_capacity(k);
-    for c in 0..k {
-        let mut peer_coords = coords.clone();
-        peer_coords[idx] = c;
-        peers.push(mesh.device_id(&peer_coords));
-    }
-    Ok(peers)
-}
-
-fn slice_chunk(lit: &Literal, dim: usize, c: usize, k: usize) -> Result<Literal, IrError> {
+pub(crate) fn slice_chunk(lit: &Literal, dim: usize, c: usize, k: usize) -> Result<Literal, IrError> {
     let shape = lit.shape().clone();
     if !shape.dim(dim).is_multiple_of(k) {
         return Err(IrError::shape(

@@ -15,6 +15,15 @@
 //! outputs must match the unpartitioned reference interpretation — the
 //! executable counterpart of the paper's lowering-correctness proof.
 //!
+//! The [`runtime`] module goes one step further: a [`ThreadedRuntime`]
+//! runs one OS thread per device with channel-based message-passing
+//! collectives ([`collectives`]), records executed per-axis traffic into
+//! [`RuntimeStats`], detects deadlock via a rendezvous timeout, and
+//! injects deterministic faults for failure-path testing. Fault-free, it
+//! is bit-identical to the lockstep interpreter; `predict_traffic`
+//! mirrors its byte counts exactly so the simulator can reconcile
+//! predictions against execution.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,13 +54,19 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod collectives;
 mod fuse;
 pub mod interp;
 mod lower;
 mod program;
+pub mod runtime;
 mod stats;
 
+pub use collectives::{predict_traffic, AxisTraffic, TrafficPrediction};
 pub use fuse::fuse_collectives;
 pub use lower::lower;
 pub use program::SpmdProgram;
+pub use runtime::{
+    seeded_faults, Fault, RunOutcome, RuntimeConfig, RuntimeError, RuntimeStats, ThreadedRuntime,
+};
 pub use stats::{collect_stats, CollectiveStats};

@@ -2,7 +2,9 @@ use partir_core::ValueCtx;
 use partir_ir::{Func, IrError, Literal};
 use partir_mesh::Mesh;
 
+use crate::collectives::{predict_traffic, TrafficPrediction};
 use crate::interp::{run_devices, shard_value, unshard_value};
+use crate::runtime::{RuntimeConfig, RuntimeError, RuntimeStats, ThreadedRuntime};
 use crate::stats::{collect_stats, CollectiveStats};
 
 /// A lowered device-local SPMD program plus the sharding of its interface.
@@ -99,6 +101,51 @@ impl SpmdProgram {
             global.push(unshard_value(&shards, ctx, &self.mesh)?);
         }
         Ok(global)
+    }
+
+    /// Like [`SpmdProgram::execute_global`], but runs the devices
+    /// concurrently on the threaded message-passing runtime and also
+    /// returns the executed-traffic statistics.
+    ///
+    /// Fault-free, the outputs are bit-identical to
+    /// [`SpmdProgram::execute_global`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatched inputs or any runtime failure (timeout,
+    /// corruption, dropped device — see [`RuntimeError`]).
+    pub fn execute_global_threaded(
+        &self,
+        inputs: &[Literal],
+        config: &RuntimeConfig,
+    ) -> Result<(Vec<Literal>, RuntimeStats), RuntimeError> {
+        let n = self.mesh.num_devices();
+        let mut per_device: Vec<Vec<Literal>> = Vec::with_capacity(n);
+        for device in 0..n {
+            let mut dev_inputs = Vec::with_capacity(inputs.len());
+            for (lit, ctx) in inputs.iter().zip(&self.input_ctxs) {
+                dev_inputs.push(shard_value(lit, ctx, &self.mesh, device)?);
+            }
+            per_device.push(dev_inputs);
+        }
+        let outcome = ThreadedRuntime::new(config.clone()).run(&self.func, &self.mesh, &per_device)?;
+        let mut global = Vec::with_capacity(self.output_ctxs.len());
+        for (i, ctx) in self.output_ctxs.iter().enumerate() {
+            let shards: Vec<Literal> = outcome.outputs.iter().map(|o| o[i].clone()).collect();
+            global.push(unshard_value(&shards, ctx, &self.mesh)?);
+        }
+        Ok((global, outcome.stats))
+    }
+
+    /// Exact per-axis traffic the threaded runtime will move executing
+    /// this program — the prediction [`RuntimeStats`] is reconciled
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on malformed programs.
+    pub fn predicted_traffic(&self) -> Result<TrafficPrediction, IrError> {
+        predict_traffic(&self.func, &self.mesh)
     }
 
     /// Pretty-prints the device-local program.

@@ -1,0 +1,858 @@
+//! Threaded message-passing SPMD runtime.
+//!
+//! One OS thread per simulated mesh device, each executing the
+//! device-local program independently; collectives exchange tensors over
+//! per-device-pair channels using the algorithms in [`crate::collectives`]
+//! (ring all-gather, scatter-reduce + ring all-reduce, direct-exchange
+//! reduce-scatter / all-to-all). Unlike the lockstep interpreter
+//! ([`crate::interp::run_devices`]) nothing reaches into another device's
+//! environment: every cross-device byte travels through a channel, is
+//! sequence-numbered and checksummed, and is counted per mesh axis into
+//! [`RuntimeStats`] — which `partir_sim::reconcile` cross-checks against
+//! the analytical cost model and the exact mirror
+//! [`crate::collectives::predict_traffic`].
+//!
+//! The runtime is deterministic where it matters: collective fold and
+//! concatenation orders are fixed by mesh coordinates (matching the
+//! staged lockstep interpreter bit-for-bit), so fault-free concurrent
+//! runs produce bit-identical outputs regardless of thread scheduling.
+//! Only [`RuntimeStats::rendezvous_waits`] — how often a receive actually
+//! had to block — varies run to run.
+//!
+//! # Fault injection
+//!
+//! [`Fault`]s make failure paths testable: a device can stall (peers
+//! detect the missed rendezvous via [`RuntimeConfig::rendezvous_timeout`]
+//! and surface [`RuntimeError::Timeout`]), corrupt the payload of its
+//! n-th message after checksumming (the receiver surfaces
+//! [`RuntimeError::Corrupt`]), or drop out before executing anything
+//! ([`RuntimeError::Dropped`]). [`seeded_faults`] derives a deterministic
+//! fault plan from a `partir-prng` seed so failing cases replay exactly.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+use partir_ir::{interp::eval_op, DType, Func, IrError, Literal, OpId, OpKind};
+use partir_mesh::{Axis, Mesh};
+use partir_prng::Rng;
+
+use crate::collectives::{self, AxisTraffic, Exchange, TrafficPrediction};
+
+/// Knobs for one threaded execution.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// How long a device waits on a rendezvous before declaring the
+    /// program deadlocked ([`RuntimeError::Timeout`]).
+    pub rendezvous_timeout: Duration,
+    /// Faults to inject, normally empty.
+    pub faults: Vec<Fault>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            rendezvous_timeout: Duration::from_secs(5),
+            faults: Vec::new(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Default config with a different rendezvous timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        RuntimeConfig {
+            rendezvous_timeout: timeout,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Default config with the given fault plan.
+    pub fn with_faults(faults: Vec<Fault>) -> Self {
+        RuntimeConfig {
+            faults,
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+/// A deterministic fault to inject into one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The device sleeps `millis` before executing anything. With a
+    /// shorter rendezvous timeout its peers surface
+    /// [`RuntimeError::Timeout`] — the deadlock-detection path.
+    Stall {
+        /// Device to stall.
+        device: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// The device NaN-poisons (f32) or bit-flips (i32/pred) the payload
+    /// of its `message`-th outgoing message *after* checksumming, so the
+    /// receiver's checksum verification fails with
+    /// [`RuntimeError::Corrupt`].
+    Corrupt {
+        /// Device whose outgoing message is corrupted.
+        device: usize,
+        /// 0-based index of the outgoing message to corrupt.
+        message: u64,
+    },
+    /// The device exits before executing anything, as a crashed
+    /// participant. Surfaced as [`RuntimeError::Dropped`].
+    Drop {
+        /// Device that drops out.
+        device: usize,
+    },
+}
+
+/// Derives a deterministic single-fault plan from a seed.
+///
+/// Equal seeds on equal meshes produce equal plans, so a failing
+/// fault-injection case replays exactly.
+pub fn seeded_faults(seed: u64, mesh: &Mesh) -> Vec<Fault> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut pick = rng.split();
+    let device = pick.gen_range(mesh.num_devices());
+    match rng.gen_range(3) {
+        0 => vec![Fault::Stall {
+            device,
+            millis: 100 + rng.gen_range(150) as u64,
+        }],
+        1 => vec![Fault::Corrupt {
+            device,
+            message: rng.gen_range(4) as u64,
+        }],
+        _ => vec![Fault::Drop { device }],
+    }
+}
+
+/// A failure of a threaded execution, attributed to the device that
+/// observed it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A receive's checksum did not match: the payload was corrupted in
+    /// flight (e.g. by a [`Fault::Corrupt`]).
+    Corrupt {
+        /// Device that detected the corruption.
+        device: usize,
+        /// Sender of the corrupted message.
+        peer: usize,
+        /// Mesh axis the exchange ran over.
+        axis: Axis,
+    },
+    /// A device dropped out of the computation ([`Fault::Drop`]).
+    Dropped {
+        /// The dropped device.
+        device: usize,
+    },
+    /// Device-local evaluation failed.
+    Ir(IrError),
+    /// A message arrived out of sequence — a runtime bug, not a fault.
+    Protocol {
+        /// Device that detected the violation.
+        device: usize,
+        /// Sender of the out-of-sequence message.
+        peer: usize,
+        /// Expected sequence number.
+        expected: u64,
+        /// Received sequence number.
+        got: u64,
+    },
+    /// A rendezvous did not complete within the configured timeout:
+    /// the runtime's deadlock detection.
+    Timeout {
+        /// Device whose receive timed out.
+        device: usize,
+        /// Peer it was waiting on.
+        peer: usize,
+        /// Mesh axis of the pending exchange.
+        axis: Axis,
+    },
+    /// A device thread panicked.
+    Panicked {
+        /// The panicked device.
+        device: usize,
+    },
+    /// A peer's channel closed mid-collective (the peer already failed;
+    /// usually shadowed by the peer's own, more specific error).
+    Disconnected {
+        /// Device that observed the closed channel.
+        device: usize,
+        /// The vanished peer.
+        peer: usize,
+    },
+}
+
+impl RuntimeError {
+    /// How diagnostic the error is; when several devices fail, the run
+    /// surfaces the most specific one (cascade errors like
+    /// [`RuntimeError::Disconnected`] rank lowest).
+    fn severity(&self) -> u8 {
+        match self {
+            RuntimeError::Corrupt { .. } => 7,
+            RuntimeError::Dropped { .. } => 6,
+            RuntimeError::Ir(_) => 5,
+            RuntimeError::Protocol { .. } => 4,
+            RuntimeError::Timeout { .. } => 3,
+            RuntimeError::Panicked { .. } => 2,
+            RuntimeError::Disconnected { .. } => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Corrupt { device, peer, axis } => write!(
+                f,
+                "device {device}: corrupted message from device {peer} over axis {:?}",
+                axis.name()
+            ),
+            RuntimeError::Dropped { device } => {
+                write!(f, "device {device} dropped out of the computation")
+            }
+            RuntimeError::Ir(e) => write!(f, "device-local evaluation failed: {e}"),
+            RuntimeError::Protocol {
+                device,
+                peer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "device {device}: message from device {peer} out of sequence \
+                 (expected #{expected}, got #{got})"
+            ),
+            RuntimeError::Timeout { device, peer, axis } => write!(
+                f,
+                "device {device}: rendezvous with device {peer} over axis {:?} \
+                 timed out (deadlock?)",
+                axis.name()
+            ),
+            RuntimeError::Panicked { device } => write!(f, "device {device} panicked"),
+            RuntimeError::Disconnected { device, peer } => {
+                write!(f, "device {device}: peer {peer} disconnected mid-collective")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<IrError> for RuntimeError {
+    fn from(e: IrError) -> Self {
+        RuntimeError::Ir(e)
+    }
+}
+
+/// Traffic and scheduling counters observed by one threaded execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Executed traffic per mesh axis (deterministic).
+    pub per_axis: BTreeMap<Axis, AxisTraffic>,
+    /// Payload bytes sent by each device (deterministic).
+    pub per_device_bytes: Vec<u64>,
+    /// Receives that actually blocked waiting for the peer. Depends on
+    /// thread scheduling — a measure of rendezvous pressure, not part of
+    /// the deterministic contract.
+    pub rendezvous_waits: u64,
+}
+
+impl RuntimeStats {
+    /// Total payload bytes moved over all axes.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_axis.values().map(|t| t.bytes).sum()
+    }
+
+    /// Total messages moved over all axes.
+    pub fn total_messages(&self) -> u64 {
+        self.per_axis.values().map(|t| t.messages).sum()
+    }
+
+    /// Executed bytes on one axis (0 if the axis moved nothing).
+    pub fn bytes_on(&self, axis: &Axis) -> u64 {
+        self.per_axis.get(axis).map_or(0, |t| t.bytes)
+    }
+
+    /// Whether the executed per-axis traffic equals `prediction` exactly
+    /// (bytes and message counts).
+    pub fn matches_prediction(&self, prediction: &TrafficPrediction) -> bool {
+        self.per_axis == prediction.per_axis
+    }
+}
+
+/// Result of a successful threaded execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Device-local outputs, indexed by device id.
+    pub outputs: Vec<Vec<Literal>>,
+    /// Observed traffic and scheduling counters.
+    pub stats: RuntimeStats,
+}
+
+/// A message as it travels between two devices.
+struct Message {
+    /// Per (sender, receiver) sequence number, checked on receive.
+    seq: u64,
+    /// FNV-1a over the payload, computed before fault injection.
+    checksum: u64,
+    payload: Literal,
+}
+
+/// FNV-1a over the payload's dtype, shape and element bits.
+fn literal_checksum(lit: &Literal) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    let tag: u8 = match lit.dtype() {
+        DType::F32 => 0,
+        DType::I32 => 1,
+        DType::Pred => 2,
+        _ => u8::MAX,
+    };
+    eat(tag);
+    for &d in lit.shape().dims() {
+        for b in (d as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    match lit.dtype() {
+        DType::I32 => {
+            for v in lit.as_i32().expect("dtype checked") {
+                for b in v.to_le_bytes() {
+                    eat(b);
+                }
+            }
+        }
+        DType::Pred => {
+            for &v in lit.as_pred().expect("dtype checked") {
+                eat(v as u8);
+            }
+        }
+        // F32 (and any future float type) hashes element bit patterns,
+        // so NaN payloads still checksum deterministically.
+        _ => {
+            for v in lit.as_f32().expect("dtype checked") {
+                for b in v.to_bits().to_le_bytes() {
+                    eat(b);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Destroys a payload in a way the checksum is guaranteed to catch.
+fn poison(lit: &mut Literal) {
+    match lit.dtype() {
+        DType::I32 => {
+            let flipped: Vec<i32> = lit.as_i32().expect("dtype checked").iter().map(|v| !v).collect();
+            *lit = Literal::from_i32(flipped, lit.shape().clone()).expect("same shape");
+        }
+        DType::Pred => {
+            let flipped: Vec<bool> =
+                lit.as_pred().expect("dtype checked").iter().map(|v| !v).collect();
+            *lit = Literal::from_pred(flipped, lit.shape().clone()).expect("same shape");
+        }
+        _ => {
+            for v in lit.as_f32_mut().expect("dtype checked") {
+                *v = f32::NAN;
+            }
+        }
+    }
+}
+
+/// Per-device traffic counters, merged into [`RuntimeStats`] at join.
+#[derive(Debug, Default)]
+struct DeviceStats {
+    per_axis: BTreeMap<Axis, AxisTraffic>,
+    bytes: u64,
+    rendezvous_waits: u64,
+}
+
+/// One device's channel endpoints — the [`Exchange`] the collective
+/// algorithms run over.
+struct DeviceLinks<'a> {
+    device: usize,
+    mesh: &'a Mesh,
+    /// Senders to every device, indexed by destination (self unused).
+    txs: Vec<Sender<Message>>,
+    /// Receivers from every device, indexed by source (`None` = self).
+    rxs: Vec<Option<Receiver<Message>>>,
+    timeout: Duration,
+    seq_out: Vec<u64>,
+    seq_in: Vec<u64>,
+    /// Outgoing messages so far (for [`Fault::Corrupt`] targeting).
+    sent_total: u64,
+    corrupt_at: Option<u64>,
+    stats: DeviceStats,
+}
+
+impl Exchange for DeviceLinks<'_> {
+    fn device(&self) -> usize {
+        self.device
+    }
+
+    fn mesh(&self) -> &Mesh {
+        self.mesh
+    }
+
+    fn send(&mut self, dst: usize, axis: &Axis, mut payload: Literal) -> Result<(), RuntimeError> {
+        let checksum = literal_checksum(&payload);
+        if self.corrupt_at == Some(self.sent_total) {
+            poison(&mut payload);
+        }
+        self.sent_total += 1;
+        let bytes = payload.ty().size_bytes() as u64;
+        self.stats.per_axis.entry(axis.clone()).or_default().add(AxisTraffic {
+            bytes,
+            messages: 1,
+        });
+        self.stats.bytes += bytes;
+        let seq = self.seq_out[dst];
+        self.seq_out[dst] += 1;
+        self.txs[dst]
+            .send(Message {
+                seq,
+                checksum,
+                payload,
+            })
+            .map_err(|_| RuntimeError::Disconnected {
+                device: self.device,
+                peer: dst,
+            })
+    }
+
+    fn recv(&mut self, src: usize, axis: &Axis) -> Result<Literal, RuntimeError> {
+        let rx = self.rxs[src].as_ref().expect("no self-receive");
+        let msg = match rx.try_recv() {
+            Ok(m) => m,
+            Err(TryRecvError::Empty) => {
+                self.stats.rendezvous_waits += 1;
+                match rx.recv_timeout(self.timeout) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(RuntimeError::Timeout {
+                            device: self.device,
+                            peer: src,
+                            axis: axis.clone(),
+                        })
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(RuntimeError::Disconnected {
+                            device: self.device,
+                            peer: src,
+                        })
+                    }
+                }
+            }
+            Err(TryRecvError::Disconnected) => {
+                return Err(RuntimeError::Disconnected {
+                    device: self.device,
+                    peer: src,
+                })
+            }
+        };
+        let expected = self.seq_in[src];
+        self.seq_in[src] += 1;
+        if msg.seq != expected {
+            return Err(RuntimeError::Protocol {
+                device: self.device,
+                peer: src,
+                expected,
+                got: msg.seq,
+            });
+        }
+        if literal_checksum(&msg.payload) != msg.checksum {
+            return Err(RuntimeError::Corrupt {
+                device: self.device,
+                peer: src,
+                axis: axis.clone(),
+            });
+        }
+        Ok(msg.payload)
+    }
+}
+
+/// The threaded runtime: spawns one thread per mesh device and runs the
+/// device-local `func` on each, exchanging collectives over channels.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedRuntime {
+    config: RuntimeConfig,
+}
+
+impl ThreadedRuntime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        ThreadedRuntime { config }
+    }
+
+    /// Runs `func` on every device of `mesh` concurrently.
+    ///
+    /// `inputs[d]` are device `d`'s local inputs. On success returns the
+    /// per-device outputs — bit-identical to the lockstep
+    /// [`crate::interp::run_devices`] — plus observed [`RuntimeStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the most diagnostic failure across devices: malformed
+    /// programs or inputs, detected deadlock ([`RuntimeError::Timeout`]),
+    /// corruption, or a dropped participant.
+    pub fn run(
+        &self,
+        func: &Func,
+        mesh: &Mesh,
+        inputs: &[Vec<Literal>],
+    ) -> Result<RunOutcome, RuntimeError> {
+        let n = mesh.num_devices();
+        if inputs.len() != n {
+            return Err(IrError::invalid(format!(
+                "expected inputs for {n} devices, got {}",
+                inputs.len()
+            ))
+            .into());
+        }
+        for (d, device_inputs) in inputs.iter().enumerate() {
+            if device_inputs.len() != func.params().len() {
+                return Err(IrError::invalid(format!(
+                    "device {d}: wrong per-device input arity"
+                ))
+                .into());
+            }
+            for (&p, lit) in func.params().iter().zip(device_inputs) {
+                if &lit.ty() != func.value_type(p) {
+                    return Err(IrError::invalid(format!(
+                        "device {d} input for {:?} has type {}, expected {}",
+                        func.value(p).name,
+                        lit.ty(),
+                        func.value_type(p)
+                    ))
+                    .into());
+                }
+            }
+        }
+
+        // One channel per ordered device pair: txs[src][dst] feeds
+        // rxs[dst][src]. Senders never block (unbounded), so with every
+        // receive bounded by the rendezvous timeout all threads terminate.
+        let mut txs: Vec<Vec<Sender<Message>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Message>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for src in 0..n {
+            for rx_row in rxs.iter_mut() {
+                let (tx, rx) = channel();
+                txs[src].push(tx);
+                rx_row[src] = Some(rx);
+            }
+        }
+
+        let mut stall_ms = vec![0u64; n];
+        let mut corrupt_at: Vec<Option<u64>> = vec![None; n];
+        let mut dropped = vec![false; n];
+        for fault in &self.config.faults {
+            match *fault {
+                Fault::Stall { device, millis } => stall_ms[device] = millis,
+                Fault::Corrupt { device, message } => corrupt_at[device] = Some(message),
+                Fault::Drop { device } => dropped[device] = true,
+            }
+        }
+
+        type DeviceResult = Result<(Vec<Literal>, DeviceStats), RuntimeError>;
+        let timeout = self.config.rendezvous_timeout;
+        let results: Vec<DeviceResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = txs
+                .into_iter()
+                .zip(rxs)
+                .enumerate()
+                .map(|(d, (tx_row, rx_row))| {
+                    let my_inputs = inputs[d].clone();
+                    let stall = stall_ms[d];
+                    let corrupt = corrupt_at[d];
+                    let drop_out = dropped[d];
+                    scope.spawn(move || -> DeviceResult {
+                        if drop_out {
+                            return Err(RuntimeError::Dropped { device: d });
+                        }
+                        if stall > 0 {
+                            std::thread::sleep(Duration::from_millis(stall));
+                        }
+                        let mut links = DeviceLinks {
+                            device: d,
+                            mesh,
+                            txs: tx_row,
+                            rxs: rx_row,
+                            timeout,
+                            seq_out: vec![0; n],
+                            seq_in: vec![0; n],
+                            sent_total: 0,
+                            corrupt_at: corrupt,
+                            stats: DeviceStats::default(),
+                        };
+                        let mut env: Vec<Option<Literal>> = vec![None; func.num_values()];
+                        for (&p, lit) in func.params().iter().zip(my_inputs) {
+                            env[p.0 as usize] = Some(lit);
+                        }
+                        exec_device(func, func.body(), &mut env, &mut links)?;
+                        let outputs = func
+                            .results()
+                            .iter()
+                            .map(|&r| {
+                                env[r.0 as usize]
+                                    .take()
+                                    .ok_or_else(|| IrError::invalid("result never computed").into())
+                            })
+                            .collect::<Result<Vec<_>, RuntimeError>>()?;
+                        Ok((outputs, links.stats))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(d, h)| {
+                    h.join()
+                        .unwrap_or(Err(RuntimeError::Panicked { device: d }))
+                })
+                .collect()
+        });
+
+        if let Some(err) = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .max_by_key(|e| e.severity())
+        {
+            return Err(err.clone());
+        }
+
+        let mut stats = RuntimeStats {
+            per_device_bytes: vec![0; n],
+            ..RuntimeStats::default()
+        };
+        let mut outputs = Vec::with_capacity(n);
+        for (d, result) in results.into_iter().enumerate() {
+            let (outs, device_stats) = result.expect("errors handled above");
+            for (axis, traffic) in device_stats.per_axis {
+                stats.per_axis.entry(axis).or_default().add(traffic);
+            }
+            stats.per_device_bytes[d] = device_stats.bytes;
+            stats.rendezvous_waits += device_stats.rendezvous_waits;
+            outputs.push(outs);
+        }
+        Ok(RunOutcome { outputs, stats })
+    }
+}
+
+/// Executes one device's program over its channel endpoints; the
+/// single-device mirror of the lockstep interpreter's `exec_body`.
+fn exec_device(
+    func: &Func,
+    body: &[OpId],
+    env: &mut [Option<Literal>],
+    links: &mut DeviceLinks<'_>,
+) -> Result<(), RuntimeError> {
+    let get = |env: &[Option<Literal>], v: partir_ir::ValueId| {
+        env[v.0 as usize]
+            .clone()
+            .ok_or_else(|| RuntimeError::from(IrError::invalid("use before def")))
+    };
+    for &op_id in body {
+        let op = func.op(op_id);
+        match &op.kind {
+            OpKind::For { trip_count } => {
+                let region = op
+                    .region
+                    .as_ref()
+                    .ok_or_else(|| IrError::invalid("for without region"))?;
+                let mut carried: Vec<Literal> = op
+                    .operands
+                    .iter()
+                    .map(|&v| get(env, v))
+                    .collect::<Result<_, _>>()?;
+                for i in 0..*trip_count {
+                    env[region.params[0].0 as usize] = Some(Literal::scalar_i32(i as i32));
+                    for (p, val) in region.params[1..].iter().zip(&carried) {
+                        env[p.0 as usize] = Some(val.clone());
+                    }
+                    exec_device(func, &region.body, env, links)?;
+                    carried = region
+                        .results
+                        .iter()
+                        .map(|&v| get(env, v))
+                        .collect::<Result<_, _>>()?;
+                }
+                for (&r, val) in op.results.iter().zip(carried) {
+                    env[r.0 as usize] = Some(val);
+                }
+            }
+            OpKind::Collective(c) => {
+                let val = get(env, op.operands[0])?;
+                let out = collectives::run_collective(c, links, val)?;
+                env[op.results[0].0 as usize] = Some(out);
+            }
+            _ => {
+                let operands: Vec<&Literal> = op
+                    .operands
+                    .iter()
+                    .map(|&v| {
+                        env[v.0 as usize]
+                            .as_ref()
+                            .ok_or_else(|| IrError::invalid("use before def"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let results = eval_op(&op.kind, &operands, func.value_type(op.results[0]))?;
+                for (&r, val) in op.results.iter().zip(results) {
+                    env[r.0 as usize] = Some(val);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::predict_traffic;
+    use crate::interp::run_devices;
+    use partir_ir::{Collective, FuncBuilder, ReduceOp, TensorType};
+
+    fn collective_func(mesh: &Mesh, c: Collective, ty: TensorType) -> Func {
+        let mut b = FuncBuilder::with_mesh("f", mesh.clone());
+        let x = b.param("x", ty);
+        let y = b.collective(c, x).unwrap();
+        b.build([y]).unwrap()
+    }
+
+    fn device_inputs(mesh: &Mesh, n: usize) -> Vec<Vec<Literal>> {
+        (0..mesh.num_devices())
+            .map(|d| {
+                let data: Vec<f32> = (0..n).map(|i| (d * n + i) as f32 * 0.25 - 3.0).collect();
+                vec![Literal::from_f32(data, [n]).unwrap()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_all_reduce_matches_lockstep_bitwise() {
+        let mesh = Mesh::new([("x", 2), ("y", 2)]).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["x".into(), "y".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let func = collective_func(&mesh, c, TensorType::f32([8]));
+        let inputs = device_inputs(&mesh, 8);
+        let lockstep = run_devices(&func, &mesh, &inputs).unwrap();
+        let outcome = ThreadedRuntime::default().run(&func, &mesh, &inputs).unwrap();
+        assert_eq!(outcome.outputs, lockstep);
+        let prediction = predict_traffic(&func, &mesh).unwrap();
+        assert!(
+            outcome.stats.matches_prediction(&prediction),
+            "executed {:?} != predicted {:?}",
+            outcome.stats.per_axis,
+            prediction.per_axis
+        );
+    }
+
+    #[test]
+    fn uneven_chunks_still_match_lockstep() {
+        // n = 3 elements on a 4-way axis: one chunk is empty.
+        let mesh = Mesh::single("a", 4).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["a".into()],
+            reduce: ReduceOp::Max,
+        };
+        let func = collective_func(&mesh, c, TensorType::f32([3]));
+        let inputs = device_inputs(&mesh, 3);
+        let lockstep = run_devices(&func, &mesh, &inputs).unwrap();
+        let outcome = ThreadedRuntime::default().run(&func, &mesh, &inputs).unwrap();
+        assert_eq!(outcome.outputs, lockstep);
+        let prediction = predict_traffic(&func, &mesh).unwrap();
+        assert!(outcome.stats.matches_prediction(&prediction));
+    }
+
+    #[test]
+    fn stall_is_detected_as_timeout() {
+        let mesh = Mesh::single("a", 2).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["a".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let func = collective_func(&mesh, c, TensorType::f32([4]));
+        let inputs = device_inputs(&mesh, 4);
+        let mut config = RuntimeConfig::with_timeout(Duration::from_millis(40));
+        config.faults = vec![Fault::Stall {
+            device: 0,
+            millis: 400,
+        }];
+        let err = ThreadedRuntime::new(config)
+            .run(&func, &mesh, &inputs)
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Timeout { peer: 0, .. }),
+            "expected a timeout waiting on the stalled device, got: {err}"
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected_by_checksum() {
+        let mesh = Mesh::single("a", 2).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["a".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let func = collective_func(&mesh, c, TensorType::f32([4]));
+        let inputs = device_inputs(&mesh, 4);
+        let config = RuntimeConfig::with_faults(vec![Fault::Corrupt {
+            device: 1,
+            message: 0,
+        }]);
+        let err = ThreadedRuntime::new(config)
+            .run(&func, &mesh, &inputs)
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Corrupt { peer: 1, .. }),
+            "expected corruption detected from device 1, got: {err}"
+        );
+    }
+
+    #[test]
+    fn dropped_participant_is_surfaced() {
+        let mesh = Mesh::single("a", 2).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["a".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let func = collective_func(&mesh, c, TensorType::f32([4]));
+        let inputs = device_inputs(&mesh, 4);
+        let mut config = RuntimeConfig::with_timeout(Duration::from_millis(100));
+        config.faults = vec![Fault::Drop { device: 1 }];
+        let err = ThreadedRuntime::new(config)
+            .run(&func, &mesh, &inputs)
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::Dropped { device: 1 });
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_deterministic() {
+        let mesh = Mesh::new([("x", 2), ("y", 2)]).unwrap();
+        assert_eq!(seeded_faults(11, &mesh), seeded_faults(11, &mesh));
+        let distinct: std::collections::BTreeSet<String> =
+            (0..32).map(|s| format!("{:?}", seeded_faults(s, &mesh))).collect();
+        assert!(distinct.len() > 3, "plans vary across seeds");
+    }
+
+    #[test]
+    fn checksum_catches_poisoning() {
+        let lit = Literal::from_f32(vec![1.0, 2.0, 3.0], [3]).unwrap();
+        let before = literal_checksum(&lit);
+        let mut poisoned = lit.clone();
+        poison(&mut poisoned);
+        assert_ne!(before, literal_checksum(&poisoned));
+        // NaN payloads still checksum deterministically (bit pattern).
+        assert_eq!(literal_checksum(&poisoned), literal_checksum(&poisoned));
+    }
+}

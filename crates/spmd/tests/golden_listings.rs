@@ -1,11 +1,28 @@
 //! Golden tests pinning the device-local programs of the paper's §2.3
 //! listings, as printed text — a regression net over propagation,
-//! lowering and fusion together.
+//! lowering and fusion together. Every listing is also round-tripped
+//! through the textual parser: [`SpmdProgram::to_text`] must re-parse
+//! (against the program's mesh, which collective type inference needs)
+//! and re-print to the identical string.
 
 use partir_core::Partitioning;
 use partir_ir::{Func, FuncBuilder, TensorType, ValueId};
 use partir_mesh::Mesh;
-use partir_spmd::lower;
+use partir_spmd::{lower, SpmdProgram};
+
+/// Asserts the printed program re-parses and re-prints identically, and
+/// returns the text for the listing-specific golden checks.
+fn roundtrip_text(program: &SpmdProgram) -> String {
+    let text = program.to_text();
+    let parsed = partir_ir::parse::parse_func_with_mesh(&text, program.mesh().clone())
+        .unwrap_or_else(|e| panic!("golden listing does not re-parse: {e}\n{text}"));
+    assert_eq!(
+        partir_ir::print::print_func(&parsed),
+        text,
+        "parser round-trip is not the identity"
+    );
+    text
+}
 
 fn chain() -> (Func, [ValueId; 3]) {
     let mut b = FuncBuilder::new("main");
@@ -27,7 +44,7 @@ fn listing3_data_parallel_text() {
     let mut p = Partitioning::new(&f, mesh()).unwrap();
     p.tile(&f, x, 0, &"B".into()).unwrap();
     p.propagate(&f);
-    let text = lower(&f, &p).unwrap().fused().unwrap().to_text();
+    let text = roundtrip_text(&lower(&f, &p).unwrap().fused().unwrap());
     // Listing 3: first argument becomes 64x8; weights keep full shapes;
     // no communication at all.
     assert!(text.contains("%x: tensor<64x8xf32>"), "{text}");
@@ -44,7 +61,7 @@ fn listing4_megatron_text() {
     p.propagate(&f);
     p.tile(&f, w1, 1, &"M".into()).unwrap();
     p.propagate(&f);
-    let text = lower(&f, &p).unwrap().fused().unwrap().to_text();
+    let text = roundtrip_text(&lower(&f, &p).unwrap().fused().unwrap());
     // Listing 4: w1 8x8, w2 8x8, one all_reduce over M on a 64x8 value.
     assert!(text.contains("%w1: tensor<8x8xf32>"), "{text}");
     assert!(text.contains("%w2: tensor<8x8xf32>"), "{text}");
@@ -65,7 +82,7 @@ fn listing5_fully_sharded_text() {
     p.tile(&f, w1, 0, &"B".into()).unwrap();
     p.tile(&f, w2, 1, &"B".into()).unwrap();
     p.propagate(&f);
-    let text = lower(&f, &p).unwrap().fused().unwrap().to_text();
+    let text = roundtrip_text(&lower(&f, &p).unwrap().fused().unwrap());
     // Listing 5: parameters stored fully sharded (2x8 / 8x2), gathered
     // just before use on their B-sharded dimension.
     assert!(text.contains("%w1: tensor<2x8xf32>"), "{text}");
@@ -88,7 +105,7 @@ fn es_variation_reduce_scatter_text() {
     p.propagate(&f);
     p.tile(&f, y, 1, &"M".into()).unwrap();
     p.propagate(&f);
-    let text = lower(&f, &p).unwrap().fused().unwrap().to_text();
+    let text = roundtrip_text(&lower(&f, &p).unwrap().fused().unwrap());
     assert!(text.contains("reduce_scatter [{}, {\"M\"}]"), "{text}");
     assert!(!text.contains("all_reduce"), "{text}");
 }

@@ -1,0 +1,86 @@
+//! Property-based tests of the threaded runtime: for random tile/atomic
+//! schedules on the MLP training step, concurrent execution must match
+//! the global reference interpreter (and the lockstep interpreter
+//! bit-for-bit), and the executed [`RuntimeStats`] must equal the
+//! per-axis traffic prediction exactly — the refinement of the
+//! `CollectiveStats` counts down to bytes and messages.
+//!
+//! [`RuntimeStats`]: partir_spmd::RuntimeStats
+
+use partir_core::Partitioning;
+use partir_ir::interp::interpret;
+use partir_mesh::{Axis, Mesh};
+use partir_models::mlp::MlpConfig;
+use partir_prng::propcheck::check;
+use partir_spmd::{lower, RuntimeConfig};
+
+#[test]
+fn threaded_runtime_matches_reference_and_prediction() {
+    let model = partir_models::mlp::build_train_step(&MlpConfig::small()).unwrap();
+    let reference = {
+        let inputs = partir_models::synthetic_inputs(&model, 4242);
+        interpret(&model.func, &inputs).unwrap()
+    };
+
+    check("threaded runtime matches reference", 24, |rng| {
+        let mesh = Mesh::new([("a", 2), ("b", 2)]).unwrap();
+        let axes = [Axis::new("a"), Axis::new("b")];
+        let mut part = Partitioning::new(&model.func, mesh).unwrap();
+        let params = model.func.params();
+        // A random schedule: tile/atomic actions over the step's inputs
+        // (data batch, labels, parameter stack).
+        let n_actions = rng.gen_range_in(1, 5);
+        for _ in 0..n_actions {
+            let value = params[rng.gen_range(params.len())];
+            let axis = &axes[rng.gen_range(2)];
+            if rng.gen_bool(0.15) {
+                let _ = part.atomic(&model.func, value, axis);
+            } else {
+                let rank = model.func.value_type(value).rank();
+                if rank == 0 {
+                    continue;
+                }
+                let _ = part.tile(&model.func, value, rng.gen_range(rank), axis);
+            }
+            part.propagate(&model.func);
+        }
+
+        let program = lower(&model.func, &part).unwrap();
+        let program = if rng.gen_bool(0.5) {
+            program.fused().unwrap()
+        } else {
+            program
+        };
+
+        let inputs = partir_models::synthetic_inputs(&model, 4242);
+        let lockstep = program.execute_global(&inputs).unwrap();
+        let (threaded, stats) = program
+            .execute_global_threaded(&inputs, &RuntimeConfig::default())
+            .map_err(|e| format!("threaded execution failed: {e}"))?;
+
+        // Concurrent == lockstep, element-exact.
+        if threaded != lockstep {
+            return Err("threaded outputs differ from lockstep".into());
+        }
+        // Concurrent == global reference, within f32 reassociation slack.
+        for (i, (r, t)) in reference.iter().zip(&threaded).enumerate() {
+            let scale = r
+                .as_f32()
+                .map(|v| v.iter().fold(1.0f32, |m, x| m.max(x.abs())))
+                .unwrap_or(1.0);
+            let diff = r.max_abs_diff(t).unwrap();
+            if diff > 1e-4 * scale {
+                return Err(format!("output {i} deviates by {diff} at scale {scale}"));
+            }
+        }
+        // Executed bytes and messages == prediction, exactly, per axis.
+        let predicted = program.predicted_traffic().unwrap();
+        if !stats.matches_prediction(&predicted) {
+            return Err(format!(
+                "executed traffic {:?} != predicted {:?}",
+                stats.per_axis, predicted.per_axis
+            ));
+        }
+        Ok(())
+    });
+}
