@@ -25,7 +25,7 @@ struct SearchRun {
     hit_rate: f64,
 }
 
-fn run_search(func: &partir_ir::Func, budget: usize, cached: bool) -> SearchRun {
+fn run_search_once(func: &partir_ir::Func, budget: usize, cached: bool) -> SearchRun {
     let hw = tpu_mesh(4, 2);
     let cache = if cached {
         EvalCache::new()
@@ -55,22 +55,48 @@ fn run_search(func: &partir_ir::Func, budget: usize, cached: bool) -> SearchRun 
     }
 }
 
+/// Best-of-`trials` wall time after one discarded warm-up run, so
+/// whichever schedule executes first doesn't eat the process cold-start
+/// (page faults, allocator warm-up) and the comparison is
+/// schedule-vs-schedule, not first-vs-second. The search is seeded, so
+/// node counts are identical across trials; only wall time varies.
+fn run_search(func: &partir_ir::Func, budget: usize, cached: bool, trials: usize) -> SearchRun {
+    let _warmup = run_search_once(func, budget, cached);
+    let mut best = run_search_once(func, budget, cached);
+    for _ in 1..trials {
+        let run = run_search_once(func, budget, cached);
+        if run.seconds < best.seconds {
+            best = run;
+        }
+    }
+    best
+}
+
 fn main() {
-    let cfg = TransformerConfig {
-        layers: 2,
-        d_model: 32,
-        heads: 2,
-        d_ff: 128,
-        vocab: 64,
-        seq: 32,
-        batch: 256,
+    // `--smoke`: CI configuration — a tiny model and budget, one trial.
+    // Exercises the cached and uncached search paths end to end; the
+    // throughput numbers are meaningless on shared runners.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        TransformerConfig::tiny()
+    } else {
+        TransformerConfig {
+            layers: 2,
+            d_model: 32,
+            heads: 2,
+            d_ff: 128,
+            vocab: 64,
+            seq: 32,
+            batch: 256,
+        }
     };
     let model = build_train_step(&cfg).expect("model builds");
-    let budget = 48;
+    let budget = if smoke { 16 } else { 48 };
 
+    let trials = if smoke { 1 } else { 3 };
     let runs = [
-        run_search(&model.func, budget, true),
-        run_search(&model.func, budget, false),
+        run_search(&model.func, budget, true, trials),
+        run_search(&model.func, budget, false, trials),
     ];
 
     let rows: Vec<Row> = runs

@@ -124,6 +124,37 @@ pub fn emit(rows: &[Row]) {
     }
 }
 
+/// Pins glibc malloc behaviour for stable timing runs.
+///
+/// The device threads of the concurrent runtime attach to malloc's
+/// secondary arenas, whose trim policy returns large frees to the
+/// kernel immediately; every subsequent run then re-faults those pages
+/// in, which shows up as multi-percent noise in runtime comparisons on
+/// small machines (the lockstep interpreter, living on the main arena,
+/// never pays it). Pinning one arena and raising the trim/mmap
+/// thresholds gives both runtimes the same allocator placement and
+/// keeps hot pages committed across trials. Measurement hygiene only —
+/// a no-op on non-glibc targets, and never called from library code.
+pub fn tune_allocator_for_benchmarks() {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        extern "C" {
+            fn mallopt(param: i32, value: i32) -> i32;
+        }
+        const M_TRIM_THRESHOLD: i32 = -1;
+        const M_MMAP_THRESHOLD: i32 = -3;
+        const M_ARENA_MAX: i32 = -8;
+        const KEEP: i32 = 128 * 1024 * 1024;
+        // SAFETY: mallopt only tweaks allocator parameters; it is safe
+        // to call at any point and cannot fail destructively.
+        unsafe {
+            mallopt(M_ARENA_MAX, 1);
+            mallopt(M_TRIM_THRESHOLD, KEEP);
+            mallopt(M_MMAP_THRESHOLD, KEEP);
+        }
+    }
+}
+
 /// The standard 2-D benchmark machine: `{batch: b, model: m}` TPU pod.
 pub fn tpu_mesh(batch: usize, model: usize) -> HardwareConfig {
     let mesh = Mesh::new([(BATCH, batch), (MODEL, model)]).expect("valid mesh");

@@ -329,76 +329,13 @@ fn eval_convert(x: &Literal, to: DType) -> Result<Literal, IrError> {
 }
 
 fn eval_dot(dims: &DotDims, lhs: &Literal, rhs: &Literal) -> Result<Literal, IrError> {
-    let (ls, rs) = (lhs.shape().clone(), rhs.shape().clone());
-    let lhs_free = dims.free_dims(ls.rank(), true);
-    let rhs_free = dims.free_dims(rs.rank(), false);
-    let mut out_dims: Vec<usize> = Vec::new();
-    for &b in &dims.lhs_batch {
-        out_dims.push(ls.dim(b));
-    }
-    for &d in &lhs_free {
-        out_dims.push(ls.dim(d));
-    }
-    for &d in &rhs_free {
-        out_dims.push(rs.dim(d));
-    }
-    let out_shape = Shape::from(out_dims);
-    let contract_shape =
-        Shape::from(dims.lhs_contract.iter().map(|&d| ls.dim(d)).collect::<Vec<_>>());
-    let (a, b) = (lhs.as_f32()?, rhs.as_f32()?);
-    let (lstr, rstr) = (ls.strides(), rs.strides());
-    let mut data = vec![0f32; out_shape.num_elements()];
-    let nb = dims.lhs_batch.len();
-    for (out_lin, out_idx) in out_shape.indices().enumerate() {
-        // Base offsets from batch + free coordinates.
-        let mut l_base = 0usize;
-        let mut r_base = 0usize;
-        for (i, &bd) in dims.lhs_batch.iter().enumerate() {
-            l_base += out_idx[i] * lstr[bd];
-        }
-        for (i, &bd) in dims.rhs_batch.iter().enumerate() {
-            r_base += out_idx[i] * rstr[bd];
-        }
-        for (i, &fd) in lhs_free.iter().enumerate() {
-            l_base += out_idx[nb + i] * lstr[fd];
-        }
-        for (i, &fd) in rhs_free.iter().enumerate() {
-            r_base += out_idx[nb + lhs_free.len() + i] * rstr[fd];
-        }
-        let mut acc = 0f32;
-        for c_idx in contract_shape.indices() {
-            let mut lo = l_base;
-            let mut ro = r_base;
-            for (i, &c) in c_idx.iter().enumerate() {
-                lo += c * lstr[dims.lhs_contract[i]];
-                ro += c * rstr[dims.rhs_contract[i]];
-            }
-            acc += a[lo] * b[ro];
-        }
-        data[out_lin] = acc;
-    }
-    Literal::from_f32(data, out_shape)
+    // Blocked batched-matmul fast path; bit-identical to the index-walk
+    // oracle retained as `kernels::dot_general_reference`.
+    crate::kernels::dot_general(dims, lhs, rhs)
 }
 
 fn eval_transpose(x: &Literal, perm: &[usize]) -> Result<Literal, IrError> {
-    let in_shape = x.shape().clone();
-    let out_dims: Vec<usize> = perm.iter().map(|&p| in_shape.dim(p)).collect();
-    let out_shape = Shape::from(out_dims);
-    match x.dtype() {
-        DType::F32 => {
-            let a = x.as_f32()?;
-            let mut data = Vec::with_capacity(a.len());
-            for out_idx in out_shape.indices() {
-                let mut in_idx = vec![0; perm.len()];
-                for (o, &p) in perm.iter().enumerate() {
-                    in_idx[p] = out_idx[o];
-                }
-                data.push(a[in_shape.linear_index(&in_idx)]);
-            }
-            Literal::from_f32(data, out_shape)
-        }
-        _ => Err(IrError::unsupported("transpose on non-f32")),
-    }
+    crate::kernels::transpose(x, perm)
 }
 
 fn eval_broadcast(
@@ -406,65 +343,11 @@ fn eval_broadcast(
     shape: &Shape,
     broadcast_dims: &[usize],
 ) -> Result<Literal, IrError> {
-    let in_shape = x.shape().clone();
-    let fetch = |out_idx: &[usize]| -> Vec<usize> {
-        broadcast_dims
-            .iter()
-            .enumerate()
-            .map(|(i, &bd)| if in_shape.dim(i) == 1 { 0 } else { out_idx[bd] })
-            .collect()
-    };
-    match x.dtype() {
-        DType::F32 => {
-            let a = x.as_f32()?;
-            let data: Vec<f32> = shape
-                .indices()
-                .map(|idx| a[in_shape.linear_index(&fetch(&idx))])
-                .collect();
-            Literal::from_f32(data, shape.clone())
-        }
-        DType::I32 => {
-            let a = x.as_i32()?;
-            let data: Vec<i32> = shape
-                .indices()
-                .map(|idx| a[in_shape.linear_index(&fetch(&idx))])
-                .collect();
-            Literal::from_i32(data, shape.clone())
-        }
-        DType::Pred => {
-            let a = x.as_pred()?;
-            let data: Vec<bool> = shape
-                .indices()
-                .map(|idx| a[in_shape.linear_index(&fetch(&idx))])
-                .collect();
-            Literal::from_pred(data, shape.clone())
-        }
-    }
+    crate::kernels::broadcast(x, shape, broadcast_dims)
 }
 
 fn eval_reduce(op: ReduceOp, x: &Literal, dims: &[usize]) -> Result<Literal, IrError> {
-    let in_shape = x.shape().clone();
-    let kept: Vec<usize> = (0..in_shape.rank()).filter(|d| !dims.contains(d)).collect();
-    let out_shape = Shape::from(kept.iter().map(|&d| in_shape.dim(d)).collect::<Vec<_>>());
-    let a = x.as_f32()?;
-    let init = match op {
-        ReduceOp::Sum => 0.0f32,
-        ReduceOp::Prod => 1.0,
-        ReduceOp::Max => f32::NEG_INFINITY,
-        ReduceOp::Min => f32::INFINITY,
-    };
-    let mut data = vec![init; out_shape.num_elements()];
-    for (lin, in_idx) in in_shape.indices().enumerate() {
-        let out_idx: Vec<usize> = kept.iter().map(|&d| in_idx[d]).collect();
-        let o = out_shape.linear_index(&out_idx);
-        data[o] = match op {
-            ReduceOp::Sum => data[o] + a[lin],
-            ReduceOp::Prod => data[o] * a[lin],
-            ReduceOp::Max => data[o].max(a[lin]),
-            ReduceOp::Min => data[o].min(a[lin]),
-        };
-    }
-    Literal::from_f32(data, out_shape)
+    crate::kernels::reduce_f32(op, x, dims)
 }
 
 fn eval_slice(
@@ -473,37 +356,7 @@ fn eval_slice(
     limits: &[usize],
     strides: &[usize],
 ) -> Result<Literal, IrError> {
-    let in_shape = x.shape().clone();
-    let out_dims: Vec<usize> = (0..in_shape.rank())
-        .map(|d| (limits[d] - starts[d]).div_ceil(strides[d]))
-        .collect();
-    let out_shape = Shape::from(out_dims);
-    let map_idx = |out_idx: &[usize]| -> Vec<usize> {
-        out_idx
-            .iter()
-            .enumerate()
-            .map(|(d, &i)| starts[d] + i * strides[d])
-            .collect()
-    };
-    match x.dtype() {
-        DType::F32 => {
-            let a = x.as_f32()?;
-            let data: Vec<f32> = out_shape
-                .indices()
-                .map(|idx| a[in_shape.linear_index(&map_idx(&idx))])
-                .collect();
-            Literal::from_f32(data, out_shape)
-        }
-        DType::I32 => {
-            let a = x.as_i32()?;
-            let data: Vec<i32> = out_shape
-                .indices()
-                .map(|idx| a[in_shape.linear_index(&map_idx(&idx))])
-                .collect();
-            Literal::from_i32(data, out_shape)
-        }
-        DType::Pred => Err(IrError::unsupported("slice on pred")),
-    }
+    crate::kernels::slice(x, starts, limits, strides)
 }
 
 fn eval_pad(x: &Literal, value: &Literal, low: &[i64], high: &[i64]) -> Result<Literal, IrError> {
@@ -534,43 +387,7 @@ fn eval_pad(x: &Literal, value: &Literal, low: &[i64], high: &[i64]) -> Result<L
 }
 
 fn eval_concat(operands: &[&Literal], dim: usize) -> Result<Literal, IrError> {
-    let first = operands[0];
-    let mut size = 0;
-    for t in operands {
-        size += t.shape().dim(dim);
-    }
-    let out_shape = first.shape().with_dim(dim, size);
-    match first.dtype() {
-        DType::F32 => {
-            let mut data = vec![0f32; out_shape.num_elements()];
-            let mut offset = 0;
-            for t in operands {
-                let a = t.as_f32()?;
-                let shape = t.shape();
-                for (lin, mut idx) in shape.indices().enumerate() {
-                    idx[dim] += offset;
-                    data[out_shape.linear_index(&idx)] = a[lin];
-                }
-                offset += shape.dim(dim);
-            }
-            Literal::from_f32(data, out_shape)
-        }
-        DType::I32 => {
-            let mut data = vec![0i32; out_shape.num_elements()];
-            let mut offset = 0;
-            for t in operands {
-                let a = t.as_i32()?;
-                let shape = t.shape();
-                for (lin, mut idx) in shape.indices().enumerate() {
-                    idx[dim] += offset;
-                    data[out_shape.linear_index(&idx)] = a[lin];
-                }
-                offset += shape.dim(dim);
-            }
-            Literal::from_i32(data, out_shape)
-        }
-        DType::Pred => Err(IrError::unsupported("concatenate on pred")),
-    }
+    crate::kernels::concat(operands, dim)
 }
 
 fn clamp_starts(indices: &[&Literal], operand: &Shape, sizes: &[usize]) -> Result<Vec<usize>, IrError> {
@@ -596,30 +413,9 @@ fn eval_dynamic_update_slice(operands: &[&Literal]) -> Result<Literal, IrError> 
     let (x, update) = (operands[0], operands[1]);
     let sizes: Vec<usize> = update.shape().dims().to_vec();
     let starts = clamp_starts(&operands[2..], x.shape(), &sizes)?;
-    let in_shape = x.shape().clone();
-    match x.dtype() {
-        DType::F32 => {
-            let mut data = x.as_f32()?.to_vec();
-            let u = update.as_f32()?;
-            for (lin, idx) in update.shape().indices().enumerate() {
-                let target: Vec<usize> =
-                    idx.iter().zip(&starts).map(|(&i, &s)| i + s).collect();
-                data[in_shape.linear_index(&target)] = u[lin];
-            }
-            Literal::from_f32(data, in_shape)
-        }
-        DType::I32 => {
-            let mut data = x.as_i32()?.to_vec();
-            let u = update.as_i32()?;
-            for (lin, idx) in update.shape().indices().enumerate() {
-                let target: Vec<usize> =
-                    idx.iter().zip(&starts).map(|(&i, &s)| i + s).collect();
-                data[in_shape.linear_index(&target)] = u[lin];
-            }
-            Literal::from_i32(data, in_shape)
-        }
-        DType::Pred => Err(IrError::unsupported("dynamic_update_slice on pred")),
-    }
+    // `clone()` is a refcount bump; the kernel copies on write only when
+    // the buffer is shared (and then copies whole rows, not elements).
+    crate::kernels::update_slice_in_place(x.clone(), update, &starts)
 }
 
 fn eval_gather(x: &Literal, indices: &Literal, axis: usize) -> Result<Literal, IrError> {
@@ -883,6 +679,36 @@ mod tests {
         let out = interpret(&f, &[lit(vec![1., 2., 3., 4., 5., 6.], &[2, 3])]).unwrap();
         // t = [[1,4],[2,5],[3,6]], row sums [6,15] broadcast to cols.
         assert_eq!(out[0].as_f32().unwrap(), &[7., 19., 8., 20., 9., 21.]);
+    }
+
+    #[test]
+    fn transpose_i32() {
+        let mut b = FuncBuilder::new("ti");
+        let x = b.param("x", TensorType::i32([2, 3]));
+        let t = b.transpose(x, vec![1, 0]).unwrap();
+        let f = b.build([t]).unwrap();
+        let input = Literal::from_i32(vec![1, 2, 3, 4, 5, 6], [2, 3]).unwrap();
+        let out = interpret(&f, &[input]).unwrap();
+        assert_eq!(out[0].shape().dims(), &[3, 2]);
+        assert_eq!(out[0].as_i32().unwrap(), &[1, 4, 2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn transpose_pred() {
+        let mut b = FuncBuilder::new("tp");
+        let x = b.param("x", TensorType::pred([2, 2]));
+        let t = b.transpose(x, vec![1, 0]).unwrap();
+        let f = b.build([t]).unwrap();
+        let input = Literal::from_pred(vec![true, false, false, true], [2, 2]).unwrap();
+        let out = interpret(&f, &[input]).unwrap();
+        assert_eq!(out[0].as_pred().unwrap(), &[true, false, false, true]);
+        let asym = Literal::from_pred(vec![true, true, false, false], [2, 2]).unwrap();
+        let mut b2 = FuncBuilder::new("tp2");
+        let x2 = b2.param("x", TensorType::pred([2, 2]));
+        let t2 = b2.transpose(x2, vec![1, 0]).unwrap();
+        let f2 = b2.build([t2]).unwrap();
+        let out2 = interpret(&f2, &[asym]).unwrap();
+        assert_eq!(out2[0].as_pred().unwrap(), &[true, false, true, false]);
     }
 
     #[test]

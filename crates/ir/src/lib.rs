@@ -50,6 +50,7 @@ pub mod fingerprint;
 mod func;
 pub mod infer;
 pub mod interp;
+pub mod kernels;
 mod literal;
 mod ops;
 pub mod parse;

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{DType, IrError, Shape, TensorType};
 
@@ -6,6 +7,13 @@ use crate::{DType, IrError, Shape, TensorType};
 ///
 /// Literals appear both as `Constant` op payloads and as the runtime values
 /// of the reference and SPMD interpreters.
+///
+/// Element data lives behind [`Arc`]-backed copy-on-write buffers:
+/// `clone()` is a refcount bump, so binding a literal into an interpreter
+/// environment, carrying it through a `for` loop, or sending it over a
+/// runtime channel never copies elements. The mutable accessors
+/// ([`Literal::as_f32_mut`] etc.) go through `Arc::make_mut`, copying only
+/// when the buffer is shared — uniquely-owned literals mutate in place.
 ///
 /// # Examples
 ///
@@ -24,9 +32,9 @@ pub struct Literal {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Data {
-    F32(Vec<f32>),
-    I32(Vec<i32>),
-    Pred(Vec<bool>),
+    F32(Arc<Vec<f32>>),
+    I32(Arc<Vec<i32>>),
+    Pred(Arc<Vec<bool>>),
 }
 
 impl Literal {
@@ -45,7 +53,7 @@ impl Literal {
         }
         Ok(Literal {
             shape,
-            data: Data::F32(data),
+            data: Data::F32(Arc::new(data)),
         })
     }
 
@@ -64,7 +72,7 @@ impl Literal {
         }
         Ok(Literal {
             shape,
-            data: Data::I32(data),
+            data: Data::I32(Arc::new(data)),
         })
     }
 
@@ -83,7 +91,7 @@ impl Literal {
         }
         Ok(Literal {
             shape,
-            data: Data::Pred(data),
+            data: Data::Pred(Arc::new(data)),
         })
     }
 
@@ -91,7 +99,7 @@ impl Literal {
     pub fn scalar_f32(v: f32) -> Self {
         Literal {
             shape: Shape::scalar(),
-            data: Data::F32(vec![v]),
+            data: Data::F32(Arc::new(vec![v])),
         }
     }
 
@@ -99,7 +107,7 @@ impl Literal {
     pub fn scalar_i32(v: i32) -> Self {
         Literal {
             shape: Shape::scalar(),
-            data: Data::I32(vec![v]),
+            data: Data::I32(Arc::new(vec![v])),
         }
     }
 
@@ -118,9 +126,9 @@ impl Literal {
     pub fn filled(ty: &TensorType, v: f32) -> Self {
         let n = ty.shape.num_elements();
         let data = match ty.dtype {
-            DType::F32 => Data::F32(vec![v; n]),
-            DType::I32 => Data::I32(vec![v as i32; n]),
-            DType::Pred => Data::Pred(vec![v != 0.0; n]),
+            DType::F32 => Data::F32(Arc::new(vec![v; n])),
+            DType::I32 => Data::I32(Arc::new(vec![v as i32; n])),
+            DType::Pred => Data::Pred(Arc::new(vec![v != 0.0; n])),
         };
         Literal {
             shape: ty.shape.clone(),
@@ -183,7 +191,8 @@ impl Literal {
         }
     }
 
-    /// Mutable f32 view.
+    /// Mutable f32 view (copy-on-write: copies only if the buffer is
+    /// shared with another literal).
     ///
     /// # Errors
     ///
@@ -191,8 +200,56 @@ impl Literal {
     pub fn as_f32_mut(&mut self) -> Result<&mut [f32], IrError> {
         let dt = self.dtype();
         match &mut self.data {
-            Data::F32(v) => Ok(v),
+            Data::F32(v) => Ok(Arc::make_mut(v).as_mut_slice()),
             _ => Err(IrError::type_mismatch("f32 literal", dt)),
+        }
+    }
+
+    /// Mutable i32 view (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the literal is not i32.
+    pub fn as_i32_mut(&mut self) -> Result<&mut [i32], IrError> {
+        let dt = self.dtype();
+        match &mut self.data {
+            Data::I32(v) => Ok(Arc::make_mut(v).as_mut_slice()),
+            _ => Err(IrError::type_mismatch("i32 literal", dt)),
+        }
+    }
+
+    /// Mutable pred view (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the literal is not pred.
+    pub fn as_pred_mut(&mut self) -> Result<&mut [bool], IrError> {
+        let dt = self.dtype();
+        match &mut self.data {
+            Data::Pred(v) => Ok(Arc::make_mut(v).as_mut_slice()),
+            _ => Err(IrError::type_mismatch("pred literal", dt)),
+        }
+    }
+
+    /// Whether two literals alias the same underlying buffer (refcount
+    /// sharing, not value equality). Used to verify copy-on-write
+    /// behaviour in tests and to assert zero-copy transport.
+    pub fn shares_data(&self, other: &Literal) -> bool {
+        match (&self.data, &other.data) {
+            (Data::F32(a), Data::F32(b)) => Arc::ptr_eq(a, b),
+            (Data::I32(a), Data::I32(b)) => Arc::ptr_eq(a, b),
+            (Data::Pred(a), Data::Pred(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Whether this literal is the unique owner of its buffer (an
+    /// in-place mutation through the `as_*_mut` accessors will not copy).
+    pub fn is_unique(&self) -> bool {
+        match &self.data {
+            Data::F32(v) => Arc::strong_count(v) == 1,
+            Data::I32(v) => Arc::strong_count(v) == 1,
+            Data::Pred(v) => Arc::strong_count(v) == 1,
         }
     }
 
@@ -351,6 +408,41 @@ mod tests {
         let r = l.reshaped([4]).unwrap();
         assert_eq!(r.as_f32().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
         assert!(r.reshaped([3]).is_err());
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let a = Literal::from_f32(vec![1.0, 2.0, 3.0], [3]).unwrap();
+        let b = a.clone();
+        assert!(a.shares_data(&b), "clone must be a refcount bump");
+        assert!(!a.is_unique());
+        // Mutating the clone un-shares it and never bleeds into `a`.
+        let mut c = b.clone();
+        c.as_f32_mut().unwrap()[0] = 99.0;
+        assert!(!c.shares_data(&a));
+        assert_eq!(a.as_f32().unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.as_f32().unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.as_f32().unwrap(), &[99.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn unique_literal_mutates_in_place() {
+        let mut a = Literal::from_i32(vec![1, 2], [2]).unwrap();
+        assert!(a.is_unique());
+        let before = a.as_i32().unwrap().as_ptr();
+        a.as_i32_mut().unwrap()[1] = 7;
+        assert_eq!(a.as_i32().unwrap().as_ptr(), before, "no copy when unique");
+        assert_eq!(a.as_i32().unwrap(), &[1, 7]);
+        let mut p = Literal::from_pred(vec![true, false], [2]).unwrap();
+        p.as_pred_mut().unwrap()[1] = true;
+        assert_eq!(p.as_pred().unwrap(), &[true, true]);
+    }
+
+    #[test]
+    fn reshape_keeps_sharing() {
+        let a = Literal::from_f32(vec![1.0; 4], [2, 2]).unwrap();
+        let b = a.clone().reshaped([4]).unwrap();
+        assert!(a.shares_data(&b), "reshape is zero-copy");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Property tests for the kernel engine: the blocked `dot_general` fast
+//! path must be *bit-identical* to the retained index-walk oracle across
+//! random `DotDims` (batch dims, multiple contract dims, degenerate 0- and
+//! 1-sized dims, operands whose dim groups sit at arbitrary positions),
+//! and copy-on-write mutation must never bleed into a shared literal.
+
+use partir_ir::kernels::{dot_general, dot_general_reference};
+use partir_ir::{DotDims, Literal};
+use partir_prng::{propcheck::check, Rng};
+
+/// A dim size skewed toward the degenerate cases (0 rare, 1 common).
+fn gen_size(rng: &mut Rng) -> usize {
+    match rng.gen_range(8) {
+        0 => 0,
+        1 | 2 => 1,
+        n => n - 1, // 2..=6
+    }
+}
+
+fn shuffle(rng: &mut Rng, items: &mut [(usize, usize)]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Dim-group tags for one operand's shuffled layout.
+const BATCH: usize = 0;
+const CONTRACT: usize = 1;
+const FREE: usize = 2;
+
+/// Lays out batch/contract/free dims at random positions in one operand
+/// and returns (shape dims, batch positions in pair order, contract
+/// positions in pair order).
+fn layout(
+    rng: &mut Rng,
+    batch: &[usize],
+    contract: &[usize],
+    free: &[usize],
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    // (group * 100 + index-within-group, size) so positions can be
+    // recovered after shuffling.
+    let mut tagged: Vec<(usize, usize)> = Vec::new();
+    for (i, &s) in batch.iter().enumerate() {
+        tagged.push((BATCH * 100 + i, s));
+    }
+    for (i, &s) in contract.iter().enumerate() {
+        tagged.push((CONTRACT * 100 + i, s));
+    }
+    for (i, &s) in free.iter().enumerate() {
+        tagged.push((FREE * 100 + i, s));
+    }
+    shuffle(rng, &mut tagged);
+    let dims: Vec<usize> = tagged.iter().map(|&(_, s)| s).collect();
+    let mut batch_pos = vec![0usize; batch.len()];
+    let mut contract_pos = vec![0usize; contract.len()];
+    for (pos, &(tag, _)) in tagged.iter().enumerate() {
+        match tag / 100 {
+            BATCH => batch_pos[tag % 100] = pos,
+            CONTRACT => contract_pos[tag % 100] = pos,
+            _ => {}
+        }
+    }
+    (dims, batch_pos, contract_pos)
+}
+
+fn gen_literal(rng: &mut Rng, dims: &[usize]) -> Literal {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|_| rng.gen_range(4000) as f32 * 0.01 - 20.0)
+        .collect();
+    Literal::from_f32(data, dims.to_vec()).unwrap()
+}
+
+fn bits(lit: &Literal) -> Vec<u32> {
+    lit.as_f32().unwrap().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn blocked_dot_is_bit_identical_to_oracle() {
+    check("dot fast path == index-walk oracle", 256, |rng| {
+        let nb = rng.gen_range(3);
+        let nc = rng.gen_range(3);
+        let nlf = rng.gen_range(3);
+        let nrf = rng.gen_range(3);
+        let batch: Vec<usize> = (0..nb).map(|_| gen_size(rng)).collect();
+        let contract: Vec<usize> = (0..nc).map(|_| gen_size(rng)).collect();
+        let lhs_free: Vec<usize> = (0..nlf).map(|_| gen_size(rng)).collect();
+        let rhs_free: Vec<usize> = (0..nrf).map(|_| gen_size(rng)).collect();
+
+        let (ldims, lhs_batch, lhs_contract) = layout(rng, &batch, &contract, &lhs_free);
+        let (rdims, rhs_batch, rhs_contract) = layout(rng, &batch, &contract, &rhs_free);
+        let dims = DotDims {
+            lhs_batch,
+            rhs_batch,
+            lhs_contract,
+            rhs_contract,
+        };
+        let lhs = gen_literal(rng, &ldims);
+        let rhs = gen_literal(rng, &rdims);
+
+        let fast = dot_general(&dims, &lhs, &rhs)
+            .map_err(|e| format!("fast path failed on {dims:?} {ldims:?}x{rdims:?}: {e}"))?;
+        let oracle = dot_general_reference(&dims, &lhs, &rhs)
+            .map_err(|e| format!("oracle failed on {dims:?}: {e}"))?;
+        if fast.shape() != oracle.shape() {
+            return Err(format!(
+                "shape mismatch: fast {} vs oracle {} for {dims:?} {ldims:?}x{rdims:?}",
+                fast.shape(),
+                oracle.shape()
+            ));
+        }
+        if bits(&fast) != bits(&oracle) {
+            return Err(format!(
+                "bit mismatch for {dims:?}, lhs {ldims:?}, rhs {rdims:?}"
+            ));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn cow_mutation_never_bleeds_into_shared_literal() {
+    check("COW isolation under random in-place writes", 128, |rng| {
+        let rank = rng.gen_range(3) + 1;
+        let dims: Vec<usize> = (0..rank).map(|_| rng.gen_range(4) + 1).collect();
+        let original = gen_literal(rng, &dims);
+        let snapshot = bits(&original);
+        let mut alias = original.clone();
+        if !alias.shares_data(&original) {
+            return Err("clone must share storage before mutation".into());
+        }
+        let slice = alias.as_f32_mut().map_err(|e| e.to_string())?;
+        for _ in 0..rng.gen_range(8) + 1 {
+            let i = rng.gen_range(slice.len());
+            slice[i] = rng.gen_range(100) as f32 - 50.0;
+        }
+        if bits(&original) != snapshot {
+            return Err("mutating a clone changed the shared original".into());
+        }
+        if alias.shares_data(&original) {
+            return Err("mutated clone still shares storage".into());
+        }
+        Ok(())
+    });
+}

@@ -14,6 +14,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use partir_core::Partitioning;
 use partir_ir::{Fingerprint, Func};
@@ -21,6 +22,35 @@ use partir_mesh::HardwareConfig;
 use partir_sim::{evaluate, Evaluation};
 
 use crate::SchedError;
+
+/// Identity hasher for [`Fingerprint`] keys.
+///
+/// Fingerprints are already uniformly mixed 128-bit digests (the
+/// `StableHasher` wide-multiply), so feeding them through SipHash again
+/// only adds latency to every probe — and the probe is the entire cost of
+/// a cache hit. Folding the two halves preserves the digest's uniformity.
+#[derive(Default)]
+pub struct FingerprintHasher(u64);
+
+impl Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (not used by `Fingerprint`, whose derived Hash
+        // calls `write_u128`): FNV-1a keeps arbitrary keys correct.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.0 = (v as u64) ^ ((v >> 64) as u64);
+    }
+}
+
+type FingerprintMap = HashMap<Fingerprint, Evaluation, BuildHasherDefault<FingerprintHasher>>;
 
 /// Hit/miss counters of an [`EvalCache`], surfaced in search reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,7 +82,7 @@ impl CacheStats {
 /// bandwidth/FLOPS numbers. `partir_jit` creates one per run.
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    entries: RefCell<HashMap<Fingerprint, Evaluation>>,
+    entries: RefCell<FingerprintMap>,
     hits: Cell<u64>,
     misses: Cell<u64>,
     /// A disabled cache evaluates every request afresh (and counts every
@@ -65,7 +95,7 @@ impl EvalCache {
     /// An empty, enabled cache.
     pub fn new() -> Self {
         EvalCache {
-            entries: RefCell::new(HashMap::new()),
+            entries: RefCell::new(FingerprintMap::default()),
             hits: Cell::new(0),
             misses: Cell::new(0),
             enabled: true,

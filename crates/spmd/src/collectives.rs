@@ -6,10 +6,18 @@
 //! runtime's per-device channel endpoints). The algorithms are the
 //! standard hierarchical ones — per mesh axis, in axis order:
 //!
-//! * `all_reduce`: two-phase per axis — scatter chunks to distributed
-//!   roots which fold them *linearly in coordinate order*, then a ring
-//!   all-gather of the reduced chunks. The linear fold order makes the
-//!   result bit-identical to the staged lockstep interpreter.
+//! * `all_reduce`: selected by payload size, NCCL-style. At or below
+//!   [`LEADER_ALL_REDUCE_MAX_BYTES`] the group leader receives every
+//!   member's full payload (a zero-copy `Arc` transfer), folds them
+//!   *linearly in coordinate order*, and broadcasts the result (refcount
+//!   bumps) — minimal messages and no chunk copies. Above the cutoff,
+//!   two-phase: scatter chunks to distributed roots which fold them in
+//!   the same linear order, then a ring all-gather of the reduced chunks
+//!   — the bandwidth-optimal form that also spreads the fold across
+//!   devices. Both fold orders make the result bit-identical to the
+//!   staged lockstep interpreter, and both move the same total bytes
+//!   (`2(k-1)·n` per group), so the analytical ring formula holds for
+//!   either.
 //! * `all_gather`: ring — `k-1` steps forwarding the most recently
 //!   received block, then concatenation in coordinate order.
 //! * `reduce_scatter`: per axis, direct exchange of the eventual output
@@ -35,7 +43,7 @@ use partir_ir::{
 };
 use partir_mesh::{Axis, Mesh};
 
-use crate::interp::{reduce_binary, slice_chunk};
+use crate::interp::slice_chunk;
 use crate::runtime::RuntimeError;
 
 /// Bytes and message count moved over one mesh axis.
@@ -218,6 +226,11 @@ fn concat_flat(chunks: Vec<Option<Literal>>, ty: &TensorType) -> Result<Literal,
 }
 
 /// Folds `piece` into `acc` (linear, left-to-right).
+///
+/// Uses [`partir_ir::kernels::fold_reduce`], which mutates the
+/// accumulator in place when its buffer is uniquely owned — true for
+/// payloads received over channels — and is bit-identical to evaluating
+/// the corresponding `Binary` op (what the lockstep interpreter does).
 fn fold(
     acc: Option<Literal>,
     piece: Literal,
@@ -225,17 +238,58 @@ fn fold(
 ) -> Result<Option<Literal>, RuntimeError> {
     Ok(Some(match acc {
         None => piece,
-        Some(acc) => {
-            let bin = reduce_binary(reduce);
-            let r = eval_op(&OpKind::Binary(bin), &[&acc, &piece], &acc.ty())?;
-            r.into_iter().next().expect("single result")
-        }
+        Some(acc) => partir_ir::kernels::fold_reduce(acc, &piece, reduce)?,
     }))
 }
 
-/// Two-phase single-axis all-reduce: scatter-reduce to distributed roots
-/// (root `j` folds chunk `j` linearly in coordinate order), then a ring
-/// all-gather of the reduced chunks.
+/// Payload-size cutoff below which `all_reduce` uses the latency-optimal
+/// leader algorithm instead of scatter-reduce + ring gather.
+///
+/// In-process channels move `Arc`-backed literals by refcount, so a
+/// full-payload send costs the same as a chunk send; the ring's only
+/// remaining virtue is distributing the fold across device threads,
+/// which pays off only once the fold outweighs the extra `~2(k-1)²`
+/// messages and `~2k·n` chunk-extraction/reassembly copies per group.
+pub(crate) const LEADER_ALL_REDUCE_MAX_BYTES: usize = 256 * 1024;
+
+/// Leader-based single-axis all-reduce for small payloads: every member
+/// sends its full payload to the group leader (position 0) — a zero-copy
+/// `Arc` transfer — the leader folds them linearly in coordinate order
+/// (own value first, exactly the lockstep fold), then broadcasts the
+/// result back as refcount bumps. `2(k-1)` messages and `2(k-1)·n`
+/// attributed bytes per group, no chunk copies.
+fn axis_leader_all_reduce<E: Exchange>(
+    ex: &mut E,
+    axis: &Axis,
+    reduce: ReduceOp,
+    val: Literal,
+    group: &[usize],
+    my_pos: usize,
+) -> Result<Literal, RuntimeError> {
+    if val.num_elements() == 0 {
+        return Ok(val);
+    }
+    let root = group[0];
+    if my_pos != 0 {
+        ex.send(root, axis, val)?;
+        return ex.recv(root, axis);
+    }
+    let mut acc = Some(val);
+    for &member in &group[1..] {
+        let piece = ex.recv(member, axis)?;
+        acc = fold(acc, piece, reduce)?;
+    }
+    let result = acc.expect("own value folded");
+    for &member in &group[1..] {
+        ex.send(member, axis, result.clone())?;
+    }
+    Ok(result)
+}
+
+/// Single-axis all-reduce: leader-based below
+/// [`LEADER_ALL_REDUCE_MAX_BYTES`]; otherwise two-phase — scatter-reduce
+/// to distributed roots (root `j` folds chunk `j` linearly in coordinate
+/// order), then a ring all-gather of the reduced chunks.
 fn axis_all_reduce<E: Exchange>(
     ex: &mut E,
     axis: &Axis,
@@ -246,6 +300,9 @@ fn axis_all_reduce<E: Exchange>(
     let k = group.len();
     if k == 1 {
         return Ok(val);
+    }
+    if val.ty().size_bytes() <= LEADER_ALL_REDUCE_MAX_BYTES {
+        return axis_leader_all_reduce(ex, axis, reduce, val, &group, my_pos);
     }
     let n = val.num_elements();
     let ty = val.ty();
@@ -488,22 +545,32 @@ fn predict_collective(
         Collective::AllSlice { .. } => {}
         Collective::AllReduce { axes, .. } => {
             let n = operand.shape.num_elements();
+            let leader = operand.size_bytes() <= LEADER_ALL_REDUCE_MAX_BYTES;
             for axis in axes {
                 let k = mesh.axis_size(axis).map_err(err)?;
                 if k == 1 {
                     continue;
                 }
                 let groups = devices / k as u64;
-                let nonempty = (0..k)
-                    .filter(|&j| {
-                        let (lo, hi) = chunk_bounds(n, k, j);
-                        lo < hi
-                    })
-                    .count() as u64;
-                // Phase 1 (scatter-reduce) + phase 2 (ring gather) each
-                // move every element k-1 times per group.
+                // Either algorithm moves every element 2(k-1) times per
+                // group: gather-in + broadcast-out for the leader form,
+                // scatter-reduce + ring gather for the chunked form.
                 let bytes = 2 * groups * (k as u64 - 1) * n as u64 * eb;
-                let messages = 2 * groups * (k as u64 - 1) * nonempty;
+                let messages = if leader {
+                    if n == 0 {
+                        0
+                    } else {
+                        2 * groups * (k as u64 - 1)
+                    }
+                } else {
+                    let nonempty = (0..k)
+                        .filter(|&j| {
+                            let (lo, hi) = chunk_bounds(n, k, j);
+                            lo < hi
+                        })
+                        .count() as u64;
+                    2 * groups * (k as u64 - 1) * nonempty
+                };
                 add_traffic(pred, axis, bytes, messages, multiplier);
             }
         }
@@ -588,7 +655,8 @@ mod tests {
 
     #[test]
     fn all_reduce_prediction_matches_ring_formula() {
-        // 4-way all_reduce of 1024 f32: 2 * (k-1)/k * bytes per device.
+        // 4-way all_reduce of 1024 f32 (4 KiB, leader path): bytes follow
+        // the ring formula 2 * (k-1)/k * bytes per device either way.
         let mesh = Mesh::single("B", 4).unwrap();
         let c = Collective::AllReduce {
             axes: vec!["B".into()],
@@ -598,6 +666,24 @@ mod tests {
         predict_collective(&c, &TensorType::f32([1024]), &mesh, 1, &mut pred).unwrap();
         // Total = devices * 2 * (k-1)/k * n * 4 bytes = 4 * 2 * 3/4 * 4096.
         assert_eq!(pred.total_bytes(), 4 * 2 * 3 * 1024);
+        // Leader algorithm: gather-in + broadcast-out = 2(k-1) messages.
+        assert_eq!(pred.per_axis[&Axis::new("B")].messages, 2 * 3);
+    }
+
+    #[test]
+    fn large_all_reduce_predicts_ring_messages() {
+        // 128K f32 = 512 KiB > LEADER_ALL_REDUCE_MAX_BYTES: chunked
+        // scatter-reduce + ring gather, same bytes, k× the messages.
+        let n = 128 * 1024;
+        assert!(n * 4 > LEADER_ALL_REDUCE_MAX_BYTES);
+        let mesh = Mesh::single("B", 4).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["B".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let mut pred = TrafficPrediction::default();
+        predict_collective(&c, &TensorType::f32([n]), &mesh, 1, &mut pred).unwrap();
+        assert_eq!(pred.total_bytes(), (4 * 2 * 3 * n * 4 / 4) as u64);
         assert_eq!(pred.per_axis[&Axis::new("B")].messages, 2 * 3 * 4);
     }
 

@@ -47,6 +47,12 @@ pub struct RuntimeConfig {
     pub rendezvous_timeout: Duration,
     /// Faults to inject, normally empty.
     pub faults: Vec<Fault>,
+    /// Whether to checksum every message (FNV-1a over the payload) and
+    /// verify it on receive. Off by default — in-process channels cannot
+    /// corrupt payloads, and hashing every byte dominates small-message
+    /// runs. Forced on whenever `faults` is non-empty, so every
+    /// fault-injection test verifies checksums regardless of this flag.
+    pub verify_checksums: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -54,6 +60,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             rendezvous_timeout: Duration::from_secs(5),
             faults: Vec::new(),
+            verify_checksums: false,
         }
     }
 }
@@ -67,12 +74,27 @@ impl RuntimeConfig {
         }
     }
 
-    /// Default config with the given fault plan.
+    /// Default config with the given fault plan. A non-empty plan forces
+    /// checksum verification on.
     pub fn with_faults(faults: Vec<Fault>) -> Self {
         RuntimeConfig {
             faults,
             ..RuntimeConfig::default()
         }
+    }
+
+    /// Default config with checksum verification explicitly enabled.
+    pub fn with_checksums() -> Self {
+        RuntimeConfig {
+            verify_checksums: true,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Whether this run computes and verifies message checksums: the
+    /// explicit flag, or any armed fault.
+    pub fn checksums_armed(&self) -> bool {
+        self.verify_checksums || !self.faults.is_empty()
     }
 }
 
@@ -294,8 +316,13 @@ pub struct RunOutcome {
 struct Message {
     /// Per (sender, receiver) sequence number, checked on receive.
     seq: u64,
-    /// FNV-1a over the payload, computed before fault injection.
+    /// FNV-1a over the payload, computed before fault injection; 0 when
+    /// checksumming is disarmed (see [`RuntimeConfig::checksums_armed`]).
     checksum: u64,
+    /// The tensor itself. `Literal` buffers are `Arc`-backed, so moving
+    /// one through a channel (and the send-side `clone()` in ring
+    /// collectives) transfers a refcount, not the data — payloads are
+    /// zero-copy end to end.
     payload: Literal,
 }
 
@@ -389,6 +416,8 @@ struct DeviceLinks<'a> {
     /// Outgoing messages so far (for [`Fault::Corrupt`] targeting).
     sent_total: u64,
     corrupt_at: Option<u64>,
+    /// Compute + verify checksums ([`RuntimeConfig::checksums_armed`]).
+    verify: bool,
     stats: DeviceStats,
 }
 
@@ -402,7 +431,11 @@ impl Exchange for DeviceLinks<'_> {
     }
 
     fn send(&mut self, dst: usize, axis: &Axis, mut payload: Literal) -> Result<(), RuntimeError> {
-        let checksum = literal_checksum(&payload);
+        let checksum = if self.verify {
+            literal_checksum(&payload)
+        } else {
+            0
+        };
         if self.corrupt_at == Some(self.sent_total) {
             poison(&mut payload);
         }
@@ -428,28 +461,45 @@ impl Exchange for DeviceLinks<'_> {
     }
 
     fn recv(&mut self, src: usize, axis: &Axis) -> Result<Literal, RuntimeError> {
+        /// Yield-and-poll rounds before parking on the timed receive.
+        ///
+        /// A rendezvous miss usually means the peer just hasn't been
+        /// scheduled yet; `yield_now` hands it the core and the message
+        /// is typically there on re-poll — microseconds, versus the
+        /// futex sleep + wake of parking in `recv_timeout`. If the peer
+        /// is genuinely far behind (or stalled), fall through to the
+        /// parked wait so deadlock detection still fires.
+        const YIELD_ROUNDS: usize = 32;
         let rx = self.rxs[src].as_ref().expect("no self-receive");
-        let msg = match rx.try_recv() {
-            Ok(m) => m,
-            Err(TryRecvError::Empty) => {
-                self.stats.rendezvous_waits += 1;
-                match rx.recv_timeout(self.timeout) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Timeout) => {
-                        return Err(RuntimeError::Timeout {
-                            device: self.device,
-                            peer: src,
-                            axis: axis.clone(),
-                        })
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return Err(RuntimeError::Disconnected {
-                            device: self.device,
-                            peer: src,
-                        })
-                    }
+        let mut first = rx.try_recv();
+        if matches!(first, Err(TryRecvError::Empty)) {
+            self.stats.rendezvous_waits += 1;
+            for _ in 0..YIELD_ROUNDS {
+                std::thread::yield_now();
+                first = rx.try_recv();
+                if !matches!(first, Err(TryRecvError::Empty)) {
+                    break;
                 }
             }
+        }
+        let msg = match first {
+            Ok(m) => m,
+            Err(TryRecvError::Empty) => match rx.recv_timeout(self.timeout) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(RuntimeError::Timeout {
+                        device: self.device,
+                        peer: src,
+                        axis: axis.clone(),
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Disconnected {
+                        device: self.device,
+                        peer: src,
+                    })
+                }
+            },
             Err(TryRecvError::Disconnected) => {
                 return Err(RuntimeError::Disconnected {
                     device: self.device,
@@ -467,7 +517,7 @@ impl Exchange for DeviceLinks<'_> {
                 got: msg.seq,
             });
         }
-        if literal_checksum(&msg.payload) != msg.checksum {
+        if self.verify && literal_checksum(&msg.payload) != msg.checksum {
             return Err(RuntimeError::Corrupt {
                 device: self.device,
                 peer: src,
@@ -563,6 +613,7 @@ impl ThreadedRuntime {
 
         type DeviceResult = Result<(Vec<Literal>, DeviceStats), RuntimeError>;
         let timeout = self.config.rendezvous_timeout;
+        let verify = self.config.checksums_armed();
         let results: Vec<DeviceResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = txs
                 .into_iter()
@@ -590,6 +641,7 @@ impl ThreadedRuntime {
                             seq_in: vec![0; n],
                             sent_total: 0,
                             corrupt_at: corrupt,
+                            verify,
                             stats: DeviceStats::default(),
                         };
                         let mut env: Vec<Option<Literal>> = vec![None; func.num_values()];
@@ -758,6 +810,30 @@ mod tests {
     }
 
     #[test]
+    fn large_all_reduce_takes_ring_path_and_matches_lockstep() {
+        // 80_001 f32 = ~312 KiB > LEADER_ALL_REDUCE_MAX_BYTES: exercises
+        // the chunked scatter-reduce + ring gather with uneven chunks.
+        let n = 80_001usize;
+        let mesh = Mesh::single("a", 4).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["a".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let func = collective_func(&mesh, c, TensorType::f32([n]));
+        let inputs = device_inputs(&mesh, n);
+        let lockstep = run_devices(&func, &mesh, &inputs).unwrap();
+        let outcome = ThreadedRuntime::default().run(&func, &mesh, &inputs).unwrap();
+        assert_eq!(outcome.outputs, lockstep);
+        let prediction = predict_traffic(&func, &mesh).unwrap();
+        assert!(
+            outcome.stats.matches_prediction(&prediction),
+            "executed {:?} != predicted {:?}",
+            outcome.stats.per_axis,
+            prediction.per_axis
+        );
+    }
+
+    #[test]
     fn uneven_chunks_still_match_lockstep() {
         // n = 3 elements on a 4-way axis: one chunk is empty.
         let mesh = Mesh::single("a", 4).unwrap();
@@ -843,6 +919,32 @@ mod tests {
         let distinct: std::collections::BTreeSet<String> =
             (0..32).map(|s| format!("{:?}", seeded_faults(s, &mesh))).collect();
         assert!(distinct.len() > 3, "plans vary across seeds");
+    }
+
+    #[test]
+    fn checksums_armed_by_flag_or_faults() {
+        assert!(!RuntimeConfig::default().checksums_armed());
+        assert!(RuntimeConfig::with_checksums().checksums_armed());
+        assert!(
+            RuntimeConfig::with_faults(vec![Fault::Drop { device: 0 }]).checksums_armed(),
+            "any fault plan forces verification on"
+        );
+    }
+
+    #[test]
+    fn explicit_checksums_still_match_lockstep() {
+        let mesh = Mesh::new([("x", 2), ("y", 2)]).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["x".into(), "y".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let func = collective_func(&mesh, c, TensorType::f32([8]));
+        let inputs = device_inputs(&mesh, 8);
+        let lockstep = run_devices(&func, &mesh, &inputs).unwrap();
+        let outcome = ThreadedRuntime::new(RuntimeConfig::with_checksums())
+            .run(&func, &mesh, &inputs)
+            .unwrap();
+        assert_eq!(outcome.outputs, lockstep);
     }
 
     #[test]
