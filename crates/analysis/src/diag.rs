@@ -1,0 +1,132 @@
+//! Structured diagnostics shared by every analysis and surfaced by
+//! `partir-lint`.
+//!
+//! A [`Diagnostic`] pins a finding to an op (via the op path produced by
+//! [`partir_ir::verify::op_path`]) and, when the program was parsed from
+//! text, to a source position. Severities order so callers can filter
+//! with `>=` ([`Severity::Error`] is what gates CI).
+
+use std::fmt;
+
+use partir_ir::SrcLoc;
+
+/// How serious a finding is.
+///
+/// `Error` means the program is illegal — lowering, simulation or the
+/// threaded runtime would misbehave. `Warning` flags suspicious but
+/// executable constructs (unresolved propagation conflicts, redundant
+/// collectives). `Info` is advisory metadata (implied reshards, resource
+/// figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious but executable.
+    Warning,
+    /// Illegal; fails `partir-lint`.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable rule identifier, e.g. `collective-unknown-axis`.
+    pub rule: &'static str,
+    /// Path of the offending op (`@main/%3(dot)`), when op-specific.
+    pub op_path: Option<String>,
+    /// Source position, when the function was parsed from text.
+    pub loc: Option<SrcLoc>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic not tied to a particular op.
+    pub fn new(severity: Severity, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            rule,
+            op_path: None,
+            loc: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches an op path.
+    pub fn at_op(mut self, path: impl Into<String>) -> Self {
+        self.op_path = Some(path.into());
+        self
+    }
+
+    /// Attaches a source position.
+    pub fn at_loc(mut self, loc: Option<SrcLoc>) -> Self {
+        self.loc = loc;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.rule)?;
+        if let Some(path) = &self.op_path {
+            write!(f, " {path}")?;
+        }
+        if let Some(loc) = self.loc {
+            write!(f, " (line {loc})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The worst severity among `diags`, if any.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// Number of [`Severity::Error`] diagnostics.
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severities_order() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn display_includes_rule_path_and_loc() {
+        let d = Diagnostic::new(Severity::Error, "collective-unknown-axis", "no axis \"z\"")
+            .at_op("@main/%2(all_reduce)")
+            .at_loc(Some(SrcLoc { line: 4, col: 9 }));
+        assert_eq!(
+            d.to_string(),
+            "error[collective-unknown-axis] @main/%2(all_reduce) (line 4:9): no axis \"z\""
+        );
+        assert_eq!(
+            max_severity(std::slice::from_ref(&d)),
+            Some(Severity::Error)
+        );
+        assert_eq!(error_count(&[d]), 1);
+        assert_eq!(max_severity(&[]), None);
+    }
+}

@@ -1,0 +1,423 @@
+//! Forward layout tracking over lowered (device-local) programs.
+//!
+//! Each value's fact is the per-dimension stack of mesh axes it is
+//! currently sliced over, in outer-to-inner order — exactly the
+//! [`ValueCtx::dim_axes`] layout `partir_spmd::lower` maintains. The
+//! lattice is flat ([`Flat`]): layouts merge to ⊤ when paths disagree or
+//! an op's effect on the layout is not tracked (matrix products etc. —
+//! their sharding semantics live in the TMR, not here). Collectives have
+//! exact transfer functions, so the analysis precisely follows gather /
+//! slice / all-to-all chains and catches:
+//!
+//! * gathering axes a value is not sliced over (`layout-bad-gather`) —
+//!   the "dropped axis" class of bugs, where data is concatenated from
+//!   devices that hold identical replicas;
+//! * slicing along an axis that already slices the value
+//!   (`layout-double-slice`), which silently drops shards;
+//! * elementwise ops combining operands with different layouts
+//!   (`layout-elementwise-mismatch`);
+//! * gather/slice round trips that cancel (`layout-redundant-pair`);
+//! * results whose computed layout contradicts the program's declared
+//!   output sharding (`layout-result-mismatch`).
+
+use partir_core::ValueCtx;
+use partir_ir::verify::op_path;
+use partir_ir::{Collective, Func, OpId, OpKind, ValueDef};
+use partir_mesh::Axis;
+
+use crate::dataflow::{forward_fixpoint, Fact, FactMap, Flat, ForwardAnalysis};
+use crate::diag::{Diagnostic, Severity};
+
+/// Per-dimension axis stacks, outer-to-inner.
+pub type DimLayout = Vec<Vec<Axis>>;
+
+type LayoutFact = Flat<DimLayout>;
+
+/// Applies a collective's effect to a known operand layout, or explains
+/// why the collective is inconsistent with it.
+fn apply_collective(c: &Collective, layout: &DimLayout) -> Result<DimLayout, String> {
+    let mut out = layout.clone();
+    let strip_suffix = |stack: &mut Vec<Axis>, axes: &[Axis], dim: usize| -> Result<(), String> {
+        if axes.is_empty() {
+            return Ok(());
+        }
+        if stack.len() < axes.len() || &stack[stack.len() - axes.len()..] != axes {
+            return Err(format!(
+                "gathers axes [{}] in dim {dim}, but the value is sliced over [{}] there",
+                join(axes),
+                join(stack)
+            ));
+        }
+        stack.truncate(stack.len() - axes.len());
+        Ok(())
+    };
+    let push_axes = |out: &mut DimLayout, axes: &[Axis], dim: usize| -> Result<(), String> {
+        for a in axes {
+            if out.iter().any(|stack| stack.contains(a)) {
+                return Err(format!(
+                    "slices dim {dim} over axis \"{a}\" which already slices the value"
+                ));
+            }
+            out[dim].push(a.clone());
+        }
+        Ok(())
+    };
+    match c {
+        Collective::AllReduce { .. } => {}
+        Collective::AllGather { dim_axes } => {
+            for (d, axes) in dim_axes.iter().enumerate() {
+                strip_suffix(&mut out[d], axes, d)?;
+            }
+        }
+        Collective::AllSlice { dim_axes } | Collective::ReduceScatter { dim_axes, .. } => {
+            for (d, axes) in dim_axes.iter().enumerate() {
+                push_axes(&mut out, axes, d)?;
+            }
+        }
+        Collective::AllToAll {
+            src_dim,
+            dst_dim,
+            axes,
+        } => {
+            strip_suffix(&mut out[*src_dim], axes, *src_dim)?;
+            push_axes(&mut out, axes, *dst_dim)?;
+        }
+    }
+    Ok(out)
+}
+
+fn join(axes: &[Axis]) -> String {
+    axes.iter()
+        .map(|a| format!("\"{a}\""))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+struct LayoutAnalysis {
+    input_layouts: Option<Vec<DimLayout>>,
+}
+
+impl ForwardAnalysis for LayoutAnalysis {
+    type Fact = LayoutFact;
+
+    fn entry(&self, _func: &Func, index: usize, _v: partir_ir::ValueId) -> LayoutFact {
+        match &self.input_layouts {
+            Some(layouts) => Flat::Known(layouts[index].clone()),
+            None => Flat::Top,
+        }
+    }
+
+    fn loop_index(&self, _func: &Func, _v: partir_ir::ValueId) -> LayoutFact {
+        Flat::Known(Vec::new()) // rank-0 scalar: trivially replicated
+    }
+
+    fn transfer(&self, func: &Func, op: OpId, operands: &[LayoutFact]) -> Vec<LayoutFact> {
+        let data = func.op(op);
+        let fact = match &data.kind {
+            // Nullary ops materialise the full value on every device.
+            _ if data.operands.is_empty() => {
+                let rank = func.value_type(data.results[0]).rank();
+                Flat::Known(vec![Vec::new(); rank])
+            }
+            OpKind::Collective(c) => match &operands[0] {
+                Flat::Known(layout) => match apply_collective(c, layout) {
+                    Ok(out) => Flat::Known(out),
+                    Err(_) => Flat::Top, // reported by the check pass
+                },
+                other => other.clone(),
+            },
+            OpKind::Transpose { perm } => match &operands[0] {
+                Flat::Known(layout) => {
+                    Flat::Known(perm.iter().map(|&p| layout[p].clone()).collect())
+                }
+                other => other.clone(),
+            },
+            k if k.is_elementwise() => {
+                let mut fact = LayoutFact::bottom();
+                for f in operands {
+                    fact.join(f);
+                }
+                fact
+            }
+            // Compute ops change sharding per the TMR; untracked here.
+            _ => Flat::Top,
+        };
+        vec![fact; data.results.len()]
+    }
+}
+
+/// Runs the layout analysis and reports inconsistencies.
+///
+/// `input_layouts` / `output_layouts` are the program's declared
+/// interface shardings (e.g. an `SpmdProgram`'s input/output contexts);
+/// pass `None` when unknown, which turns off the corresponding checks.
+pub fn check_layouts(
+    func: &Func,
+    input_layouts: Option<&[ValueCtx]>,
+    output_layouts: Option<&[ValueCtx]>,
+) -> Vec<Diagnostic> {
+    let to_layouts = |ctxs: &[ValueCtx], values: &[partir_ir::ValueId]| -> Vec<DimLayout> {
+        ctxs.iter()
+            .zip(values)
+            .map(|(ctx, &v)| ctx.dim_axes(func.value_type(v).rank()))
+            .collect()
+    };
+    let analysis = LayoutAnalysis {
+        input_layouts: input_layouts.map(|ctxs| to_layouts(ctxs, func.params())),
+    };
+    let facts = forward_fixpoint(func, &analysis);
+    let mut diags = check_pass(func, &facts);
+    if let Some(ctxs) = output_layouts {
+        let declared = to_layouts(ctxs, func.results());
+        for (i, (&r, want)) in func.results().iter().zip(&declared).enumerate() {
+            if let Flat::Known(got) = facts.get(r) {
+                if got != want {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        "layout-result-mismatch",
+                        format!(
+                            "output #{i} is sliced over {:?} but its declared sharding \
+                             is {:?} — an axis was dropped or invented on the way out",
+                            summarise(got),
+                            summarise(want)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+fn summarise(layout: &DimLayout) -> Vec<String> {
+    layout
+        .iter()
+        .map(|stack| {
+            if stack.is_empty() {
+                "-".to_string()
+            } else {
+                stack
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join("·")
+            }
+        })
+        .collect()
+}
+
+/// Single post-fixpoint walk emitting diagnostics from the final facts.
+fn check_pass(func: &Func, facts: &FactMap<LayoutFact>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for op_id in func.op_ids() {
+        let data = func.op(op_id);
+        let at = |d: Diagnostic| d.at_op(op_path(func, op_id)).at_loc(func.op_loc(op_id));
+        if let OpKind::Collective(c) = &data.kind {
+            if let Flat::Known(layout) = facts.get(data.operands[0]) {
+                if let Err(why) = apply_collective(c, layout) {
+                    let rule = if why.contains("gathers") {
+                        "layout-bad-gather"
+                    } else {
+                        "layout-double-slice"
+                    };
+                    diags.push(at(Diagnostic::new(Severity::Error, rule, why)));
+                }
+            }
+            // A slice undoing an immediately preceding gather of the
+            // same axes is a round trip the fusion pass should have
+            // cancelled — all the traffic buys nothing.
+            if let (Collective::AllSlice { dim_axes }, ValueDef::OpResult { op: prev, .. }) =
+                (c, &func.value(data.operands[0]).def)
+            {
+                if let OpKind::Collective(Collective::AllGather {
+                    dim_axes: prev_axes,
+                }) = &func.op(*prev).kind
+                {
+                    if dim_axes == prev_axes {
+                        diags.push(at(Diagnostic::new(
+                            Severity::Warning,
+                            "layout-redundant-pair",
+                            "all_slice exactly undoes the preceding all_gather; \
+                             the round trip moves data for nothing",
+                        )));
+                    }
+                }
+            }
+        } else if data.kind.is_elementwise() && data.operands.len() > 1 {
+            let known: Vec<&DimLayout> = data
+                .operands
+                .iter()
+                .filter_map(|&v| match facts.get(v) {
+                    Flat::Known(l) => Some(l),
+                    _ => None,
+                })
+                .collect();
+            if known.len() == data.operands.len() && known.windows(2).any(|w| w[0] != w[1]) {
+                diags.push(at(Diagnostic::new(
+                    Severity::Warning,
+                    "layout-elementwise-mismatch",
+                    format!(
+                        "elementwise operands carry different layouts: {:?}",
+                        known.iter().map(|l| summarise(l)).collect::<Vec<_>>()
+                    ),
+                )));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{FuncBuilder, TensorType};
+    use partir_mesh::Mesh;
+
+    fn mesh() -> Mesh {
+        Mesh::new([("B", 2), ("M", 2)]).unwrap()
+    }
+
+    fn sharded_ctx(axis: &str, dim: usize) -> ValueCtx {
+        // Build a ValueCtx through the public core API: tile a dummy
+        // one-op function's parameter and read the ctx back.
+        let mut b = FuncBuilder::new("ctx");
+        let x = b.param("x", TensorType::f32([8, 8]));
+        let y = b.neg(x).unwrap();
+        let f = b.build([y]).unwrap();
+        let mut p = partir_core::Partitioning::new(&f, mesh()).unwrap();
+        p.tile(&f, x, dim, &axis.into()).unwrap();
+        p.value_ctx(x).clone()
+    }
+
+    #[test]
+    fn gather_of_unsliced_axis_is_flagged() {
+        // Input is replicated, but the program gathers over "B".
+        let mut b = FuncBuilder::with_mesh("f", mesh());
+        let x = b.param("x", TensorType::f32([4, 4]));
+        let y = b
+            .collective(
+                Collective::AllGather {
+                    dim_axes: vec![vec!["B".into()], vec![]],
+                },
+                x,
+            )
+            .unwrap();
+        let f = b.build([y]).unwrap();
+        let replicated = ValueCtx::new();
+        let diags = check_layouts(&f, Some(std::slice::from_ref(&replicated)), None);
+        assert!(
+            diags.iter().any(|d| d.rule == "layout-bad-gather"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn double_slice_is_flagged() {
+        let mut b = FuncBuilder::with_mesh("f", mesh());
+        let x = b.param("x", TensorType::f32([8, 8]));
+        let s1 = b
+            .collective(
+                Collective::AllSlice {
+                    dim_axes: vec![vec!["B".into()], vec![]],
+                },
+                x,
+            )
+            .unwrap();
+        let s2 = b
+            .collective(
+                Collective::AllSlice {
+                    dim_axes: vec![vec![], vec!["B".into()]],
+                },
+                s1,
+            )
+            .unwrap();
+        let f = b.build([s2]).unwrap();
+        let replicated = ValueCtx::new();
+        let diags = check_layouts(&f, Some(std::slice::from_ref(&replicated)), None);
+        assert!(
+            diags.iter().any(|d| d.rule == "layout-double-slice"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_axis_shows_as_result_mismatch() {
+        // Input sharded over "B" in dim 0; the program never gathers it
+        // but declares the output replicated.
+        let mut b = FuncBuilder::with_mesh("f", mesh());
+        let x = b.param("x", TensorType::f32([4, 4]));
+        let y = b.neg(x).unwrap();
+        let f = b.build([y]).unwrap();
+        let in_ctx = sharded_ctx("B", 0);
+        let out_ctx = ValueCtx::new();
+        let diags = check_layouts(
+            &f,
+            Some(std::slice::from_ref(&in_ctx)),
+            Some(std::slice::from_ref(&out_ctx)),
+        );
+        assert!(
+            diags.iter().any(|d| d.rule == "layout-result-mismatch"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn redundant_gather_slice_pair_warns() {
+        let mut b = FuncBuilder::with_mesh("f", mesh());
+        let x = b.param("x", TensorType::f32([4, 4]));
+        let g = b
+            .collective(
+                Collective::AllGather {
+                    dim_axes: vec![vec!["B".into()], vec![]],
+                },
+                x,
+            )
+            .unwrap();
+        let s = b
+            .collective(
+                Collective::AllSlice {
+                    dim_axes: vec![vec!["B".into()], vec![]],
+                },
+                g,
+            )
+            .unwrap();
+        let f = b.build([s]).unwrap();
+        let in_ctx = sharded_ctx("B", 0);
+        let diags = check_layouts(&f, Some(std::slice::from_ref(&in_ctx)), None);
+        assert!(
+            diags.iter().any(|d| d.rule == "layout-redundant-pair"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_round_trip_is_clean() {
+        let mut b = FuncBuilder::with_mesh("f", mesh());
+        let x = b.param("x", TensorType::f32([4, 4]));
+        let g = b
+            .collective(
+                Collective::AllGather {
+                    dim_axes: vec![vec!["B".into()], vec![]],
+                },
+                x,
+            )
+            .unwrap();
+        let s = b
+            .collective(
+                Collective::AllSlice {
+                    dim_axes: vec![vec![], vec!["M".into()]],
+                },
+                g,
+            )
+            .unwrap();
+        let f = b.build([s]).unwrap();
+        let in_ctx = sharded_ctx("B", 0);
+        let out_ctx = sharded_ctx("M", 1);
+        let diags = check_layouts(
+            &f,
+            Some(std::slice::from_ref(&in_ctx)),
+            Some(std::slice::from_ref(&out_ctx)),
+        );
+        assert_eq!(crate::diag::error_count(&diags), 0, "{diags:?}");
+    }
+}

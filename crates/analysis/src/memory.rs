@@ -1,0 +1,183 @@
+//! Static peak-memory bound via backward liveness.
+//!
+//! The bound walks the same linearisation as
+//! `partir_sim::peak_memory_bytes` (region bodies inline once,
+//! before their op), uses the same liveness conventions (parameters and
+//! results pinned to the end, unused values never freed), and charges
+//! the same allocations — *plus* the loop region parameters the
+//! simulator treats as zero-cost aliases. The static resident set is
+//! therefore pointwise ≥ the simulated one, so
+//!
+//! > `static_peak_bound(f) >= partir_sim::peak_memory_bytes(f)`
+//!
+//! holds **by construction** for every function — the contract
+//! `partir-sim` re-asserts in debug builds and the zoo tests verify over
+//! every model/mesh pair. Liveness itself is an instance of the
+//! backward dataflow solver with a max-position lattice.
+
+use partir_ir::{Func, OpId, OpKind, ValueDef, ValueId};
+
+use crate::dataflow::{backward_fixpoint, BackwardAnalysis, Fact, Linearization};
+
+/// Last-use position lattice: ⊥ = never used (kept resident), otherwise
+/// the maximum linearised position that reads the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LastUse(Option<usize>);
+
+impl Fact for LastUse {
+    fn bottom() -> Self {
+        LastUse(None)
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (_, None) => false,
+            (None, Some(_)) => {
+                *self = *other;
+                true
+            }
+            (Some(a), Some(b)) => {
+                if b > a {
+                    self.0 = Some(b);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Liveness as a backward dataflow: every use site contributes its
+/// position; results and parameters are used "at the end".
+struct Liveness {
+    end: usize,
+}
+
+impl BackwardAnalysis for Liveness {
+    type Fact = LastUse;
+
+    fn exit(&self, _func: &Func, _v: ValueId) -> LastUse {
+        LastUse(Some(self.end))
+    }
+
+    fn use_site(&self, _func: &Func, _op: OpId, pos: usize, _v: ValueId) -> LastUse {
+        LastUse(Some(pos))
+    }
+}
+
+/// An upper bound on the peak device memory (bytes) of `func`,
+/// guaranteed to dominate the simulator's estimate.
+pub fn static_peak_bound(func: &Func) -> u64 {
+    let lin = Linearization::of(func);
+    let end = lin.len();
+    let live = backward_fixpoint(func, &lin, &Liveness { end });
+
+    let bytes_of = |v: ValueId| func.value_type(v).size_bytes() as u64;
+    let freed_at = |v: ValueId| -> Option<usize> {
+        // ⊥ (never used) and end-pinned values stay resident throughout.
+        match live.get(v).0 {
+            Some(pos) if pos < end => Some(pos),
+            _ => None,
+        }
+    };
+
+    let mut current: u64 = func.params().iter().map(|&p| bytes_of(p)).sum();
+    let mut peak = current;
+    let mut frees: Vec<Vec<ValueId>> = vec![Vec::new(); end + 1];
+    for v in func.value_ids() {
+        if let Some(pos) = freed_at(v) {
+            frees[pos].push(v);
+        }
+    }
+    let mut alive = vec![false; func.num_values()];
+    for &p in func.params() {
+        alive[p.0 as usize] = true;
+    }
+    for (pos, &op_id) in lin.order().iter().enumerate() {
+        let op = func.op(op_id);
+        for &r in &op.results {
+            if !alive[r.0 as usize] {
+                alive[r.0 as usize] = true;
+                current += bytes_of(r);
+            }
+        }
+        // Where the simulator treats loop region params as free aliases
+        // of their carried inputs, the bound charges them — the one
+        // place the two walks deliberately differ, and what makes the
+        // bound an over-approximation.
+        if matches!(op.kind, OpKind::For { .. }) {
+            if let Some(region) = &op.region {
+                for &p in &region.params {
+                    if !alive[p.0 as usize] {
+                        alive[p.0 as usize] = true;
+                        current += bytes_of(p);
+                    }
+                }
+            }
+        }
+        peak = peak.max(current);
+        for &v in &frees[pos] {
+            if alive[v.0 as usize] {
+                alive[v.0 as usize] = false;
+                current = current.saturating_sub(bytes_of(v));
+            }
+        }
+    }
+    peak
+}
+
+/// The extra bytes the bound charges beyond the aliasing-aware
+/// simulation: the region parameters live at the peak. Exposed so lint
+/// output can explain the bound's slack.
+pub fn region_param_bytes(func: &Func) -> u64 {
+    func.value_ids()
+        .filter(|&v| matches!(func.value(v).def, ValueDef::RegionParam { .. }))
+        .map(|v| func.value_type(v).size_bytes() as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{FuncBuilder, TensorType};
+
+    #[test]
+    fn straightline_bound_matches_hand_count() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([16])); // 64 B pinned
+        let y = b.neg(x).unwrap();
+        let z = b.neg(y).unwrap(); // y freed after this
+        let f = b.build([z]).unwrap();
+        assert_eq!(static_peak_bound(&f), 64 * 3);
+    }
+
+    #[test]
+    fn bound_dominates_simulated_peak() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([32, 32]));
+        let w = b.param("w", TensorType::f32([32, 32]));
+        let y = b.matmul(x, w).unwrap();
+        let f = b.build([y]).unwrap();
+        assert!(static_peak_bound(&f) >= partir_sim::peak_memory_bytes(&f));
+    }
+
+    #[test]
+    fn loop_programs_charge_region_params() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([64]));
+        let results = b
+            .for_loop(4, &[x], |inner, _i, carried| {
+                let t = inner.neg(carried[0])?;
+                Ok(vec![t])
+            })
+            .unwrap();
+        let f = b.build([results[0]]).unwrap();
+        let simulated = partir_sim::peak_memory_bytes(&f);
+        let bound = static_peak_bound(&f);
+        assert!(bound >= simulated, "bound {bound} < simulated {simulated}");
+        // The carried region param (256 B) is exactly the slack.
+        assert!(region_param_bytes(&f) >= 256);
+        assert!(bound > simulated, "loop bound should be strict");
+    }
+}

@@ -1,0 +1,221 @@
+//! Sharding-consistency checks over `partir_core` propagation results,
+//! before SPMD lowering.
+//!
+//! Errors are states lowering or execution cannot handle: tile entries
+//! pointing at out-of-range dimensions, axes missing from the mesh, a
+//! dimension not divisible by its tiling axes, or one value acquiring an
+//! axis twice. The `Partitioning` action API refuses to *create* such
+//! states, so on healthy pipelines these never fire — they exist to
+//! guard hand-constructed or deserialised states and to gate search
+//! candidates cheaply (see `partir_sched`).
+//!
+//! Warnings surface what propagation left behind: unresolved TMR
+//! conflicts (several candidate entries for one op/axis — the paper
+//! reports these to the user rather than resolving them heuristically).
+//! An `Info` summarises how many operand reshards lowering will insert.
+
+use partir_core::{OpAxisCtx, Partitioning};
+use partir_ir::verify::op_path;
+use partir_ir::{Func, ValueId};
+use partir_mesh::Axis;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Checks one propagated partitioning for consistency.
+pub fn check_partitioning(func: &Func, part: &Partitioning) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mesh = part.mesh();
+    for v in func.value_ids() {
+        let ctx = part.value_ctx(v);
+        if ctx.is_empty() {
+            continue;
+        }
+        let rank = func.value_type(v).rank();
+        let dims = func.value_type(v).shape.dims().to_vec();
+        let name = describe_value(func, v);
+        let mut seen: Vec<&Axis> = Vec::new();
+        let mut dim_products: Vec<usize> = vec![1; rank];
+        for (axis, kind) in ctx.entries() {
+            if seen.contains(&axis) {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    "sharding-duplicate-axis",
+                    format!("{name} acquires axis \"{axis}\" more than once"),
+                ));
+            }
+            seen.push(axis);
+            let size = match mesh.axis_size(axis) {
+                Ok(s) => s,
+                Err(_) => {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        "sharding-unknown-axis",
+                        format!("{name} is sharded over \"{axis}\", absent from mesh {mesh}"),
+                    ));
+                    continue;
+                }
+            };
+            if let partir_core::ShardKind::Tile { dim } = kind {
+                if *dim >= rank {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        "sharding-dim-out-of-range",
+                        format!("{name} tiles dimension {dim} over \"{axis}\" but has rank {rank}"),
+                    ));
+                    continue;
+                }
+                dim_products[*dim] *= size;
+            }
+        }
+        for (dim, product) in dim_products.iter().enumerate() {
+            if *product > 1 && !dims[dim].is_multiple_of(*product) {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    "sharding-indivisible",
+                    format!(
+                        "{name} dimension {dim} of size {} is not divisible by its \
+                         tiling factor {product}",
+                        dims[dim]
+                    ),
+                ));
+            }
+        }
+    }
+    for conflict in part.conflicts() {
+        diags.push(
+            Diagnostic::new(
+                Severity::Warning,
+                "sharding-conflict",
+                format!(
+                    "propagation left an unresolved conflict: {}",
+                    conflict.describe(func)
+                ),
+            )
+            .at_op(op_path(func, conflict.op))
+            .at_loc(func.op_loc(conflict.op)),
+        );
+    }
+    let reshards = count_reshards(func, part);
+    if reshards > 0 {
+        diags.push(Diagnostic::new(
+            Severity::Info,
+            "sharding-reshards",
+            format!("lowering will insert reshard collectives on {reshards} operand(s)"),
+        ));
+    }
+    diags
+}
+
+/// Error-severity findings only — the cheap legality gate `partir_sched`
+/// applies to search candidates before paying for lower + simulate.
+pub fn legality_errors(func: &Func, part: &Partitioning) -> Vec<Diagnostic> {
+    let mut diags = check_partitioning(func, part);
+    diags.retain(|d| d.severity == Severity::Error);
+    diags
+}
+
+/// Whether a propagated state passes every Error-severity check.
+pub fn is_legal(func: &Func, part: &Partitioning) -> bool {
+    legality_errors(func, part).is_empty()
+}
+
+/// Operands whose stored layout differs from the layout their consuming
+/// op requires — each costs an `all_gather`/`all_slice` pair at lowering.
+fn count_reshards(func: &Func, part: &Partitioning) -> usize {
+    let mut n = 0;
+    for op_id in func.op_ids() {
+        let op = func.op(op_id);
+        if op.region.is_some() {
+            continue; // loop inits reshard against region params, not a TMR entry
+        }
+        for (i, &operand) in op.operands.iter().enumerate() {
+            let rank = func.value_type(operand).rank();
+            let mut required: Vec<Vec<Axis>> = vec![Vec::new(); rank];
+            for (axis, axis_ctx) in part.op_ctx(op_id).entries() {
+                let OpAxisCtx::Entry(e) = axis_ctx;
+                if let Some(Some(d)) = e.operands.get(i) {
+                    required[*d].push(axis.clone());
+                }
+            }
+            if part.value_ctx(operand).dim_axes(rank) != required {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn describe_value(func: &Func, v: ValueId) -> String {
+    match &func.value(v).name {
+        Some(name) => format!("value %{name}"),
+        None => format!("value v{}", v.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::{FuncBuilder, TensorType};
+    use partir_mesh::Mesh;
+
+    fn matmul_func() -> (ValueId, ValueId, partir_ir::Func) {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([8, 4]));
+        let w = b.param("w", TensorType::f32([4, 4]));
+        let y = b.matmul(x, w).unwrap();
+        (x, w, b.build([y]).unwrap())
+    }
+
+    #[test]
+    fn healthy_partitioning_is_clean() {
+        let (x, _, f) = matmul_func();
+        let mesh = Mesh::new([("B", 2), ("M", 2)]).unwrap();
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.propagate(&f);
+        let diags = check_partitioning(&f, &p);
+        assert_eq!(crate::diag::error_count(&diags), 0, "{diags:?}");
+        assert!(is_legal(&f, &p));
+    }
+
+    #[test]
+    fn conflicting_tilings_warn() {
+        // Both matmul operands tile their *free* dimension over the same
+        // axis: the op gets two TMR candidates for "B" and propagation
+        // records a conflict instead of resolving it.
+        let (x, w, f) = matmul_func();
+        let mesh = Mesh::new([("B", 2), ("M", 2)]).unwrap();
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.tile(&f, w, 1, &"B".into()).unwrap();
+        let report = p.propagate(&f);
+        assert!(
+            !report.conflicts.is_empty() || !p.conflicts().is_empty(),
+            "expected a propagation conflict"
+        );
+        let diags = check_partitioning(&f, &p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "sharding-conflict" && d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn reshards_surface_as_info() {
+        // Tiling only the contracting-dim weight forces the lowering to
+        // reshard (gather) somewhere.
+        let (x, _, f) = matmul_func();
+        let mesh = Mesh::new([("B", 2), ("M", 2)]).unwrap();
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        // No propagation: the op ctx stays empty while x is sharded, so
+        // the matmul needs x gathered back.
+        let diags = check_partitioning(&f, &p);
+        assert!(
+            diags.iter().any(|d| d.rule == "sharding-reshards"),
+            "{diags:?}"
+        );
+    }
+}

@@ -6,8 +6,7 @@
 //! such as predicates and integer indices).
 
 use partir_ir::{
-    BinaryOp, CompareDir, DotDims, FuncBuilder, IrError, Literal, OpKind, UnaryOp,
-    ValueId,
+    BinaryOp, CompareDir, DotDims, FuncBuilder, IrError, Literal, OpKind, UnaryOp, ValueId,
 };
 
 /// Whether a VJP rule exists for `kind`.
@@ -192,7 +191,9 @@ pub fn vjp(
         }
         OpKind::Reduce { op, dims } => {
             let src_shape = b.ty(operands[0]).shape.clone();
-            let kept: Vec<usize> = (0..src_shape.rank()).filter(|d| !dims.contains(d)).collect();
+            let kept: Vec<usize> = (0..src_shape.rank())
+                .filter(|d| !dims.contains(d))
+                .collect();
             match op {
                 partir_ir::ReduceOp::Sum => {
                     let g = b.broadcast_in_dim(cot, src_shape, kept)?;
@@ -209,9 +210,9 @@ pub fn vjp(
                     let g = b.select(mask, bcot, zero)?;
                     Ok(vec![Some(g)])
                 }
-                partir_ir::ReduceOp::Prod => Err(IrError::unsupported(
-                    "gradient of product reductions",
-                )),
+                partir_ir::ReduceOp::Prod => {
+                    Err(IrError::unsupported("gradient of product reductions"))
+                }
             }
         }
         OpKind::Slice {

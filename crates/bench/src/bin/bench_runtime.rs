@@ -113,7 +113,10 @@ fn bench_kernel(label: &str, dims: &DotDims, lhs_dims: &[usize], rhs_dims: &[usi
         || dot_general(dims, &lhs, &rhs).expect("fast dot"),
         || dot_general_reference(dims, &lhs, &rhs).expect("oracle dot"),
     );
-    assert_eq!(fast, oracle, "kernel {label}: fast path diverged from oracle");
+    assert_eq!(
+        fast, oracle,
+        "kernel {label}: fast path diverged from oracle"
+    );
     Row::new("kernel", "dot", label)
         .metric("blocked_ms", blocked_s * 1e3)
         .metric("reference_ms", reference_s * 1e3)
@@ -139,8 +142,10 @@ fn mlp_program(hw: &HardwareConfig, tiny: bool) -> (BuiltModel, SpmdProgram) {
     let model = partir_models::mlp::build_train_step(&cfg).expect("model");
     let mut part = Partitioning::new(&model.func, hw.mesh.clone()).expect("state");
     let params = model.func.params().to_vec();
-    part.tile(&model.func, params[0], 0, &BATCH.into()).expect("tile");
-    part.tile(&model.func, params[2], 1, &MODEL.into()).expect("tile");
+    part.tile(&model.func, params[0], 0, &BATCH.into())
+        .expect("tile");
+    part.tile(&model.func, params[2], 1, &MODEL.into())
+        .expect("tile");
     part.propagate(&model.func);
     let program = partir_spmd::lower(&model.func, &part)
         .expect("lower")
@@ -162,7 +167,12 @@ fn main() {
     for (b, m) in [(2usize, 2usize), (4, 2)] {
         let hw = tpu_mesh(b, m);
         let (model, program) = mlp_program(&hw, true);
-        rows.push(bench_program(&model, &program, "MLP", &format!("mm {b}x{m}")));
+        rows.push(bench_program(
+            &model,
+            &program,
+            "MLP",
+            &format!("mm {b}x{m}"),
+        ));
     }
     let transformer =
         partir_models::transformer::build_train_step(&TransformerConfig::tiny()).expect("model");
@@ -179,7 +189,12 @@ fn main() {
         for (b, m) in [(2usize, 2usize), (4, 2)] {
             let hw = tpu_mesh(b, m);
             let (model, program) = mlp_program(&hw, false);
-            rows.push(bench_program(&model, &program, "MLP-big", &format!("mm {b}x{m}")));
+            rows.push(bench_program(
+                &model,
+                &program,
+                "MLP-big",
+                &format!("mm {b}x{m}"),
+            ));
         }
         let cfg = TransformerConfig {
             layers: 2,
@@ -193,7 +208,12 @@ fn main() {
         let transformer = partir_models::transformer::build_train_step(&cfg).expect("model");
         for (name, schedule) in schedules::transformer_table2() {
             let jitted = partir_jit(&transformer.func, &hw, &schedule).expect("jit");
-            rows.push(bench_program(&transformer, &jitted.program, "T-train", name));
+            rows.push(bench_program(
+                &transformer,
+                &jitted.program,
+                "T-train",
+                name,
+            ));
         }
     }
 

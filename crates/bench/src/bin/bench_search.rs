@@ -22,6 +22,7 @@ struct SearchRun {
     nodes: u64,
     hits: u64,
     misses: u64,
+    pruned: u64,
     hit_rate: f64,
 }
 
@@ -51,6 +52,7 @@ fn run_search_once(func: &partir_ir::Func, budget: usize, cached: bool) -> Searc
         nodes: stats.hits + stats.misses,
         hits: stats.hits,
         misses: stats.misses,
+        pruned: stats.pruned,
         hit_rate: stats.hit_rate(),
     }
 }
@@ -99,7 +101,7 @@ fn main() {
         run_search(&model.func, budget, false, trials),
     ];
 
-    let rows: Vec<Row> = runs
+    let mut rows: Vec<Row> = runs
         .iter()
         .map(|r| {
             Row::new("search", "T-train", r.label)
@@ -109,10 +111,28 @@ fn main() {
                 .metric("nodes_per_s", r.nodes as f64 / r.seconds)
                 .metric("evals", r.misses as f64)
                 .metric("cache_hits", r.hits as f64)
+                .metric("pruned", r.pruned as f64)
                 .metric("cache_hit_rate", r.hit_rate)
                 .metric("wall_s", r.seconds)
         })
         .collect();
+    // Cached-vs-uncached throughput delta, as its own row so downstream
+    // tooling doesn't have to re-derive it.
+    let cached_nps = runs[0].nodes as f64 / runs[0].seconds;
+    let uncached_nps = runs[1].nodes as f64 / runs[1].seconds;
+    rows.push(
+        Row::new("search", "T-train", "delta")
+            .metric("nodes_per_s_delta", cached_nps - uncached_nps)
+            .metric(
+                "nodes_per_s_ratio",
+                if uncached_nps > 0.0 {
+                    cached_nps / uncached_nps
+                } else {
+                    0.0
+                },
+            )
+            .metric("pruned", (runs[0].pruned + runs[1].pruned) as f64),
+    );
     emit(&rows);
 
     let json = rows_to_json(&rows);

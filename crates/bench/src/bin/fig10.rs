@@ -43,12 +43,11 @@ fn run_rows(
 fn main() {
     let mut rows = Vec::new();
 
-    let t32 =
-        partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
+    let t32 = partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
     run_rows(&mut rows, "T32", &t32.func, schedules::transformer_table2());
 
-    let it32 = partir_models::itransformer::build_serving(&ITransformerConfig::it32(4))
-        .expect("IT32");
+    let it32 =
+        partir_models::itransformer::build_serving(&ITransformerConfig::it32(4)).expect("IT32");
     run_rows(
         &mut rows,
         "IT32",

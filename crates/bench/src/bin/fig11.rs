@@ -19,17 +19,18 @@ fn time_schedule(func: &partir_ir::Func, schedule: &Schedule) -> f64 {
 }
 
 fn run_model(rows: &mut Vec<Row>, name: &str, func: &partir_ir::Func, manual: Schedule) {
-    rows.push(
-        Row::new("fig11", name, "manual").metric("time_ms", time_schedule(func, &manual)),
-    );
-    for (axes, label) in [(vec![MODEL], "auto-1axis"), (vec![BATCH, MODEL], "auto-2axes")] {
+    rows.push(Row::new("fig11", name, "manual").metric("time_ms", time_schedule(func, &manual)));
+    for (axes, label) in [
+        (vec![MODEL], "auto-1axis"),
+        (vec![BATCH, MODEL], "auto-2axes"),
+    ] {
         for budget in [8usize, 16, 32] {
-            let schedule = Schedule::new([AutomaticPartition::new(
-                format!("auto{budget}"),
-                axes.clone(),
-            )
-            .with_budget(budget)
-            .into()]);
+            let schedule =
+                Schedule::new([
+                    AutomaticPartition::new(format!("auto{budget}"), axes.clone())
+                        .with_budget(budget)
+                        .into(),
+                ]);
             rows.push(
                 Row::new("fig11", name, &format!("{label}-b{budget}"))
                     .metric("time_ms", time_schedule(func, &schedule)),

@@ -45,8 +45,7 @@ fn main() {
     let mut rows = Vec::new();
     let budget = 12;
 
-    let t32 =
-        partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
+    let t32 = partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
     run_rows(
         &mut rows,
         "T32",

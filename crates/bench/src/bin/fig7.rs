@@ -43,7 +43,8 @@ fn annotation_groups(model: &BuiltModel, tactics: &[&str]) -> Vec<Vec<InputShard
                     let is_opt = name.starts_with("opt.");
                     if (is_param && shard_params) || is_opt {
                         let ty = model.func.value_type(p);
-                        if let Some(dim) = (0..ty.rank()).find(|&d| ty.shape.dim(d).is_multiple_of(8))
+                        if let Some(dim) =
+                            (0..ty.rank()).find(|&d| ty.shape.dim(d).is_multiple_of(8))
                         {
                             group.push(InputSharding::tile(&name, dim, BATCH));
                         }
@@ -105,7 +106,11 @@ fn main() {
         // PartIR-st.
         let st = partir_jit_single_tactic(&model.func, &hw, &schedule).expect("st");
         let st_report = sim.simulate(st.program.func()).expect("simulate");
-        push("PartIR-st", st_report.runtime_s, st_report.peak_memory_bytes);
+        push(
+            "PartIR-st",
+            st_report.runtime_s,
+            st_report.peak_memory_bytes,
+        );
 
         // GSPMD: staged expert constraints.
         let groups = annotation_groups(&model, &tactics);
@@ -128,8 +133,13 @@ fn main() {
 
         // GSPMD--: everything at once.
         let flat: Vec<InputSharding> = groups.into_iter().flatten().collect();
-        let part = gspmd_partition(&model.func, hw.mesh.clone(), &flat, &GspmdOptions::default())
-            .expect("gspmd--");
+        let part = gspmd_partition(
+            &model.func,
+            hw.mesh.clone(),
+            &flat,
+            &GspmdOptions::default(),
+        )
+        .expect("gspmd--");
         let program = partir_spmd::lower(&model.func, &part)
             .expect("lower")
             .fused()

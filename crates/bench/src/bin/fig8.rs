@@ -46,8 +46,7 @@ fn row(rows: &mut Vec<Row>, model: &str, func: &partir_ir::Func, schedule: &Sche
 fn main() {
     let mut rows = Vec::new();
 
-    let t32 =
-        partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
+    let t32 = partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
     row(
         &mut rows,
         "T32",
@@ -60,8 +59,7 @@ fn main() {
         ]),
     );
 
-    let t48 =
-        partir_models::transformer::build_train_step(&TransformerConfig::t48()).expect("T48");
+    let t48 = partir_models::transformer::build_train_step(&TransformerConfig::t48()).expect("T48");
     row(
         &mut rows,
         "T48",
@@ -74,8 +72,8 @@ fn main() {
         ]),
     );
 
-    let it32 = partir_models::itransformer::build_serving(&ITransformerConfig::it32(4))
-        .expect("IT32");
+    let it32 =
+        partir_models::itransformer::build_serving(&ITransformerConfig::it32(4)).expect("IT32");
     row(
         &mut rows,
         "IT32",

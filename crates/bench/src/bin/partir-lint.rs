@@ -1,0 +1,223 @@
+//! `partir-lint` — the static SPMD legality & resource linter.
+//!
+//! Two modes:
+//!
+//! * `partir-lint [--mesh batch=2,model=2] FILE...` — parse each textual
+//!   IR file and lint it against the mesh. Parse failures are reported
+//!   with line/column positions.
+//! * `partir-lint [--smoke]` — no files: sweep the model zoo. Every
+//!   Table 2 schedule is applied to every zoo model on each benchmark
+//!   mesh; the propagated partitioning and the lowered device program
+//!   (plus its fused form) are linted. `--smoke` trims the sweep for CI.
+//!
+//! Prints every diagnostic (severity, rule, op path, message), worst
+//! first, and exits non-zero iff any `Error`-severity diagnostic was
+//! produced — the CI gate for the zoo goldens.
+//!
+//! Run with: `cargo run --release -p partir-bench --bin partir-lint`
+
+use std::process::ExitCode;
+
+use partir_analysis::{error_count, lint, Severity};
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_models::{
+    gns::GnsConfig, itransformer::ITransformerConfig, transformer::TransformerConfig,
+    unet::UNetConfig,
+};
+use partir_sched::{partir_jit, Schedule};
+
+fn parse_mesh(spec: &str) -> Mesh {
+    let axes: Vec<(String, usize)> = spec
+        .split(',')
+        .map(|part| {
+            let (name, size) = part
+                .split_once('=')
+                .unwrap_or_else(|| panic!("bad mesh axis {part:?}; expected name=size"));
+            let size: usize = size
+                .parse()
+                .unwrap_or_else(|_| panic!("bad mesh axis size in {part:?}"));
+            (name.to_string(), size)
+        })
+        .collect();
+    Mesh::new(axes).expect("valid mesh")
+}
+
+/// Lints one unit of work and prints its diagnostics; returns the
+/// number of `Error`-severity findings.
+fn report(label: &str, diags: &[partir_analysis::Diagnostic]) -> usize {
+    let errors = error_count(diags);
+    let worst = diags.iter().map(|d| d.severity).max();
+    if diags.is_empty() || worst == Some(Severity::Info) {
+        println!("ok    {label}");
+    } else {
+        println!("check {label}");
+    }
+    for d in diags {
+        // Info diagnostics (e.g. the memory bound) stay quiet unless
+        // something else is worth looking at, to keep zoo sweeps readable.
+        if d.severity > Severity::Info || worst > Some(Severity::Info) {
+            println!("      {d}");
+        }
+    }
+    errors
+}
+
+fn lint_files(files: &[String], mesh: &Mesh) -> usize {
+    let mut errors = 0;
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let diags = lint::lint_source(&text, mesh);
+                errors += report(path, &diags);
+            }
+            Err(e) => {
+                println!("check {path}\n      error[io] {e}");
+                errors += 1;
+            }
+        }
+    }
+    errors
+}
+
+type ZooEntry = (&'static str, partir_ir::Func, Vec<(&'static str, Schedule)>);
+
+fn zoo(smoke: bool) -> Vec<ZooEntry> {
+    let mut models = vec![
+        (
+            "transformer",
+            partir_models::transformer::build_train_step(&TransformerConfig::tiny())
+                .expect("transformer builds")
+                .func,
+            schedules::transformer_table2(),
+        ),
+        (
+            "itransformer",
+            partir_models::itransformer::build_serving(&ITransformerConfig::tiny())
+                .expect("itransformer builds")
+                .func,
+            schedules::itransformer_table2(),
+        ),
+    ];
+    if !smoke {
+        models.push((
+            "unet",
+            partir_models::unet::build_train_step(&UNetConfig::tiny())
+                .expect("unet builds")
+                .func,
+            schedules::unet_table2(),
+        ));
+        models.push((
+            "gns",
+            partir_models::gns::build_train_step(&GnsConfig::tiny())
+                .expect("gns builds")
+                .func,
+            schedules::gns_table2(),
+        ));
+    }
+    models
+}
+
+fn lint_zoo(smoke: bool) -> usize {
+    let meshes = if smoke {
+        vec![Mesh::new([(BATCH, 2), (MODEL, 2)]).expect("mesh")]
+    } else {
+        // Tiny zoo configs have batch=2, so batch axes stay at 2.
+        vec![
+            Mesh::new([(BATCH, 2)]).expect("mesh"),
+            Mesh::new([(BATCH, 2), (MODEL, 2)]).expect("mesh"),
+        ]
+    };
+    let mut errors = 0;
+    for (name, func, rows) in zoo(smoke) {
+        for mesh in &meshes {
+            let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+            for (schedule_label, schedule) in &rows {
+                let needs_model = schedule_label.contains("MP")
+                    || schedule_label.contains("EMB")
+                    || schedule_label.contains("MQ");
+                if needs_model && mesh.axes().len() < 2 {
+                    continue;
+                }
+                let label = format!(
+                    "{name}/{schedule_label} on {}",
+                    mesh.axes()
+                        .iter()
+                        .map(|(a, s)| format!("{a}={s}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                let jitted = match partir_jit(&func, &hw, schedule) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        println!("check {label}\n      error[jit] {e}");
+                        errors += 1;
+                        continue;
+                    }
+                };
+                errors += report(
+                    &format!("{label} (partitioning)"),
+                    &lint::lint_partitioning(&func, &jitted.partitioning),
+                );
+                let program = &jitted.program;
+                errors += report(
+                    &format!("{label} (device program)"),
+                    &lint::lint_device_func(
+                        program.func(),
+                        program.mesh(),
+                        Some(program.input_ctxs()),
+                        Some(program.output_ctxs()),
+                    ),
+                );
+                match program.fused() {
+                    Ok(fused) => {
+                        errors += report(
+                            &format!("{label} (fused)"),
+                            &lint::lint_device_func(
+                                fused.func(),
+                                fused.mesh(),
+                                Some(fused.input_ctxs()),
+                                Some(fused.output_ctxs()),
+                            ),
+                        );
+                    }
+                    Err(e) => {
+                        println!("check {label} (fused)\n      error[fuse] {e}");
+                        errors += 1;
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut mesh_spec = format!("{BATCH}=2,{MODEL}=2");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--mesh" => mesh_spec = args.next().expect("--mesh needs a value"),
+            "--help" | "-h" => {
+                println!("usage: partir-lint [--smoke] [--mesh name=size,...] [FILE...]");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+
+    let errors = if files.is_empty() {
+        lint_zoo(smoke)
+    } else {
+        lint_files(&files, &parse_mesh(&mesh_spec))
+    };
+    if errors > 0 {
+        eprintln!("partir-lint: {errors} error(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -35,7 +35,8 @@ fn gspmd_annotations(model: &BuiltModel, batch_size: usize) -> Vec<InputSharding
         if (name.starts_with("params.") || name.starts_with("opt."))
             && (name.contains("w_") || name.ends_with(".emb") || name == "params.emb")
         {
-            if let Some(dim) = (0..ty.rank()).find(|&d| ty.shape.dim(d).is_multiple_of(batch_size)) {
+            if let Some(dim) = (0..ty.rank()).find(|&d| ty.shape.dim(d).is_multiple_of(batch_size))
+            {
                 anns.push(InputSharding::tile(&name, dim, BATCH));
             }
         }
@@ -52,7 +53,13 @@ fn measure(
 ) {
     let model_flops = func_flops(&model.func);
     let devices = hw.mesh.num_devices();
-    let sim = Simulator::new(hw, SimConfig { overlap: 0.3, ..Default::default() });
+    let sim = Simulator::new(
+        hw,
+        SimConfig {
+            overlap: 0.3,
+            ..Default::default()
+        },
+    );
 
     // PartIR: the four-tactic schedule.
     let schedule = Schedule::new([
@@ -65,7 +72,10 @@ fn measure(
     let report = sim.simulate(jitted.program.func()).expect("simulates");
     rows.push(
         Row::new("table1", label, "PartIR")
-            .metric("MFU%", report.mfu(model_flops, devices, hw.device.peak_flops_f32))
+            .metric(
+                "MFU%",
+                report.mfu(model_flops, devices, hw.device.peak_flops_f32),
+            )
             .metric(
                 "HBM_GiB",
                 report.peak_memory_bytes as f64 / (1u64 << 30) as f64,
@@ -88,7 +98,10 @@ fn measure(
     let report = sim.simulate(program.func()).expect("simulates");
     rows.push(
         Row::new("table1", label, "GSPMD")
-            .metric("MFU%", report.mfu(model_flops, devices, hw.device.peak_flops_f32))
+            .metric(
+                "MFU%",
+                report.mfu(model_flops, devices, hw.device.peak_flops_f32),
+            )
             .metric(
                 "HBM_GiB",
                 report.peak_memory_bytes as f64 / (1u64 << 30) as f64,

@@ -87,8 +87,7 @@ fn main() {
         ],
     );
 
-    let unet =
-        partir_models::unet::build_train_step(&UNetConfig::paper()).expect("UNet builds");
+    let unet = partir_models::unet::build_train_step(&UNetConfig::paper()).expect("UNet builds");
     rows_for(
         &mut rows,
         "UNet",

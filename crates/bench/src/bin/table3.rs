@@ -74,19 +74,16 @@ fn main() {
         ],
     );
 
-    let it32 = partir_models::itransformer::build_serving(&ITransformerConfig::it32(4))
-        .expect("IT32");
+    let it32 =
+        partir_models::itransformer::build_serving(&ITransformerConfig::it32(4)).expect("IT32");
     run_rows(
         &mut rows,
         "IT32",
         &it32.func,
-        schedules::itransformer_table2()
-            .into_iter()
-            .collect(),
+        schedules::itransformer_table2().into_iter().collect(),
     );
 
-    let t32 =
-        partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
+    let t32 = partir_models::transformer::build_train_step(&TransformerConfig::t32()).expect("T32");
     let mut t32_schedules: Vec<(&str, Schedule)> = vec![(
         "BP+AutoMP+Z3",
         Schedule::new([

@@ -81,7 +81,10 @@ pub fn rows_to_json(rows: &[Row]) -> String {
             "    \"experiment\": \"{}\",\n",
             json_escape(&row.experiment)
         ));
-        out.push_str(&format!("    \"model\": \"{}\",\n", json_escape(&row.model)));
+        out.push_str(&format!(
+            "    \"model\": \"{}\",\n",
+            json_escape(&row.model)
+        ));
         out.push_str(&format!(
             "    \"schedule\": \"{}\",\n",
             json_escape(&row.schedule)
@@ -98,7 +101,11 @@ pub fn rows_to_json(rows: &[Row]) -> String {
             ));
         }
         out.push_str("]\n");
-        out.push_str(if i + 1 < rows.len() { "  },\n" } else { "  }\n" });
+        out.push_str(if i + 1 < rows.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
     }
     out.push(']');
     out
@@ -112,7 +119,10 @@ pub fn emit(rows: &[Row]) {
         return;
     }
     for row in rows {
-        print!("{:<6} {:<6} {:<16}", row.experiment, row.model, row.schedule);
+        print!(
+            "{:<6} {:<6} {:<16}",
+            row.experiment, row.model, row.schedule
+        );
         for (name, value) in &row.metrics {
             if value.fract() == 0.0 && value.abs() < 1e12 {
                 print!("  {name}={value:.0}");

@@ -12,9 +12,7 @@
 
 use std::collections::HashMap;
 
-use partir_ir::{
-    BinaryOp, Func, FuncBuilder, IrError, Literal, OpId, OpKind, ValueId,
-};
+use partir_ir::{BinaryOp, Func, FuncBuilder, IrError, Literal, OpId, OpKind, ValueId};
 
 /// Rewrites `func` so that the inputs named in `batch_inputs` are
 /// processed in `k` sequential microbatches (slices of their leading
@@ -57,10 +55,7 @@ pub fn microbatch(func: &Func, batch_inputs: &[&str], k: usize) -> Result<Func, 
         }
         batch_values.push(v);
     }
-    if func
-        .op_ids()
-        .any(|op| func.op(op).region.is_some())
-    {
+    if func.op_ids().any(|op| func.op(op).region.is_some()) {
         return Err(IrError::invalid(
             "microbatch does not support functions with region ops",
         ));
@@ -173,7 +168,10 @@ fn scale_shape(
     // batch factor (batch dims only ever shrink by the same k).
     if let Some(&first) = op.operands.first() {
         let before = func.value_type(first).shape.num_elements();
-        let after = b.ty(*map.get(&first).expect("operand rebuilt")).shape.num_elements();
+        let after = b
+            .ty(*map.get(&first).expect("operand rebuilt"))
+            .shape
+            .num_elements();
         if before != after && before.is_multiple_of(after) {
             let factor = before / after;
             // Shrink the first dimension of the result that is divisible
@@ -242,7 +240,7 @@ mod tests {
         assert!(microbatch(&func, &["x"], 0).is_err());
         assert!(microbatch(&func, &["nope"], 2).is_err());
         assert!(microbatch(&func, &["x"], 3).is_err()); // 8 % 3 != 0
-        // Non-scalar output.
+                                                        // Non-scalar output.
         let mut b = FuncBuilder::new("vec");
         let x = b.param("x", TensorType::f32([4]));
         let f = b.build([x]).unwrap();

@@ -129,6 +129,9 @@ mod tests {
         let text = super::print_core(&f, &p);
         assert!(text.contains("loop \"B\" [#tile<0>]"), "{text}");
         assert!(text.contains("slice 0 \"B\" %x"), "{text}");
-        assert!(text.contains("%x: tensor<8x4xf32> [\"B\"#tile<0>]"), "{text}");
+        assert!(
+            text.contains("%x: tensor<8x4xf32> [\"B\"#tile<0>]"),
+            "{text}"
+        );
     }
 }

@@ -254,6 +254,21 @@ impl Partitioning {
         &self.mesh
     }
 
+    /// The currently outstanding propagation conflicts (ambiguous TMR
+    /// sites the last [`Partitioning::propagate`] refused to resolve).
+    /// Exposed so static analyses (`partir-analysis`) can report
+    /// unresolved ambiguity without re-running propagation.
+    pub fn conflicts(&self) -> Vec<Conflict> {
+        self.conflicts
+            .iter()
+            .map(|(&(op, ai), candidates)| Conflict {
+                op,
+                axis: self.mesh.axes()[ai].0.clone(),
+                candidates: candidates.clone(),
+            })
+            .collect()
+    }
+
     /// A stable 128-bit fingerprint of this partitioning: the function's
     /// structural hash and the mesh, XOR-combined with a positional hash
     /// of every per-value sharding entry and per-op TMR entry. Two states

@@ -212,11 +212,7 @@ fn combine(chunks: Vec<Literal>, action: ResultAction) -> Result<Literal, IrErro
     match action {
         ResultAction::Tile(d) => {
             let refs: Vec<&Literal> = chunks.iter().collect();
-            let out = eval_op(
-                &OpKind::Concatenate { dim: d },
-                &refs,
-                &chunks[0].ty(),
-            )?;
+            let out = eval_op(&OpKind::Concatenate { dim: d }, &refs, &chunks[0].ty())?;
             Ok(out.into_iter().next().expect("single result"))
         }
         ResultAction::Reduce(op) => {
@@ -336,7 +332,11 @@ mod tests {
         p.tile(&f, w1, 1, &"M".into()).unwrap();
         p.propagate(&f);
 
-        let inputs = vec![rand_lit(&[8, 4], 1), rand_lit(&[4, 6], 2), rand_lit(&[6, 4], 3)];
+        let inputs = vec![
+            rand_lit(&[8, 4], 1),
+            rand_lit(&[4, 6], 2),
+            rand_lit(&[6, 4], 3),
+        ];
         let reference = interpret(&f, &inputs).unwrap();
         let temporal = interpret_sharded(&f, &p, &inputs).unwrap();
         let diff = reference[0].max_abs_diff(&temporal[0]).unwrap();

@@ -62,10 +62,7 @@ pub fn tmr_entries(func: &Func, op: OpId) -> Vec<TmrEntry> {
         }
         OpKind::Binary(_) | OpKind::Compare(_) => {
             for d in 0..result_rank {
-                entries.push(TmrEntry::new(
-                    vec![Some(d), Some(d)],
-                    ResultAction::Tile(d),
-                ));
+                entries.push(TmrEntry::new(vec![Some(d), Some(d)], ResultAction::Tile(d)));
             }
         }
         OpKind::Select => {
@@ -166,10 +163,7 @@ pub fn tmr_entries(func: &Func, op: OpId) -> Vec<TmrEntry> {
         OpKind::Pad { low, high } => {
             for d in 0..rank_of(0) {
                 if low[d] == 0 && high[d] == 0 {
-                    entries.push(TmrEntry::new(
-                        vec![Some(d), None],
-                        ResultAction::Tile(d),
-                    ));
+                    entries.push(TmrEntry::new(vec![Some(d), None], ResultAction::Tile(d)));
                 }
             }
         }
@@ -177,10 +171,7 @@ pub fn tmr_entries(func: &Func, op: OpId) -> Vec<TmrEntry> {
             let n = data.operands.len();
             for d in 0..result_rank {
                 if d != *dim {
-                    entries.push(TmrEntry::new(
-                        vec![Some(d); n],
-                        ResultAction::Tile(d),
-                    ));
+                    entries.push(TmrEntry::new(vec![Some(d); n], ResultAction::Tile(d)));
                 }
             }
         }
@@ -219,10 +210,7 @@ pub fn tmr_entries(func: &Func, op: OpId) -> Vec<TmrEntry> {
             ));
             for d in 0..result_rank {
                 if d != *axis {
-                    entries.push(TmrEntry::new(
-                        vec![Some(d), None],
-                        ResultAction::Tile(d),
-                    ));
+                    entries.push(TmrEntry::new(vec![Some(d), None], ResultAction::Tile(d)));
                 }
             }
         }
@@ -235,10 +223,7 @@ pub fn tmr_entries(func: &Func, op: OpId) -> Vec<TmrEntry> {
             ));
             for d in 0..result_rank {
                 if d != *axis {
-                    entries.push(TmrEntry::new(
-                        vec![Some(d), None],
-                        ResultAction::Tile(d),
-                    ));
+                    entries.push(TmrEntry::new(vec![Some(d), None], ResultAction::Tile(d)));
                 }
             }
         }
@@ -286,7 +271,7 @@ pub fn tmr_entries(func: &Func, op: OpId) -> Vec<TmrEntry> {
                 entries.push(TmrEntry::new(vec![], ResultAction::Tile(d)));
             }
         }
-        OpKind::For { .. } => {} // handled by carried-value unification
+        OpKind::For { .. } => {}    // handled by carried-value unification
         OpKind::Collective(_) => {} // post-lowering only
     }
     entries
@@ -331,7 +316,9 @@ pub fn reshape_dim_pairs(input: &[usize], output: &[usize]) -> Vec<(usize, usize
         } else if input[seg_i] == output[seg_j] {
             // Equal majors of a split/merge group still correspond.
             pairs.push((seg_i, seg_j));
-        } else if input[seg_i].is_multiple_of(output[seg_j]) || output[seg_j].is_multiple_of(input[seg_i]) {
+        } else if input[seg_i].is_multiple_of(output[seg_j])
+            || output[seg_j].is_multiple_of(input[seg_i])
+        {
             // A major dim that divides the other major still tiles it for
             // axis sizes dividing the smaller one; conservatively allow
             // the pairing (divisibility is re-checked at action time).
@@ -365,14 +352,8 @@ mod tests {
             let y = b.param("y", TensorType::f32([16, 8]));
             b.matmul(x, y).unwrap()
         });
-        assert!(entries.contains(&TmrEntry::new(
-            vec![Some(0), None],
-            ResultAction::Tile(0)
-        )));
-        assert!(entries.contains(&TmrEntry::new(
-            vec![None, Some(1)],
-            ResultAction::Tile(1)
-        )));
+        assert!(entries.contains(&TmrEntry::new(vec![Some(0), None], ResultAction::Tile(0))));
+        assert!(entries.contains(&TmrEntry::new(vec![None, Some(1)], ResultAction::Tile(1))));
         assert!(entries.contains(&TmrEntry::new(
             vec![Some(1), Some(0)],
             ResultAction::Reduce(ReduceOp::Sum)
@@ -461,10 +442,7 @@ mod tests {
             vec![Some(0), Some(0)],
             ResultAction::Reduce(ReduceOp::Sum)
         )));
-        assert!(entries.contains(&TmrEntry::new(
-            vec![Some(1), None],
-            ResultAction::Tile(1)
-        )));
+        assert!(entries.contains(&TmrEntry::new(vec![Some(1), None], ResultAction::Tile(1))));
     }
 
     #[test]
@@ -505,8 +483,15 @@ mod tests {
         let entries = single_op_entries(|b| {
             let x = b.param("x", TensorType::f32([2, 3, 8, 8]));
             let k = b.param("k", TensorType::f32([5, 3, 3, 3]));
-            b.convolution(x, k, partir_ir::ConvDims { strides: (1, 1), padding: (1, 1) })
-                .unwrap()
+            b.convolution(
+                x,
+                k,
+                partir_ir::ConvDims {
+                    strides: (1, 1),
+                    padding: (1, 1),
+                },
+            )
+            .unwrap()
         });
         assert_eq!(entries.len(), 3);
         assert!(entries.contains(&TmrEntry::new(

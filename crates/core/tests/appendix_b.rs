@@ -54,8 +54,7 @@ fn b11_multi_axis_analysis_sees_through_nested_contexts() {
         rand_lit(&[8, 8], 3),
     ];
     let reference = interpret(&f, &inputs).unwrap();
-    let temporal =
-        partir_core::temporal::interpret_sharded(&f, &p, &inputs).unwrap();
+    let temporal = partir_core::temporal::interpret_sharded(&f, &p, &inputs).unwrap();
     assert!(reference[0].max_abs_diff(&temporal[0]).unwrap() < 1e-4);
     let program = partir_spmd::lower(&f, &p).unwrap().fused().unwrap();
     let spmd = program.execute_global(&inputs).unwrap();
@@ -150,7 +149,10 @@ fn conflict_diagnostics_are_readable() {
     assert_eq!(report.conflicts.len(), 1);
     let text = report.summary(&f);
     assert!(text.contains("1 conflicts"), "{text}");
-    assert!(text.contains("conflict at `dot` along axis \"B\""), "{text}");
+    assert!(
+        text.contains("conflict at `dot` along axis \"B\""),
+        "{text}"
+    );
     assert!(text.contains("#tile<0>"), "{text}");
     assert!(text.contains("⊥"), "{text}");
 }

@@ -210,7 +210,10 @@ fn incremental_propagation_matches_full_fixpoint() {
             let value = pool[v % pool.len()];
             let axis = &axes[axis];
             let (ri, rf) = if atomic {
-                (inc.atomic(&func, value, axis), full.atomic(&func, value, axis))
+                (
+                    inc.atomic(&func, value, axis),
+                    full.atomic(&func, value, axis),
+                )
             } else {
                 (
                     inc.tile(&func, value, dim, axis),

@@ -161,9 +161,7 @@ fn pick_entry(
             }
         }
         if let ResultAction::Tile(d) = e.result {
-            if let Some(ShardKind::Tile { dim }) =
-                part.value_ctx(data.results[0]).entry(axis)
-            {
+            if let Some(ShardKind::Tile { dim }) = part.value_ctx(data.results[0]).entry(axis) {
                 s += if dim == d { 4 } else { -4 };
             }
         }
@@ -238,8 +236,7 @@ mod tests {
         ];
         let f = chain();
         let mesh = Mesh::single("B", 4).unwrap();
-        let minus =
-            gspmd_partition(&f, mesh.clone(), &seeds, &GspmdOptions::default()).unwrap();
+        let minus = gspmd_partition(&f, mesh.clone(), &seeds, &GspmdOptions::default()).unwrap();
         let mut f2 = chain();
         let h = {
             let op = f2.body()[0];
@@ -255,8 +252,16 @@ mod tests {
             },
         )
         .unwrap();
-        let s_minus = partir_spmd::lower(&f, &minus).unwrap().fused().unwrap().stats();
-        let s_plus = partir_spmd::lower(&f2, &plus).unwrap().fused().unwrap().stats();
+        let s_minus = partir_spmd::lower(&f, &minus)
+            .unwrap()
+            .fused()
+            .unwrap()
+            .stats();
+        let s_plus = partir_spmd::lower(&f2, &plus)
+            .unwrap()
+            .fused()
+            .unwrap()
+            .stats();
         // Different programs (the annotation changed conflict resolution).
         assert_ne!(s_minus, s_plus);
     }

@@ -123,8 +123,7 @@ impl FuncBuilder {
     ///
     /// Propagates inference failures from [`crate::infer`].
     pub fn emit(&mut self, kind: OpKind, operands: &[ValueId]) -> Result<Vec<ValueId>, IrError> {
-        let operand_tys: Vec<TensorType> =
-            operands.iter().map(|&v| self.ty(v).clone()).collect();
+        let operand_tys: Vec<TensorType> = operands.iter().map(|&v| self.ty(v).clone()).collect();
         let result_tys = crate::infer::infer_result_types(&kind, &operand_tys, self.mesh.as_ref())?;
         let op = OpId(self.ops.len() as u32);
         let results: Vec<ValueId> = result_tys
@@ -262,12 +261,7 @@ impl FuncBuilder {
     }
 
     /// Elementwise comparison producing `i1`.
-    pub fn compare(
-        &mut self,
-        dir: CompareDir,
-        x: ValueId,
-        y: ValueId,
-    ) -> Result<ValueId, IrError> {
+    pub fn compare(&mut self, dir: CompareDir, x: ValueId, y: ValueId) -> Result<ValueId, IrError> {
         self.emit1(OpKind::Compare(dir), &[x, y])
     }
 
@@ -433,7 +427,12 @@ impl FuncBuilder {
     }
 
     /// Gather (`take`) along `axis`.
-    pub fn gather(&mut self, x: ValueId, indices: ValueId, axis: usize) -> Result<ValueId, IrError> {
+    pub fn gather(
+        &mut self,
+        x: ValueId,
+        indices: ValueId,
+        axis: usize,
+    ) -> Result<ValueId, IrError> {
         self.emit1(OpKind::Gather { axis }, &[x, indices])
     }
 
@@ -506,11 +505,7 @@ impl FuncBuilder {
             .iter()
             .enumerate()
             .map(|(i, ty)| {
-                self.new_value(
-                    ty.clone(),
-                    None,
-                    ValueDef::RegionParam { op, index: i + 1 },
-                )
+                self.new_value(ty.clone(), None, ValueDef::RegionParam { op, index: i + 1 })
             })
             .collect();
         self.region_stack.push(Vec::new());

@@ -27,6 +27,25 @@ pub enum IrError {
     /// An op that the current pass or interpreter does not handle,
     /// e.g. collectives in the reference interpreter.
     Unsupported(String),
+    /// A parse failure with a source position (1-based line and column).
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+        /// What went wrong.
+        msg: String,
+    },
+    /// An error annotated with the path of the offending op (e.g.
+    /// `@main/%3(dot)` or `@main/%7(for)/%2(add)` for ops nested in
+    /// regions), so diagnostics can point at the op instead of only
+    /// describing the failure.
+    At {
+        /// Op path within the function, innermost last.
+        path: String,
+        /// The underlying error.
+        source: Box<IrError>,
+    },
 }
 
 impl IrError {
@@ -55,6 +74,44 @@ impl IrError {
     pub fn unsupported(detail: impl Into<String>) -> Self {
         IrError::Unsupported(detail.into())
     }
+
+    /// Creates an [`IrError::Parse`] with a 1-based line/column position.
+    pub fn parse(line: u32, col: u32, msg: impl Into<String>) -> Self {
+        IrError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    /// Wraps `self` with the path of the op it occurred at. Wrapping an
+    /// already-located error keeps the innermost (most precise) path.
+    pub fn at(self, path: impl Into<String>) -> Self {
+        match self {
+            IrError::At { .. } => self,
+            other => IrError::At {
+                path: path.into(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The op path this error is located at, if any.
+    pub fn op_path(&self) -> Option<&str> {
+        match self {
+            IrError::At { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+
+    /// The source position (1-based line, column) for parse errors.
+    pub fn source_pos(&self) -> Option<(u32, u32)> {
+        match self {
+            IrError::Parse { line, col, .. } => Some((*line, *col)),
+            IrError::At { source, .. } => source.source_pos(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for IrError {
@@ -68,8 +125,19 @@ impl fmt::Display for IrError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             IrError::Unsupported(d) => write!(f, "unsupported operation: {d}"),
+            IrError::Parse { line, col, msg } => {
+                write!(f, "parse error at line {line}, column {col}: {msg}")
+            }
+            IrError::At { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
 
-impl Error for IrError {}
+impl Error for IrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IrError::At { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}

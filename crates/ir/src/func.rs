@@ -36,6 +36,23 @@ pub enum ValueDef {
     },
 }
 
+/// A source position (1-based line and column) attached to an op by the
+/// parser, so downstream diagnostics (`partir-lint`) can point back into
+/// the textual form a program was loaded from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcLoc {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl std::fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// Metadata of one SSA value.
 #[derive(Debug, Clone)]
 pub struct ValueInfo {
@@ -91,6 +108,10 @@ pub struct Func {
     /// Structural fingerprint, computed lazily. Value *names* are not part
     /// of the structure, so [`Func::set_value_name`] need not invalidate.
     fingerprint: OnceLock<Fingerprint>,
+    /// Sparse op → source position map, populated by the parser. Like
+    /// names, locations are presentation metadata and are excluded from
+    /// the structural fingerprint.
+    locs: HashMap<OpId, SrcLoc>,
 }
 
 impl Func {
@@ -110,6 +131,7 @@ impl Func {
             body,
             results,
             fingerprint: OnceLock::new(),
+            locs: HashMap::new(),
         }
     }
 
@@ -211,6 +233,25 @@ impl Func {
         uses
     }
 
+    /// Attaches a source position to an op (used by the parser). Like
+    /// value names, locations do not affect the structural fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `op` is out of range.
+    pub fn set_op_loc(&mut self, op: OpId, loc: SrcLoc) -> Result<(), IrError> {
+        if op.0 as usize >= self.ops.len() {
+            return Err(IrError::invalid(format!("no such op {op:?}")));
+        }
+        self.locs.insert(op, loc);
+        Ok(())
+    }
+
+    /// The source position of an op, if the function was parsed from text.
+    pub fn op_loc(&self, op: OpId) -> Option<SrcLoc> {
+        self.locs.get(&op).copied()
+    }
+
     /// Renames a value (used by the `tag` primitive, paper §8).
     ///
     /// # Errors
@@ -302,7 +343,7 @@ impl Module {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{FuncBuilder, TensorType};
 
     #[test]

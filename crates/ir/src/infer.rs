@@ -74,6 +74,14 @@ pub fn infer_result_types(
                     ),
                 ));
             }
+            // Pred payloads have no select semantics (matches the
+            // reference interpreter).
+            if operands[1].dtype == DType::Pred {
+                return Err(IrError::type_mismatch(
+                    "f32 or i32 payload",
+                    operands[1].dtype,
+                ));
+            }
             Ok(vec![operands[1].clone()])
         }
         OpKind::Convert(to) => {
@@ -154,10 +162,7 @@ pub fn infer_result_types(
             if shape.num_elements() != operands[0].shape.num_elements() {
                 return Err(IrError::shape(
                     "reshape",
-                    format!(
-                        "element count mismatch: {} vs {}",
-                        operands[0].shape, shape
-                    ),
+                    format!("element count mismatch: {} vs {}", operands[0].shape, shape),
                 ));
             }
             Ok(vec![TensorType::new(shape.clone(), operands[0].dtype)])
@@ -489,9 +494,8 @@ fn infer_collective(
     if operands.len() != 1 {
         return Err(IrError::invalid("collectives take exactly one operand"));
     }
-    let mesh = mesh.ok_or_else(|| {
-        IrError::invalid("collective type inference requires a mesh".to_string())
-    })?;
+    let mesh = mesh
+        .ok_or_else(|| IrError::invalid("collective type inference requires a mesh".to_string()))?;
     let t = &operands[0];
     let axis_product = |axes: &[partir_mesh::Axis]| -> Result<usize, IrError> {
         let mut p = 1;
@@ -520,7 +524,10 @@ fn infer_collective(
                 if !dims[d].is_multiple_of(p) {
                     return Err(IrError::shape(
                         "all_slice",
-                        format!("dim {d} of size {} not divisible by axes product {p}", dims[d]),
+                        format!(
+                            "dim {d} of size {} not divisible by axes product {p}",
+                            dims[d]
+                        ),
                     ));
                 }
                 dims[d] /= p;
@@ -582,7 +589,10 @@ fn nchw(t: &TensorType) -> Result<(usize, usize, usize, usize), IrError> {
 
 fn conv_check(a: &TensorType, b: &TensorType) -> Result<(), IrError> {
     if a.dtype != b.dtype || !a.dtype.is_float() {
-        return Err(IrError::shape("convolution", "operands must share a float dtype"));
+        return Err(IrError::shape(
+            "convolution",
+            "operands must share a float dtype",
+        ));
     }
     Ok(())
 }
@@ -703,8 +713,7 @@ mod tests {
             high: vec![0, 2],
         };
         let out =
-            infer_result_types(&k, &[f32t(&[2, 2]), TensorType::scalar(DType::F32)], None)
-                .unwrap();
+            infer_result_types(&k, &[f32t(&[2, 2]), TensorType::scalar(DType::F32)], None).unwrap();
         assert_eq!(out[0], f32t(&[3, 4]));
         let k = OpKind::Concatenate { dim: 1 };
         let out = infer_result_types(&k, &[f32t(&[2, 2]), f32t(&[2, 5])], None).unwrap();
@@ -714,16 +723,13 @@ mod tests {
     #[test]
     fn gather_scatter() {
         let k = OpKind::Gather { axis: 0 };
-        let out =
-            infer_result_types(&k, &[f32t(&[10, 4]), TensorType::i32([6])], None).unwrap();
+        let out = infer_result_types(&k, &[f32t(&[10, 4]), TensorType::i32([6])], None).unwrap();
         assert_eq!(out[0], f32t(&[6, 4]));
         let k = OpKind::ScatterAdd { axis: 0, size: 10 };
         let out = infer_result_types(&k, &[f32t(&[6, 4]), TensorType::i32([6])], None).unwrap();
         assert_eq!(out[0], f32t(&[10, 4]));
         // Mismatched index length.
-        assert!(
-            infer_result_types(&k, &[f32t(&[6, 4]), TensorType::i32([5])], None).is_err()
-        );
+        assert!(infer_result_types(&k, &[f32t(&[6, 4]), TensorType::i32([5])], None).is_err());
     }
 
     #[test]
@@ -784,21 +790,15 @@ mod tests {
 
     #[test]
     fn argmax_and_dynamic_ops() {
-        let out =
-            infer_result_types(&OpKind::ArgMax { dim: 1 }, &[f32t(&[2, 7])], None).unwrap();
+        let out = infer_result_types(&OpKind::ArgMax { dim: 1 }, &[f32t(&[2, 7])], None).unwrap();
         assert_eq!(out[0], TensorType::i32([2]));
         let idx = TensorType::scalar(DType::I32);
         let k = OpKind::DynamicSlice { sizes: vec![1, 4] };
-        let out =
-            infer_result_types(&k, &[f32t(&[8, 4]), idx.clone(), idx.clone()], None).unwrap();
+        let out = infer_result_types(&k, &[f32t(&[8, 4]), idx.clone(), idx.clone()], None).unwrap();
         assert_eq!(out[0], f32t(&[1, 4]));
         let k = OpKind::DynamicUpdateSlice;
-        let out = infer_result_types(
-            &k,
-            &[f32t(&[8, 4]), f32t(&[1, 4]), idx.clone(), idx],
-            None,
-        )
-        .unwrap();
+        let out = infer_result_types(&k, &[f32t(&[8, 4]), f32t(&[1, 4]), idx.clone(), idx], None)
+            .unwrap();
         assert_eq!(out[0], f32t(&[8, 4]));
     }
 }

@@ -140,9 +140,12 @@ pub fn eval_op(
         OpKind::DynamicSlice { sizes } => Ok(vec![eval_dynamic_slice(operands, sizes)?]),
         OpKind::DynamicUpdateSlice => Ok(vec![eval_dynamic_update_slice(operands)?]),
         OpKind::Gather { axis } => Ok(vec![eval_gather(operands[0], operands[1], *axis)?]),
-        OpKind::ScatterAdd { axis, size } => {
-            Ok(vec![eval_scatter_add(operands[0], operands[1], *axis, *size)?])
-        }
+        OpKind::ScatterAdd { axis, size } => Ok(vec![eval_scatter_add(
+            operands[0],
+            operands[1],
+            *axis,
+            *size,
+        )?]),
         OpKind::Convolution(dims) => Ok(vec![eval_conv(dims, operands[0], operands[1])?]),
         OpKind::ConvInputGrad { dims, input_hw } => Ok(vec![eval_conv_input_grad(
             dims,
@@ -390,7 +393,11 @@ fn eval_concat(operands: &[&Literal], dim: usize) -> Result<Literal, IrError> {
     crate::kernels::concat(operands, dim)
 }
 
-fn clamp_starts(indices: &[&Literal], operand: &Shape, sizes: &[usize]) -> Result<Vec<usize>, IrError> {
+fn clamp_starts(
+    indices: &[&Literal],
+    operand: &Shape,
+    sizes: &[usize],
+) -> Result<Vec<usize>, IrError> {
     indices
         .iter()
         .enumerate()
@@ -456,7 +463,10 @@ fn eval_scatter_add(
 }
 
 fn eval_conv(dims: &ConvDims, input: &Literal, kernel: &Literal) -> Result<Literal, IrError> {
-    let (isz, ksz) = (input.shape().dims().to_vec(), kernel.shape().dims().to_vec());
+    let (isz, ksz) = (
+        input.shape().dims().to_vec(),
+        kernel.shape().dims().to_vec(),
+    );
     let (n, ci, h, w) = (isz[0], isz[1], isz[2], isz[3]);
     let (co, _, kh, kw) = (ksz[0], ksz[1], ksz[2], ksz[3]);
     let (sh, sw) = dims.strides;
@@ -481,8 +491,8 @@ fn eval_conv(dims: &ConvDims, input: &Literal, kernel: &Literal) -> Result<Liter
                                 if ih < 0 || iw < 0 || ih >= h as i64 || iw >= w as i64 {
                                     continue;
                                 }
-                                let av = a[in_shape
-                                    .linear_index(&[bi, icn, ih as usize, iw as usize])];
+                                let av =
+                                    a[in_shape.linear_index(&[bi, icn, ih as usize, iw as usize])];
                                 let kv = k[k_shape.linear_index(&[oc, icn, khi, kwi])];
                                 acc += av * kv;
                             }
@@ -532,9 +542,12 @@ fn eval_conv_input_grad(
                                     continue;
                                 }
                                 let kv = k[k_shape.linear_index(&[oc, icn, khi, kwi])];
-                                data[out_shape
-                                    .linear_index(&[bi, icn, ih as usize, iw as usize])] +=
-                                    gv * kv;
+                                data[out_shape.linear_index(&[
+                                    bi,
+                                    icn,
+                                    ih as usize,
+                                    iw as usize,
+                                ])] += gv * kv;
                             }
                         }
                     }
@@ -580,8 +593,8 @@ fn eval_conv_filter_grad(
                                 if ih < 0 || iw < 0 || ih >= h as i64 || iw >= w as i64 {
                                     continue;
                                 }
-                                let av = a[in_shape
-                                    .linear_index(&[bi, icn, ih as usize, iw as usize])];
+                                let av =
+                                    a[in_shape.linear_index(&[bi, icn, ih as usize, iw as usize])];
                                 data[out_shape.linear_index(&[oc, icn, khi, kwi])] += gv * av;
                             }
                         }

@@ -228,8 +228,18 @@ pub fn dot_general(dims: &DotDims, lhs: &Literal, rhs: &Literal) -> Result<Liter
     let mut out = vec![0f32; out_shape.num_elements()];
     with_scratch(|a_buf| {
         with_scratch(|b_buf| {
-            let a = stage_permuted(a_src, ls, [&dims.lhs_batch, &lhs_free, &dims.lhs_contract], a_buf);
-            let bm = stage_permuted(b_src, rs, [&dims.rhs_batch, &dims.rhs_contract, &rhs_free], b_buf);
+            let a = stage_permuted(
+                a_src,
+                ls,
+                [&dims.lhs_batch, &lhs_free, &dims.lhs_contract],
+                a_buf,
+            );
+            let bm = stage_permuted(
+                b_src,
+                rs,
+                [&dims.rhs_batch, &dims.rhs_contract, &rhs_free],
+                b_buf,
+            );
             for bi in 0..b {
                 matmul_ikj(
                     &a[bi * m * k..bi * m * k + m * k],
@@ -264,8 +274,12 @@ pub fn dot_general_reference(
     let lhs_free = dims.free_dims(ls.rank(), true);
     let rhs_free = dims.free_dims(rs.rank(), false);
     let out_shape = dot_out_shape(dims, &ls, &rs);
-    let contract_shape =
-        Shape::from(dims.lhs_contract.iter().map(|&d| ls.dim(d)).collect::<Vec<_>>());
+    let contract_shape = Shape::from(
+        dims.lhs_contract
+            .iter()
+            .map(|&d| ls.dim(d))
+            .collect::<Vec<_>>(),
+    );
     let (a, b) = (lhs.as_f32()?, rhs.as_f32()?);
     let (lstr, rstr) = (ls.strides(), rs.strides());
     let mut data = vec![0f32; out_shape.num_elements()];
@@ -532,14 +546,20 @@ pub fn concat(operands: &[&Literal], dim: usize) -> Result<Literal, IrError> {
                 .iter()
                 .map(|t| Ok((t.as_f32()?, t.shape().dim(dim))))
                 .collect::<Result<_, IrError>>()?;
-            Literal::from_f32(concat_typed(&parts, out_len, dim_total, outer, inner), out_shape)
+            Literal::from_f32(
+                concat_typed(&parts, out_len, dim_total, outer, inner),
+                out_shape,
+            )
         }
         DType::I32 => {
             let parts: Vec<(&[i32], usize)> = operands
                 .iter()
                 .map(|t| Ok((t.as_i32()?, t.shape().dim(dim))))
                 .collect::<Result<_, IrError>>()?;
-            Literal::from_i32(concat_typed(&parts, out_len, dim_total, outer, inner), out_shape)
+            Literal::from_i32(
+                concat_typed(&parts, out_len, dim_total, outer, inner),
+                out_shape,
+            )
         }
         DType::Pred => Err(IrError::unsupported("concatenate on pred")),
     }
@@ -630,7 +650,11 @@ pub fn update_slice_in_place(
 /// # Errors
 ///
 /// Fails on dtype/shape mismatches or pred operands.
-pub fn fold_reduce(mut acc: Literal, piece: &Literal, reduce: ReduceOp) -> Result<Literal, IrError> {
+pub fn fold_reduce(
+    mut acc: Literal,
+    piece: &Literal,
+    reduce: ReduceOp,
+) -> Result<Literal, IrError> {
     if acc.shape() != piece.shape() {
         return Err(IrError::invalid(format!(
             "fold shape mismatch {} vs {}",
@@ -716,8 +740,14 @@ mod tests {
             lhs_contract: vec![2, 3],
             rhs_contract: vec![1, 2],
         };
-        let a = lit((0..2 * 3 * 2 * 2).map(|v| v as f32 * 0.1).collect(), &[2, 3, 2, 2]);
-        let b = lit((0..2 * 2 * 2 * 4).map(|v| v as f32 * 0.3 - 1.0).collect(), &[2, 2, 2, 4]);
+        let a = lit(
+            (0..2 * 3 * 2 * 2).map(|v| v as f32 * 0.1).collect(),
+            &[2, 3, 2, 2],
+        );
+        let b = lit(
+            (0..2 * 2 * 2 * 4).map(|v| v as f32 * 0.3 - 1.0).collect(),
+            &[2, 2, 2, 4],
+        );
         let fast = dot_general(&dims, &a, &b).unwrap();
         let oracle = dot_general_reference(&dims, &a, &b).unwrap();
         assert_eq!(fast, oracle);
@@ -745,7 +775,10 @@ mod tests {
         let a = lit(vec![1.0; 8], &[4, 2]);
         let b = lit(vec![2.0; 12], &[4, 3]);
         dot_general(&dims, &a, &b).unwrap();
-        assert!(scratch_pool_len() >= 1, "staging buffers return to the pool");
+        assert!(
+            scratch_pool_len() >= 1,
+            "staging buffers return to the pool"
+        );
     }
 
     #[test]

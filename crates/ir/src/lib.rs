@@ -63,11 +63,9 @@ pub use builder::FuncBuilder;
 pub use dtype::DType;
 pub use error::IrError;
 pub use fingerprint::{Fingerprint, StableHasher};
-pub use func::{Func, Module, OpData, OpId, Region, ValueDef, ValueId, ValueInfo};
+pub use func::{Func, Module, OpData, OpId, Region, SrcLoc, ValueDef, ValueId, ValueInfo};
 pub use literal::Literal;
-pub use ops::{
-    BinaryOp, Collective, CompareDir, ConvDims, DotDims, OpKind, ReduceOp, UnaryOp,
-};
+pub use ops::{BinaryOp, Collective, CompareDir, ConvDims, DotDims, OpKind, ReduceOp, UnaryOp};
 pub use shape::Shape;
 
 /// The tensor type of an SSA value: element type plus static shape.

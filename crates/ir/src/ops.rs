@@ -188,9 +188,7 @@ impl Collective {
     /// removed, in first-occurrence order).
     pub fn axes(&self) -> Vec<Axis> {
         let raw: Vec<Axis> = match self {
-            Collective::AllReduce { axes, .. } | Collective::AllToAll { axes, .. } => {
-                axes.clone()
-            }
+            Collective::AllReduce { axes, .. } | Collective::AllToAll { axes, .. } => axes.clone(),
             Collective::AllGather { dim_axes }
             | Collective::AllSlice { dim_axes }
             | Collective::ReduceScatter { dim_axes, .. } => {

@@ -29,9 +29,39 @@ use std::collections::HashMap;
 use partir_mesh::{Axis, Mesh};
 
 use crate::{
-    BinaryOp, Collective, CompareDir, DType, FuncBuilder, IrError, ReduceOp, Shape, TensorType,
-    UnaryOp, ValueId,
+    BinaryOp, Collective, CompareDir, DType, FuncBuilder, IrError, ReduceOp, Shape, SrcLoc,
+    TensorType, UnaryOp, ValueDef, ValueId,
 };
+
+/// Position context of the line being parsed: used to build
+/// [`IrError::Parse`] errors carrying a 1-based line and column.
+struct Cx<'a> {
+    lineno: usize,
+    raw: &'a str,
+}
+
+impl Cx<'_> {
+    /// An error at the start of the current line.
+    fn err(&self, msg: impl std::fmt::Display) -> IrError {
+        IrError::parse(self.lineno as u32 + 1, 1, msg.to_string())
+    }
+
+    /// An error at the column of `token` within the current line (falls
+    /// back to column 1 when the token is synthesised rather than a
+    /// slice of the input).
+    fn err_tok(&self, token: &str, msg: impl std::fmt::Display) -> IrError {
+        let col = self.raw.find(token).map_or(1, |i| i + 1) as u32;
+        IrError::parse(self.lineno as u32 + 1, col, msg.to_string())
+    }
+
+    /// The source location of `token` on this line.
+    fn loc_of(&self, token: &str) -> SrcLoc {
+        SrcLoc {
+            line: self.lineno as u32 + 1,
+            col: self.raw.find(token).map_or(1, |i| i + 1) as u32,
+        }
+    }
+}
 
 /// Parses a function printed by [`crate::print::print_func`].
 ///
@@ -72,13 +102,17 @@ fn parse_func_impl(text: &str, mesh: Option<Mesh>) -> Result<crate::Func, IrErro
     let mut lines = text.lines().enumerate().peekable();
     let (_, header) = lines
         .next()
-        .ok_or_else(|| IrError::invalid("empty input"))?;
-    let (name, params) = parse_header(header)?;
+        .ok_or_else(|| IrError::parse(1, 1, "empty input"))?;
+    let (name, params) = parse_header(header).map_err(|e| match e {
+        IrError::Invalid(msg) => IrError::parse(1, 1, msg),
+        other => other,
+    })?;
     let mut b = match mesh {
         Some(m) => FuncBuilder::with_mesh(name, m),
         None => FuncBuilder::new(name),
     };
     let mut env: HashMap<String, ValueId> = HashMap::new();
+    let mut locs: Vec<(ValueId, SrcLoc)> = Vec::new();
     for (pname, ty) in params {
         let v = b.param(pname.clone(), ty);
         env.insert(pname, v);
@@ -88,17 +122,26 @@ fn parse_func_impl(text: &str, mesh: Option<Mesh>) -> Result<crate::Func, IrErro
         if line.is_empty() || line == "}" {
             continue;
         }
+        let cx = Cx { lineno, raw };
         if let Some(rest) = line.strip_prefix("return") {
-            let results = parse_return(rest, &env, lineno)?;
-            return b.build(results);
+            let results = parse_return(rest, &env, &cx)?;
+            let mut func = b.build(results)?;
+            // Attach source locations to the ops defining each recorded
+            // result value (lint surfaces them in diagnostics).
+            for (v, loc) in locs {
+                if let ValueDef::OpResult { op, .. } = func.value(v).def {
+                    func.set_op_loc(op, loc)?;
+                }
+            }
+            return Ok(func);
         }
-        parse_op_line(line, &mut b, &mut env, lineno)?;
+        parse_op_line(line, &mut b, &mut env, &mut locs, &cx)?;
     }
-    Err(IrError::invalid("missing return statement"))
-}
-
-fn err(lineno: usize, msg: impl std::fmt::Display) -> IrError {
-    IrError::invalid(format!("line {}: {msg}", lineno + 1))
+    Err(IrError::parse(
+        text.lines().count() as u32,
+        1,
+        "missing return statement",
+    ))
 }
 
 fn parse_header(header: &str) -> Result<(String, Vec<(String, TensorType)>), IrError> {
@@ -156,7 +199,7 @@ pub fn parse_type(text: &str) -> Result<TensorType, IrError> {
 fn parse_return(
     rest: &str,
     env: &HashMap<String, ValueId>,
-    lineno: usize,
+    cx: &Cx<'_>,
 ) -> Result<Vec<ValueId>, IrError> {
     let mut results = Vec::new();
     for part in rest.split(',') {
@@ -168,10 +211,10 @@ fn parse_return(
         let value_text = name_part.split(':').next().unwrap_or("").trim();
         let vname = value_text
             .strip_prefix('%')
-            .ok_or_else(|| err(lineno, "return operand missing `%`"))?;
+            .ok_or_else(|| cx.err_tok(value_text, "return operand missing `%`"))?;
         let v = env
             .get(vname)
-            .ok_or_else(|| err(lineno, format!("unknown value %{vname}")))?;
+            .ok_or_else(|| cx.err_tok(value_text, format!("unknown value %{vname}")))?;
         results.push(*v);
     }
     Ok(results)
@@ -181,15 +224,16 @@ fn parse_op_line(
     line: &str,
     b: &mut FuncBuilder,
     env: &mut HashMap<String, ValueId>,
-    lineno: usize,
+    locs: &mut Vec<(ValueId, SrcLoc)>,
+    cx: &Cx<'_>,
 ) -> Result<(), IrError> {
     let (lhs, rhs) = line
         .split_once('=')
-        .ok_or_else(|| err(lineno, "expected `%name = op(...)`"))?;
+        .ok_or_else(|| cx.err("expected `%name = op(...)`"))?;
     let result_name = lhs
         .trim()
         .strip_prefix('%')
-        .ok_or_else(|| err(lineno, "result missing `%`"))?
+        .ok_or_else(|| cx.err("result missing `%`"))?
         .to_string();
     let rhs = rhs.trim();
     // Split off the trailing `: type` (types are re-inferred).
@@ -200,19 +244,16 @@ fn parse_op_line(
     // Collectives print without parentheses: `all_reduce <"M"> %x`.
     if let Some((kw, rest)) = body.split_once(' ') {
         if COLLECTIVE_KEYWORDS.contains(&kw) {
-            let result = build_collective(b, kw, rest.trim(), env, lineno)?;
+            let result = build_collective(b, kw, rest.trim(), env, cx)?;
             b.set_name(result, result_name.clone());
+            locs.push((result, cx.loc_of(kw)));
             env.insert(result_name, result);
             return Ok(());
         }
     }
     // `op {attrs} (args)` or `op(args)`.
-    let open = body
-        .find('(')
-        .ok_or_else(|| err(lineno, "op missing `(`"))?;
-    let close = body
-        .rfind(')')
-        .ok_or_else(|| err(lineno, "op missing `)`"))?;
+    let open = body.find('(').ok_or_else(|| cx.err("op missing `(`"))?;
+    let close = body.rfind(')').ok_or_else(|| cx.err("op missing `)`"))?;
     let head = body[..open].trim();
     let (op_name, attrs) = match head.split_once('{') {
         Some((n, a)) => (
@@ -220,7 +261,7 @@ fn parse_op_line(
             Some(
                 a.strip_suffix('}')
                     .map(str::trim)
-                    .ok_or_else(|| err(lineno, "unclosed attribute block"))?,
+                    .ok_or_else(|| cx.err("unclosed attribute block"))?,
             ),
         ),
         None => (head, None),
@@ -229,18 +270,19 @@ fn parse_op_line(
     let arg_text = &body[open + 1..close];
     if !arg_text.trim().is_empty() {
         for part in arg_text.split(',') {
+            let part = part.trim();
             let vname = part
-                .trim()
                 .strip_prefix('%')
-                .ok_or_else(|| err(lineno, "operand missing `%`"))?;
+                .ok_or_else(|| cx.err_tok(part, "operand missing `%`"))?;
             args.push(
                 *env.get(vname)
-                    .ok_or_else(|| err(lineno, format!("unknown value %{vname}")))?,
+                    .ok_or_else(|| cx.err_tok(part, format!("unknown value %{vname}")))?,
             );
         }
     }
-    let result = build_op(b, op_name, attrs, &args, lineno)?;
+    let result = build_op(b, op_name, attrs, &args, cx)?;
     b.set_name(result, result_name.clone());
+    locs.push((result, cx.loc_of(op_name)));
     env.insert(result_name, result);
     Ok(())
 }
@@ -276,23 +318,23 @@ const COLLECTIVE_KEYWORDS: &[&str] = &[
 ///
 /// Axis names never contain bracket characters, so the first `close` is
 /// always the matching one.
-fn split_bracketed(
-    text: &str,
+fn split_bracketed<'t>(
+    text: &'t str,
     open: char,
     close: char,
-    lineno: usize,
-) -> Result<(&str, &str), IrError> {
+    cx: &Cx<'_>,
+) -> Result<(&'t str, &'t str), IrError> {
     let inner = text
         .strip_prefix(open)
-        .ok_or_else(|| err(lineno, format!("expected `{open}`")))?;
+        .ok_or_else(|| cx.err_tok(text, format!("expected `{open}`")))?;
     let end = inner
         .find(close)
-        .ok_or_else(|| err(lineno, format!("missing `{close}`")))?;
+        .ok_or_else(|| cx.err_tok(text, format!("missing `{close}`")))?;
     Ok((&inner[..end], inner[end + close.len_utf8()..].trim_start()))
 }
 
 /// Parses `"B", "M"` (possibly empty) into axes.
-fn parse_axis_names(text: &str, lineno: usize) -> Result<Vec<Axis>, IrError> {
+fn parse_axis_names(text: &str, cx: &Cx<'_>) -> Result<Vec<Axis>, IrError> {
     if text.trim().is_empty() {
         return Ok(Vec::new());
     }
@@ -302,23 +344,23 @@ fn parse_axis_names(text: &str, lineno: usize) -> Result<Vec<Axis>, IrError> {
                 .strip_prefix('"')
                 .and_then(|p| p.strip_suffix('"'))
                 .map(Axis::new)
-                .ok_or_else(|| err(lineno, format!("bad axis {part:?}")))
+                .ok_or_else(|| cx.err_tok(part.trim(), format!("bad axis {part:?}")))
         })
         .collect()
 }
 
 /// Parses `[{"B"}, {}, {"a", "b"}]` into per-dimension axis lists.
-fn parse_dim_axes(text: &str, lineno: usize) -> Result<Vec<Vec<Axis>>, IrError> {
+fn parse_dim_axes(text: &str, cx: &Cx<'_>) -> Result<Vec<Vec<Axis>>, IrError> {
     let mut rest = text
         .trim()
         .strip_prefix('[')
         .and_then(|t| t.strip_suffix(']'))
-        .ok_or_else(|| err(lineno, format!("bad dim-axes list {text:?}")))?
+        .ok_or_else(|| cx.err_tok(text.trim(), format!("bad dim-axes list {text:?}")))?
         .trim();
     let mut out = Vec::new();
     while !rest.is_empty() {
-        let (inner, tail) = split_bracketed(rest, '{', '}', lineno)?;
-        out.push(parse_axis_names(inner, lineno)?);
+        let (inner, tail) = split_bracketed(rest, '{', '}', cx)?;
+        out.push(parse_axis_names(inner, cx)?);
         rest = tail.strip_prefix(',').unwrap_or(tail).trim_start();
     }
     Ok(out)
@@ -328,15 +370,15 @@ fn parse_dim_axes(text: &str, lineno: usize) -> Result<Vec<Vec<Axis>>, IrError> 
 fn resolve_operand(
     text: &str,
     env: &HashMap<String, ValueId>,
-    lineno: usize,
+    cx: &Cx<'_>,
 ) -> Result<ValueId, IrError> {
     let vname = text
         .trim()
         .strip_prefix('%')
-        .ok_or_else(|| err(lineno, "collective operand missing `%`"))?;
+        .ok_or_else(|| cx.err_tok(text.trim(), "collective operand missing `%`"))?;
     env.get(vname)
         .copied()
-        .ok_or_else(|| err(lineno, format!("unknown value %{vname}")))
+        .ok_or_else(|| cx.err_tok(text.trim(), format!("unknown value %{vname}")))
 }
 
 /// Builds a collective from its printed form (keyword already split off).
@@ -348,13 +390,13 @@ fn build_collective(
     kw: &str,
     rest: &str,
     env: &HashMap<String, ValueId>,
-    lineno: usize,
+    cx: &Cx<'_>,
 ) -> Result<ValueId, IrError> {
     match kw {
         "all_reduce" => {
-            let (axes_text, operand) = split_bracketed(rest, '<', '>', lineno)?;
-            let axes = parse_axis_names(axes_text, lineno)?;
-            let x = resolve_operand(operand, env, lineno)?;
+            let (axes_text, operand) = split_bracketed(rest, '<', '>', cx)?;
+            let axes = parse_axis_names(axes_text, cx)?;
+            let x = resolve_operand(operand, env, cx)?;
             b.collective(
                 Collective::AllReduce {
                     axes,
@@ -366,9 +408,9 @@ fn build_collective(
         "all_gather" | "all_slice" | "reduce_scatter" => {
             let space = rest
                 .rfind(' ')
-                .ok_or_else(|| err(lineno, "collective missing operand"))?;
-            let dim_axes = parse_dim_axes(&rest[..space], lineno)?;
-            let x = resolve_operand(&rest[space + 1..], env, lineno)?;
+                .ok_or_else(|| cx.err("collective missing operand"))?;
+            let dim_axes = parse_dim_axes(&rest[..space], cx)?;
+            let x = resolve_operand(&rest[space + 1..], env, cx)?;
             let c = match kw {
                 "all_gather" => Collective::AllGather { dim_axes },
                 "all_slice" => Collective::AllSlice { dim_axes },
@@ -380,18 +422,18 @@ fn build_collective(
             b.collective(c, x)
         }
         "all_to_all" => {
-            let (dims_text, rest) = split_bracketed(rest, '{', '}', lineno)?;
+            let (dims_text, rest) = split_bracketed(rest, '{', '}', cx)?;
             let (src, dst) = dims_text
                 .split_once("->")
-                .ok_or_else(|| err(lineno, "all_to_all dims must be `{src -> dst}`"))?;
+                .ok_or_else(|| cx.err("all_to_all dims must be `{src -> dst}`"))?;
             let parse_dim = |t: &str| {
                 t.trim()
                     .parse::<usize>()
-                    .map_err(|_| err(lineno, format!("bad all_to_all dim {t:?}")))
+                    .map_err(|_| cx.err_tok(t.trim(), format!("bad all_to_all dim {t:?}")))
             };
-            let (axes_text, operand) = split_bracketed(rest, '<', '>', lineno)?;
-            let axes = parse_axis_names(axes_text, lineno)?;
-            let x = resolve_operand(operand, env, lineno)?;
+            let (axes_text, operand) = split_bracketed(rest, '<', '>', cx)?;
+            let axes = parse_axis_names(axes_text, cx)?;
+            let x = resolve_operand(operand, env, cx)?;
             b.collective(
                 Collective::AllToAll {
                     src_dim: parse_dim(src)?,
@@ -401,7 +443,7 @@ fn build_collective(
                 x,
             )
         }
-        other => Err(err(lineno, format!("unknown collective {other:?}"))),
+        other => Err(cx.err_tok(other, format!("unknown collective {other:?}"))),
     }
 }
 
@@ -410,7 +452,7 @@ fn build_op(
     op: &str,
     attrs: Option<&str>,
     args: &[ValueId],
-    lineno: usize,
+    cx: &Cx<'_>,
 ) -> Result<ValueId, IrError> {
     let unary = |u: UnaryOp, b: &mut FuncBuilder| b.unary(u, args[0]);
     let binary = |op: BinaryOp, b: &mut FuncBuilder| b.binary(op, args[0], args[1]);
@@ -436,52 +478,56 @@ fn build_op(
         "dot" => b.matmul(args[0], args[1]),
         "compare" => b.compare(CompareDir::Eq, args[0], args[1]),
         "transpose" => {
-            let attrs = attrs.ok_or_else(|| err(lineno, "transpose needs {dims=[..]}"))?;
+            let attrs = attrs.ok_or_else(|| cx.err("transpose needs {dims=[..]}"))?;
             let list = attrs
                 .trim()
                 .strip_prefix("dims=")
-                .ok_or_else(|| err(lineno, "transpose attr must be dims=[..]"))?;
+                .ok_or_else(|| cx.err("transpose attr must be dims=[..]"))?;
             b.transpose(args[0], parse_usize_list(list)?)
         }
         "reshape" => {
-            let attrs = attrs.ok_or_else(|| err(lineno, "reshape needs {to=[..]}"))?;
+            let attrs = attrs.ok_or_else(|| cx.err("reshape needs {to=[..]}"))?;
             let list = attrs
                 .trim()
                 .strip_prefix("to=")
-                .ok_or_else(|| err(lineno, "reshape attr must be to=[..]"))?;
+                .ok_or_else(|| cx.err("reshape attr must be to=[..]"))?;
             b.reshape(args[0], Shape::from(parse_usize_list(list)?))
         }
         "reduce" => {
-            let attrs = attrs.ok_or_else(|| err(lineno, "reduce needs {Op over [..]}"))?;
+            let attrs = attrs.ok_or_else(|| cx.err("reduce needs {Op over [..]}"))?;
             let (op_text, dims_text) = attrs
                 .split_once("over")
-                .ok_or_else(|| err(lineno, "reduce attr must be `Op over [..]`"))?;
+                .ok_or_else(|| cx.err("reduce attr must be `Op over [..]`"))?;
             let rop = match op_text.trim() {
                 "Sum" => ReduceOp::Sum,
                 "Max" => ReduceOp::Max,
                 "Min" => ReduceOp::Min,
                 "Prod" => ReduceOp::Prod,
-                other => return Err(err(lineno, format!("bad reduce op {other:?}"))),
+                other => return Err(cx.err(format!("bad reduce op {other:?}"))),
             };
             b.reduce(rop, args[0], parse_usize_list(dims_text)?)
         }
         "concatenate" => {
-            let attrs = attrs.ok_or_else(|| err(lineno, "concatenate needs {dim=N}"))?;
+            let attrs = attrs.ok_or_else(|| cx.err("concatenate needs {dim=N}"))?;
             let dim = attrs
                 .trim()
                 .strip_prefix("dim=")
                 .and_then(|d| d.trim().parse::<usize>().ok())
-                .ok_or_else(|| err(lineno, "concatenate attr must be dim=N"))?;
+                .ok_or_else(|| cx.err("concatenate attr must be dim=N"))?;
             b.concatenate(args, dim)
         }
         "slice" => {
-            let attrs = attrs.ok_or_else(|| err(lineno, "slice needs {[..]..[..]}"))?;
+            let attrs = attrs.ok_or_else(|| cx.err("slice needs {[..]..[..]}"))?;
             let (starts, limits) = attrs
                 .split_once("..")
-                .ok_or_else(|| err(lineno, "slice attr must be `[..]..[..]`"))?;
-            b.slice(args[0], parse_usize_list(starts)?, parse_usize_list(limits)?)
+                .ok_or_else(|| cx.err("slice attr must be `[..]..[..]`"))?;
+            b.slice(
+                args[0],
+                parse_usize_list(starts)?,
+                parse_usize_list(limits)?,
+            )
         }
-        other => Err(err(lineno, format!("unsupported op {other:?}"))),
+        other => Err(cx.err_tok(other, format!("unsupported op {other:?}"))),
     }
 }
 
@@ -625,9 +671,13 @@ func @f(%x: tensor<4x8xf32>) {
             parse_func_with_mesh(&text, mesh.clone()).unwrap_err()
         };
         // Unclosed axis list.
-        assert!(bad("%y = all_reduce <\"M\" %x : t").to_string().contains("line 2"));
+        assert!(bad("%y = all_reduce <\"M\" %x : t")
+            .to_string()
+            .contains("line 2"));
         // Unquoted axis.
-        assert!(bad("%y = all_reduce <M> %x : t").to_string().contains("bad axis"));
+        assert!(bad("%y = all_reduce <M> %x : t")
+            .to_string()
+            .contains("bad axis"));
         // Missing `->` in all_to_all dims.
         assert!(bad("%y = all_to_all {0, 1} <\"M\"> %x : t")
             .to_string()

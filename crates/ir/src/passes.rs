@@ -207,8 +207,7 @@ fn rebuild_live(
 }
 
 fn liveness(func: &Func) -> std::collections::HashSet<ValueId> {
-    let mut live: std::collections::HashSet<ValueId> =
-        func.results().iter().copied().collect();
+    let mut live: std::collections::HashSet<ValueId> = func.results().iter().copied().collect();
     let mut changed = true;
     while changed {
         changed = false;

@@ -200,10 +200,7 @@ mod tests {
     fn indices_iterate_in_row_major_order() {
         let s = Shape::from([2, 2]);
         let all: Vec<_> = s.indices().collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
         assert_eq!(s.indices().len(), 4);
     }
 

@@ -3,32 +3,78 @@
 //! The builder already infers types; this pass re-derives them
 //! independently and additionally checks SSA dominance (every operand is
 //! defined by an earlier op, a region parameter in scope, or a function
-//! parameter) and region well-formedness.
+//! parameter) and region well-formedness (for `for`: index/carried
+//! parameter types, yield arity and yield types).
+//!
+//! Every error is wrapped with the path of the offending op (e.g.
+//! `@main/%3(dot)`, or `@main/%7(for)/%2(add)` for ops nested in
+//! regions) via [`IrError::at`], so diagnostics point at the op.
 
 use std::collections::HashSet;
 
 use partir_mesh::Mesh;
 
-use crate::{Func, IrError, OpId, OpKind, TensorType, ValueId};
+use crate::{DType, Func, IrError, OpId, OpKind, TensorType, ValueId};
 
 /// Verifies a function; `mesh` is required when the function contains
 /// collectives.
 ///
 /// # Errors
 ///
-/// Returns the first structural or type error found.
+/// Returns the first structural or type error found, annotated with the
+/// op path where it occurred (see [`IrError::op_path`]).
 pub fn verify_func(func: &Func, mesh: Option<&Mesh>) -> Result<(), IrError> {
     let mut defined: HashSet<ValueId> = func.params().iter().copied().collect();
     let mut visited: HashSet<OpId> = HashSet::new();
-    verify_region_ops(func, func.body(), &mut defined, &mut visited, mesh)?;
+    let prefix = format!("@{}", func.name());
+    verify_region_ops(func, func.body(), &mut defined, &mut visited, mesh, &prefix)?;
     for &r in func.results() {
         if !defined.contains(&r) {
             return Err(IrError::invalid(format!(
                 "function result {r:?} is not defined at top level"
-            )));
+            ))
+            .at(prefix.clone()));
         }
     }
     Ok(())
+}
+
+/// The diagnostic path of an op: `@func/%3(dot)`, with one `/%i(kind)`
+/// segment per enclosing region. Exposed so analyses outside this crate
+/// (e.g. `partir-analysis` diagnostics) render the same paths.
+pub fn op_path(func: &Func, op: OpId) -> String {
+    // Reconstruct the nesting chain by scanning region ownership.
+    fn find(func: &Func, body: &[OpId], target: OpId, trail: &mut Vec<OpId>) -> bool {
+        for &o in body {
+            trail.push(o);
+            if o == target {
+                return true;
+            }
+            if let Some(region) = &func.op(o).region {
+                if find(func, &region.body, target, trail) {
+                    return true;
+                }
+            }
+            trail.pop();
+        }
+        false
+    }
+    let mut trail = Vec::new();
+    let mut path = format!("@{}", func.name());
+    if find(func, func.body(), op, &mut trail) {
+        for o in trail {
+            path.push_str(&segment(func, o));
+        }
+    } else {
+        path.push_str(&segment(func, op));
+    }
+    path
+}
+
+fn segment(func: &Func, op: OpId) -> String {
+    let data = func.op(op);
+    let loc = func.op_loc(op).map(|l| format!("@{l}")).unwrap_or_default();
+    format!("/%{}({}){loc}", op.0, data.kind.name())
 }
 
 fn verify_region_ops(
@@ -37,84 +83,119 @@ fn verify_region_ops(
     defined: &mut HashSet<ValueId>,
     visited: &mut HashSet<OpId>,
     mesh: Option<&Mesh>,
+    prefix: &str,
 ) -> Result<(), IrError> {
     for &op_id in body {
-        if !visited.insert(op_id) {
-            return Err(IrError::invalid(format!(
-                "op {op_id:?} appears in more than one region body"
-            )));
-        }
         let op = func.op(op_id);
-        for &operand in &op.operands {
-            if !defined.contains(&operand) {
-                return Err(IrError::invalid(format!(
-                    "op {op_id:?} ({}) uses value {operand:?} before definition",
-                    op.kind.name()
-                )));
-            }
-        }
-        let operand_tys: Vec<TensorType> = op
-            .operands
-            .iter()
-            .map(|&v| func.value_type(v).clone())
-            .collect();
-        let inferred = crate::infer::infer_result_types(&op.kind, &operand_tys, mesh)?;
-        if inferred.len() != op.results.len() {
+        let path = format!("{prefix}{}", segment(func, op_id));
+        verify_one_op(func, op_id, defined, visited, mesh, &path)
+            .map_err(|e| e.at(path.clone()))?;
+        defined.extend(op.results.iter().copied());
+    }
+    Ok(())
+}
+
+fn verify_one_op(
+    func: &Func,
+    op_id: OpId,
+    defined: &mut HashSet<ValueId>,
+    visited: &mut HashSet<OpId>,
+    mesh: Option<&Mesh>,
+    path: &str,
+) -> Result<(), IrError> {
+    if !visited.insert(op_id) {
+        return Err(IrError::invalid(format!(
+            "op {op_id:?} appears in more than one region body"
+        )));
+    }
+    let op = func.op(op_id);
+    for &operand in &op.operands {
+        if !defined.contains(&operand) {
             return Err(IrError::invalid(format!(
-                "op {op_id:?} ({}) result arity mismatch",
+                "op {op_id:?} ({}) uses value {operand:?} before definition",
                 op.kind.name()
             )));
         }
-        for (&r, ty) in op.results.iter().zip(&inferred) {
-            if func.value_type(r) != ty {
-                return Err(IrError::shape(
-                    op.kind.name(),
-                    format!(
-                        "stored result type {} differs from inferred {ty}",
-                        func.value_type(r)
-                    ),
+    }
+    let operand_tys: Vec<TensorType> = op
+        .operands
+        .iter()
+        .map(|&v| func.value_type(v).clone())
+        .collect();
+    let inferred = crate::infer::infer_result_types(&op.kind, &operand_tys, mesh)?;
+    if inferred.len() != op.results.len() {
+        return Err(IrError::invalid(format!(
+            "op {op_id:?} ({}) result arity mismatch",
+            op.kind.name()
+        )));
+    }
+    for (&r, ty) in op.results.iter().zip(&inferred) {
+        if func.value_type(r) != ty {
+            return Err(IrError::shape(
+                op.kind.name(),
+                format!(
+                    "stored result type {} differs from inferred {ty}",
+                    func.value_type(r)
+                ),
+            ));
+        }
+    }
+    match (&op.kind, &op.region) {
+        (OpKind::For { .. }, Some(region)) => {
+            if region.params.len() != op.operands.len() + 1 {
+                return Err(IrError::invalid(
+                    "for region must have index plus one param per carried value",
                 ));
             }
-        }
-        match (&op.kind, &op.region) {
-            (OpKind::For { .. }, Some(region)) => {
-                if region.params.len() != op.operands.len() + 1 {
-                    return Err(IrError::invalid(
-                        "for region must have index plus one param per carried value",
+            let index_ty = func.value_type(region.params[0]);
+            if index_ty.rank() != 0 || index_ty.dtype != DType::I32 {
+                return Err(IrError::shape(
+                    "for",
+                    format!("loop index must be a scalar i32, got {index_ty}"),
+                ));
+            }
+            for (&p, &init) in region.params[1..].iter().zip(&op.operands) {
+                if func.value_type(p) != func.value_type(init) {
+                    return Err(IrError::shape(
+                        "for",
+                        format!(
+                            "region param type {} differs from carried operand type {}",
+                            func.value_type(p),
+                            func.value_type(init)
+                        ),
                     ));
                 }
-                let mut inner = defined.clone();
-                inner.extend(region.params.iter().copied());
-                verify_region_ops(func, &region.body, &mut inner, visited, mesh)?;
-                if region.results.len() != op.operands.len() {
-                    return Err(IrError::invalid("for region yields wrong arity"));
+            }
+            let mut inner = defined.clone();
+            inner.extend(region.params.iter().copied());
+            verify_region_ops(func, &region.body, &mut inner, visited, mesh, path)?;
+            if region.results.len() != op.operands.len() {
+                return Err(IrError::invalid("for region yields wrong arity"));
+            }
+            for (&y, &init) in region.results.iter().zip(&op.operands) {
+                if !inner.contains(&y) {
+                    return Err(IrError::invalid(
+                        "for region yields a value not defined in scope",
+                    ));
                 }
-                for (&y, &init) in region.results.iter().zip(&op.operands) {
-                    if !inner.contains(&y) {
-                        return Err(IrError::invalid(
-                            "for region yields a value not defined in scope",
-                        ));
-                    }
-                    if func.value_type(y) != func.value_type(init) {
-                        return Err(IrError::shape(
-                            "for",
-                            "yielded type differs from carried type",
-                        ));
-                    }
+                if func.value_type(y) != func.value_type(init) {
+                    return Err(IrError::shape(
+                        "for",
+                        "yielded type differs from carried type",
+                    ));
                 }
             }
-            (OpKind::For { .. }, None) => {
-                return Err(IrError::invalid("for op is missing its region"));
-            }
-            (_, Some(_)) => {
-                return Err(IrError::invalid(format!(
-                    "op {} must not carry a region",
-                    op.kind.name()
-                )));
-            }
-            (_, None) => {}
         }
-        defined.extend(op.results.iter().copied());
+        (OpKind::For { .. }, None) => {
+            return Err(IrError::invalid("for op is missing its region"));
+        }
+        (_, Some(_)) => {
+            return Err(IrError::invalid(format!(
+                "op {} must not carry a region",
+                op.kind.name()
+            )));
+        }
+        (_, None) => {}
     }
     Ok(())
 }
@@ -152,7 +233,10 @@ mod tests {
         let mut f = b.build([y]).unwrap();
         // Corrupt the stored result type behind the builder's back.
         f.values_mut()[y.0 as usize].ty = TensorType::f32([2, 2]);
-        assert!(verify_func(&f, None).is_err());
+        let e = verify_func(&f, None).unwrap_err();
+        // The error is annotated with the offending op's path.
+        assert!(e.op_path().is_some(), "{e}");
+        assert!(e.to_string().contains("@bad/%0(dot)"), "{e}");
     }
 
     #[test]
@@ -164,6 +248,89 @@ mod tests {
         // Swap the operand of the op to its own result: use-before-def.
         f.ops_mut()[0].operands = vec![y];
         assert!(verify_func(&f, None).is_err());
+    }
+
+    #[test]
+    fn detects_corrupted_loop_index_param() {
+        let mut b = FuncBuilder::new("loop");
+        let x = b.param("x", TensorType::f32([4]));
+        let out = b
+            .for_loop(2, &[x], |b, _i, c| Ok(vec![b.neg(c[0])?]))
+            .unwrap();
+        let f = b.build(out).unwrap();
+        let for_op = f
+            .op_ids()
+            .find(|&o| matches!(f.op(o).kind, crate::OpKind::For { .. }))
+            .unwrap();
+        let index = f.op(for_op).region.as_ref().unwrap().params[0];
+        let mut bad = f.clone();
+        bad.values_mut()[index.0 as usize].ty = TensorType::f32([1]);
+        let e = verify_func(&bad, None).unwrap_err();
+        assert!(e.to_string().contains("scalar i32"), "{e}");
+    }
+
+    #[test]
+    fn detects_region_param_type_disagreement() {
+        let mut b = FuncBuilder::new("loop");
+        let x = b.param("x", TensorType::f32([4]));
+        let out = b
+            .for_loop(2, &[x], |b, _i, c| Ok(vec![b.neg(c[0])?]))
+            .unwrap();
+        let f = b.build(out).unwrap();
+        let for_op = f
+            .op_ids()
+            .find(|&o| matches!(f.op(o).kind, crate::OpKind::For { .. }))
+            .unwrap();
+        let carried = f.op(for_op).region.as_ref().unwrap().params[1];
+        let mut bad = f.clone();
+        bad.values_mut()[carried.0 as usize].ty = TensorType::f32([8]);
+        let e = verify_func(&bad, None).unwrap_err();
+        assert!(
+            e.to_string().contains("region param type"),
+            "expected region param diagnostic, got {e}"
+        );
+        // The path names the for op, including region nesting.
+        assert!(e.op_path().unwrap().contains("(for)"), "{e}");
+    }
+
+    #[test]
+    fn detects_gather_index_dtype_corruption() {
+        let mut b = FuncBuilder::new("g");
+        let x = b.param("x", TensorType::f32([10, 4]));
+        let i = b.param("i", TensorType::i32([6]));
+        let y = b.gather(x, i, 0).unwrap();
+        let mut f = b.build([y]).unwrap();
+        // Corrupt the index dtype: gather indices must be rank-1 i32.
+        f.values_mut()[i.0 as usize].ty = TensorType::f32([6]);
+        let e = verify_func(&f, None).unwrap_err();
+        assert!(e.to_string().contains("i32"), "{e}");
+    }
+
+    #[test]
+    fn detects_scatter_index_dtype_corruption() {
+        let mut b = FuncBuilder::new("s");
+        let x = b.param("x", TensorType::f32([6, 4]));
+        let i = b.param("i", TensorType::i32([6]));
+        let y = b.scatter_add(x, i, 0, 10).unwrap();
+        let mut f = b.build([y]).unwrap();
+        f.values_mut()[i.0 as usize].ty = TensorType::pred([6]);
+        assert!(verify_func(&f, None).is_err());
+    }
+
+    #[test]
+    fn detects_convert_result_corruption_and_pred_select() {
+        use crate::DType;
+        let mut b = FuncBuilder::new("c");
+        let x = b.param("x", TensorType::f32([4]));
+        let y = b.convert(x, DType::I32).unwrap();
+        let mut f = b.build([y]).unwrap();
+        f.values_mut()[y.0 as usize].ty = TensorType::f32([4]);
+        assert!(verify_func(&f, None).is_err());
+        // Select over pred payloads has no semantics: the builder and the
+        // verifier both reject it.
+        let mut b = FuncBuilder::new("s");
+        let p = b.param("p", TensorType::pred([4]));
+        assert!(b.select(p, p, p).is_err());
     }
 
     #[test]

@@ -55,7 +55,9 @@ fn convert_roundtrips_and_pred_conversion() {
 fn integer_division_by_zero_is_an_error() {
     let mut b = FuncBuilder::new("div0");
     let x = b.param("x", TensorType::i32([1]));
-    let z = b.constant(Literal::from_i32(vec![0], [1]).unwrap()).unwrap();
+    let z = b
+        .constant(Literal::from_i32(vec![0], [1]).unwrap())
+        .unwrap();
     let y = b.binary(BinaryOp::Div, x, z).unwrap();
     let f = b.build([y]).unwrap();
     assert!(interpret(&f, &[Literal::from_i32(vec![7], [1]).unwrap()]).is_err());

@@ -36,10 +36,7 @@ impl Mesh {
     pub fn new<A: Into<Axis>>(
         axes: impl IntoIterator<Item = (A, usize)>,
     ) -> Result<Self, MeshError> {
-        let axes: Vec<(Axis, usize)> = axes
-            .into_iter()
-            .map(|(a, s)| (a.into(), s))
-            .collect();
+        let axes: Vec<(Axis, usize)> = axes.into_iter().map(|(a, s)| (a.into(), s)).collect();
         if axes.is_empty() {
             return Err(MeshError::Empty);
         }
@@ -175,10 +172,7 @@ impl Mesh {
             axis_indices.push(self.axis_index(a)?);
         }
         let n = self.num_devices();
-        let group_size: usize = axis_indices
-            .iter()
-            .map(|&i| self.axes[i].1)
-            .product();
+        let group_size: usize = axis_indices.iter().map(|&i| self.axes[i].1).product();
         let mut groups: Vec<Vec<usize>> = Vec::with_capacity(n / group_size.max(1));
         let mut key_to_group: std::collections::HashMap<Vec<usize>, usize> =
             std::collections::HashMap::new();
@@ -331,10 +325,7 @@ mod tests {
         assert_eq!(groups, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
         // Groups over "x": devices sharing y coordinate.
         let groups = m.collective_groups(&["x".into()]).unwrap();
-        assert_eq!(
-            groups,
-            vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]
-        );
+        assert_eq!(groups, vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]);
     }
 
     #[test]

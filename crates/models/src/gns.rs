@@ -158,9 +158,25 @@ pub fn build_train_step(cfg: &GnsConfig) -> Result<BuiltModel, IrError> {
     // Data: features plus graph structure. Sender/receiver indices are
     // the values the ES tactic names ("predictions" in the paper's jraph
     // schedule).
-    let node_feats = f32_input(&mut b, &mut inits, "node_feats", vec![cfg.nodes, cfg.features]);
-    let edge_feats = f32_input(&mut b, &mut inits, "edge_feats", vec![cfg.edges, cfg.features]);
-    let senders = int_input(&mut b, &mut inits, "senders", vec![cfg.edges], cfg.nodes as i32);
+    let node_feats = f32_input(
+        &mut b,
+        &mut inits,
+        "node_feats",
+        vec![cfg.nodes, cfg.features],
+    );
+    let edge_feats = f32_input(
+        &mut b,
+        &mut inits,
+        "edge_feats",
+        vec![cfg.edges, cfg.features],
+    );
+    let senders = int_input(
+        &mut b,
+        &mut inits,
+        "senders",
+        vec![cfg.edges],
+        cfg.nodes as i32,
+    );
     let receivers = int_input(
         &mut b,
         &mut inits,

@@ -10,8 +10,7 @@
 //! interesting.
 
 use partir_ir::{
-    BinaryOp, CompareDir, DotDims, DType, FuncBuilder, IrError, Literal, Shape, TensorType,
-    ValueId,
+    BinaryOp, CompareDir, DType, DotDims, FuncBuilder, IrError, Literal, Shape, TensorType, ValueId,
 };
 
 use crate::nn;
@@ -130,14 +129,17 @@ pub fn build_serving(cfg: &ITransformerConfig) -> Result<BuiltModel, IrError> {
             ),
         });
     }
-    let tokens = int_input(&mut b, &mut inits, "tokens", vec![bsz, total], cfg.vocab as i32);
+    let tokens = int_input(
+        &mut b,
+        &mut inits,
+        "tokens",
+        vec![bsz, total],
+        cfg.vocab as i32,
+    );
     let mut caches = Vec::with_capacity(2 * cfg.layers);
     for layer in 0..cfg.layers {
         for which in ["k_cache", "v_cache"] {
-            let c = b.param(
-                format!("{which}{layer}"),
-                TensorType::f32([bsz, total, dh]),
-            );
+            let c = b.param(format!("{which}{layer}"), TensorType::f32([bsz, total, dh]));
             inits.push(Init::Zeros);
             caches.push(c);
         }
@@ -184,8 +186,7 @@ pub fn build_serving(cfg: &ITransformerConfig) -> Result<BuiltModel, IrError> {
                     rhs_contract: vec![2],
                 },
             )?; // [B, H, T]
-            let scaled =
-                b.binary_scalar(BinaryOp::Mul, scores, 1.0 / (dh as f32).sqrt())?;
+            let scaled = b.binary_scalar(BinaryOp::Mul, scores, 1.0 / (dh as f32).sqrt())?;
             // Mask positions beyond `pos`.
             let idx = b.iota(2, Shape::from([bsz, h, total]), DType::I32)?;
             let pos_b = b.broadcast_in_dim(pos, [bsz, h, total], vec![])?;

@@ -1,10 +1,10 @@
 //! Neural-network building blocks over the IR builder.
 
+#[cfg(test)]
+use partir_ir::TensorType;
 use partir_ir::{
     BinaryOp, CompareDir, DType, DotDims, FuncBuilder, IrError, Literal, Shape, ValueId,
 };
-#[cfg(test)]
-use partir_ir::TensorType;
 
 /// Contraction of the last dim of `x` with the first dim of `w`
 /// (a "linear" layer for any-rank activations).
@@ -23,11 +23,7 @@ pub fn linear(b: &mut FuncBuilder, x: ValueId, w: ValueId) -> Result<ValueId, Ir
 }
 
 /// Broadcasts a rank-1 value (`[d]`) over the last dim of `like`.
-pub fn broadcast_last(
-    b: &mut FuncBuilder,
-    v: ValueId,
-    like: ValueId,
-) -> Result<ValueId, IrError> {
+pub fn broadcast_last(b: &mut FuncBuilder, v: ValueId, like: ValueId) -> Result<ValueId, IrError> {
     let shape = b.ty(like).shape.clone();
     let last = shape.rank() - 1;
     b.broadcast_in_dim(v, shape, vec![last])
@@ -148,11 +144,7 @@ pub fn upsample2x(b: &mut FuncBuilder, x: ValueId) -> Result<ValueId, IrError> {
     let dims = b.ty(x).shape.dims().to_vec();
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     let r1 = b.reshape(x, [n, c, h, 1, w, 1])?;
-    let bc = b.broadcast_in_dim(
-        r1,
-        [n, c, h, 2, w, 2],
-        vec![0, 1, 2, 3, 4, 5],
-    )?;
+    let bc = b.broadcast_in_dim(r1, [n, c, h, 2, w, 2], vec![0, 1, 2, 3, 4, 5])?;
     b.reshape(bc, [n, c, 2 * h, 2 * w])
 }
 
@@ -216,16 +208,14 @@ mod tests {
         let targets = b.param("t", TensorType::i32([2]));
         let loss = softmax_xent_mean(&mut b, logits, targets).unwrap();
         let f = b.build([loss]).unwrap();
-        let confident =
-            Literal::from_f32(vec![10., 0., 0., 0., 10., 0.], [2, 3]).unwrap();
+        let confident = Literal::from_f32(vec![10., 0., 0., 0., 10., 0.], [2, 3]).unwrap();
         let targets_lit = Literal::from_i32(vec![0, 1], [2]).unwrap();
         let out = interpret(&f, &[confident, targets_lit]).unwrap();
         let loss_v = out[0].as_f32().unwrap()[0];
         assert!(loss_v < 0.01, "loss {loss_v}");
         // Wrong targets give large loss.
         let wrong = Literal::from_i32(vec![2, 2], [2]).unwrap();
-        let confident =
-            Literal::from_f32(vec![10., 0., 0., 0., 10., 0.], [2, 3]).unwrap();
+        let confident = Literal::from_f32(vec![10., 0., 0., 0., 10., 0.], [2, 3]).unwrap();
         let out = interpret(&f, &[confident, wrong]).unwrap();
         assert!(out[0].as_f32().unwrap()[0] > 5.0);
     }

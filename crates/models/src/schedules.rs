@@ -74,7 +74,9 @@ pub fn t_z3() -> Tactic {
 
 /// Embedding partitioning along d_model, which shards activations too.
 pub fn t_emb() -> Tactic {
-    ManualPartition::new("EMB", MODEL).dim("params.emb", 1).into()
+    ManualPartition::new("EMB", MODEL)
+        .dim("params.emb", 1)
+        .into()
 }
 
 /// The transformer rows of Table 2.
@@ -157,7 +159,10 @@ pub fn u_z2() -> Tactic {
 /// its first divisible dimension.
 pub fn u_z3() -> Tactic {
     ManualPartition::new("Z3", BATCH)
-        .rule(Matcher::Prefix("params.".into()), DimSpec::FirstDivisibleDim)
+        .rule(
+            Matcher::Prefix("params.".into()),
+            DimSpec::FirstDivisibleDim,
+        )
         .rule(Matcher::Prefix("opt.".into()), DimSpec::FirstDivisibleDim)
         .into()
 }

@@ -74,8 +74,7 @@ pub fn synthetic_inputs(model: &BuiltModel, seed: u64) -> Vec<Literal> {
                     Literal::from_f32(data, ty.shape.clone()).expect("sized data")
                 }
                 Init::IntUniform(max) => {
-                    let data: Vec<i32> =
-                        (0..n).map(|_| (next() * *max as f64) as i32).collect();
+                    let data: Vec<i32> = (0..n).map(|_| (next() * *max as f64) as i32).collect();
                     Literal::from_i32(data, ty.shape.clone()).expect("sized data")
                 }
             }

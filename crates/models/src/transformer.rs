@@ -203,11 +203,7 @@ fn block_forward(
         },
     )?; // [B, T, H, 3, dh]
     let pick = |b: &mut FuncBuilder, which: usize| -> Result<ValueId, IrError> {
-        let s = b.slice(
-            qkv,
-            vec![0, 0, 0, which, 0],
-            vec![bsz, t, h, which + 1, dh],
-        )?;
+        let s = b.slice(qkv, vec![0, 0, 0, which, 0], vec![bsz, t, h, which + 1, dh])?;
         let squeezed = b.reshape(s, [bsz, t, h, dh])?;
         b.transpose(squeezed, vec![0, 2, 1, 3]) // [B, H, T, dh]
     };
@@ -255,7 +251,12 @@ fn block_forward(
     nn::rms_scale(b, x, params.ln3_scale.0)
 }
 
-type LossParts = (FuncBuilder, ValueId, Vec<(ValueId, ValueId, ValueId)>, Vec<Init>);
+type LossParts = (
+    FuncBuilder,
+    ValueId,
+    Vec<(ValueId, ValueId, ValueId)>,
+    Vec<Init>,
+);
 
 /// Builds the forward loss of the Transformer; returns the builder, the
 /// loss value, the parameter triples and the input inits.
@@ -366,15 +367,9 @@ mod tests {
         let model = build_train_step(&TransformerConfig::tiny()).unwrap();
         partir_ir::verify::verify_func(&model.func, None).unwrap();
         // Inputs: params + 2·moments per tensor + tokens + targets.
-        assert_eq!(
-            model.func.params().len(),
-            model.num_param_tensors * 3 + 2
-        );
+        assert_eq!(model.func.params().len(), model.num_param_tensors * 3 + 2);
         // Results: loss + params + m + v.
-        assert_eq!(
-            model.func.results().len(),
-            model.num_param_tensors * 3 + 1
-        );
+        assert_eq!(model.func.results().len(), model.num_param_tensors * 3 + 1);
         let inputs = synthetic_inputs(&model, 42);
         let out = interpret(&model.func, &inputs).unwrap();
         let loss = out[0].as_f32().unwrap()[0];

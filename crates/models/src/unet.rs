@@ -73,7 +73,7 @@ struct ResBlock {
     norm1: Triple,
     conv1: Triple, // [4C, C_in, 3, 3]
     norm2: Triple,
-    conv2: Triple, // [C_out, 4C, 3, 3]
+    conv2: Triple,        // [C_out, 4C, 3, 3]
     skip: Option<Triple>, // 1x1 conv when C_in != C_out
 }
 
@@ -276,8 +276,7 @@ pub fn build_train_step(cfg: &UNetConfig) -> Result<BuiltModel, IrError> {
     for level in 0..cfg.levels {
         let mut level_blocks = Vec::new();
         for i in 0..cfg.blocks_down {
-            let blk =
-                declare_res_block(&mut b, &mut inits, &format!("down{level}.res{i}"), ch, ch);
+            let blk = declare_res_block(&mut b, &mut inits, &format!("down{level}.res{i}"), ch, ch);
             push_res(&mut params, &blk);
             level_blocks.push(blk);
         }
@@ -313,13 +312,8 @@ pub fn build_train_step(cfg: &UNetConfig) -> Result<BuiltModel, IrError> {
             for i in 0..cfg.blocks_up {
                 // The first up block consumes the concatenated skip.
                 let c_in = if i == 0 { 2 * c } else { c };
-                let blk = declare_res_block(
-                    &mut b,
-                    &mut inits,
-                    &format!("up{level}.res{i}"),
-                    c_in,
-                    c,
-                );
+                let blk =
+                    declare_res_block(&mut b, &mut inits, &format!("up{level}.res{i}"), c_in, c);
                 push_res(&mut params, &blk);
                 level_blocks.push(blk);
             }

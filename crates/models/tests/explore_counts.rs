@@ -2,7 +2,10 @@
 //! table2_structure.rs for the assertions).
 use partir_mesh::{HardwareConfig, Mesh};
 use partir_models::schedules;
-use partir_models::{gns::GnsConfig, itransformer::ITransformerConfig, transformer::TransformerConfig, unet::UNetConfig};
+use partir_models::{
+    gns::GnsConfig, itransformer::ITransformerConfig, transformer::TransformerConfig,
+    unet::UNetConfig,
+};
 use partir_sched::partir_jit;
 
 #[test]
@@ -12,12 +15,20 @@ fn dump_counts() {
     let hw = HardwareConfig::tpu_v3_pod(mesh);
 
     let t = partir_models::transformer::build_train_step(&TransformerConfig::t32()).unwrap();
-    println!("T32: {} params, {} ops", t.num_param_tensors, t.func.num_ops());
+    println!(
+        "T32: {} params, {} ops",
+        t.num_param_tensors,
+        t.func.num_ops()
+    );
     for (name, schedule) in schedules::transformer_table2() {
         let start = std::time::Instant::now();
         match partir_jit(&t.func, &hw, &schedule) {
-            Ok(j) => println!("T32 {name:>14}: {}  conflicts={} [{:?}]", j.program.stats(),
-                j.reports.iter().map(|r| r.conflicts).sum::<usize>(), start.elapsed()),
+            Ok(j) => println!(
+                "T32 {name:>14}: {}  conflicts={} [{:?}]",
+                j.program.stats(),
+                j.reports.iter().map(|r| r.conflicts).sum::<usize>(),
+                start.elapsed()
+            ),
             Err(e) => println!("T32 {name:>14}: ERROR {e}"),
         }
     }
@@ -25,26 +36,43 @@ fn dump_counts() {
     println!("IT32: {} ops", it.func.num_ops());
     for (name, schedule) in schedules::itransformer_table2() {
         match partir_jit(&it.func, &hw, &schedule) {
-            Ok(j) => println!("IT32 {name:>14}: {}  conflicts={}", j.program.stats(),
-                j.reports.iter().map(|r| r.conflicts).sum::<usize>()),
+            Ok(j) => println!(
+                "IT32 {name:>14}: {}  conflicts={}",
+                j.program.stats(),
+                j.reports.iter().map(|r| r.conflicts).sum::<usize>()
+            ),
             Err(e) => println!("IT32 {name:>14}: ERROR {e}"),
         }
     }
     let u = partir_models::unet::build_train_step(&UNetConfig::paper()).unwrap();
-    println!("UNet: {} params, {} ops", u.num_param_tensors, u.func.num_ops());
+    println!(
+        "UNet: {} params, {} ops",
+        u.num_param_tensors,
+        u.func.num_ops()
+    );
     for (name, schedule) in schedules::unet_table2() {
         match partir_jit(&u.func, &hw, &schedule) {
-            Ok(j) => println!("UNet {name:>14}: {}  conflicts={}", j.program.stats(),
-                j.reports.iter().map(|r| r.conflicts).sum::<usize>()),
+            Ok(j) => println!(
+                "UNet {name:>14}: {}  conflicts={}",
+                j.program.stats(),
+                j.reports.iter().map(|r| r.conflicts).sum::<usize>()
+            ),
             Err(e) => println!("UNet {name:>14}: ERROR {e}"),
         }
     }
     let g = partir_models::gns::build_train_step(&GnsConfig::paper()).unwrap();
-    println!("GNS: {} params, {} ops", g.num_param_tensors, g.func.num_ops());
+    println!(
+        "GNS: {} params, {} ops",
+        g.num_param_tensors,
+        g.func.num_ops()
+    );
     for (name, schedule) in schedules::gns_table2() {
         match partir_jit(&g.func, &hw, &schedule) {
-            Ok(j) => println!("GNS {name:>14}: {}  conflicts={}", j.program.stats(),
-                j.reports.iter().map(|r| r.conflicts).sum::<usize>()),
+            Ok(j) => println!(
+                "GNS {name:>14}: {}  conflicts={}",
+                j.program.stats(),
+                j.reports.iter().map(|r| r.conflicts).sum::<usize>()
+            ),
             Err(e) => println!("GNS {name:>14}: ERROR {e}"),
         }
     }

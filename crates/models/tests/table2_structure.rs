@@ -34,8 +34,7 @@ fn run(func: &partir_ir::Func, schedule: &Schedule) -> (CollectiveStats, usize) 
 
 #[test]
 fn t32_bp_has_one_all_reduce_per_gradient() {
-    let model =
-        partir_models::transformer::build_train_step(&TransformerConfig::t32()).unwrap();
+    let model = partir_models::transformer::build_train_step(&TransformerConfig::t32()).unwrap();
     let rows = schedules::transformer_table2();
     let (stats, conflicts) = run(&model.func, &rows[0].1);
     // Paper: 290 (289 gradients + loss). Ours: +1 because the tied
@@ -48,8 +47,7 @@ fn t32_bp_has_one_all_reduce_per_gradient() {
 
 #[test]
 fn t32_schedules_match_table2() {
-    let model =
-        partir_models::transformer::build_train_step(&TransformerConfig::t32()).unwrap();
+    let model = partir_models::transformer::build_train_step(&TransformerConfig::t32()).unwrap();
     let expect = [
         // (name, AG, AR, RS) — paper values: (0,290,0), (0,418,0),
         // (129,289,129), (259,289,129), (515,354,257), (0,128,0).
@@ -98,8 +96,7 @@ fn t32_megatron_introduces_four_ar_per_layer() {
 fn it32_bp_needs_no_communication_and_mp_scales_with_trips() {
     for steps in [2, 4] {
         let model =
-            partir_models::itransformer::build_serving(&ITransformerConfig::it32(steps))
-                .unwrap();
+            partir_models::itransformer::build_serving(&ITransformerConfig::it32(steps)).unwrap();
         let rows = schedules::itransformer_table2();
         // BP: inference batch parallelism is communication-free (Table 2).
         let (bp, conflicts) = run(&model.func, &rows[0].1);
@@ -132,7 +129,10 @@ fn unet_schedules_follow_the_zero_pattern() {
     assert!(z2.all_reduce <= 2);
     let (z3, _) = run(&model.func, &rows[2].1);
     assert_eq!(z3.reduce_scatter, n);
-    assert!(z3.all_gather > z2.all_gather, "Z3 gathers params before use");
+    assert!(
+        z3.all_gather > z2.all_gather,
+        "Z3 gathers params before use"
+    );
     assert!(z3.all_reduce <= 2);
 }
 

@@ -59,7 +59,10 @@ fn collective_counts_scale_linearly_with_layers() {
         };
         let model = partir_models::transformer::build_train_step(&cfg).unwrap();
         let schedule = partir_sched::Schedule::new([schedules::t_mp()]);
-        let stats = partir_jit(&model.func, &hw, &schedule).unwrap().program.stats();
+        let stats = partir_jit(&model.func, &hw, &schedule)
+            .unwrap()
+            .program
+            .stats();
         assert_eq!(stats.all_reduce, 4 * layers);
         if let Some(prev) = last {
             assert_eq!(stats.all_reduce - prev, 8, "constant per-layer increment");
@@ -79,7 +82,12 @@ fn counts_are_mesh_size_invariant_for_divisible_meshes() {
     let mut counts = Vec::new();
     for (b, m) in [(2, 2), (4, 2), (8, 2)] {
         let hw = HardwareConfig::tpu_v3_pod(Mesh::new([(BATCH, b), (MODEL, m)]).unwrap());
-        counts.push(partir_jit(&model.func, &hw, &schedule).unwrap().program.stats());
+        counts.push(
+            partir_jit(&model.func, &hw, &schedule)
+                .unwrap()
+                .program
+                .stats(),
+        );
     }
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
 }

@@ -177,6 +177,14 @@ impl AutomaticPartition {
                     Some(a) => {
                         if s.tile(func, a.value, a.dim, &a.axis).is_ok() {
                             s.propagate(func);
+                            // Static legality pre-filter: illegal states
+                            // never reach the evaluator (no lowering, no
+                            // simulation — just a pruned-count tick).
+                            if !partir_analysis::is_legal(func, &s) {
+                                evaluator.cache.note_pruned();
+                                child.terminal = true;
+                                child.pruned = true;
+                            }
                         } else {
                             child.terminal = true;
                         }
@@ -186,15 +194,18 @@ impl AutomaticPartition {
                 child.state = Some(s);
             }
             if child.terminal {
-                let r = evaluator.reward(child.state.as_ref().expect("set above"), baseline)?;
+                let r = if child.pruned {
+                    0.0 // worst possible reward: rewards are speedups > 0
+                } else {
+                    evaluator.reward(child.state.as_ref().expect("set above"), baseline)?
+                };
                 child.visits += 1;
                 child.total += r;
                 r
             } else if child.visits == 0 {
                 // First visit: score the state itself plus one random
                 // rollout; keep the better (the evaluator is exact).
-                let own =
-                    evaluator.reward(child.state.as_ref().expect("set above"), baseline)?;
+                let own = evaluator.reward(child.state.as_ref().expect("set above"), baseline)?;
                 let mut roll = child.state.clone().expect("set above");
                 let mut depth = 0;
                 while depth < 3 {
@@ -203,10 +214,18 @@ impl AutomaticPartition {
                         break;
                     }
                     let a = &actions[rng.gen_range(actions.len().min(self.max_branching))];
+                    let snapshot = roll.clone();
                     if roll.tile(func, a.value, a.dim, &a.axis).is_err() {
                         break;
                     }
                     roll.propagate(func);
+                    if !partir_analysis::is_legal(func, &roll) {
+                        // Roll back the illegal step so the rollout is
+                        // scored on its last legal state.
+                        evaluator.cache.note_pruned();
+                        roll = snapshot;
+                        break;
+                    }
                     depth += 1;
                 }
                 let r = own.max(evaluator.reward(&roll, baseline)?);
@@ -240,6 +259,8 @@ struct Node {
     total: f64,
     expanded: bool,
     terminal: bool,
+    /// Rejected by the static legality pre-filter — never evaluated.
+    pruned: bool,
     children: Vec<Node>,
 }
 
@@ -252,6 +273,7 @@ impl Node {
             total: 0.0,
             expanded: false,
             terminal: false,
+            pruned: false,
             children: Vec::new(),
         }
     }
@@ -264,6 +286,7 @@ impl Node {
             total: 0.0,
             expanded: false,
             terminal: false,
+            pruned: false,
             children: Vec::new(),
         }
     }

@@ -61,6 +61,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct fingerprints stored.
     pub entries: usize,
+    /// Candidate states the static legality pre-filter rejected before
+    /// they reached `evaluate` (see `partir_analysis::is_legal`).
+    pub pruned: u64,
 }
 
 impl CacheStats {
@@ -85,6 +88,7 @@ pub struct EvalCache {
     entries: RefCell<FingerprintMap>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    pruned: Cell<u64>,
     /// A disabled cache evaluates every request afresh (and counts every
     /// lookup as a miss) — used to validate that caching never changes
     /// search results.
@@ -98,6 +102,7 @@ impl EvalCache {
             entries: RefCell::new(FingerprintMap::default()),
             hits: Cell::new(0),
             misses: Cell::new(0),
+            pruned: Cell::new(0),
             enabled: true,
         }
     }
@@ -138,12 +143,19 @@ impl EvalCache {
         Ok(eval)
     }
 
+    /// Records a candidate the legality pre-filter rejected before it
+    /// reached `evaluate`.
+    pub fn note_pruned(&self) {
+        self.pruned.set(self.pruned.get() + 1);
+    }
+
     /// Current hit/miss/entry counts.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
             entries: self.entries.borrow().len(),
+            pruned: self.pruned.get(),
         }
     }
 }

@@ -29,7 +29,7 @@
 //! # Ok::<(), partir_sched::SchedError>(())
 //! ```
 
-use crate::{AutomaticPartition, DimSpec, ManualPartition, Matcher, Schedule, SchedError, Tactic};
+use crate::{AutomaticPartition, DimSpec, ManualPartition, Matcher, SchedError, Schedule, Tactic};
 
 /// Parses the schedule text format.
 ///
@@ -63,9 +63,7 @@ fn parse_tactic(line: &str, lineno: usize) -> Result<Tactic, SchedError> {
     let name = name.trim();
     let (axes_text, rules_text) = match rest.find('{') {
         Some(open) => {
-            let close = rest
-                .rfind('}')
-                .ok_or_else(|| err(lineno, "missing `}`"))?;
+            let close = rest.rfind('}').ok_or_else(|| err(lineno, "missing `}`"))?;
             (rest[..open].trim(), rest[open + 1..close].trim())
         }
         None => (rest.trim(), ""),
@@ -135,10 +133,7 @@ fn split_rules(text: &str) -> impl Iterator<Item = &str> {
 }
 
 fn parse_matcher(target: &str) -> Matcher {
-    if let Some(inner) = target
-        .strip_prefix('*')
-        .and_then(|t| t.strip_suffix('*'))
-    {
+    if let Some(inner) = target.strip_prefix('*').and_then(|t| t.strip_suffix('*')) {
         Matcher::Contains(inner.to_string())
     } else if let Some(prefix) = target.strip_suffix("**") {
         Matcher::Prefix(prefix.to_string())
@@ -181,10 +176,9 @@ mod tests {
 
     #[test]
     fn parses_matchers_and_specs() {
-        let schedule = parse_schedule(
-            "Z2: batch { params.** = replicated, *w_* = first_divisible, emb = 1 }",
-        )
-        .unwrap();
+        let schedule =
+            parse_schedule("Z2: batch { params.** = replicated, *w_* = first_divisible, emb = 1 }")
+                .unwrap();
         let Tactic::Manual(_) = &schedule.tactics()[0] else {
             panic!("expected manual tactic");
         };
@@ -195,8 +189,7 @@ mod tests {
 
     #[test]
     fn parses_auto_tactics() {
-        let schedule =
-            parse_schedule("AutoAll: batch, model { budget = 7, seed = 3 }").unwrap();
+        let schedule = parse_schedule("AutoAll: batch, model { budget = 7, seed = 3 }").unwrap();
         let Tactic::Auto(a) = &schedule.tactics()[0] else {
             panic!("expected auto tactic");
         };

@@ -226,10 +226,7 @@ mod tests {
         assert_eq!(jitted.program.stats().all_reduce, 1);
         assert!(jitted.reports.iter().all(|r| r.conflicts == 0));
         // Memory estimates shrink monotonically as Z3 shards parameters.
-        assert!(
-            jitted.reports[2].sim.peak_memory_bytes
-                <= jitted.reports[1].sim.peak_memory_bytes
-        );
+        assert!(jitted.reports[2].sim.peak_memory_bytes <= jitted.reports[1].sim.peak_memory_bytes);
     }
 
     #[test]
@@ -243,7 +240,11 @@ mod tests {
         let incremental = partir_jit(&f, &hw(), &schedule).unwrap();
         let single = partir_jit_single_tactic(&f, &hw(), &schedule).unwrap();
         assert_eq!(
-            incremental.reports.iter().map(|r| r.conflicts).sum::<usize>(),
+            incremental
+                .reports
+                .iter()
+                .map(|r| r.conflicts)
+                .sum::<usize>(),
             0
         );
         assert!(single.reports[0].conflicts > 0);

@@ -157,7 +157,8 @@ impl ManualPartition {
                 DimSpec::FirstDivisibleDim => {
                     let local = part.local_type(func, v);
                     let dim = (0..local.rank()).find(|&d| {
-                        local.shape.dim(d).is_multiple_of(axis_size) && local.shape.dim(d) > axis_size
+                        local.shape.dim(d).is_multiple_of(axis_size)
+                            && local.shape.dim(d) > axis_size
                     });
                     let dim = dim.or_else(|| {
                         (0..local.rank()).find(|&d| local.shape.dim(d).is_multiple_of(axis_size))

@@ -97,10 +97,7 @@ impl<'a> Simulator<'a> {
 
     fn op_time(&self, kind: &OpKind, operands: &[&TensorType], result: &TensorType) -> f64 {
         let flops = op_flops(kind, operands, result);
-        let moved_bytes: f64 = operands
-            .iter()
-            .map(|t| t.size_bytes() as f64)
-            .sum::<f64>()
+        let moved_bytes: f64 = operands.iter().map(|t| t.size_bytes() as f64).sum::<f64>()
             + result.size_bytes() as f64;
         let mem_time = moved_bytes / (self.hw.device.hbm_bandwidth * self.cfg.hbm_efficiency);
         match kind {

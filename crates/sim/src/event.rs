@@ -144,10 +144,7 @@ impl MeasureState<'_> {
 
     fn op_time(&self, kind: &OpKind, operands: &[&TensorType], result: &TensorType) -> f64 {
         let flops = op_flops(kind, operands, result);
-        let moved: f64 = operands
-            .iter()
-            .map(|t| t.size_bytes() as f64)
-            .sum::<f64>()
+        let moved: f64 = operands.iter().map(|t| t.size_bytes() as f64).sum::<f64>()
             + result.size_bytes() as f64;
         let mem_time = moved / (self.hw.device.hbm_bandwidth * self.base.hbm_efficiency);
         match kind {
@@ -156,7 +153,11 @@ impl MeasureState<'_> {
             | OpKind::ConvInputGrad { .. }
             | OpKind::ConvFilterGrad { .. } => {
                 // Real kernels lose efficiency on small tiles.
-                let eff = if flops < 1e7 { 0.3 } else { self.base.matmul_efficiency };
+                let eff = if flops < 1e7 {
+                    0.3
+                } else {
+                    self.base.matmul_efficiency
+                };
                 (flops / (self.hw.device.peak_flops_f32 * eff)).max(mem_time)
             }
             OpKind::Constant(_) => 0.0,

@@ -18,21 +18,17 @@ pub fn op_flops(kind: &OpKind, operands: &[&TensorType], result: &TensorType) ->
         OpKind::Convolution(_) => {
             let k = &operands[1].shape;
             // per output element: Ci * kh * kw MACs.
-            2.0 * result.shape.num_elements() as f64
-                * (k.dim(1) * k.dim(2) * k.dim(3)) as f64
+            2.0 * result.shape.num_elements() as f64 * (k.dim(1) * k.dim(2) * k.dim(3)) as f64
         }
         OpKind::ConvInputGrad { .. } => {
             let k = &operands[1].shape;
-            2.0 * operands[0].shape.num_elements() as f64
-                * (k.dim(1) * k.dim(2) * k.dim(3)) as f64
+            2.0 * operands[0].shape.num_elements() as f64 * (k.dim(1) * k.dim(2) * k.dim(3)) as f64
         }
         OpKind::ConvFilterGrad { .. } => {
             let g = &operands[1].shape;
             2.0 * result.shape.num_elements() as f64 * (g.dim(0) * g.dim(2) * g.dim(3)) as f64
         }
-        OpKind::Reduce { .. } | OpKind::ArgMax { .. } => {
-            operands[0].shape.num_elements() as f64
-        }
+        OpKind::Reduce { .. } | OpKind::ArgMax { .. } => operands[0].shape.num_elements() as f64,
         OpKind::Unary(_)
         | OpKind::Binary(_)
         | OpKind::Compare(_)

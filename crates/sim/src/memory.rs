@@ -84,16 +84,21 @@ pub fn peak_memory_bytes(func: &Func) -> u64 {
         for &v in &frees[pos] {
             if alive.remove(&v).is_some() {
                 // Region params were never charged; don't credit them.
-                let charged = !matches!(
-                    func.value(v).def,
-                    partir_ir::ValueDef::RegionParam { .. }
-                );
+                let charged = !matches!(func.value(v).def, partir_ir::ValueDef::RegionParam { .. });
                 if charged {
                     current = current.saturating_sub(bytes_of(v));
                 }
             }
         }
     }
+    // Contract with the static analyzer: its bound walks the same
+    // linearisation but charges loop region params, so it must dominate
+    // this estimate on every function.
+    debug_assert!(
+        partir_analysis::static_peak_bound(func) >= peak,
+        "static peak-memory bound fell below the simulated peak ({} < {peak})",
+        partir_analysis::static_peak_bound(func),
+    );
     peak
 }
 

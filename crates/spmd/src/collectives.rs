@@ -38,8 +38,7 @@
 use std::collections::BTreeMap;
 
 use partir_ir::{
-    interp::eval_op, Collective, DType, Func, IrError, Literal, OpId, OpKind, ReduceOp,
-    TensorType,
+    interp::eval_op, Collective, DType, Func, IrError, Literal, OpId, OpKind, ReduceOp, TensorType,
 };
 use partir_mesh::{Axis, Mesh};
 
@@ -502,7 +501,13 @@ fn predict_body(
         match &op.kind {
             OpKind::For { trip_count } => {
                 if let Some(region) = &op.region {
-                    predict_body(func, mesh, &region.body, multiplier * *trip_count as u64, pred)?;
+                    predict_body(
+                        func,
+                        mesh,
+                        &region.body,
+                        multiplier * *trip_count as u64,
+                        pred,
+                    )?;
                 }
             }
             OpKind::Collective(c) => {
@@ -525,10 +530,13 @@ fn add_traffic(
     if bytes == 0 && messages == 0 {
         return;
     }
-    pred.per_axis.entry(axis.clone()).or_default().add(AxisTraffic {
-        bytes: bytes * multiplier,
-        messages: messages * multiplier,
-    });
+    pred.per_axis
+        .entry(axis.clone())
+        .or_default()
+        .add(AxisTraffic {
+            bytes: bytes * multiplier,
+            messages: messages * multiplier,
+        });
 }
 
 fn predict_collective(

@@ -88,11 +88,8 @@ fn decide(producer: &Collective, slice_axes: &[Vec<Axis>]) -> Option<Fusion> {
             if used.is_empty() {
                 return None;
             }
-            let residual_reduce: Vec<Axis> = axes
-                .iter()
-                .filter(|a| !used.contains(a))
-                .cloned()
-                .collect();
+            let residual_reduce: Vec<Axis> =
+                axes.iter().filter(|a| !used.contains(a)).cloned().collect();
             Some(Fusion::ReduceScatter {
                 residual_reduce,
                 dim_axes: covered,
@@ -128,7 +125,10 @@ pub fn fuse_collectives(func: &Func, mesh: &partir_mesh::Mesh) -> Result<Func, I
         let OpKind::Collective(c) = &op.kind else {
             continue;
         };
-        if !matches!(c, Collective::AllGather { .. } | Collective::AllReduce { .. }) {
+        if !matches!(
+            c,
+            Collective::AllGather { .. } | Collective::AllReduce { .. }
+        ) {
             continue;
         }
         let result = op.results[0];
@@ -369,9 +369,7 @@ mod tests {
     }
 
     fn count_kind(f: &Func, name: &str) -> usize {
-        f.op_ids()
-            .filter(|&o| f.op(o).kind.name() == name)
-            .count()
+        f.op_ids().filter(|&o| f.op(o).kind.name() == name).count()
     }
 
     #[test]

@@ -140,8 +140,7 @@ fn exec_body(
                                 .ok_or_else(|| IrError::invalid("use before def"))
                         })
                         .collect::<Result<_, _>>()?;
-                    let results =
-                        eval_op(&op.kind, &operands, func.value_type(op.results[0]))?;
+                    let results = eval_op(&op.kind, &operands, func.value_type(op.results[0]))?;
                     for (&r, val) in op.results.iter().zip(results) {
                         env[r.0 as usize] = Some(val);
                     }
@@ -275,7 +274,12 @@ fn all_gather(
     Ok(vals)
 }
 
-pub(crate) fn slice_chunk(lit: &Literal, dim: usize, c: usize, k: usize) -> Result<Literal, IrError> {
+pub(crate) fn slice_chunk(
+    lit: &Literal,
+    dim: usize,
+    c: usize,
+    k: usize,
+) -> Result<Literal, IrError> {
     let shape = lit.shape().clone();
     if !shape.dim(dim).is_multiple_of(k) {
         return Err(IrError::shape(
@@ -333,11 +337,7 @@ pub fn shard_value(
 /// # Errors
 ///
 /// Fails if shards disagree with the expected layout.
-pub fn unshard_value(
-    shards: &[Literal],
-    ctx: &ValueCtx,
-    mesh: &Mesh,
-) -> Result<Literal, IrError> {
+pub fn unshard_value(shards: &[Literal], ctx: &ValueCtx, mesh: &Mesh) -> Result<Literal, IrError> {
     let tiled: Vec<(Axis, usize)> = ctx
         .entries()
         .iter()

@@ -19,9 +19,7 @@ use std::collections::HashMap;
 use partir_core::temporal::localize_kind;
 use partir_core::tmr::ResultAction;
 use partir_core::{OpAxisCtx, Partitioning, ValueCtx};
-use partir_ir::{
-    Collective, Func, FuncBuilder, IrError, OpId, OpKind, ReduceOp, Shape, ValueId,
-};
+use partir_ir::{Collective, Func, FuncBuilder, IrError, OpId, OpKind, ReduceOp, Shape, ValueId};
 use partir_mesh::Axis;
 
 use crate::program::SpmdProgram;
@@ -76,6 +74,18 @@ pub fn lower(func: &Func, part: &Partitioning) -> Result<SpmdProgram, IrError> {
         .iter()
         .map(|&r| part.value_ctx(r).clone())
         .collect();
+    // Debug-mode post-condition: lowering never emits structurally
+    // illegal collectives (unknown/duplicate axes). Structure-only — the
+    // O(devices) rendezvous check stays in `partir-lint` and the tests.
+    #[cfg(debug_assertions)]
+    {
+        let diags = partir_analysis::collective::check_structure(&lowered, &mesh);
+        debug_assert_eq!(
+            partir_analysis::error_count(&diags),
+            0,
+            "lowering produced an illegal collective: {diags:?}"
+        );
+    }
     Ok(SpmdProgram::new(lowered, mesh, input_ctxs, output_ctxs))
 }
 

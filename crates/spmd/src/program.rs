@@ -128,7 +128,8 @@ impl SpmdProgram {
             }
             per_device.push(dev_inputs);
         }
-        let outcome = ThreadedRuntime::new(config.clone()).run(&self.func, &self.mesh, &per_device)?;
+        let outcome =
+            ThreadedRuntime::new(config.clone()).run(&self.func, &self.mesh, &per_device)?;
         let mut global = Vec::with_capacity(self.output_ctxs.len());
         for (i, ctx) in self.output_ctxs.iter().enumerate() {
             let shards: Vec<Literal> = outcome.outputs.iter().map(|o| o[i].clone()).collect();
@@ -177,13 +178,7 @@ impl SpmdProgram {
             format!("P({})", parts.join(", "))
         };
         let mut out = String::new();
-        for (i, (&p, ctx)) in self
-            .func
-            .params()
-            .iter()
-            .zip(&self.input_ctxs)
-            .enumerate()
-        {
+        for (i, (&p, ctx)) in self.func.params().iter().zip(&self.input_ctxs).enumerate() {
             let name = self
                 .func
                 .value(p)

@@ -253,7 +253,10 @@ impl std::fmt::Display for RuntimeError {
             ),
             RuntimeError::Panicked { device } => write!(f, "device {device} panicked"),
             RuntimeError::Disconnected { device, peer } => {
-                write!(f, "device {device}: peer {peer} disconnected mid-collective")
+                write!(
+                    f,
+                    "device {device}: peer {peer} disconnected mid-collective"
+                )
             }
         }
     }
@@ -377,12 +380,21 @@ fn literal_checksum(lit: &Literal) -> u64 {
 fn poison(lit: &mut Literal) {
     match lit.dtype() {
         DType::I32 => {
-            let flipped: Vec<i32> = lit.as_i32().expect("dtype checked").iter().map(|v| !v).collect();
+            let flipped: Vec<i32> = lit
+                .as_i32()
+                .expect("dtype checked")
+                .iter()
+                .map(|v| !v)
+                .collect();
             *lit = Literal::from_i32(flipped, lit.shape().clone()).expect("same shape");
         }
         DType::Pred => {
-            let flipped: Vec<bool> =
-                lit.as_pred().expect("dtype checked").iter().map(|v| !v).collect();
+            let flipped: Vec<bool> = lit
+                .as_pred()
+                .expect("dtype checked")
+                .iter()
+                .map(|v| !v)
+                .collect();
             *lit = Literal::from_pred(flipped, lit.shape().clone()).expect("same shape");
         }
         _ => {
@@ -441,10 +453,11 @@ impl Exchange for DeviceLinks<'_> {
         }
         self.sent_total += 1;
         let bytes = payload.ty().size_bytes() as u64;
-        self.stats.per_axis.entry(axis.clone()).or_default().add(AxisTraffic {
-            bytes,
-            messages: 1,
-        });
+        self.stats
+            .per_axis
+            .entry(axis.clone())
+            .or_default()
+            .add(AxisTraffic { bytes, messages: 1 });
         self.stats.bytes += bytes;
         let seq = self.seq_out[dst];
         self.seq_out[dst] += 1;
@@ -568,10 +581,9 @@ impl ThreadedRuntime {
         }
         for (d, device_inputs) in inputs.iter().enumerate() {
             if device_inputs.len() != func.params().len() {
-                return Err(IrError::invalid(format!(
-                    "device {d}: wrong per-device input arity"
-                ))
-                .into());
+                return Err(
+                    IrError::invalid(format!("device {d}: wrong per-device input arity")).into(),
+                );
             }
             for (&p, lit) in func.params().iter().zip(device_inputs) {
                 if &lit.ty() != func.value_type(p) {
@@ -798,7 +810,9 @@ mod tests {
         let func = collective_func(&mesh, c, TensorType::f32([8]));
         let inputs = device_inputs(&mesh, 8);
         let lockstep = run_devices(&func, &mesh, &inputs).unwrap();
-        let outcome = ThreadedRuntime::default().run(&func, &mesh, &inputs).unwrap();
+        let outcome = ThreadedRuntime::default()
+            .run(&func, &mesh, &inputs)
+            .unwrap();
         assert_eq!(outcome.outputs, lockstep);
         let prediction = predict_traffic(&func, &mesh).unwrap();
         assert!(
@@ -822,7 +836,9 @@ mod tests {
         let func = collective_func(&mesh, c, TensorType::f32([n]));
         let inputs = device_inputs(&mesh, n);
         let lockstep = run_devices(&func, &mesh, &inputs).unwrap();
-        let outcome = ThreadedRuntime::default().run(&func, &mesh, &inputs).unwrap();
+        let outcome = ThreadedRuntime::default()
+            .run(&func, &mesh, &inputs)
+            .unwrap();
         assert_eq!(outcome.outputs, lockstep);
         let prediction = predict_traffic(&func, &mesh).unwrap();
         assert!(
@@ -844,7 +860,9 @@ mod tests {
         let func = collective_func(&mesh, c, TensorType::f32([3]));
         let inputs = device_inputs(&mesh, 3);
         let lockstep = run_devices(&func, &mesh, &inputs).unwrap();
-        let outcome = ThreadedRuntime::default().run(&func, &mesh, &inputs).unwrap();
+        let outcome = ThreadedRuntime::default()
+            .run(&func, &mesh, &inputs)
+            .unwrap();
         assert_eq!(outcome.outputs, lockstep);
         let prediction = predict_traffic(&func, &mesh).unwrap();
         assert!(outcome.stats.matches_prediction(&prediction));
@@ -916,8 +934,9 @@ mod tests {
     fn seeded_fault_plans_are_deterministic() {
         let mesh = Mesh::new([("x", 2), ("y", 2)]).unwrap();
         assert_eq!(seeded_faults(11, &mesh), seeded_faults(11, &mesh));
-        let distinct: std::collections::BTreeSet<String> =
-            (0..32).map(|s| format!("{:?}", seeded_faults(s, &mesh))).collect();
+        let distinct: std::collections::BTreeSet<String> = (0..32)
+            .map(|s| format!("{:?}", seeded_faults(s, &mesh)))
+            .collect();
         assert!(distinct.len() > 3, "plans vary across seeds");
     }
 

@@ -86,8 +86,7 @@ fn conform(model: &BuiltModel, rows: &[(&str, Schedule)], family: &str) {
 
 #[test]
 fn transformer_schedules_conform() {
-    let model =
-        partir_models::transformer::build_train_step(&TransformerConfig::tiny()).unwrap();
+    let model = partir_models::transformer::build_train_step(&TransformerConfig::tiny()).unwrap();
     conform(&model, &schedules::transformer_table2(), "T-tiny");
 }
 
@@ -110,8 +109,7 @@ fn gns_schedules_conform() {
 
 #[test]
 fn itransformer_schedules_conform() {
-    let model =
-        partir_models::itransformer::build_serving(&ITransformerConfig::tiny()).unwrap();
+    let model = partir_models::itransformer::build_serving(&ITransformerConfig::tiny()).unwrap();
     conform(&model, &schedules::itransformer_table2(), "IT-tiny");
 }
 
@@ -157,7 +155,9 @@ fn stalled_device_is_detected_as_deadlock_timeout() {
         device: 0,
         millis: 500,
     }];
-    let err = program.execute_global_threaded(&inputs, &config).unwrap_err();
+    let err = program
+        .execute_global_threaded(&inputs, &config)
+        .unwrap_err();
     assert!(
         matches!(err, RuntimeError::Timeout { .. }),
         "expected deadlock-detection timeout, got: {err}"
@@ -174,7 +174,9 @@ fn corrupted_message_surfaces_as_structured_error() {
         device: 1,
         message: 0,
     }];
-    let err = program.execute_global_threaded(&inputs, &config).unwrap_err();
+    let err = program
+        .execute_global_threaded(&inputs, &config)
+        .unwrap_err();
     assert!(
         matches!(err, RuntimeError::Corrupt { peer: 1, .. }),
         "expected checksum-detected corruption, got: {err}"
@@ -188,6 +190,8 @@ fn dropped_participant_is_reported_by_identity() {
     let inputs = partir_models::synthetic_inputs(&model, 77);
     let mut config = RuntimeConfig::with_timeout(std::time::Duration::from_millis(200));
     config.faults = vec![Fault::Drop { device: 2 }];
-    let err = program.execute_global_threaded(&inputs, &config).unwrap_err();
+    let err = program
+        .execute_global_threaded(&inputs, &config)
+        .unwrap_err();
     assert_eq!(err, RuntimeError::Dropped { device: 2 });
 }

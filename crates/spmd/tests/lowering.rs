@@ -61,10 +61,7 @@ fn batch_parallel_chain_needs_no_communication() {
     let program = lower(&f, &p).unwrap().fused().unwrap();
     assert_eq!(program.stats().total(), 0, "{}", program.to_text());
     // Device-local input is 4x8 (batch sliced by 4).
-    assert_eq!(
-        program.func().params().len(),
-        3
-    );
+    assert_eq!(program.func().params().len(), 3);
     assert_eq!(
         program
             .func()

@@ -18,8 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = HardwareConfig::tpu_v3_pod(mesh);
 
     let auto_mp = || AutomaticPartition::new("AutoMP", [MODEL]).with_budget(24);
-    let auto_all =
-        || AutomaticPartition::new("AllAuto", [BATCH, MODEL]).with_budget(32);
+    let auto_all = || AutomaticPartition::new("AllAuto", [BATCH, MODEL]).with_budget(32);
     let strategies: Vec<(&str, Schedule)> = vec![
         ("ES", Schedule::new([schedules::g_es()])),
         (

@@ -38,9 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stats = jitted.program.stats();
         let spmd = jitted.program.execute_global(&inputs)?;
         let same = spmd[0] == reference[0];
-        println!(
-            "{name:>9}: {stats}  decode identical across shardings: {same}"
-        );
+        println!("{name:>9}: {stats}  decode identical across shardings: {same}");
         assert!(same, "sharded decode must match");
     }
     println!("inference serving OK");

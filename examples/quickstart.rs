@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schedule = Schedule::new([
         ManualPartition::new("BP", "B").dim("x", 0).into(),
         ManualPartition::new("MP", "M").dim("w1", 1).into(),
-        ManualPartition::new("Z3", "B").dim("w1", 0).dim("w2", 1).into(),
+        ManualPartition::new("Z3", "B")
+            .dim("w1", 0)
+            .dim("w2", 1)
+            .into(),
     ]);
     let jitted = partir_jit(&func, &hw, &schedule)?;
 

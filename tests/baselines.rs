@@ -105,7 +105,8 @@ fn gspmd_annotations(model: &partir_models::BuiltModel, batch_size: usize) -> Ve
             annotations.push(InputSharding::tile(&name, d, MODEL));
         }
         if name.starts_with("params.") || name.starts_with("opt.") {
-            if let Some(dim) = (0..ty.rank()).find(|&d| ty.shape.dim(d).is_multiple_of(batch_size)) {
+            if let Some(dim) = (0..ty.rank()).find(|&d| ty.shape.dim(d).is_multiple_of(batch_size))
+            {
                 annotations.push(InputSharding::tile(&name, dim, BATCH));
             }
         }
@@ -129,7 +130,10 @@ fn gspmd_minus_minus_is_noticeably_slower_than_partir() {
         &GspmdOptions::default(),
     )
     .unwrap();
-    let program = partir_spmd::lower(&model.func, &part).unwrap().fused().unwrap();
+    let program = partir_spmd::lower(&model.func, &part)
+        .unwrap()
+        .fused()
+        .unwrap();
     let sim = Simulator::new(&hw, SimConfig::default());
     let partir_rt = sim.simulate(partir.program.func()).unwrap().runtime_s;
     let gspmd_rt = sim.simulate(program.func()).unwrap().runtime_s;
@@ -151,7 +155,10 @@ fn gspmd_partition_is_correct_at_tiny_scale() {
         &GspmdOptions::default(),
     )
     .unwrap();
-    let program = partir_spmd::lower(&model.func, &part).unwrap().fused().unwrap();
+    let program = partir_spmd::lower(&model.func, &part)
+        .unwrap()
+        .fused()
+        .unwrap();
     let inputs = synthetic_inputs(&model, 6);
     let reference = interpret(&model.func, &inputs).unwrap();
     let out = program.execute_global(&inputs).unwrap();

@@ -65,9 +65,7 @@ fn microbatching_composes_with_partitioning() {
     let y = b.matmul(x, w).unwrap();
     let sq = b.mul(y, y).unwrap();
     let s = b.reduce_sum(sq, vec![0, 1]).unwrap();
-    let loss = b
-        .binary_scalar(partir_ir::BinaryOp::Div, s, 64.0)
-        .unwrap();
+    let loss = b.binary_scalar(partir_ir::BinaryOp::Div, s, 64.0).unwrap();
     let func = b.build([loss]).unwrap();
 
     let mb = partir_core::microbatch::microbatch(&func, &["x"], 2).unwrap();
