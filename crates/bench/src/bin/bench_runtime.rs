@@ -160,6 +160,25 @@ fn main() {
     // smoke configuration, where what matters is that the runtimes agree
     // and `matches_prediction` holds, not the timings.
     let tiny = std::env::args().any(|a| a == "--tiny");
+    // `--profile`: record the whole run with partir-obs and write a
+    // Chrome trace (`BENCH_runtime.trace.json`) alongside the results.
+    if let Some(collector) = std::env::args()
+        .any(|a| a == "--profile")
+        .then(partir_obs::Collector::recording)
+    {
+        partir_obs::with_track(&collector, "main", || run(tiny));
+        std::fs::write(
+            "BENCH_runtime.trace.json",
+            collector.snapshot().to_chrome_json(),
+        )
+        .expect("write BENCH_runtime.trace.json");
+        eprintln!("wrote BENCH_runtime.trace.json");
+    } else {
+        run(tiny);
+    }
+}
+
+fn run(tiny: bool) {
     let mut rows = Vec::new();
 
     // Seed-era rows, names and configs unchanged from the committed

@@ -79,6 +79,25 @@ fn main() {
     // Exercises the cached and uncached search paths end to end; the
     // throughput numbers are meaningless on shared runners.
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // `--profile`: record the whole run with partir-obs and write a
+    // Chrome trace (`BENCH_search.trace.json`) alongside the results.
+    if let Some(collector) = std::env::args()
+        .any(|a| a == "--profile")
+        .then(partir_obs::Collector::recording)
+    {
+        partir_obs::with_track(&collector, "main", || run(smoke));
+        std::fs::write(
+            "BENCH_search.trace.json",
+            collector.snapshot().to_chrome_json(),
+        )
+        .expect("write BENCH_search.trace.json");
+        eprintln!("wrote BENCH_search.trace.json");
+    } else {
+        run(smoke);
+    }
+}
+
+fn run(smoke: bool) {
     let cfg = if smoke {
         TransformerConfig::tiny()
     } else {

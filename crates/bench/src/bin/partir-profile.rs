@@ -1,0 +1,191 @@
+//! End-to-end profiler: compile + execute each zoo model under a
+//! recording collector and export the merged timeline.
+//!
+//! For every model the bin runs the full pipeline — `partir_jit`
+//! (tactics, propagation, MCTS, lowering, fusion, simulation) on the
+//! `main` track, then the threaded runtime (one `deviceN` track per mesh
+//! device with compute/collective/rendezvous phases and traffic
+//! counters) — and writes `PROFILE_<model>.trace.json`, a Chrome
+//! trace-event file openable in `chrome://tracing` or Perfetto
+//! (<https://ui.perfetto.dev>, "Open trace file"). A compact text
+//! flamegraph summary and a metrics table print to stdout, and the
+//! traced per-device traffic is reconciled against the analytical
+//! prediction (`partir_sim::reconcile`) — the run fails loudly if they
+//! disagree.
+//!
+//! Flags:
+//! * `--tiny` — CI smoke mode: just the MLP on a 1×2 mesh.
+//! * `--fake-clock` — stamp events with deterministic per-track ticks
+//!   instead of wall time, making the emitted JSON byte-reproducible.
+//!
+//! Run with: `cargo run --release -p partir-bench --bin partir-profile`
+
+use partir_bench::{emit, Row};
+use partir_core::Partitioning;
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_models::{
+    gns::GnsConfig, itransformer::ITransformerConfig, mlp::MlpConfig,
+    transformer::TransformerConfig, unet::UNetConfig, BuiltModel,
+};
+use partir_obs::{with_track, Collector};
+use partir_sched::{partir_jit, Schedule};
+use partir_spmd::{RuntimeConfig, SpmdProgram};
+
+/// One profiling subject: a built model and the lowered program to run.
+struct Subject {
+    name: &'static str,
+    model: BuiltModel,
+    program: SpmdProgram,
+}
+
+/// Compiles one model under the collector: `partir_jit` for scheduled
+/// models, the manual tile+propagate+lower path for the MLP (the same
+/// program the conformance suite uses).
+fn compile(
+    collector: &Collector,
+    name: &'static str,
+    model: BuiltModel,
+    schedule: Option<&Schedule>,
+    hw: &HardwareConfig,
+) -> Subject {
+    let program = with_track(collector, "main", || match schedule {
+        Some(s) => {
+            partir_jit(&model.func, hw, s)
+                .unwrap_or_else(|e| panic!("{name}: jit failed: {e}"))
+                .program
+        }
+        None => {
+            let mut part = Partitioning::new(&model.func, hw.mesh.clone()).expect("state");
+            let params = model.func.params();
+            part.tile(&model.func, params[0], 0, &BATCH.into())
+                .expect("tile batch");
+            part.tile(&model.func, params[2], 1, &MODEL.into())
+                .expect("tile model");
+            part.propagate(&model.func);
+            partir_spmd::lower(&model.func, &part)
+                .expect("lower")
+                .fused()
+                .expect("fuse")
+        }
+    });
+    Subject {
+        name,
+        model,
+        program,
+    }
+}
+
+/// Executes the subject's program on the threaded runtime under the
+/// collector, reconciles traffic, writes the trace, and returns a
+/// summary row.
+fn profile(collector: &Collector, subject: &Subject, hw: &HardwareConfig) -> Row {
+    let inputs = partir_models::synthetic_inputs(&subject.model, 4242);
+    let (_outputs, stats) = with_track(collector, "main", || {
+        subject
+            .program
+            .execute_global_threaded(&inputs, &RuntimeConfig::default())
+            .unwrap_or_else(|e| panic!("{}: runtime failed: {e}", subject.name))
+    });
+    let rec = partir_sim::reconcile(&subject.program, hw, &stats)
+        .unwrap_or_else(|e| panic!("{}: reconcile failed: {e}", subject.name));
+    assert!(
+        rec.is_exact(),
+        "{}: traced traffic disagrees with prediction: {:?}",
+        subject.name,
+        rec.per_axis
+    );
+
+    let trace = collector.snapshot();
+    trace
+        .check_well_formed()
+        .unwrap_or_else(|e| panic!("{}: malformed trace: {e}", subject.name));
+    let path = format!("PROFILE_{}.trace.json", subject.name);
+    std::fs::write(&path, trace.to_chrome_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\n# {} → {path}", subject.name);
+    print!("{}", trace.summary());
+
+    let num_spans: usize = trace.tracks.iter().map(|t| t.spans.len()).sum();
+    Row::new("profile", subject.name, "default")
+        .metric("tracks", trace.tracks.len() as f64)
+        .metric("spans", num_spans as f64)
+        .metric("sent_bytes", stats.total_bytes() as f64)
+        .metric("messages", stats.total_messages() as f64)
+        .metric("rendezvous_waits", stats.rendezvous_waits as f64)
+}
+
+/// One model end to end with a fresh collector per model, so each trace
+/// file holds exactly one compile + one execution.
+fn run_one(
+    name: &'static str,
+    model: BuiltModel,
+    schedule: Option<&Schedule>,
+    hw: &HardwareConfig,
+    fake_clock: bool,
+) -> Row {
+    let collector = if fake_clock {
+        Collector::with_fake_clock(1_000)
+    } else {
+        Collector::recording()
+    };
+    let subject = compile(&collector, name, model, schedule, hw);
+    profile(&collector, &subject, hw)
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let fake_clock = std::env::args().any(|a| a == "--fake-clock");
+
+    let mlp_hw =
+        |b: usize| HardwareConfig::tpu_v3_pod(Mesh::new([(BATCH, b), (MODEL, 2)]).expect("mesh"));
+    let mut rows = Vec::new();
+
+    let mlp = partir_models::mlp::build_train_step(&MlpConfig::small()).expect("mlp");
+    rows.push(run_one(
+        "mlp",
+        mlp,
+        None,
+        &mlp_hw(if tiny { 1 } else { 2 }),
+        fake_clock,
+    ));
+
+    if !tiny {
+        let hw = mlp_hw(2);
+        let transformer = partir_models::transformer::build_train_step(&TransformerConfig::tiny())
+            .expect("transformer");
+        let (_, schedule) = &schedules::transformer_table2()[0];
+        rows.push(run_one(
+            "transformer",
+            transformer,
+            Some(schedule),
+            &hw,
+            fake_clock,
+        ));
+
+        let itransformer = partir_models::itransformer::build_serving(&ITransformerConfig::tiny())
+            .expect("itransformer");
+        let (_, schedule) = &schedules::itransformer_table2()[0];
+        rows.push(run_one(
+            "itransformer",
+            itransformer,
+            Some(schedule),
+            &hw,
+            fake_clock,
+        ));
+
+        let unet = partir_models::unet::build_train_step(&UNetConfig {
+            batch: 8,
+            ..UNetConfig::tiny()
+        })
+        .expect("unet");
+        let (_, schedule) = &schedules::unet_table2()[0];
+        rows.push(run_one("unet", unet, Some(schedule), &hw, fake_clock));
+
+        let gns = partir_models::gns::build_train_step(&GnsConfig::tiny()).expect("gns");
+        let (_, schedule) = &schedules::gns_table2()[0];
+        rows.push(run_one("gns", gns, Some(schedule), &hw, fake_clock));
+    }
+
+    println!();
+    emit(&rows);
+}

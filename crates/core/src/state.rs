@@ -439,6 +439,8 @@ impl Partitioning {
     /// scanning the whole module; in debug builds this is checked against
     /// the [`Partitioning::propagate_full`] oracle after every call.
     pub fn propagate(&mut self, func: &Func) -> PropagationReport {
+        partir_obs::counter!("core.propagate.dirty_values", self.dirty_values.len());
+        partir_obs::counter!("core.propagate.dirty_ops", self.dirty_ops.len());
         let mut seeds: BTreeSet<OpId> = BTreeSet::new();
         for &v in &self.dirty_values {
             match func.value(v).def {
@@ -456,14 +458,15 @@ impl Partitioning {
         #[cfg(debug_assertions)]
         let oracle_input = self.clone();
 
-        let report = self.run_worklist(func, seeds);
+        let report = self.run_worklist(func, seeds, true);
 
         // Oracle: the whole-module fixpoint from the same pre-state must
-        // land on identical contexts, fingerprint and conflicts.
+        // land on identical contexts, fingerprint and conflicts. It runs
+        // untraced so debug and release builds record identical traces.
         #[cfg(debug_assertions)]
         {
             let mut oracle = oracle_input;
-            oracle.run_worklist(func, func.op_ids().collect());
+            oracle.run_worklist(func, func.op_ids().collect(), false);
             debug_assert_eq!(
                 self.value_ctx, oracle.value_ctx,
                 "incremental propagation diverged from the full fixpoint (value contexts)"
@@ -491,7 +494,7 @@ impl Partitioning {
     /// (and debug oracle) and for callers that constructed the state by
     /// other means.
     pub fn propagate_full(&mut self, func: &Func) -> PropagationReport {
-        self.run_worklist(func, func.op_ids().collect())
+        self.run_worklist(func, func.op_ids().collect(), true)
     }
 
     /// The shared worklist engine behind [`Partitioning::propagate`] and
@@ -499,13 +502,32 @@ impl Partitioning {
     /// (`BTreeSet::pop_first`), so runs that start from different seed
     /// sets but the same fireable rewrites apply them in the same order
     /// and produce identical entry orderings (hence fingerprints).
-    fn run_worklist(&mut self, func: &Func, seeds: BTreeSet<OpId>) -> PropagationReport {
+    /// `traced = false` suppresses observability output (used by the
+    /// debug oracle so debug and release builds record identical traces);
+    /// it never changes what the worklist computes.
+    fn run_worklist(
+        &mut self,
+        func: &Func,
+        seeds: BTreeSet<OpId>,
+        traced: bool,
+    ) -> PropagationReport {
+        // One thread-local probe per propagation call, so the per-rule
+        // dynamic counter names below are only formatted when recording.
+        let traced = traced && partir_obs::current().is_some();
+        let _span = traced.then(|| partir_obs::span_enter("core.propagate"));
+        if traced {
+            partir_obs::counter_add("core.propagate.seeds", seeds.len() as f64);
+        }
         let mut report = PropagationReport::default();
         let axes: Vec<Axis> = self.mesh.axis_names().cloned().collect();
         let mut queue = seeds;
         let mut touched: BTreeSet<OpId> = queue.clone();
+        let mut pops = 0u64;
+        let mut fires: BTreeMap<&'static str, u64> = BTreeMap::new();
 
         while let Some(op) = queue.pop_first() {
+            pops += 1;
+            let applied_before = report.applied;
             for axis in &axes {
                 let changed = if func.op(op).region.is_some() {
                     self.unify_for(func, op, axis)
@@ -528,6 +550,10 @@ impl Partitioning {
                     }
                     report.inferred += 1;
                 }
+            }
+            if traced && report.applied > applied_before {
+                *fires.entry(func.op(op).kind.name()).or_insert(0) +=
+                    (report.applied - applied_before) as u64;
             }
         }
 
@@ -568,6 +594,15 @@ impl Partitioning {
 
         self.dirty_values.clear();
         self.dirty_ops.clear();
+        if traced {
+            partir_obs::counter_add("core.propagate.pops", pops as f64);
+            partir_obs::counter_add("core.propagate.rewrites", report.applied as f64);
+            partir_obs::counter_add("core.propagate.inferred", report.inferred as f64);
+            partir_obs::counter_add("core.propagate.conflicts", report.conflicts.len() as f64);
+            for (kind, n) in fires {
+                partir_obs::counter_add(format!("core.rewrite.{kind}"), n as f64);
+            }
+        }
         report
     }
 

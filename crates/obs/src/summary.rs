@@ -1,0 +1,160 @@
+//! Compact text flamegraph: per-track span aggregation by call path.
+//!
+//! For each track, spans are grouped by their full stack path (e.g.
+//! `sched.mcts.simulate > sim.evaluate > spmd.lower`) and printed as an
+//! indented tree with call counts, inclusive time, and self time.
+//! Counter totals follow each track. Ordering is deterministic: children
+//! sort by inclusive time descending, then name, so the hottest path
+//! reads top-down.
+
+use std::collections::BTreeMap;
+
+use crate::{Trace, TrackTrace};
+
+#[derive(Default)]
+struct Node {
+    calls: u64,
+    incl_ns: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn self_ns(&self) -> u64 {
+        self.incl_ns
+            .saturating_sub(self.children.values().map(|c| c.incl_ns).sum())
+    }
+}
+
+/// Builds the aggregation tree for one track by replaying its spans.
+fn build_tree(track: &TrackTrace) -> Node {
+    let mut root = Node::default();
+    // Spans are sorted by (start, depth); walk them keeping a path stack
+    // of (name, end_ns) to find each span's parent chain.
+    let mut stack: Vec<(String, u64)> = Vec::new();
+    for span in &track.spans {
+        while let Some((_, end)) = stack.last() {
+            if span.start_ns >= *end && !(span.start_ns == *end && span.end_ns == *end) {
+                stack.pop();
+            } else if span.depth < stack.len() {
+                // Zero-width siblings at the same timestamp: use depth.
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let mut node = &mut root;
+        for (name, _) in &stack {
+            node = node.children.entry(name.clone()).or_default();
+        }
+        let node = node.children.entry(span.name.to_string()).or_default();
+        node.calls += 1;
+        node.incl_ns += span.end_ns - span.start_ns;
+        stack.push((span.name.to_string(), span.end_ns));
+    }
+    root.incl_ns = root.children.values().map(|c| c.incl_ns).sum();
+    root
+}
+
+fn fmt_time(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_node(out: &mut String, name: &str, node: &Node, depth: usize, width: usize) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{name}");
+    out.push_str(&format!(
+        "{label:<width$}  calls={:<6} incl={:<10} self={}\n",
+        node.calls,
+        fmt_time(node.incl_ns),
+        fmt_time(node.self_ns()),
+    ));
+    let mut children: Vec<(&String, &Node)> = node.children.iter().collect();
+    children.sort_by(|a, b| b.1.incl_ns.cmp(&a.1.incl_ns).then_with(|| a.0.cmp(b.0)));
+    for (child_name, child) in children {
+        render_node(out, child_name, child, depth + 1, width);
+    }
+}
+
+impl Trace {
+    /// Renders the flamegraph summary described in the module docs.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for track in &self.tracks {
+            out.push_str(&format!("== track {} ==\n", track.name));
+            if track.spans.is_empty() && track.counters.is_empty() {
+                out.push_str("  (empty)\n");
+                continue;
+            }
+            let root = build_tree(track);
+            let mut top: Vec<(&String, &Node)> = root.children.iter().collect();
+            top.sort_by(|a, b| b.1.incl_ns.cmp(&a.1.incl_ns).then_with(|| a.0.cmp(b.0)));
+            for (name, node) in top {
+                render_node(&mut out, name, node, 1, 44);
+            }
+            // Counter totals, aggregated by name.
+            let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+            for c in &track.counters {
+                *totals.entry(c.name.as_ref()).or_insert(0.0) += c.delta;
+            }
+            for (name, total) in totals {
+                out.push_str(&format!("  counter {name:<42} total={total}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{counter, span, with_track, Collector};
+
+    #[test]
+    fn summary_aggregates_by_path() {
+        let c = Collector::with_fake_clock(1_000);
+        with_track(&c, "main", || {
+            for _ in 0..3 {
+                let _outer = span!("outer");
+                let _inner = span!("inner");
+                counter!("hits", 1);
+            }
+        });
+        let s = c.snapshot().summary();
+        assert!(s.contains("== track main =="));
+        assert!(s.contains("outer"));
+        assert!(s.contains("calls=3"));
+        assert!(s.contains("counter hits"));
+        assert!(s.contains("total=3"));
+        // inner is nested (indented deeper than outer).
+        let outer_line = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("outer"))
+            .unwrap();
+        let inner_line = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("inner"))
+            .unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(inner_line) > indent(outer_line));
+    }
+
+    #[test]
+    fn summary_is_deterministic_under_fake_clock() {
+        let run = || {
+            let c = Collector::with_fake_clock(10);
+            with_track(&c, "t", || {
+                let _a = span!("a");
+                let _b = span!("b");
+            });
+            c.snapshot().summary()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -101,12 +101,14 @@ impl AutomaticPartition {
         part: &mut Partitioning,
         cache: &EvalCache,
     ) -> Result<usize, SchedError> {
+        let _span = partir_obs::span!("sched.mcts");
         let mut rng = Rng::seed_from_u64(self.seed);
         let evaluator = Evaluator { func, hw, cache };
         let baseline = evaluator.cost(part)?;
 
         let mut root = Node::with_state(part.clone());
         for _ in 0..self.budget {
+            partir_obs::counter!("sched.mcts.simulations", 1);
             self.one_simulation(&mut root, func, &evaluator, baseline, &mut rng)?;
         }
 
@@ -150,6 +152,8 @@ impl AutomaticPartition {
     ) -> Result<f64, SchedError> {
         let state = node.state.as_ref().expect("caller materialised state");
         if !node.expanded {
+            let _span = partir_obs::span!("mcts.expand");
+            partir_obs::counter!("sched.mcts.expansions", 1);
             node.expanded = true;
             let mut actions = candidate_actions(func, state, &self.axes);
             actions.truncate(self.max_branching);
@@ -172,6 +176,7 @@ impl AutomaticPartition {
             let parent_state = state.clone();
             let child = &mut node.children[idx];
             if child.state.is_none() {
+                let _span = partir_obs::span!("mcts.materialise");
                 let mut s = parent_state;
                 match &child.action {
                     Some(a) => {
@@ -205,6 +210,8 @@ impl AutomaticPartition {
             } else if child.visits == 0 {
                 // First visit: score the state itself plus one random
                 // rollout; keep the better (the evaluator is exact).
+                let _span = partir_obs::span!("mcts.rollout");
+                partir_obs::counter!("sched.mcts.rollouts", 1);
                 let own = evaluator.reward(child.state.as_ref().expect("set above"), baseline)?;
                 let mut roll = child.state.clone().expect("set above");
                 let mut depth = 0;
@@ -361,6 +368,7 @@ impl Evaluator<'_> {
     /// partition exceeds device memory (see [`partir_sim::Evaluation`]).
     /// Memoised through the shared evaluation cache.
     fn cost(&self, part: &Partitioning) -> Result<f64, SchedError> {
+        let _span = partir_obs::span!("mcts.evaluate");
         Ok(self.cache.evaluate(self.func, part, self.hw)?.cost(self.hw))
     }
 

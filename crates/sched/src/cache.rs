@@ -130,15 +130,18 @@ impl EvalCache {
     ) -> Result<Evaluation, SchedError> {
         if !self.enabled {
             self.misses.set(self.misses.get() + 1);
+            partir_obs::counter!("sched.cache.misses", 1);
             return Ok(evaluate(func, part, hw)?);
         }
         let key = part.fingerprint();
         if let Some(hit) = self.entries.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
+            partir_obs::counter!("sched.cache.hits", 1);
             return Ok(*hit);
         }
         let eval = evaluate(func, part, hw)?;
         self.misses.set(self.misses.get() + 1);
+        partir_obs::counter!("sched.cache.misses", 1);
         self.entries.borrow_mut().insert(key, eval);
         Ok(eval)
     }
@@ -147,6 +150,7 @@ impl EvalCache {
     /// reached `evaluate`.
     pub fn note_pruned(&self) {
         self.pruned.set(self.pruned.get() + 1);
+        partir_obs::counter!("sched.cache.pruned", 1);
     }
 
     /// Current hit/miss/entry counts.

@@ -94,6 +94,7 @@ pub fn partir_jit(
     hw: &HardwareConfig,
     schedule: &Schedule,
 ) -> Result<Jitted, SchedError> {
+    let _span = partir_obs::span!("sched.jit");
     let mut part = Partitioning::new(func, hw.mesh.clone())?;
     let mut reports = Vec::with_capacity(schedule.tactics().len());
     let mut partition_time = Duration::ZERO;
@@ -102,6 +103,7 @@ pub fn partir_jit(
     // hits it for any state a search already scored.
     let cache = EvalCache::new();
     for tactic in schedule.tactics() {
+        let _tactic_span = partir_obs::span!(format!("tactic.{}", tactic.name()));
         let start = Instant::now();
         let actions = match tactic {
             Tactic::Manual(m) => m.apply(func, &mut part)?,

@@ -65,9 +65,17 @@ pub fn evaluate_with(
     hw: &HardwareConfig,
     config: SimConfig,
 ) -> Result<Evaluation, IrError> {
+    let _span = partir_obs::span!("sim.evaluate");
     let program = partir_spmd::lower(func, part)?.fused()?;
     let stats = program.stats();
     let sim = Simulator::new(hw, config).simulate(program.func())?;
+    // Cost-component breakdown: where the simulated runtime comes from
+    // (seconds), plus the memory/traffic drivers behind it.
+    partir_obs::counter!("sim.compute_s", sim.compute_s);
+    partir_obs::counter!("sim.comm_s", sim.comm_s);
+    partir_obs::counter!("sim.runtime_s", sim.runtime_s);
+    partir_obs::counter!("sim.comm_bytes", sim.comm_bytes);
+    partir_obs::counter!("sim.peak_memory_bytes", sim.peak_memory_bytes);
     Ok(Evaluation { sim, stats })
 }
 

@@ -110,6 +110,7 @@ fn decide(producer: &Collective, slice_axes: &[Vec<Axis>]) -> Option<Fusion> {
 ///
 /// Fails only on malformed functions.
 pub fn fuse_collectives(func: &Func, mesh: &partir_mesh::Mesh) -> Result<Func, IrError> {
+    let _span = partir_obs::span!("spmd.fuse");
     let uses = func.uses();
     // Values that escape through function or region results are used even
     // though no op consumes them.
@@ -148,6 +149,7 @@ pub fn fuse_collectives(func: &Func, mesh: &partir_mesh::Mesh) -> Result<Func, I
             }
         }
     }
+    partir_obs::counter!("spmd.fuse.absorbed", absorbed.len());
     let live = liveness(func);
     let mut b = FuncBuilder::with_mesh(func.name().to_string(), mesh.clone());
     let mut map: HashMap<ValueId, ValueId> = HashMap::new();

@@ -67,6 +67,7 @@ pub use fuse::fuse_collectives;
 pub use lower::lower;
 pub use program::SpmdProgram;
 pub use runtime::{
-    seeded_faults, Fault, RunOutcome, RuntimeConfig, RuntimeError, RuntimeStats, ThreadedRuntime,
+    seeded_faults, DeviceCounters, Fault, RunOutcome, RuntimeConfig, RuntimeError, RuntimeStats,
+    ThreadedRuntime,
 };
 pub use stats::{collect_stats, CollectiveStats};

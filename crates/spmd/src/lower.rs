@@ -39,6 +39,7 @@ fn ctx_layout(ctx: &ValueCtx, rank: usize) -> DimLayout {
 /// Fails on malformed functions; all layouts produced by propagation are
 /// lowerable by construction.
 pub fn lower(func: &Func, part: &Partitioning) -> Result<SpmdProgram, IrError> {
+    let _span = partir_obs::span!("spmd.lower");
     let mesh = part.mesh().clone();
     let mut b = FuncBuilder::with_mesh(format!("{}_spmd", func.name()), mesh.clone());
     let mut map: HashMap<ValueId, ValueId> = HashMap::new();
@@ -64,6 +65,7 @@ pub fn lower(func: &Func, part: &Partitioning) -> Result<SpmdProgram, IrError> {
         })
         .collect::<Result<_, _>>()?;
     let lowered = b.build(results)?;
+    partir_obs::counter!("spmd.lower.ops", lowered.op_ids().count());
     let input_ctxs = func
         .params()
         .iter()

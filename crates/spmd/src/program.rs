@@ -119,6 +119,7 @@ impl SpmdProgram {
         inputs: &[Literal],
         config: &RuntimeConfig,
     ) -> Result<(Vec<Literal>, RuntimeStats), RuntimeError> {
+        let _span = partir_obs::span!("runtime.execute");
         let n = self.mesh.num_devices();
         let mut per_device: Vec<Vec<Literal>> = Vec::with_capacity(n);
         for device in 0..n {

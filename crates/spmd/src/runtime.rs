@@ -271,16 +271,32 @@ impl From<IrError> for RuntimeError {
 }
 
 /// Traffic and scheduling counters observed by one threaded execution.
+///
+/// # Post-join invariant
+///
+/// Every counter here — including [`RuntimeStats::rendezvous_waits`] —
+/// is only meaningful *after all device threads have joined*: each
+/// device accumulates its own [`DeviceCounters`] privately while
+/// running, and [`ThreadedRuntime::run`] merges them exactly once after
+/// the join barrier. There is no mid-run view; a `RuntimeStats` you hold
+/// is always complete. By construction the merged totals are exact sums
+/// of the per-device rows: `per_axis` is the axis-wise sum of every
+/// `per_device[d].per_axis`, `per_device_bytes[d] ==
+/// per_device[d].bytes`, and `rendezvous_waits` is the sum of
+/// `per_device[d].rendezvous_waits` (asserted by a unit test).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
     /// Executed traffic per mesh axis (deterministic).
     pub per_axis: BTreeMap<Axis, AxisTraffic>,
-    /// Payload bytes sent by each device (deterministic).
+    /// Payload bytes sent by each device (deterministic). Equal to
+    /// `per_device[d].bytes`; kept as a flat view for reporting.
     pub per_device_bytes: Vec<u64>,
     /// Receives that actually blocked waiting for the peer. Depends on
     /// thread scheduling — a measure of rendezvous pressure, not part of
     /// the deterministic contract.
     pub rendezvous_waits: u64,
+    /// The unmerged per-device rows, indexed by device id.
+    pub per_device: Vec<DeviceCounters>,
 }
 
 impl RuntimeStats {
@@ -405,12 +421,17 @@ fn poison(lit: &mut Literal) {
     }
 }
 
-/// Per-device traffic counters, merged into [`RuntimeStats`] at join.
-#[derive(Debug, Default)]
-struct DeviceStats {
-    per_axis: BTreeMap<Axis, AxisTraffic>,
-    bytes: u64,
-    rendezvous_waits: u64,
+/// One device's traffic counters, accumulated thread-locally while the
+/// device runs and merged into [`RuntimeStats`] after the join barrier
+/// (see the post-join invariant on [`RuntimeStats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceCounters {
+    /// Traffic this device *sent*, per mesh axis.
+    pub per_axis: BTreeMap<Axis, AxisTraffic>,
+    /// Total payload bytes this device sent.
+    pub bytes: u64,
+    /// Receives on this device that actually blocked.
+    pub rendezvous_waits: u64,
 }
 
 /// One device's channel endpoints — the [`Exchange`] the collective
@@ -430,7 +451,11 @@ struct DeviceLinks<'a> {
     corrupt_at: Option<u64>,
     /// Compute + verify checksums ([`RuntimeConfig::checksums_armed`]).
     verify: bool,
-    stats: DeviceStats,
+    /// Whether an observability collector is installed for this thread
+    /// (checked once at device start so the per-axis counter names below
+    /// are only formatted when recording).
+    traced: bool,
+    stats: DeviceCounters,
 }
 
 impl Exchange for DeviceLinks<'_> {
@@ -459,6 +484,11 @@ impl Exchange for DeviceLinks<'_> {
             .or_default()
             .add(AxisTraffic { bytes, messages: 1 });
         self.stats.bytes += bytes;
+        if self.traced {
+            partir_obs::counter_add("runtime.send.bytes", bytes as f64);
+            partir_obs::counter_add("runtime.send.messages", 1.0);
+            partir_obs::counter_add(format!("runtime.send.bytes.{}", axis.name()), bytes as f64);
+        }
         let seq = self.seq_out[dst];
         self.seq_out[dst] += 1;
         self.txs[dst]
@@ -485,8 +515,11 @@ impl Exchange for DeviceLinks<'_> {
         const YIELD_ROUNDS: usize = 32;
         let rx = self.rxs[src].as_ref().expect("no self-receive");
         let mut first = rx.try_recv();
-        if matches!(first, Err(TryRecvError::Empty)) {
+        let wait_span = if matches!(first, Err(TryRecvError::Empty)) {
             self.stats.rendezvous_waits += 1;
+            let span = self
+                .traced
+                .then(|| partir_obs::span_enter("rendezvous_wait"));
             for _ in 0..YIELD_ROUNDS {
                 std::thread::yield_now();
                 first = rx.try_recv();
@@ -494,7 +527,10 @@ impl Exchange for DeviceLinks<'_> {
                     break;
                 }
             }
-        }
+            span
+        } else {
+            None
+        };
         let msg = match first {
             Ok(m) => m,
             Err(TryRecvError::Empty) => match rx.recv_timeout(self.timeout) {
@@ -520,6 +556,13 @@ impl Exchange for DeviceLinks<'_> {
                 })
             }
         };
+        // The wait span covers exactly the blocked portion of the
+        // rendezvous, not sequence/checksum verification.
+        drop(wait_span);
+        if self.traced {
+            partir_obs::counter_add("runtime.recv.messages", 1.0);
+            partir_obs::counter_add("runtime.recv.bytes", msg.payload.ty().size_bytes() as f64);
+        }
         let expected = self.seq_in[src];
         self.seq_in[src] += 1;
         if msg.seq != expected {
@@ -623,9 +666,14 @@ impl ThreadedRuntime {
             }
         }
 
-        type DeviceResult = Result<(Vec<Literal>, DeviceStats), RuntimeError>;
+        type DeviceResult = Result<(Vec<Literal>, DeviceCounters), RuntimeError>;
         let timeout = self.config.rendezvous_timeout;
         let verify = self.config.checksums_armed();
+        // Device threads do not inherit the caller's thread-local
+        // observability scope — capture it here and re-install it inside
+        // each worker under a per-device track, so one run produces one
+        // multi-track timeline (`device0`, `device1`, ...).
+        let collector = partir_obs::current();
         let results: Vec<DeviceResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = txs
                 .into_iter()
@@ -636,41 +684,49 @@ impl ThreadedRuntime {
                     let stall = stall_ms[d];
                     let corrupt = corrupt_at[d];
                     let drop_out = dropped[d];
+                    let collector = collector.clone();
                     scope.spawn(move || -> DeviceResult {
-                        if drop_out {
-                            return Err(RuntimeError::Dropped { device: d });
-                        }
-                        if stall > 0 {
-                            std::thread::sleep(Duration::from_millis(stall));
-                        }
-                        let mut links = DeviceLinks {
-                            device: d,
-                            mesh,
-                            txs: tx_row,
-                            rxs: rx_row,
-                            timeout,
-                            seq_out: vec![0; n],
-                            seq_in: vec![0; n],
-                            sent_total: 0,
-                            corrupt_at: corrupt,
-                            verify,
-                            stats: DeviceStats::default(),
+                        let body = move || -> DeviceResult {
+                            if drop_out {
+                                return Err(RuntimeError::Dropped { device: d });
+                            }
+                            if stall > 0 {
+                                std::thread::sleep(Duration::from_millis(stall));
+                            }
+                            let mut links = DeviceLinks {
+                                device: d,
+                                mesh,
+                                txs: tx_row,
+                                rxs: rx_row,
+                                timeout,
+                                seq_out: vec![0; n],
+                                seq_in: vec![0; n],
+                                sent_total: 0,
+                                corrupt_at: corrupt,
+                                verify,
+                                traced: partir_obs::current().is_some(),
+                                stats: DeviceCounters::default(),
+                            };
+                            let mut env: Vec<Option<Literal>> = vec![None; func.num_values()];
+                            for (&p, lit) in func.params().iter().zip(my_inputs) {
+                                env[p.0 as usize] = Some(lit);
+                            }
+                            exec_device(func, func.body(), &mut env, &mut links)?;
+                            let outputs = func
+                                .results()
+                                .iter()
+                                .map(|&r| {
+                                    env[r.0 as usize].take().ok_or_else(|| {
+                                        IrError::invalid("result never computed").into()
+                                    })
+                                })
+                                .collect::<Result<Vec<_>, RuntimeError>>()?;
+                            Ok((outputs, links.stats))
                         };
-                        let mut env: Vec<Option<Literal>> = vec![None; func.num_values()];
-                        for (&p, lit) in func.params().iter().zip(my_inputs) {
-                            env[p.0 as usize] = Some(lit);
+                        match &collector {
+                            Some(c) => partir_obs::with_track(c, &format!("device{d}"), body),
+                            None => body(),
                         }
-                        exec_device(func, func.body(), &mut env, &mut links)?;
-                        let outputs = func
-                            .results()
-                            .iter()
-                            .map(|&r| {
-                                env[r.0 as usize]
-                                    .take()
-                                    .ok_or_else(|| IrError::invalid("result never computed").into())
-                            })
-                            .collect::<Result<Vec<_>, RuntimeError>>()?;
-                        Ok((outputs, links.stats))
                     })
                 })
                 .collect();
@@ -699,11 +755,16 @@ impl ThreadedRuntime {
         let mut outputs = Vec::with_capacity(n);
         for (d, result) in results.into_iter().enumerate() {
             let (outs, device_stats) = result.expect("errors handled above");
-            for (axis, traffic) in device_stats.per_axis {
-                stats.per_axis.entry(axis).or_default().add(traffic);
+            for (axis, traffic) in &device_stats.per_axis {
+                stats
+                    .per_axis
+                    .entry(axis.clone())
+                    .or_default()
+                    .add(*traffic);
             }
             stats.per_device_bytes[d] = device_stats.bytes;
             stats.rendezvous_waits += device_stats.rendezvous_waits;
+            stats.per_device.push(device_stats);
             outputs.push(outs);
         }
         Ok(RunOutcome { outputs, stats })
@@ -725,6 +786,12 @@ fn exec_device(
     };
     for &op_id in body {
         let op = func.op(op_id);
+        // One span per executed op, named by kind: collectives show as
+        // `all_gather`/`reduce_scatter`/... phases with their
+        // send/recv/rendezvous activity nested inside, everything else
+        // as compute slices. `name()` is `&'static str`, so the
+        // disabled path stays one relaxed load per op.
+        let _span = partir_obs::span!(op.kind.name());
         match &op.kind {
             OpKind::For { trip_count } => {
                 let region = op
@@ -820,6 +887,42 @@ mod tests {
             "executed {:?} != predicted {:?}",
             outcome.stats.per_axis,
             prediction.per_axis
+        );
+    }
+
+    /// The post-join invariant documented on [`RuntimeStats`]: the
+    /// merged totals are exact sums of the per-device rows.
+    #[test]
+    fn per_device_counters_sum_to_merged_totals() {
+        let mesh = Mesh::new([("x", 2), ("y", 2)]).unwrap();
+        let c = Collective::AllReduce {
+            axes: vec!["x".into(), "y".into()],
+            reduce: ReduceOp::Sum,
+        };
+        let func = collective_func(&mesh, c, TensorType::f32([1024]));
+        let inputs = device_inputs(&mesh, 1024);
+        let stats = ThreadedRuntime::default()
+            .run(&func, &mesh, &inputs)
+            .unwrap()
+            .stats;
+        assert_eq!(stats.per_device.len(), mesh.num_devices());
+        let mut per_axis: BTreeMap<Axis, AxisTraffic> = BTreeMap::new();
+        let mut waits = 0;
+        for (d, dev) in stats.per_device.iter().enumerate() {
+            assert_eq!(
+                dev.bytes, stats.per_device_bytes[d],
+                "flat per_device_bytes view diverged on device {d}"
+            );
+            for (axis, traffic) in &dev.per_axis {
+                per_axis.entry(axis.clone()).or_default().add(*traffic);
+            }
+            waits += dev.rendezvous_waits;
+        }
+        assert_eq!(per_axis, stats.per_axis);
+        assert_eq!(waits, stats.rendezvous_waits);
+        assert_eq!(
+            stats.per_device.iter().map(|d| d.bytes).sum::<u64>(),
+            stats.total_bytes()
         );
     }
 
