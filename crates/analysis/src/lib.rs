@@ -58,5 +58,5 @@ pub mod memory;
 pub mod sharding;
 
 pub use diag::{error_count, max_severity, Diagnostic, Severity};
-pub use memory::static_peak_bound;
+pub use memory::{liveness_frees, static_peak_bound};
 pub use sharding::is_legal;

@@ -66,21 +66,38 @@ impl BackwardAnalysis for Liveness {
     }
 }
 
-/// An upper bound on the peak device memory (bytes) of `func`,
-/// guaranteed to dominate the simulator's estimate.
-pub fn static_peak_bound(func: &Func) -> u64 {
+/// The liveness solution in free-list form: the linearisation the bound
+/// walks plus, for every value, `Some(pos)` when the value's last use is
+/// at linearised position `pos` (and it may be freed right after), or
+/// `None` when it stays resident to the end (parameters, results, and
+/// never-used values).
+///
+/// This is the exact schedule [`static_peak_bound`] charges; the SPMD
+/// plan compiler replays the same walk with its own byte accounting to
+/// cross-check its arena layout against this analysis.
+pub fn liveness_frees(func: &Func) -> (Linearization, Vec<Option<usize>>) {
     let lin = Linearization::of(func);
     let end = lin.len();
     let live = backward_fixpoint(func, &lin, &Liveness { end });
-
-    let bytes_of = |v: ValueId| func.value_type(v).size_bytes() as u64;
-    let freed_at = |v: ValueId| -> Option<usize> {
-        // ⊥ (never used) and end-pinned values stay resident throughout.
-        match live.get(v).0 {
+    let frees = func
+        .value_ids()
+        .map(|v| match live.get(v).0 {
+            // ⊥ (never used) and end-pinned values stay resident.
             Some(pos) if pos < end => Some(pos),
             _ => None,
-        }
-    };
+        })
+        .collect();
+    (lin, frees)
+}
+
+/// An upper bound on the peak device memory (bytes) of `func`,
+/// guaranteed to dominate the simulator's estimate.
+pub fn static_peak_bound(func: &Func) -> u64 {
+    let (lin, freed) = liveness_frees(func);
+    let end = lin.len();
+
+    let bytes_of = |v: ValueId| func.value_type(v).size_bytes() as u64;
+    let freed_at = |v: ValueId| -> Option<usize> { freed[v.0 as usize] };
 
     let mut current: u64 = func.params().iter().map(|&p| bytes_of(p)).sum();
     let mut peak = current;

@@ -1,9 +1,11 @@
 //! Threaded-runtime benchmark: wall time of the concurrent
-//! message-passing runtime vs the lockstep interpreter on model-zoo
-//! schedules, with the executed per-axis traffic (bytes, messages,
-//! rendezvous waits) and its agreement with the static prediction —
-//! plus before/after timings of the dot kernel engine (blocked batched
-//! matmul vs the retained index-walk oracle).
+//! message-passing runtime executing a pre-compiled plan
+//! (`SpmdProgram::compile` once, `execute_global_planned` per step) vs
+//! the op-by-op lockstep interpreter on model-zoo schedules, with the
+//! executed per-axis traffic (bytes, messages, rendezvous waits) and
+//! its agreement with the static prediction — plus before/after
+//! timings of the dot kernel engine (blocked batched matmul vs the
+//! retained index-walk oracle).
 //!
 //! Three row groups:
 //! * seed-era rows (`MLP`, `T-tiny`) — identical names and configs to
@@ -71,14 +73,18 @@ fn interleaved_best<A, B>(mut a: impl FnMut() -> A, mut b: impl FnMut() -> B) ->
     (best_a.0, best_a.1, best_b.0, best_b.1)
 }
 
-/// Benchmarks one lowered program: lockstep vs threaded execution.
+/// Benchmarks one lowered program: lockstep interpretation vs threaded
+/// execution of a pre-compiled plan. Plan compilation happens once,
+/// outside the timed region — the compile-once/run-many split the plan
+/// layer exists for — and is reported as its own `compile_ms` metric.
 fn bench_program(model: &BuiltModel, program: &SpmdProgram, name: &str, schedule: &str) -> Row {
     let inputs = partir_models::synthetic_inputs(model, 99);
+    let (compile_s, plan) = timed(|| program.compile().expect("plan"));
     let (lockstep_s, lockstep, threaded_s, out) = interleaved_best(
         || program.execute_global(&inputs).expect("lockstep"),
         || {
             program
-                .execute_global_threaded(&inputs, &RuntimeConfig::default())
+                .execute_global_planned(&plan, &inputs, &RuntimeConfig::default())
                 .expect("threaded")
         },
     );
@@ -87,9 +93,12 @@ fn bench_program(model: &BuiltModel, program: &SpmdProgram, name: &str, schedule
     let predicted = program.predicted_traffic().expect("prediction");
     Row::new("runtime", name, schedule)
         .metric("devices", program.mesh().num_devices() as f64)
+        .metric("compile_ms", compile_s * 1e3)
         .metric("lockstep_ms", lockstep_s * 1e3)
         .metric("threaded_ms", threaded_s * 1e3)
         .metric("speedup", lockstep_s / threaded_s.max(1e-12))
+        .metric("arena_bytes", plan.arena_bytes() as f64)
+        .metric("fused_ops", plan.fused_ops() as f64)
         .metric("bytes", stats.total_bytes() as f64)
         .metric("messages", stats.total_messages() as f64)
         .metric("rendezvous_waits", stats.rendezvous_waits as f64)

@@ -83,12 +83,19 @@ pub fn scratch_pool_len() -> usize {
 // Strided gather walker
 // ---------------------------------------------------------------------------
 
+/// Maximum tensor rank the stack-allocated odometers support. Well beyond
+/// anything the model zoo produces; enforced with an assert so a deeper
+/// rank fails loudly rather than corrupting memory.
+const MAX_RANK: usize = 16;
+
 /// Appends to `dst` the row-major traversal of an `out_dims`-shaped view
 /// whose element at multi-index `i` lives at
 /// `src[base + Σ i[d] * in_strides[d]]`.
 ///
 /// The innermost dimension is special-cased: stride 1 copies the whole row
-/// with `extend_from_slice`, stride 0 splats one element.
+/// with `extend_from_slice`, stride 0 splats one element. The outer-dim
+/// odometer lives on the stack so repeated gathers (e.g. from a compiled
+/// plan's steady-state loop) never touch the allocator beyond `dst`.
 fn gather_strided<T: Copy>(
     dst: &mut Vec<T>,
     src: &[T],
@@ -107,9 +114,10 @@ fn gather_strided<T: Copy>(
         return;
     }
     let inner = out_dims.len() - 1;
+    assert!(inner < MAX_RANK, "tensor rank exceeds MAX_RANK");
     let (inner_n, inner_s) = (out_dims[inner], in_strides[inner]);
     let rows = total / inner_n.max(1);
-    let mut idx = vec![0usize; inner];
+    let mut idx = [0usize; MAX_RANK];
     let mut row_base = base;
     for _ in 0..rows {
         match inner_s {
@@ -124,6 +132,58 @@ fn gather_strided<T: Copy>(
             }
         }
         // Advance the outer-dim odometer (row-major).
+        for d in (0..inner).rev() {
+            idx[d] += 1;
+            row_base += in_strides[d];
+            if idx[d] < out_dims[d] {
+                break;
+            }
+            row_base -= in_strides[d] * out_dims[d];
+            idx[d] = 0;
+        }
+    }
+}
+
+/// [`gather_strided`] into a preallocated destination slice: the
+/// allocation-free variant compiled execution plans use in their
+/// steady-state loop. `dst.len()` must equal the product of `out_dims`.
+pub fn gather_strided_into<T: Copy>(
+    dst: &mut [T],
+    src: &[T],
+    out_dims: &[usize],
+    in_strides: &[usize],
+    base: usize,
+) {
+    debug_assert_eq!(out_dims.len(), in_strides.len());
+    let total: usize = out_dims.iter().product();
+    assert_eq!(dst.len(), total, "gather_strided_into size mismatch");
+    if total == 0 {
+        return;
+    }
+    if out_dims.is_empty() {
+        dst[0] = src[base];
+        return;
+    }
+    let inner = out_dims.len() - 1;
+    assert!(inner < MAX_RANK, "tensor rank exceeds MAX_RANK");
+    let (inner_n, inner_s) = (out_dims[inner], in_strides[inner]);
+    let rows = total / inner_n.max(1);
+    let mut idx = [0usize; MAX_RANK];
+    let mut row_base = base;
+    let mut cursor = 0usize;
+    for _ in 0..rows {
+        match inner_s {
+            1 => dst[cursor..cursor + inner_n].copy_from_slice(&src[row_base..row_base + inner_n]),
+            0 => dst[cursor..cursor + inner_n].fill(src[row_base]),
+            s => {
+                let mut off = row_base;
+                for slot in &mut dst[cursor..cursor + inner_n] {
+                    *slot = src[off];
+                    off += s;
+                }
+            }
+        }
+        cursor += inner_n;
         for d in (0..inner).rev() {
             idx[d] += 1;
             row_base += in_strides[d];
@@ -158,27 +218,6 @@ fn dot_out_shape(dims: &DotDims, ls: &Shape, rs: &Shape) -> Shape {
     Shape::from(out_dims)
 }
 
-/// Stages `src` (shaped `shape`) into `[group0, group1, group2]` row-major
-/// order, where the groups are dimension-index lists whose concatenation
-/// is a permutation of `0..rank`. Returns `None` when the permutation is
-/// the identity (the caller can use `src` directly).
-fn stage_permuted<'a>(
-    src: &'a [f32],
-    shape: &Shape,
-    groups: [&[usize]; 3],
-    buf: &'a mut Vec<f32>,
-) -> &'a [f32] {
-    let perm: Vec<usize> = groups.iter().flat_map(|g| g.iter().copied()).collect();
-    if perm.iter().enumerate().all(|(i, &p)| i == p) {
-        return src;
-    }
-    let strides = shape.strides();
-    let out_dims: Vec<usize> = perm.iter().map(|&p| shape.dim(p)).collect();
-    let in_strides: Vec<usize> = perm.iter().map(|&p| strides[p]).collect();
-    gather_strided(buf, src, &out_dims, &in_strides, 0);
-    buf.as_slice()
-}
-
 /// `c[m×n] += a[m×k] · b[k×n]`, all row-major and dense.
 ///
 /// k-blocked i-k-j loop: the innermost loop is a contiguous axpy over a
@@ -203,43 +242,87 @@ fn matmul_ikj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
     }
 }
 
-/// Evaluates a `Dot` op by reduction to batched row-major matmul.
-///
-/// Both operands are staged (via at most one physical transpose each, into
-/// the per-thread scratch arena) to `[batch, free, contract]` /
-/// `[batch, contract, free]` layout, then multiplied with [`matmul_ikj`].
-/// Bit-identical to [`dot_general_reference`].
-///
-/// # Errors
-///
-/// Fails if either operand is not f32.
-pub fn dot_general(dims: &DotDims, lhs: &Literal, rhs: &Literal) -> Result<Literal, IrError> {
-    let (ls, rs) = (lhs.shape(), rhs.shape());
+/// An ahead-of-time compiled `Dot` contraction: the staging gathers and
+/// batched-matmul dimensions [`dot_general`] would recompute per call,
+/// resolved once so the steady-state execution
+/// ([`dot_general_into`]) does no shape or permutation work at all.
+#[derive(Debug, Clone)]
+pub struct DotPlan {
+    /// LHS staging gather to `[batch, free, contract]` layout as
+    /// `(out_dims, in_strides)`; `None` when the permutation is the
+    /// identity and the operand can be used in place.
+    pub lhs_stage: Option<(Vec<usize>, Vec<usize>)>,
+    /// RHS staging gather to `[batch, contract, free]` layout.
+    pub rhs_stage: Option<(Vec<usize>, Vec<usize>)>,
+    /// Batch extent (product of batch dims).
+    pub b: usize,
+    /// LHS free extent.
+    pub m: usize,
+    /// Contraction extent.
+    pub k: usize,
+    /// RHS free extent.
+    pub n: usize,
+}
+
+/// One staging gather of a [`DotPlan`]: stages `[group0, group1, group2]`
+/// into row-major order, where the groups are dimension-index lists whose
+/// concatenation is a permutation of `0..rank`. `None` when the
+/// permutation is the identity (the operand can be used in place).
+fn plan_stage(shape: &Shape, groups: [&[usize]; 3]) -> Option<(Vec<usize>, Vec<usize>)> {
+    let perm: Vec<usize> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+    if perm.iter().enumerate().all(|(i, &p)| i == p) {
+        return None;
+    }
+    let strides = shape.strides();
+    let out_dims: Vec<usize> = perm.iter().map(|&p| shape.dim(p)).collect();
+    let in_strides: Vec<usize> = perm.iter().map(|&p| strides[p]).collect();
+    Some((out_dims, in_strides))
+}
+
+/// Compiles a `Dot` op's staging and matmul dimensions once. Returns the
+/// plan and the output shape.
+pub fn plan_dot(dims: &DotDims, ls: &Shape, rs: &Shape) -> (DotPlan, Shape) {
     let lhs_free = dims.free_dims(ls.rank(), true);
     let rhs_free = dims.free_dims(rs.rank(), false);
     let out_shape = dot_out_shape(dims, ls, rs);
+    let plan = DotPlan {
+        lhs_stage: plan_stage(ls, [&dims.lhs_batch, &lhs_free, &dims.lhs_contract]),
+        rhs_stage: plan_stage(rs, [&dims.rhs_batch, &dims.rhs_contract, &rhs_free]),
+        b: dims.lhs_batch.iter().map(|&d| ls.dim(d)).product(),
+        m: lhs_free.iter().map(|&d| ls.dim(d)).product(),
+        k: dims.lhs_contract.iter().map(|&d| ls.dim(d)).product(),
+        n: rhs_free.iter().map(|&d| rs.dim(d)).product(),
+    };
+    (plan, out_shape)
+}
 
-    let b: usize = dims.lhs_batch.iter().map(|&d| ls.dim(d)).product();
-    let m: usize = lhs_free.iter().map(|&d| ls.dim(d)).product();
-    let k: usize = dims.lhs_contract.iter().map(|&d| ls.dim(d)).product();
-    let n: usize = rhs_free.iter().map(|&d| rs.dim(d)).product();
-
-    let (a_src, b_src) = (lhs.as_f32()?, rhs.as_f32()?);
-    let mut out = vec![0f32; out_shape.num_elements()];
+/// Executes a compiled [`DotPlan`] into a preallocated output buffer
+/// (`out.len()` must be `b·m·n`). Staging temporaries come from the
+/// per-thread scratch arena, so warm steady-state calls are
+/// allocation-free. Bit-identical to [`dot_general`] /
+/// [`dot_general_reference`].
+pub fn dot_general_into(plan: &DotPlan, a_src: &[f32], b_src: &[f32], out: &mut [f32]) {
+    let (b, m, k, n) = (plan.b, plan.m, plan.k, plan.n);
+    debug_assert_eq!(out.len(), b * m * n);
+    // matmul_ikj accumulates into its output, so a reused buffer must be
+    // cleared first.
+    out.fill(0.0);
     with_scratch(|a_buf| {
+        let a: &[f32] = match &plan.lhs_stage {
+            None => a_src,
+            Some((od, st)) => {
+                gather_strided(a_buf, a_src, od, st, 0);
+                a_buf.as_slice()
+            }
+        };
         with_scratch(|b_buf| {
-            let a = stage_permuted(
-                a_src,
-                ls,
-                [&dims.lhs_batch, &lhs_free, &dims.lhs_contract],
-                a_buf,
-            );
-            let bm = stage_permuted(
-                b_src,
-                rs,
-                [&dims.rhs_batch, &dims.rhs_contract, &rhs_free],
-                b_buf,
-            );
+            let bm: &[f32] = match &plan.rhs_stage {
+                None => b_src,
+                Some((od, st)) => {
+                    gather_strided(b_buf, b_src, od, st, 0);
+                    b_buf.as_slice()
+                }
+            };
             for bi in 0..b {
                 matmul_ikj(
                     &a[bi * m * k..bi * m * k + m * k],
@@ -252,6 +335,22 @@ pub fn dot_general(dims: &DotDims, lhs: &Literal, rhs: &Literal) -> Result<Liter
             }
         });
     });
+}
+
+/// Evaluates a `Dot` op by reduction to batched row-major matmul.
+///
+/// Both operands are staged (via at most one physical transpose each, into
+/// the per-thread scratch arena) to `[batch, free, contract]` /
+/// `[batch, contract, free]` layout, then multiplied with [`matmul_ikj`].
+/// Bit-identical to [`dot_general_reference`].
+///
+/// # Errors
+///
+/// Fails if either operand is not f32.
+pub fn dot_general(dims: &DotDims, lhs: &Literal, rhs: &Literal) -> Result<Literal, IrError> {
+    let (plan, out_shape) = plan_dot(dims, lhs.shape(), rhs.shape());
+    let mut out = vec![0f32; out_shape.num_elements()];
+    dot_general_into(&plan, lhs.as_f32()?, rhs.as_f32()?, &mut out);
     Literal::from_f32(out, out_shape)
 }
 
@@ -433,6 +532,107 @@ pub fn slice(
 // reduce
 // ---------------------------------------------------------------------------
 
+/// An ahead-of-time compiled f32 `Reduce`: the kept-dimension analysis
+/// and stride tables [`reduce_f32`] would recompute per call, resolved
+/// once for allocation-free steady-state execution
+/// ([`reduce_f32_into`]).
+#[derive(Debug, Clone)]
+pub struct ReducePlan {
+    /// Monoid identity the output is initialized to.
+    pub init: f32,
+    /// Reduction monoid.
+    pub op: ReduceOp,
+    /// `Some(span)` when the reduced dims are a contiguous trailing
+    /// block: each output element folds one contiguous input span of
+    /// this length.
+    pub trailing_inner: Option<usize>,
+    /// Input dimension sizes (general path odometer).
+    pub in_dims: Vec<usize>,
+    /// Output stride of each input dim (0 for reduced dims).
+    pub out_strides: Vec<usize>,
+    /// Output element count.
+    pub out_len: usize,
+}
+
+/// Compiles a `Reduce` op's fold layout once. Returns the plan and the
+/// output shape.
+pub fn plan_reduce(op: ReduceOp, in_shape: &Shape, dims: &[usize]) -> (ReducePlan, Shape) {
+    let rank = in_shape.rank();
+    let kept: Vec<usize> = (0..rank).filter(|d| !dims.contains(d)).collect();
+    let out_shape = Shape::from(kept.iter().map(|&d| in_shape.dim(d)).collect::<Vec<_>>());
+    let init = match op {
+        ReduceOp::Sum => 0.0f32,
+        ReduceOp::Prod => 1.0,
+        ReduceOp::Max => f32::NEG_INFINITY,
+        ReduceOp::Min => f32::INFINITY,
+    };
+    let trailing = kept.iter().enumerate().all(|(i, &d)| i == d);
+    let trailing_inner = if trailing {
+        Some(dims.iter().map(|&d| in_shape.dim(d)).product())
+    } else {
+        None
+    };
+    let out_strides_kept = out_shape.strides();
+    let mut out_strides = vec![0usize; rank];
+    for (i, &d) in kept.iter().enumerate() {
+        out_strides[d] = out_strides_kept[i];
+    }
+    let plan = ReducePlan {
+        init,
+        op,
+        trailing_inner,
+        in_dims: in_shape.dims().to_vec(),
+        out_strides,
+        out_len: out_shape.num_elements(),
+    };
+    (plan, out_shape)
+}
+
+/// Executes a compiled [`ReducePlan`] into a preallocated output buffer
+/// (`out.len()` must be the plan's `out_len`). Inputs fold in linear
+/// (row-major) order — bit-identical to [`reduce_f32`].
+pub fn reduce_f32_into(plan: &ReducePlan, a: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(out.len(), plan.out_len);
+    out.fill(plan.init);
+    let op = plan.op;
+    let fold = |acc: f32, v: f32| -> f32 {
+        match op {
+            ReduceOp::Sum => acc + v,
+            ReduceOp::Prod => acc * v,
+            ReduceOp::Max => acc.max(v),
+            ReduceOp::Min => acc.min(v),
+        }
+    };
+    // Fast path: reducing a contiguous trailing block of dimensions means
+    // each output element folds one contiguous input span, in order.
+    if let Some(inner) = plan.trailing_inner {
+        if inner > 0 {
+            for (o, chunk) in out.iter_mut().zip(a.chunks_exact(inner)) {
+                *o = chunk.iter().fold(*o, |acc, &v| fold(acc, v));
+            }
+        }
+        return;
+    }
+    // General path: walk the input linearly; out_strides[d] is the output
+    // stride of input dim d (0 for reduced dims).
+    let rank = plan.in_dims.len();
+    assert!(rank <= MAX_RANK, "tensor rank exceeds MAX_RANK");
+    let mut idx = [0usize; MAX_RANK];
+    let mut off = 0usize;
+    for &v in a {
+        out[off] = fold(out[off], v);
+        for d in (0..rank).rev() {
+            idx[d] += 1;
+            off += plan.out_strides[d];
+            if idx[d] < plan.in_dims[d] {
+                break;
+            }
+            off -= plan.out_strides[d] * plan.in_dims[d];
+            idx[d] = 0;
+        }
+    }
+}
+
 /// Evaluates a `Reduce` over f32: inputs are folded in linear (row-major)
 /// order while the output offset is tracked incrementally — the exact
 /// accumulation order of the original multi-index walk, bit-identical,
@@ -443,62 +643,9 @@ pub fn slice(
 ///
 /// Fails if the operand is not f32.
 pub fn reduce_f32(op: ReduceOp, x: &Literal, dims: &[usize]) -> Result<Literal, IrError> {
-    let in_shape = x.shape();
-    let rank = in_shape.rank();
-    let kept: Vec<usize> = (0..rank).filter(|d| !dims.contains(d)).collect();
-    let out_shape = Shape::from(kept.iter().map(|&d| in_shape.dim(d)).collect::<Vec<_>>());
-    let a = x.as_f32()?;
-    let init = match op {
-        ReduceOp::Sum => 0.0f32,
-        ReduceOp::Prod => 1.0,
-        ReduceOp::Max => f32::NEG_INFINITY,
-        ReduceOp::Min => f32::INFINITY,
-    };
-    let fold = |acc: f32, v: f32| -> f32 {
-        match op {
-            ReduceOp::Sum => acc + v,
-            ReduceOp::Prod => acc * v,
-            ReduceOp::Max => acc.max(v),
-            ReduceOp::Min => acc.min(v),
-        }
-    };
-    let mut data = vec![init; out_shape.num_elements()];
-
-    // Fast path: reducing a contiguous trailing block of dimensions means
-    // each output element folds one contiguous input span, in order.
-    let trailing = kept.iter().enumerate().all(|(i, &d)| i == d);
-    if trailing {
-        let inner: usize = dims.iter().map(|&d| in_shape.dim(d)).product();
-        if inner > 0 {
-            for (o, chunk) in data.iter_mut().zip(a.chunks_exact(inner)) {
-                *o = chunk.iter().fold(*o, |acc, &v| fold(acc, v));
-            }
-        }
-        return Literal::from_f32(data, out_shape);
-    }
-
-    // General path: walk the input linearly; out_stride[d] is the output
-    // stride of input dim d (0 for reduced dims).
-    let out_strides_kept = out_shape.strides();
-    let mut out_strides = vec![0usize; rank];
-    for (i, &d) in kept.iter().enumerate() {
-        out_strides[d] = out_strides_kept[i];
-    }
-    let in_dims = in_shape.dims();
-    let mut idx = vec![0usize; rank];
-    let mut off = 0usize;
-    for &v in a {
-        data[off] = fold(data[off], v);
-        for d in (0..rank).rev() {
-            idx[d] += 1;
-            off += out_strides[d];
-            if idx[d] < in_dims[d] {
-                break;
-            }
-            off -= out_strides[d] * in_dims[d];
-            idx[d] = 0;
-        }
-    }
+    let (plan, out_shape) = plan_reduce(op, x.shape(), dims);
+    let mut data = vec![plan.init; plan.out_len];
+    reduce_f32_into(&plan, x.as_f32()?, &mut data);
     Literal::from_f32(data, out_shape)
 }
 

@@ -497,6 +497,13 @@ impl TrackTrace {
             .map(|c| c.delta)
             .sum()
     }
+
+    /// Number of spans named `name` on this track. Conformance tests use
+    /// this to assert plan-level phases (e.g. `plan.compile`, fused
+    /// elementwise steps) actually appear in recorded timelines.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
 }
 
 /// A consolidated snapshot of everything a collector recorded.

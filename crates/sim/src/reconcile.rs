@@ -18,6 +18,12 @@
 //! tests assert [`Reconciliation::is_exact`] and inspect
 //! [`Reconciliation::analytic_relative_error`].
 //!
+//! The runtime executes compiled plans (`partir_spmd::CompiledPlan`)
+//! whose collective schedules — rendezvous partners and per-axis byte
+//! counts — are baked at plan-compile time. Reconciliation is therefore
+//! also a check on that ahead-of-time wiring: the bytes a plan's baked
+//! schedule actually moves must still match the mirror exactly.
+//!
 //! [`RuntimeStats`]: partir_spmd::RuntimeStats
 
 use std::collections::BTreeSet;

@@ -89,8 +89,6 @@ impl TrafficPrediction {
 pub(crate) trait Exchange {
     /// This device's id.
     fn device(&self) -> usize;
-    /// The mesh the program runs on.
-    fn mesh(&self) -> &Mesh;
     /// Sends `payload` to `dst`, attributing the traffic to `axis`.
     fn send(&mut self, dst: usize, axis: &Axis, payload: Literal) -> Result<(), RuntimeError>;
     /// Receives the next message from `src`, attributing it to `axis`.
@@ -111,41 +109,98 @@ fn invalid(e: impl std::fmt::Display) -> RuntimeError {
     RuntimeError::Ir(IrError::invalid(e.to_string()))
 }
 
-/// Runs one collective for one device. `value` is the device-local
-/// operand; the return value is the device-local result.
-pub(crate) fn run_collective<E: Exchange>(
+/// One per-axis exchange stage of a compiled collective schedule: the
+/// device's group along the axis and its position in it, resolved once
+/// at plan-compile time so the steady-state loop never queries the mesh
+/// (the old `group_of` lookup allocated a fresh group `Vec` per call).
+#[derive(Debug, Clone)]
+pub(crate) struct AxisStage {
+    /// The mesh axis the traffic is attributed to.
+    pub(crate) axis: Axis,
+    /// Tensor dimension the stage operates on (gather/scatter dim;
+    /// unused for all_reduce stages).
+    pub(crate) dim: usize,
+    /// The device's communication group along the axis, in coordinate
+    /// order.
+    pub(crate) group: Vec<usize>,
+    /// This device's position in `group`.
+    pub(crate) my_pos: usize,
+}
+
+/// A fully wired collective schedule for one device: the ordered exchange
+/// stages (size-1 axes already dropped) followed by device-local slices
+/// `(dim, k, coord)`. Baked into compiled execution plans.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CollSched {
+    /// Ordered communication stages.
+    pub(crate) stages: Vec<AxisStage>,
+    /// Device-local slices applied after the stages: `(dim, k, coord)`.
+    pub(crate) slices: Vec<(usize, usize, usize)>,
+}
+
+/// Resolves one collective's communication pattern for one device:
+/// groups, positions and slice coordinates, in exactly the stage order
+/// [`run_scheduled`] executes.
+///
+/// # Errors
+///
+/// Fails if the collective references an axis missing from the mesh.
+pub(crate) fn schedule_collective(
     c: &Collective,
-    ex: &mut E,
-    value: Literal,
-) -> Result<Literal, RuntimeError> {
-    match c {
-        Collective::AllReduce { axes, reduce } => {
-            let mut val = value;
-            for axis in axes {
-                val = axis_all_reduce(ex, axis, *reduce, val)?;
-            }
-            Ok(val)
+    mesh: &Mesh,
+    device: usize,
+) -> Result<CollSched, IrError> {
+    let err = |e: partir_mesh::MeshError| IrError::invalid(e.to_string());
+    let stage_for = |axis: &Axis, dim: usize| -> Result<Option<AxisStage>, IrError> {
+        let group = mesh.axis_group(device, axis).map_err(err)?;
+        if group.len() == 1 {
+            return Ok(None);
         }
-        Collective::AllSlice { dim_axes } => local_slice(ex, dim_axes, value),
-        Collective::AllGather { dim_axes } => {
-            let mut val = value;
+        let my_pos = group
+            .iter()
+            .position(|&d| d == device)
+            .expect("device in own group");
+        Ok(Some(AxisStage {
+            axis: axis.clone(),
+            dim,
+            group,
+            my_pos,
+        }))
+    };
+    let slice_for = |axis: &Axis, dim: usize| -> Result<(usize, usize, usize), IrError> {
+        let k = mesh.axis_size(axis).map_err(err)?;
+        let coord = mesh.coordinate_along(device, axis).map_err(err)?;
+        Ok((dim, k, coord))
+    };
+    let mut sched = CollSched::default();
+    match c {
+        Collective::AllReduce { axes, .. } => {
+            for axis in axes {
+                sched.stages.extend(stage_for(axis, 0)?);
+            }
+        }
+        Collective::AllSlice { dim_axes } => {
             for (d, axes) in dim_axes.iter().enumerate() {
-                for axis in axes.iter().rev() {
-                    val = axis_ring_gather(ex, axis, d, val)?;
+                for axis in axes {
+                    sched.slices.push(slice_for(axis, d)?);
                 }
             }
-            Ok(val)
         }
-        Collective::ReduceScatter { dim_axes, reduce } => {
-            let mut val = value;
+        Collective::AllGather { dim_axes } => {
+            for (d, axes) in dim_axes.iter().enumerate() {
+                for axis in axes.iter().rev() {
+                    sched.stages.extend(stage_for(axis, d)?);
+                }
+            }
+        }
+        Collective::ReduceScatter { dim_axes, .. } => {
             for axis in c.axes() {
                 let d = dim_axes
                     .iter()
                     .position(|axes| axes.contains(&axis))
                     .expect("axis comes from dim_axes");
-                val = axis_reduce_scatter(ex, &axis, d, *reduce, val)?;
+                sched.stages.extend(stage_for(&axis, d)?);
             }
-            Ok(val)
         }
         Collective::AllToAll {
             src_dim,
@@ -153,30 +208,75 @@ pub(crate) fn run_collective<E: Exchange>(
             axes,
         } => {
             if let [axis] = axes.as_slice() {
-                return axis_all_to_all(ex, axis, *src_dim, *dst_dim, value);
+                sched.stages.extend(stage_for(axis, *dst_dim)?);
+            } else {
+                // Multi-axis: gather src_dim innermost-first, then slice
+                // dst_dim — the unfused composition, kept for the rare
+                // multi-axis case.
+                for axis in axes.iter().rev() {
+                    sched.stages.extend(stage_for(axis, *src_dim)?);
+                }
+                for axis in axes {
+                    sched.slices.push(slice_for(axis, *dst_dim)?);
+                }
             }
-            // Multi-axis: gather src_dim innermost-first, slice dst_dim —
-            // the unfused composition, kept for the rare multi-axis case.
-            let mut val = value;
-            for axis in axes.iter().rev() {
-                val = axis_ring_gather(ex, axis, *src_dim, val)?;
-            }
-            let rank = val.shape().rank();
-            let mut slice_axes = vec![Vec::new(); rank];
-            slice_axes[*dst_dim] = axes.clone();
-            local_slice(ex, &slice_axes, val)
         }
     }
+    Ok(sched)
 }
 
-/// This device's single-axis group and its position in it.
-fn group_of<E: Exchange>(ex: &E, axis: &Axis) -> Result<(Vec<usize>, usize), RuntimeError> {
-    let group = ex.mesh().axis_group(ex.device(), axis).map_err(invalid)?;
-    let pos = group
-        .iter()
-        .position(|&d| d == ex.device())
-        .expect("device in own group");
-    Ok((group, pos))
+/// Runs one collective for one device over its precomputed schedule.
+/// `value` is the device-local operand; the return value is the
+/// device-local result. Stage-for-stage identical to the schedule-free
+/// dispatch this replaced, so results stay bit-identical to the lockstep
+/// interpreter.
+pub(crate) fn run_scheduled<E: Exchange>(
+    c: &Collective,
+    ex: &mut E,
+    sched: &CollSched,
+    value: Literal,
+) -> Result<Literal, RuntimeError> {
+    match c {
+        Collective::AllReduce { reduce, .. } => {
+            let mut val = value;
+            for stage in &sched.stages {
+                val = axis_all_reduce(ex, stage, *reduce, val)?;
+            }
+            Ok(val)
+        }
+        Collective::AllSlice { .. } => apply_slices(&sched.slices, value),
+        Collective::AllGather { .. } => {
+            let mut val = value;
+            for stage in &sched.stages {
+                val = axis_ring_gather(ex, stage, val)?;
+            }
+            Ok(val)
+        }
+        Collective::ReduceScatter { reduce, .. } => {
+            let mut val = value;
+            for stage in &sched.stages {
+                val = axis_reduce_scatter(ex, stage, *reduce, val)?;
+            }
+            Ok(val)
+        }
+        Collective::AllToAll {
+            src_dim, dst_dim, ..
+        } => {
+            if sched.slices.is_empty() {
+                // Single-axis direct pairwise exchange (or size-1 axis:
+                // no stages, the value passes through).
+                return match sched.stages.first() {
+                    None => Ok(value),
+                    Some(stage) => axis_all_to_all(ex, stage, *src_dim, *dst_dim, value),
+                };
+            }
+            let mut val = value;
+            for stage in &sched.stages {
+                val = axis_ring_gather(ex, stage, val)?;
+            }
+            apply_slices(&sched.slices, val)
+        }
+    }
 }
 
 /// Extracts flat chunk `j` (1-D) of a literal split `k` ways.
@@ -259,15 +359,14 @@ pub(crate) const LEADER_ALL_REDUCE_MAX_BYTES: usize = 256 * 1024;
 /// attributed bytes per group, no chunk copies.
 fn axis_leader_all_reduce<E: Exchange>(
     ex: &mut E,
-    axis: &Axis,
+    stage: &AxisStage,
     reduce: ReduceOp,
     val: Literal,
-    group: &[usize],
-    my_pos: usize,
 ) -> Result<Literal, RuntimeError> {
     if val.num_elements() == 0 {
         return Ok(val);
     }
+    let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
     let root = group[0];
     if my_pos != 0 {
         ex.send(root, axis, val)?;
@@ -291,18 +390,15 @@ fn axis_leader_all_reduce<E: Exchange>(
 /// order), then a ring all-gather of the reduced chunks.
 fn axis_all_reduce<E: Exchange>(
     ex: &mut E,
-    axis: &Axis,
+    stage: &AxisStage,
     reduce: ReduceOp,
     val: Literal,
 ) -> Result<Literal, RuntimeError> {
-    let (group, my_pos) = group_of(ex, axis)?;
-    let k = group.len();
-    if k == 1 {
-        return Ok(val);
-    }
     if val.ty().size_bytes() <= LEADER_ALL_REDUCE_MAX_BYTES {
-        return axis_leader_all_reduce(ex, axis, reduce, val, &group, my_pos);
+        return axis_leader_all_reduce(ex, stage, reduce, val);
     }
+    let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
+    let k = group.len();
     let n = val.num_elements();
     let ty = val.ty();
 
@@ -353,15 +449,12 @@ fn axis_all_reduce<E: Exchange>(
 /// steps, then concatenation in coordinate order.
 fn axis_ring_gather<E: Exchange>(
     ex: &mut E,
-    axis: &Axis,
-    dim: usize,
+    stage: &AxisStage,
     val: Literal,
 ) -> Result<Literal, RuntimeError> {
-    let (group, my_pos) = group_of(ex, axis)?;
+    let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
+    let dim = stage.dim;
     let k = group.len();
-    if k == 1 {
-        return Ok(val);
-    }
     let next = group[(my_pos + 1) % k];
     let prev = group[(my_pos + k - 1) % k];
     let mut blocks: Vec<Option<Literal>> = vec![None; k];
@@ -391,16 +484,13 @@ fn axis_ring_gather<E: Exchange>(
 /// folds its incoming slices linearly in coordinate order.
 fn axis_reduce_scatter<E: Exchange>(
     ex: &mut E,
-    axis: &Axis,
-    dim: usize,
+    stage: &AxisStage,
     reduce: ReduceOp,
     val: Literal,
 ) -> Result<Literal, RuntimeError> {
-    let (group, my_pos) = group_of(ex, axis)?;
+    let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
+    let dim = stage.dim;
     let k = group.len();
-    if k == 1 {
-        return Ok(val);
-    }
     for (j, &peer) in group.iter().enumerate() {
         if j != my_pos {
             ex.send(peer, axis, slice_chunk(&val, dim, j, k)?)?;
@@ -423,16 +513,13 @@ fn axis_reduce_scatter<E: Exchange>(
 /// along `src_dim` in coordinate order.
 fn axis_all_to_all<E: Exchange>(
     ex: &mut E,
-    axis: &Axis,
+    stage: &AxisStage,
     src_dim: usize,
     dst_dim: usize,
     val: Literal,
 ) -> Result<Literal, RuntimeError> {
-    let (group, my_pos) = group_of(ex, axis)?;
+    let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
     let k = group.len();
-    if k == 1 {
-        return Ok(val);
-    }
     for (j, &peer) in group.iter().enumerate() {
         if j != my_pos {
             ex.send(peer, axis, slice_chunk(&val, dst_dim, j, k)?)?;
@@ -455,21 +542,14 @@ fn axis_all_to_all<E: Exchange>(
     Ok(out.into_iter().next().expect("single result"))
 }
 
-/// Device-local slicing (no communication).
-fn local_slice<E: Exchange>(
-    ex: &E,
-    dim_axes: &[Vec<Axis>],
+/// Device-local slicing (no communication): applies the schedule's
+/// precomputed `(dim, k, coord)` slices in order.
+fn apply_slices(
+    slices: &[(usize, usize, usize)],
     mut val: Literal,
 ) -> Result<Literal, RuntimeError> {
-    for (d, axes) in dim_axes.iter().enumerate() {
-        for axis in axes {
-            let k = ex.mesh().axis_size(axis).map_err(invalid)?;
-            let c = ex
-                .mesh()
-                .coordinate_along(ex.device(), axis)
-                .map_err(invalid)?;
-            val = slice_chunk(&val, d, c, k)?;
-        }
+    for &(d, k, c) in slices {
+        val = slice_chunk(&val, d, c, k)?;
     }
     Ok(val)
 }

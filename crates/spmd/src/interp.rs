@@ -4,6 +4,14 @@
 //! collectives exchange data across [`partir_mesh::Mesh`] groups. Used to
 //! validate that lowering + fusion preserve semantics (the executable
 //! analogue of the paper's correctness proof for SPMD lowering).
+//!
+//! This interpreter deliberately stays op-by-op: it is the
+//! *differential oracle* for the compiled execution path. The threaded
+//! runtime compiles programs into [`crate::plan::CompiledPlan`]s (direct
+//! kernel calls, fused elementwise loops, arena-allocated
+//! intermediates); conformance and property tests assert plan execution
+//! is bit-identical to what this module computes, so any disagreement
+//! localises a plan-compiler bug.
 
 use partir_core::{ShardKind, ValueCtx};
 use partir_ir::{

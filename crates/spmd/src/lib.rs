@@ -24,6 +24,17 @@
 //! mirrors its byte counts exactly so the simulator can reconcile
 //! predictions against execution.
 //!
+//! The [`plan`] module is the runtime's compilation layer: a one-time
+//! pass over the lowered program that resolves every op to a direct
+//! kernel call, fuses adjacent elementwise chains into single loop
+//! bodies, lays intermediates out in a bump arena sized by
+//! `partir_analysis`'s static peak bound, and bakes each device's
+//! collective schedule (rendezvous partners, per-axis byte counts)
+//! ahead of time. [`ThreadedRuntime`] executes [`CompiledPlan`]s; the
+//! lockstep interpreter stays op-by-op as the differential oracle.
+//! Compile once with [`SpmdProgram::compile`], then run many steps
+//! without per-step dispatch, shape inference, or allocation.
+//!
 //! # Examples
 //!
 //! ```
@@ -58,6 +69,7 @@ pub mod collectives;
 mod fuse;
 pub mod interp;
 mod lower;
+pub mod plan;
 mod program;
 pub mod runtime;
 mod stats;
@@ -65,6 +77,7 @@ mod stats;
 pub use collectives::{predict_traffic, AxisTraffic, TrafficPrediction};
 pub use fuse::fuse_collectives;
 pub use lower::lower;
+pub use plan::{CompiledPlan, PlanError, PlanExecutor, PlanOptions};
 pub use program::SpmdProgram;
 pub use runtime::{
     seeded_faults, DeviceCounters, Fault, RunOutcome, RuntimeConfig, RuntimeError, RuntimeStats,

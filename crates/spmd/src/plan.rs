@@ -1,0 +1,1810 @@
+//! Compiled per-device execution plans: compile once, run many.
+//!
+//! The [`crate::interp`] lockstep interpreter and the threaded runtime's
+//! original hot loop both re-interpret the lowered program op by op —
+//! re-inferring shapes, re-matching dtypes and allocating a fresh
+//! [`Literal`] for every intermediate on every step. [`CompiledPlan`]
+//! performs that work exactly once:
+//!
+//! * every op is pre-resolved to a direct kernel call
+//!   ([`partir_ir::kernels`] matmul / transpose / broadcast / reduce
+//!   fast paths) with shapes, strides and staging permutations baked in;
+//! * adjacent same-shape `f32` elementwise ops are fused into a single
+//!   register-machine loop body ([`Step::Eltwise`]), so chains like
+//!   `neg → exp → add` make one pass over memory;
+//! * buffer lifetimes are derived from the same liveness schedule as
+//!   [`partir_analysis::static_peak_bound`] (hierarchically per region,
+//!   so loop-carried storage is never reused across iterations) and each
+//!   intermediate gets a fixed slot in a per-device arena — the
+//!   steady-state loop performs **zero** heap allocations;
+//! * collective schedules ([`crate::collectives`]) are wired ahead of
+//!   time per device: rendezvous partners, staging order and per-axis
+//!   chunking are all resolved at compile time.
+//!
+//! The compiler cross-checks its byte accounting against the analysis
+//! crate by replaying the liveness walk ([`PlanError::BoundMismatch`])
+//! and can enforce an arena budget ([`PlanError::ArenaOverflow`]).
+//! Because all devices execute the same SPMD program, one plan serves
+//! the whole mesh; only the per-device collective schedules differ, and
+//! they are stored per device inside the plan's collective steps.
+//!
+//! The lockstep interpreter remains the differential oracle: fault-free
+//! plan execution is bit-identical to it (and hence to the
+//! unpartitioned reference), which the conformance suite asserts across
+//! the model zoo.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use partir_ir::interp::eval_op;
+use partir_ir::kernels::{self, DotPlan, ReducePlan};
+use partir_ir::{
+    BinaryOp, Collective, DType, Func, IrError, Literal, OpId, OpKind, TensorType, UnaryOp, ValueId,
+};
+use partir_mesh::Mesh;
+
+use crate::collectives::{run_scheduled, schedule_collective, CollSched, Exchange};
+use crate::runtime::RuntimeError;
+
+/// Register budget of the fused-elementwise machine. Chains that need
+/// more temporaries are split into consecutive fused steps.
+const MAX_REGS: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Errors and options
+// ---------------------------------------------------------------------------
+
+/// Structured plan-compilation failure.
+#[derive(Debug)]
+pub enum PlanError {
+    /// The arena the layout needs exceeds the configured budget.
+    ArenaOverflow {
+        /// Bytes the compiled layout requires.
+        needed: u64,
+        /// The configured [`PlanOptions::arena_budget`].
+        budget: u64,
+    },
+    /// The compiler's replay of the liveness walk disagrees with
+    /// [`partir_analysis::static_peak_bound`] — a byte-accounting bug in
+    /// one of the two crates.
+    BoundMismatch {
+        /// Peak bytes the plan compiler's own accounting replayed.
+        replayed: u64,
+        /// Peak bytes the analysis crate reports.
+        analysis: u64,
+    },
+    /// Malformed input program.
+    Ir(IrError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ArenaOverflow { needed, budget } => {
+                write!(f, "plan arena needs {needed} B, budget is {budget} B")
+            }
+            PlanError::BoundMismatch { replayed, analysis } => write!(
+                f,
+                "plan replayed peak {replayed} B but analysis bound is {analysis} B"
+            ),
+            PlanError::Ir(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<IrError> for PlanError {
+    fn from(e: IrError) -> Self {
+        PlanError::Ir(e)
+    }
+}
+
+impl From<PlanError> for RuntimeError {
+    fn from(e: PlanError) -> Self {
+        match e {
+            PlanError::Ir(e) => RuntimeError::Ir(e),
+            other => RuntimeError::Ir(IrError::invalid(other.to_string())),
+        }
+    }
+}
+
+/// Compilation knobs.
+#[derive(Debug, Clone, Default)]
+pub struct PlanOptions {
+    /// Upper bound (bytes) on the per-device arena; compilation fails
+    /// with [`PlanError::ArenaOverflow`] when the layout needs more.
+    /// `None` (the default) accepts whatever the layout requires.
+    pub arena_budget: Option<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Slots and the arena allocator
+// ---------------------------------------------------------------------------
+
+/// A fixed range of one typed arena pool, assigned to one SSA value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    dtype: DType,
+    off: usize,
+    len: usize,
+}
+
+fn pool_index(dt: DType) -> usize {
+    match dt {
+        DType::F32 => 0,
+        DType::I32 => 1,
+        DType::Pred => 2,
+        _ => unreachable!("plan: unsupported dtype {dt}"),
+    }
+}
+
+fn pool_elem_bytes(dt: DType) -> usize {
+    match dt {
+        DType::F32 => std::mem::size_of::<f32>(),
+        DType::I32 => std::mem::size_of::<i32>(),
+        DType::Pred => std::mem::size_of::<bool>(),
+        _ => unreachable!("plan: unsupported dtype {dt}"),
+    }
+}
+
+/// First-fit free-list allocator over one pool. Offsets are in elements;
+/// freed ranges coalesce so the high-water mark tracks true peak usage.
+#[derive(Debug, Default)]
+struct PoolAlloc {
+    /// Free ranges `(off, len)`, sorted by offset, coalesced.
+    free: Vec<(usize, usize)>,
+    /// Pool length required so far (elements).
+    high: usize,
+}
+
+impl PoolAlloc {
+    fn alloc(&mut self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        for i in 0..self.free.len() {
+            let (off, flen) = self.free[i];
+            if flen >= len {
+                if flen == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (off + len, flen - len);
+                }
+                return off;
+            }
+        }
+        let off = self.high;
+        self.high += len;
+        off
+    }
+
+    fn free(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let i = self.free.partition_point(|&(o, _)| o < off);
+        self.free.insert(i, (off, len));
+        if i + 1 < self.free.len() && self.free[i].0 + self.free[i].1 == self.free[i + 1].0 {
+            self.free[i].1 += self.free[i + 1].1;
+            self.free.remove(i + 1);
+        }
+        if i > 0 && self.free[i - 1].0 + self.free[i - 1].1 == self.free[i].0 {
+            self.free[i - 1].1 += self.free[i].1;
+            self.free.remove(i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan IR
+// ---------------------------------------------------------------------------
+
+/// Fused-elementwise opcode.
+#[derive(Debug, Clone, Copy)]
+enum EltOp {
+    Un(UnaryOp),
+    Bin(BinaryOp),
+}
+
+/// One register-machine instruction of a fused elementwise loop.
+#[derive(Debug, Clone, Copy)]
+struct EltInstr {
+    op: EltOp,
+    a: u8,
+    b: u8,
+    dst: u8,
+}
+
+/// A fused chain of same-shape `f32` elementwise ops: one pass over the
+/// arena, loads → instrs → stores per element.
+#[derive(Debug, Clone)]
+struct EltwiseStep {
+    n: usize,
+    loads: Vec<(u8, Slot)>,
+    instrs: Vec<EltInstr>,
+    stores: Vec<(u8, Slot)>,
+}
+
+/// A `Dot` pre-planned down to staging gathers and matmul extents.
+#[derive(Debug, Clone)]
+struct DotStep {
+    plan: DotPlan,
+    lhs: Slot,
+    rhs: Slot,
+    dst: Slot,
+}
+
+/// Transpose / broadcast / slice as one precomputed strided gather.
+#[derive(Debug, Clone)]
+struct GatherStep {
+    out_dims: Vec<usize>,
+    in_strides: Vec<usize>,
+    base: usize,
+    src: Slot,
+    dst: Slot,
+    name: &'static str,
+}
+
+/// An `f32` reduction with precomputed output strides.
+#[derive(Debug, Clone)]
+struct ReduceStep {
+    plan: ReducePlan,
+    src: Slot,
+    dst: Slot,
+}
+
+/// Concatenation as per-operand row-span copies.
+#[derive(Debug, Clone)]
+struct ConcatStep {
+    /// `(slot, extent along the concat dim)` per operand.
+    parts: Vec<(Slot, usize)>,
+    dst: Slot,
+    outer: usize,
+    inner: usize,
+    dim_total: usize,
+}
+
+/// Compile-time-materialized constant (or folded iota) payload.
+#[derive(Debug, Clone)]
+enum BakedData {
+    F32(Vec<f32>),
+    I32(Vec<i32>),
+    Pred(Vec<bool>),
+}
+
+/// Writes a baked payload into its slot.
+#[derive(Debug, Clone)]
+struct BakedStep {
+    data: BakedData,
+    dst: Slot,
+    name: &'static str,
+}
+
+/// A counted loop: entry copies, per-iteration body + carry copies,
+/// exit copies (or bypass copies when the trip count is zero).
+#[derive(Debug, Clone)]
+struct ForStep {
+    trip_count: usize,
+    /// `i32` scalar slot of the induction variable.
+    index: Slot,
+    /// Operand → region-param copies before the first iteration.
+    entry: Vec<(Slot, Slot)>,
+    body: Vec<Step>,
+    /// Region-result → region-param copies between iterations
+    /// (identity pairs already dropped).
+    carry: Vec<(Slot, Slot)>,
+    /// Some carry source aliases another carry destination, so carries
+    /// stage through the executor's scratch to stay order-independent.
+    carry_staged: bool,
+    /// Region-result → op-result copies after the last iteration.
+    exit: Vec<(Slot, Slot)>,
+    /// Operand → op-result copies when `trip_count == 0`.
+    bypass: Vec<(Slot, Slot)>,
+}
+
+/// A collective with its per-device schedules resolved ahead of time.
+#[derive(Debug, Clone)]
+struct CollectiveStep {
+    kind: Collective,
+    /// `scheds[d]` is device `d`'s staging order, rendezvous groups and
+    /// local slice chain.
+    scheds: Vec<CollSched>,
+    src: Slot,
+    src_ty: TensorType,
+    dst: Slot,
+    name: &'static str,
+}
+
+/// Fallback for rare ops: lift slots to [`Literal`]s and evaluate via
+/// [`eval_op`]. Allocates — never used for the model-zoo hot path.
+#[derive(Debug, Clone)]
+struct GeneralStep {
+    kind: OpKind,
+    operands: Vec<(Slot, TensorType)>,
+    results: Vec<(Slot, TensorType)>,
+    name: &'static str,
+}
+
+/// One pre-resolved execution step of a compiled plan.
+#[derive(Debug, Clone)]
+enum Step {
+    Baked(BakedStep),
+    Unary1 {
+        op: UnaryOp,
+        src: Slot,
+        dst: Slot,
+    },
+    Binary1 {
+        op: BinaryOp,
+        a: Slot,
+        b: Slot,
+        dst: Slot,
+    },
+    Eltwise(EltwiseStep),
+    Dot(DotStep),
+    Gather(GatherStep),
+    Reduce(ReduceStep),
+    Copy {
+        src: Slot,
+        dst: Slot,
+    },
+    Concat(ConcatStep),
+    For(Box<ForStep>),
+    Collective(Box<CollectiveStep>),
+    General(Box<GeneralStep>),
+}
+
+impl Step {
+    /// Span name for the observability timeline — the op mnemonic the
+    /// interpreting runtime used, so traces stay comparable.
+    fn name(&self) -> &'static str {
+        match self {
+            Step::Baked(b) => b.name,
+            Step::Unary1 { op, .. } => OpKind::Unary(*op).name(),
+            Step::Binary1 { op, .. } => OpKind::Binary(*op).name(),
+            Step::Eltwise(_) => "fused_eltwise",
+            Step::Dot(_) => "dot",
+            Step::Gather(g) => g.name,
+            Step::Reduce(_) => "reduce",
+            Step::Copy { .. } => "reshape",
+            Step::Concat(_) => "concatenate",
+            Step::For(_) => "for",
+            Step::Collective(c) => c.name,
+            Step::General(g) => g.name,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compiled plan
+// ---------------------------------------------------------------------------
+
+/// A device-local program compiled to direct kernel calls over a fixed
+/// arena. One plan serves every device of the mesh (SPMD); only the
+/// collective schedules embedded in the steps are per-device.
+#[derive(Debug)]
+pub struct CompiledPlan {
+    steps: Vec<Step>,
+    /// Arena pool lengths in elements: `[f32, i32, pred]`.
+    pool_len: [usize; 3],
+    /// Carry-staging scratch lengths in elements: `[f32, i32, pred]`.
+    carry_elems: [usize; 3],
+    param_slots: Vec<Slot>,
+    param_tys: Vec<TensorType>,
+    result_slots: Vec<Slot>,
+    result_tys: Vec<TensorType>,
+    num_devices: usize,
+    static_peak: u64,
+    arena_bytes: u64,
+    fused_ops: usize,
+}
+
+impl CompiledPlan {
+    /// Compiles `func` (a lowered device-local program) for every device
+    /// of `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::BoundMismatch`] when the compiler's byte accounting
+    /// disagrees with [`partir_analysis::static_peak_bound`];
+    /// [`PlanError::ArenaOverflow`] when the layout exceeds
+    /// [`PlanOptions::arena_budget`]; [`PlanError::Ir`] on malformed
+    /// programs.
+    pub fn compile(func: &Func, mesh: &Mesh, options: &PlanOptions) -> Result<Self, PlanError> {
+        let _span = partir_obs::span!("plan.compile");
+        let mut external: HashSet<ValueId> = func.results().iter().copied().collect();
+        for op_id in func.op_ids() {
+            if let Some(region) = &func.op(op_id).region {
+                external.extend(region.results.iter().copied());
+            }
+        }
+        let mut c = Compiler {
+            func,
+            mesh,
+            slots: vec![None; func.num_values()],
+            alloc: Default::default(),
+            uses: func.uses(),
+            external,
+            carry_elems: [0; 3],
+            fused_ops: 0,
+        };
+        let param_slots: Vec<Slot> = func.params().iter().map(|&p| c.alloc_value(p)).collect();
+        let param_tys: Vec<TensorType> = func
+            .params()
+            .iter()
+            .map(|&p| func.value_type(p).clone())
+            .collect();
+        let mut steps = Vec::new();
+        // Top-level leftovers (results, never-used values) stay resident.
+        let _ = c.compile_body(func.body(), func.results(), &mut steps)?;
+        let result_slots: Vec<Slot> = func
+            .results()
+            .iter()
+            .map(|&r| c.slot_of(r))
+            .collect::<Result<_, _>>()?;
+        let result_tys: Vec<TensorType> = func
+            .results()
+            .iter()
+            .map(|&r| func.value_type(r).clone())
+            .collect();
+        let pool_len = [c.alloc[0].high, c.alloc[1].high, c.alloc[2].high];
+        let arena_bytes = pool_len
+            .iter()
+            .zip([DType::F32, DType::I32, DType::Pred])
+            .map(|(&len, dt)| len as u64 * pool_elem_bytes(dt) as u64)
+            .sum();
+        // Satellite check: replay the analysis liveness walk with the
+        // plan's own pool-element byte accounting and require exact
+        // agreement with the published static bound.
+        let analysis = partir_analysis::static_peak_bound(func);
+        let replayed = replay_bound(func);
+        if replayed != analysis {
+            return Err(PlanError::BoundMismatch { replayed, analysis });
+        }
+        if let Some(budget) = options.arena_budget {
+            if arena_bytes > budget {
+                return Err(PlanError::ArenaOverflow {
+                    needed: arena_bytes,
+                    budget,
+                });
+            }
+        }
+        let (carry_elems, fused_ops) = (c.carry_elems, c.fused_ops);
+        Ok(CompiledPlan {
+            steps,
+            pool_len,
+            carry_elems,
+            param_slots,
+            param_tys,
+            result_slots,
+            result_tys,
+            num_devices: mesh.num_devices(),
+            static_peak: analysis,
+            arena_bytes,
+            fused_ops,
+        })
+    }
+
+    /// Devices the plan was compiled for.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Per-device parameter types, in order.
+    pub fn param_tys(&self) -> &[TensorType] {
+        &self.param_tys
+    }
+
+    /// Bytes of the per-device arena the executor allocates up front.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena_bytes
+    }
+
+    /// The [`partir_analysis::static_peak_bound`] of the program, as
+    /// cross-checked at compile time.
+    pub fn static_peak_bytes(&self) -> u64 {
+        self.static_peak
+    }
+
+    /// Ops folded into fused elementwise loops.
+    pub fn fused_ops(&self) -> usize {
+        self.fused_ops
+    }
+
+    /// Top-level steps of the plan.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Fresh executor state (arena pools + carry scratch) for this plan.
+    pub fn new_executor(&self) -> PlanExecutor {
+        PlanExecutor::new(self)
+    }
+
+    /// Type-checks `inputs` and copies them into the executor's arena.
+    /// Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// On arity or type mismatch with the compiled parameters.
+    pub fn load_inputs(
+        &self,
+        st: &mut PlanExecutor,
+        inputs: &[Literal],
+    ) -> Result<(), RuntimeError> {
+        if inputs.len() != self.param_slots.len() {
+            return Err(RuntimeError::Ir(IrError::invalid(format!(
+                "plan expects {} inputs, got {}",
+                self.param_slots.len(),
+                inputs.len()
+            ))));
+        }
+        for ((lit, slot), ty) in inputs.iter().zip(&self.param_slots).zip(&self.param_tys) {
+            // Field-wise comparison: `Literal::ty()` would clone the
+            // shape and so allocate in the hot loop.
+            if lit.dtype() != ty.dtype || lit.shape() != &ty.shape {
+                return Err(RuntimeError::Ir(IrError::invalid(format!(
+                    "plan input has type {}, expected {ty}",
+                    lit.ty()
+                ))));
+            }
+            write_slot(st, slot, lit)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the compiled steps without a communication fabric — the
+    /// steady-state hot loop. Heap-allocation-free after the first run
+    /// warms the kernel scratch pool, provided the program contains no
+    /// collective exchanges or [`Step::General`] fallbacks.
+    ///
+    /// # Errors
+    ///
+    /// If the program attempts device-to-device communication, or a
+    /// general-fallback op fails evaluation.
+    pub fn run_local_steps(&self, st: &mut PlanExecutor) -> Result<(), RuntimeError> {
+        let mut ex = NoExchange { device: 0 };
+        let traced = partir_obs::current().is_some();
+        run_steps(&self.steps, st, &mut ex, traced)
+    }
+
+    /// Copies the program results out of the arena into fresh
+    /// [`Literal`]s.
+    ///
+    /// # Errors
+    ///
+    /// On malformed result metadata (shape/element mismatch).
+    pub fn read_outputs(&self, st: &PlanExecutor) -> Result<Vec<Literal>, RuntimeError> {
+        self.result_slots
+            .iter()
+            .zip(&self.result_tys)
+            .map(|(slot, ty)| read_slot(st, slot, ty))
+            .collect()
+    }
+
+    /// Convenience single-device execution: load, run, read.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledPlan::load_inputs`] / [`CompiledPlan::run_local_steps`].
+    pub fn execute_local(&self, inputs: &[Literal]) -> Result<Vec<Literal>, RuntimeError> {
+        let mut st = self.new_executor();
+        self.load_inputs(&mut st, inputs)?;
+        self.run_local_steps(&mut st)?;
+        self.read_outputs(&st)
+    }
+
+    /// Full device execution over an exchange fabric: the threaded
+    /// runtime's per-device body.
+    pub(crate) fn run_device<E: Exchange>(
+        &self,
+        ex: &mut E,
+        st: &mut PlanExecutor,
+        inputs: &[Literal],
+    ) -> Result<Vec<Literal>, RuntimeError> {
+        self.load_inputs(st, inputs)?;
+        let traced = partir_obs::current().is_some();
+        run_steps(&self.steps, st, ex, traced)?;
+        self.read_outputs(st)
+    }
+}
+
+/// Replays the [`partir_analysis::liveness_frees`] schedule with the
+/// plan's own pool-element byte accounting. Must agree exactly with
+/// [`partir_analysis::static_peak_bound`].
+fn replay_bound(func: &Func) -> u64 {
+    let (lin, freed) = partir_analysis::liveness_frees(func);
+    let end = lin.len();
+    let bytes_of = |v: ValueId| -> u64 {
+        let ty = func.value_type(v);
+        ty.shape.num_elements() as u64 * pool_elem_bytes(ty.dtype) as u64
+    };
+    let mut current: u64 = func.params().iter().map(|&p| bytes_of(p)).sum();
+    let mut peak = current;
+    let mut frees: Vec<Vec<ValueId>> = vec![Vec::new(); end + 1];
+    for v in func.value_ids() {
+        if let Some(pos) = freed[v.0 as usize] {
+            frees[pos].push(v);
+        }
+    }
+    let mut alive = vec![false; func.num_values()];
+    for &p in func.params() {
+        alive[p.0 as usize] = true;
+    }
+    for (pos, &op_id) in lin.order().iter().enumerate() {
+        let op = func.op(op_id);
+        for &r in &op.results {
+            if !alive[r.0 as usize] {
+                alive[r.0 as usize] = true;
+                current += bytes_of(r);
+            }
+        }
+        if matches!(op.kind, OpKind::For { .. }) {
+            if let Some(region) = &op.region {
+                for &p in &region.params {
+                    if !alive[p.0 as usize] {
+                        alive[p.0 as usize] = true;
+                        current += bytes_of(p);
+                    }
+                }
+            }
+        }
+        peak = peak.max(current);
+        for &v in &frees[pos] {
+            if alive[v.0 as usize] {
+                alive[v.0 as usize] = false;
+                current = current.saturating_sub(bytes_of(v));
+            }
+        }
+    }
+    peak
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+/// Per-scope bookkeeping: which values this scope allocated (and may
+/// therefore free).
+#[derive(Default)]
+struct ScopeAlloc {
+    order: Vec<ValueId>,
+    set: HashSet<ValueId>,
+}
+
+impl ScopeAlloc {
+    fn add(&mut self, v: ValueId) {
+        if self.set.insert(v) {
+            self.order.push(v);
+        }
+    }
+}
+
+struct Compiler<'f> {
+    func: &'f Func,
+    mesh: &'f Mesh,
+    slots: Vec<Option<Slot>>,
+    alloc: [PoolAlloc; 3],
+    uses: HashMap<ValueId, Vec<OpId>>,
+    /// Values read by op scaffolding rather than operand lists: function
+    /// results and every region's yielded values. Always materialized.
+    external: HashSet<ValueId>,
+    carry_elems: [usize; 3],
+    fused_ops: usize,
+}
+
+impl<'f> Compiler<'f> {
+    fn alloc_value(&mut self, v: ValueId) -> Slot {
+        let ty = self.func.value_type(v);
+        let len = ty.shape.num_elements();
+        let dt = ty.dtype;
+        let off = self.alloc[pool_index(dt)].alloc(len);
+        let slot = Slot {
+            dtype: dt,
+            off,
+            len,
+        };
+        self.slots[v.0 as usize] = Some(slot);
+        slot
+    }
+
+    fn slot_of(&self, v: ValueId) -> Result<Slot, PlanError> {
+        self.slots[v.0 as usize]
+            .ok_or_else(|| PlanError::Ir(IrError::invalid("plan: value has no slot")))
+    }
+
+    fn free_slot(&mut self, slot: Slot) {
+        self.alloc[pool_index(slot.dtype)].free(slot.off, slot.len);
+    }
+
+    /// Last use position of every value read in this scope. Reads inside
+    /// nested regions bubble up to the position of the owning op, so a
+    /// value used only inside a loop stays allocated for the whole loop.
+    fn scope_last_use(&self, body: &[OpId]) -> HashMap<ValueId, usize> {
+        fn collect_reads(func: &Func, op_id: OpId, pos: usize, last: &mut HashMap<ValueId, usize>) {
+            let op = func.op(op_id);
+            for &v in &op.operands {
+                last.insert(v, pos);
+            }
+            if let Some(region) = &op.region {
+                for &v in &region.results {
+                    last.insert(v, pos);
+                }
+                for &inner in &region.body {
+                    collect_reads(func, inner, pos, last);
+                }
+            }
+        }
+        let mut last = HashMap::new();
+        for (pos, &op_id) in body.iter().enumerate() {
+            collect_reads(self.func, op_id, pos, &mut last);
+        }
+        last
+    }
+
+    /// Compiles one region body. Values this scope allocates are freed at
+    /// their last in-scope use; values pinned by `end_uses` (the scope's
+    /// yields) and never-used values are returned so the caller can free
+    /// them once the enclosing construct no longer needs them.
+    fn compile_body(
+        &mut self,
+        body: &[OpId],
+        end_uses: &[ValueId],
+        steps: &mut Vec<Step>,
+    ) -> Result<Vec<ValueId>, PlanError> {
+        let last = self.scope_last_use(body);
+        let end_pinned: HashSet<ValueId> = end_uses.iter().copied().collect();
+        let mut frees_at: Vec<Vec<ValueId>> = vec![Vec::new(); body.len()];
+        for (&v, &p) in &last {
+            frees_at[p].push(v);
+        }
+        for list in &mut frees_at {
+            list.sort_by_key(|v| v.0);
+        }
+        let mut scope = ScopeAlloc::default();
+        let mut freed: HashSet<ValueId> = HashSet::new();
+
+        let mut pos = 0;
+        while pos < body.len() {
+            match self.fusable_n(body[pos]) {
+                Some(n) => {
+                    let mut run_end = pos + 1;
+                    while run_end < body.len() && self.fusable_n(body[run_end]) == Some(n) {
+                        run_end += 1;
+                    }
+                    for (s, e) in self.segment_run(body, pos, run_end) {
+                        if e - s == 1 {
+                            self.emit_eltwise_single(body[s], steps, &mut scope)?;
+                        } else {
+                            self.emit_fused(&body[s..e], n, steps, &mut scope)?;
+                        }
+                        for frees in &frees_at[s..e] {
+                            self.apply_frees(frees, &scope, &end_pinned, &mut freed);
+                        }
+                    }
+                    pos = run_end;
+                }
+                None => {
+                    self.emit_op(body[pos], steps, &mut scope)?;
+                    self.apply_frees(&frees_at[pos], &scope, &end_pinned, &mut freed);
+                    pos += 1;
+                }
+            }
+        }
+        Ok(scope
+            .order
+            .iter()
+            .copied()
+            .filter(|v| !freed.contains(v))
+            .collect())
+    }
+
+    fn apply_frees(
+        &mut self,
+        vals: &[ValueId],
+        scope: &ScopeAlloc,
+        end_pinned: &HashSet<ValueId>,
+        freed: &mut HashSet<ValueId>,
+    ) {
+        for &v in vals {
+            if scope.set.contains(&v) && !end_pinned.contains(&v) && !freed.contains(&v) {
+                if let Some(slot) = self.slots[v.0 as usize] {
+                    self.free_slot(slot);
+                    freed.insert(v);
+                }
+            }
+        }
+    }
+
+    /// `Some(element count)` when the op is a same-shape `f32`
+    /// elementwise op eligible for fusion.
+    fn fusable_n(&self, op_id: OpId) -> Option<usize> {
+        let op = self.func.op(op_id);
+        if !matches!(op.kind, OpKind::Unary(_) | OpKind::Binary(_)) {
+            return None;
+        }
+        let ty = self.func.value_type(op.results[0]);
+        if ty.dtype != DType::F32 {
+            return None;
+        }
+        Some(ty.shape.num_elements())
+    }
+
+    /// Splits the elementwise run `[start, end)` into segments whose
+    /// register demand fits [`MAX_REGS`].
+    fn segment_run(&self, body: &[OpId], start: usize, end: usize) -> Vec<(usize, usize)> {
+        let mut segs = Vec::new();
+        let mut seg_start = start;
+        let mut in_regs: HashSet<ValueId> = HashSet::new();
+        let mut regs = 0usize;
+        for (pos, &op_id) in body.iter().enumerate().take(end).skip(start) {
+            let op = self.func.op(op_id);
+            let mut fresh: Vec<ValueId> = Vec::new();
+            for &o in &op.operands {
+                if !in_regs.contains(&o) && !fresh.contains(&o) {
+                    fresh.push(o);
+                }
+            }
+            if regs + fresh.len() + 1 > MAX_REGS && pos > seg_start {
+                segs.push((seg_start, pos));
+                seg_start = pos;
+                in_regs.clear();
+                regs = 0;
+                fresh.clear();
+                for &o in &op.operands {
+                    if !fresh.contains(&o) {
+                        fresh.push(o);
+                    }
+                }
+            }
+            regs += fresh.len() + 1;
+            in_regs.extend(fresh);
+            in_regs.insert(op.results[0]);
+        }
+        segs.push((seg_start, end));
+        segs
+    }
+
+    /// Whether a fused result must be written back to the arena: it is
+    /// read by some op outside the segment, yielded by a region, or a
+    /// function result. Purely-internal temporaries live in registers.
+    fn needs_store(&self, v: ValueId, seg_ops: &HashSet<OpId>) -> bool {
+        if self.external.contains(&v) {
+            return true;
+        }
+        self.uses
+            .get(&v)
+            .is_some_and(|us| us.iter().any(|u| !seg_ops.contains(u)))
+    }
+
+    fn emit_fused(
+        &mut self,
+        seg: &[OpId],
+        n: usize,
+        steps: &mut Vec<Step>,
+        scope: &mut ScopeAlloc,
+    ) -> Result<(), PlanError> {
+        let seg_ops: HashSet<OpId> = seg.iter().copied().collect();
+        let mut regmap: HashMap<ValueId, u8> = HashMap::new();
+        let mut next: u8 = 0;
+        let mut loads: Vec<(u8, Slot)> = Vec::new();
+        let mut instrs: Vec<EltInstr> = Vec::new();
+        for &op_id in seg {
+            let op = self.func.op(op_id);
+            let instr = match &op.kind {
+                OpKind::Unary(u) => {
+                    let a = self.fused_reg(op.operands[0], &mut regmap, &mut next, &mut loads)?;
+                    EltInstr {
+                        op: EltOp::Un(*u),
+                        a,
+                        b: 0,
+                        dst: 0,
+                    }
+                }
+                OpKind::Binary(bo) => {
+                    let a = self.fused_reg(op.operands[0], &mut regmap, &mut next, &mut loads)?;
+                    let b = self.fused_reg(op.operands[1], &mut regmap, &mut next, &mut loads)?;
+                    EltInstr {
+                        op: EltOp::Bin(*bo),
+                        a,
+                        b,
+                        dst: 0,
+                    }
+                }
+                _ => {
+                    return Err(PlanError::Ir(IrError::invalid(
+                        "non-elementwise op in fused segment",
+                    )))
+                }
+            };
+            let dst = next;
+            next += 1;
+            regmap.insert(op.results[0], dst);
+            instrs.push(EltInstr { dst, ..instr });
+        }
+        debug_assert!(
+            (next as usize) <= MAX_REGS,
+            "fused segment overflows registers"
+        );
+        let mut stores: Vec<(u8, Slot)> = Vec::new();
+        for &op_id in seg {
+            let v = self.func.op(op_id).results[0];
+            if self.needs_store(v, &seg_ops) {
+                let slot = self.alloc_value(v);
+                scope.add(v);
+                stores.push((regmap[&v], slot));
+            }
+        }
+        self.fused_ops += seg.len();
+        steps.push(Step::Eltwise(EltwiseStep {
+            n,
+            loads,
+            instrs,
+            stores,
+        }));
+        Ok(())
+    }
+
+    fn fused_reg(
+        &self,
+        v: ValueId,
+        regmap: &mut HashMap<ValueId, u8>,
+        next: &mut u8,
+        loads: &mut Vec<(u8, Slot)>,
+    ) -> Result<u8, PlanError> {
+        if let Some(&r) = regmap.get(&v) {
+            return Ok(r);
+        }
+        let r = *next;
+        *next += 1;
+        loads.push((r, self.slot_of(v)?));
+        regmap.insert(v, r);
+        Ok(r)
+    }
+
+    fn emit_eltwise_single(
+        &mut self,
+        op_id: OpId,
+        steps: &mut Vec<Step>,
+        scope: &mut ScopeAlloc,
+    ) -> Result<(), PlanError> {
+        let op = self.func.op(op_id);
+        let step = match &op.kind {
+            OpKind::Unary(u) => {
+                let src = self.slot_of(op.operands[0])?;
+                let dst = self.alloc_value(op.results[0]);
+                scope.add(op.results[0]);
+                Step::Unary1 { op: *u, src, dst }
+            }
+            OpKind::Binary(bo) => {
+                let a = self.slot_of(op.operands[0])?;
+                let b = self.slot_of(op.operands[1])?;
+                let dst = self.alloc_value(op.results[0]);
+                scope.add(op.results[0]);
+                Step::Binary1 { op: *bo, a, b, dst }
+            }
+            _ => return Err(PlanError::Ir(IrError::invalid("non-elementwise singleton"))),
+        };
+        steps.push(step);
+        Ok(())
+    }
+
+    fn emit_op(
+        &mut self,
+        op_id: OpId,
+        steps: &mut Vec<Step>,
+        scope: &mut ScopeAlloc,
+    ) -> Result<(), PlanError> {
+        let op = self.func.op(op_id);
+        let name = op.kind.name();
+        match &op.kind {
+            OpKind::Constant(lit) => {
+                let dst = self.alloc_value(op.results[0]);
+                scope.add(op.results[0]);
+                steps.push(Step::Baked(BakedStep {
+                    data: baked_data(lit)?,
+                    dst,
+                    name,
+                }));
+            }
+            OpKind::Iota { .. } => {
+                let rty = self.func.value_type(op.results[0]).clone();
+                // Fold at compile time; fall back for variants eval_op
+                // rejects so runtime errors stay identical.
+                match eval_op(&op.kind, &[], &rty) {
+                    Ok(lits) => {
+                        let dst = self.alloc_value(op.results[0]);
+                        scope.add(op.results[0]);
+                        steps.push(Step::Baked(BakedStep {
+                            data: baked_data(&lits[0])?,
+                            dst,
+                            name,
+                        }));
+                    }
+                    Err(_) => self.emit_general(op_id, steps, scope)?,
+                }
+            }
+            OpKind::Dot(dims) => {
+                let lty = self.func.value_type(op.operands[0]);
+                let rty = self.func.value_type(op.operands[1]);
+                if lty.dtype == DType::F32 && rty.dtype == DType::F32 {
+                    let (plan, _) = kernels::plan_dot(dims, &lty.shape, &rty.shape);
+                    let lhs = self.slot_of(op.operands[0])?;
+                    let rhs = self.slot_of(op.operands[1])?;
+                    let dst = self.alloc_value(op.results[0]);
+                    scope.add(op.results[0]);
+                    steps.push(Step::Dot(DotStep {
+                        plan,
+                        lhs,
+                        rhs,
+                        dst,
+                    }));
+                } else {
+                    self.emit_general(op_id, steps, scope)?;
+                }
+            }
+            OpKind::Transpose { perm } => {
+                let in_shape = &self.func.value_type(op.operands[0]).shape;
+                let strides = in_shape.strides();
+                let out_dims: Vec<usize> = perm.iter().map(|&p| in_shape.dim(p)).collect();
+                let in_strides: Vec<usize> = perm.iter().map(|&p| strides[p]).collect();
+                self.push_gather(op_id, out_dims, in_strides, 0, name, steps, scope)?;
+            }
+            OpKind::BroadcastInDim {
+                shape,
+                broadcast_dims,
+            } => {
+                let in_shape = &self.func.value_type(op.operands[0]).shape;
+                let src_strides = in_shape.strides();
+                let mut in_strides = vec![0usize; shape.rank()];
+                for (i, &bd) in broadcast_dims.iter().enumerate() {
+                    if in_shape.dim(i) != 1 {
+                        in_strides[bd] = src_strides[i];
+                    }
+                }
+                self.push_gather(
+                    op_id,
+                    shape.dims().to_vec(),
+                    in_strides,
+                    0,
+                    name,
+                    steps,
+                    scope,
+                )?;
+            }
+            OpKind::Slice {
+                starts,
+                limits: _,
+                strides,
+            } => {
+                let in_shape = &self.func.value_type(op.operands[0]).shape;
+                let src_strides = in_shape.strides();
+                let out_dims = self.func.value_type(op.results[0]).shape.dims().to_vec();
+                let in_strides: Vec<usize> = (0..in_shape.rank())
+                    .map(|d| src_strides[d] * strides[d])
+                    .collect();
+                let base: usize = starts
+                    .iter()
+                    .zip(&src_strides)
+                    .map(|(&s, &st)| s * st)
+                    .sum();
+                self.push_gather(op_id, out_dims, in_strides, base, name, steps, scope)?;
+            }
+            OpKind::Reshape { .. } => {
+                let src = self.slot_of(op.operands[0])?;
+                let dst = self.alloc_value(op.results[0]);
+                scope.add(op.results[0]);
+                steps.push(Step::Copy { src, dst });
+            }
+            OpKind::Reduce { op: rop, dims } => {
+                let in_ty = self.func.value_type(op.operands[0]);
+                if in_ty.dtype == DType::F32 {
+                    let (plan, _) = kernels::plan_reduce(*rop, &in_ty.shape, dims);
+                    let src = self.slot_of(op.operands[0])?;
+                    let dst = self.alloc_value(op.results[0]);
+                    scope.add(op.results[0]);
+                    steps.push(Step::Reduce(ReduceStep { plan, src, dst }));
+                } else {
+                    self.emit_general(op_id, steps, scope)?;
+                }
+            }
+            OpKind::Concatenate { dim } => {
+                let first = self.func.value_type(op.operands[0]);
+                let outer: usize = first.shape.dims()[..*dim].iter().product();
+                let inner: usize = first.shape.dims()[*dim + 1..].iter().product();
+                let dim_total = self.func.value_type(op.results[0]).shape.dim(*dim);
+                let parts: Vec<(Slot, usize)> = op
+                    .operands
+                    .iter()
+                    .map(|&o| Ok((self.slot_of(o)?, self.func.value_type(o).shape.dim(*dim))))
+                    .collect::<Result<_, PlanError>>()?;
+                let dst = self.alloc_value(op.results[0]);
+                scope.add(op.results[0]);
+                steps.push(Step::Concat(ConcatStep {
+                    parts,
+                    dst,
+                    outer,
+                    inner,
+                    dim_total,
+                }));
+            }
+            OpKind::For { trip_count } => self.emit_for(op_id, *trip_count, steps, scope)?,
+            OpKind::Collective(c) => {
+                let scheds: Vec<CollSched> = (0..self.mesh.num_devices())
+                    .map(|d| schedule_collective(c, self.mesh, d))
+                    .collect::<Result<_, _>>()?;
+                let src = self.slot_of(op.operands[0])?;
+                let src_ty = self.func.value_type(op.operands[0]).clone();
+                let dst = self.alloc_value(op.results[0]);
+                scope.add(op.results[0]);
+                steps.push(Step::Collective(Box::new(CollectiveStep {
+                    kind: c.clone(),
+                    scheds,
+                    src,
+                    src_ty,
+                    dst,
+                    name,
+                })));
+            }
+            _ => self.emit_general(op_id, steps, scope)?,
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_gather(
+        &mut self,
+        op_id: OpId,
+        out_dims: Vec<usize>,
+        in_strides: Vec<usize>,
+        base: usize,
+        name: &'static str,
+        steps: &mut Vec<Step>,
+        scope: &mut ScopeAlloc,
+    ) -> Result<(), PlanError> {
+        let op = self.func.op(op_id);
+        let src = self.slot_of(op.operands[0])?;
+        let dst = self.alloc_value(op.results[0]);
+        scope.add(op.results[0]);
+        steps.push(Step::Gather(GatherStep {
+            out_dims,
+            in_strides,
+            base,
+            src,
+            dst,
+            name,
+        }));
+        Ok(())
+    }
+
+    fn emit_for(
+        &mut self,
+        op_id: OpId,
+        trip_count: usize,
+        steps: &mut Vec<Step>,
+        scope: &mut ScopeAlloc,
+    ) -> Result<(), PlanError> {
+        let op = self.func.op(op_id);
+        let region = op
+            .region
+            .as_ref()
+            .ok_or_else(|| PlanError::Ir(IrError::invalid("for without region")))?
+            .clone();
+        let (operands, results) = (op.operands.clone(), op.results.clone());
+        // Loop-scope storage: the induction slot and carried params live
+        // for the whole loop regardless of textual last use, so carried
+        // state is never clobbered across iterations.
+        let index = self.alloc_value(region.params[0]);
+        let mut entry = Vec::new();
+        for (j, &p) in region.params[1..].iter().enumerate() {
+            let pslot = self.alloc_value(p);
+            entry.push((self.slot_of(operands[j])?, pslot));
+        }
+        let mut body_steps = Vec::new();
+        let leftover = self.compile_body(&region.body, &region.results, &mut body_steps)?;
+        // Op results are allocated while every region value is still
+        // live, so exit copies can never alias their sources.
+        let mut exit = Vec::new();
+        let mut bypass = Vec::new();
+        for (j, &r) in results.iter().enumerate() {
+            let rslot = self.alloc_value(r);
+            scope.add(r);
+            exit.push((self.slot_of(region.results[j])?, rslot));
+            bypass.push((self.slot_of(operands[j])?, rslot));
+        }
+        let mut carry = Vec::new();
+        for (j, &p) in region.params[1..].iter().enumerate() {
+            let src = self.slot_of(region.results[j])?;
+            let dst = self.slot_of(p)?;
+            if src != dst {
+                carry.push((src, dst));
+            }
+        }
+        let carry_staged = carry
+            .iter()
+            .any(|&(s, _)| carry.iter().any(|&(_, d)| s == d));
+        if carry_staged {
+            let mut elems = [0usize; 3];
+            for &(s, _) in &carry {
+                elems[pool_index(s.dtype)] += s.len;
+            }
+            for (have, need) in self.carry_elems.iter_mut().zip(elems) {
+                *have = (*have).max(need);
+            }
+        }
+        // The loop is assembled: its private storage can be recycled.
+        for v in leftover {
+            if let Some(slot) = self.slots[v.0 as usize] {
+                self.free_slot(slot);
+            }
+        }
+        for &p in &region.params {
+            if let Some(slot) = self.slots[p.0 as usize] {
+                self.free_slot(slot);
+            }
+        }
+        steps.push(Step::For(Box::new(ForStep {
+            trip_count,
+            index,
+            entry,
+            body: body_steps,
+            carry,
+            carry_staged,
+            exit,
+            bypass,
+        })));
+        Ok(())
+    }
+
+    fn emit_general(
+        &mut self,
+        op_id: OpId,
+        steps: &mut Vec<Step>,
+        scope: &mut ScopeAlloc,
+    ) -> Result<(), PlanError> {
+        let op = self.func.op(op_id);
+        let name = op.kind.name();
+        let operands: Vec<(Slot, TensorType)> = op
+            .operands
+            .iter()
+            .map(|&o| Ok((self.slot_of(o)?, self.func.value_type(o).clone())))
+            .collect::<Result<_, PlanError>>()?;
+        let results: Vec<(Slot, TensorType)> = op
+            .results
+            .iter()
+            .map(|&r| {
+                let slot = self.alloc_value(r);
+                scope.add(r);
+                (slot, self.func.value_type(r).clone())
+            })
+            .collect();
+        steps.push(Step::General(Box::new(GeneralStep {
+            kind: op.kind.clone(),
+            operands,
+            results,
+            name,
+        })));
+        Ok(())
+    }
+}
+
+fn baked_data(lit: &Literal) -> Result<BakedData, PlanError> {
+    Ok(match lit.dtype() {
+        DType::F32 => BakedData::F32(lit.as_f32().map_err(PlanError::Ir)?.to_vec()),
+        DType::I32 => BakedData::I32(lit.as_i32().map_err(PlanError::Ir)?.to_vec()),
+        DType::Pred => BakedData::Pred(lit.as_pred().map_err(PlanError::Ir)?.to_vec()),
+        dt => {
+            return Err(PlanError::Ir(IrError::invalid(format!(
+                "plan: unsupported constant dtype {dt}"
+            ))))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Mutable per-device execution state: the typed arena pools plus the
+/// carry-staging scratch. Allocated once per device; every run reuses it.
+pub struct PlanExecutor {
+    f32s: Vec<f32>,
+    i32s: Vec<i32>,
+    preds: Vec<bool>,
+    carry_f32s: Vec<f32>,
+    carry_i32s: Vec<i32>,
+    carry_preds: Vec<bool>,
+}
+
+impl PlanExecutor {
+    /// Allocates the arena for `plan`.
+    pub fn new(plan: &CompiledPlan) -> Self {
+        PlanExecutor {
+            f32s: vec![0.0; plan.pool_len[0]],
+            i32s: vec![0; plan.pool_len[1]],
+            preds: vec![false; plan.pool_len[2]],
+            carry_f32s: vec![0.0; plan.carry_elems[0]],
+            carry_i32s: vec![0; plan.carry_elems[1]],
+            carry_preds: vec![false; plan.carry_elems[2]],
+        }
+    }
+}
+
+/// Executor for plans that never exchange: local single-device runs.
+struct NoExchange {
+    device: usize,
+}
+
+impl Exchange for NoExchange {
+    fn device(&self) -> usize {
+        self.device
+    }
+
+    fn send(
+        &mut self,
+        _dst: usize,
+        _axis: &partir_mesh::Axis,
+        _payload: Literal,
+    ) -> Result<(), RuntimeError> {
+        Err(RuntimeError::Ir(IrError::invalid(
+            "local plan execution cannot communicate",
+        )))
+    }
+
+    fn recv(&mut self, _src: usize, _axis: &partir_mesh::Axis) -> Result<Literal, RuntimeError> {
+        Err(RuntimeError::Ir(IrError::invalid(
+            "local plan execution cannot communicate",
+        )))
+    }
+}
+
+/// Splits `pool` into one read slice and one disjoint write slice.
+fn split1<T>(pool: &mut [T], r: Slot, w: Slot) -> (&[T], &mut [T]) {
+    assert!(
+        r.off + r.len <= w.off || w.off + w.len <= r.off,
+        "plan: aliasing read/write slots"
+    );
+    if r.off < w.off {
+        let (a, b) = pool.split_at_mut(w.off);
+        (&a[r.off..r.off + r.len], &mut b[..w.len])
+    } else {
+        let (a, b) = pool.split_at_mut(r.off);
+        (&b[..r.len], &mut a[w.off..w.off + w.len])
+    }
+}
+
+/// Resolves a read slot against the two halves around a carved-out
+/// write range.
+fn read_part<'a, T>(left: &'a [T], right: &'a [T], w_off: usize, w_end: usize, s: Slot) -> &'a [T] {
+    if s.off + s.len <= w_off {
+        &left[s.off..s.off + s.len]
+    } else {
+        assert!(s.off >= w_end, "plan: aliasing read/write slots");
+        &right[s.off - w_end..s.off - w_end + s.len]
+    }
+}
+
+/// Splits `pool` into two read slices (which may alias each other) and
+/// one write slice disjoint from both.
+fn split2<T>(pool: &mut [T], r1: Slot, r2: Slot, w: Slot) -> (&[T], &[T], &mut [T]) {
+    let (left, rest) = pool.split_at_mut(w.off);
+    let (wslice, right) = rest.split_at_mut(w.len);
+    let w_end = w.off + w.len;
+    (
+        read_part(left, right, w.off, w_end, r1),
+        read_part(left, right, w.off, w_end, r2),
+        wslice,
+    )
+}
+
+/// Elements per register block of the fused-elementwise machine. The
+/// full register file is `MAX_REGS × ELT_BLOCK × 4 B = 8 KiB` of stack —
+/// comfortably inside L1.
+const ELT_BLOCK: usize = 128;
+
+/// `d[j] = op(a[j])` with the operator match hoisted out of the loop so
+/// each arm is a tight, autovectorizable kernel. Each lane computes the
+/// exact expression `ir::interp`'s unary evaluation uses, so results
+/// are bit-identical to op-by-op interpretation.
+fn apply_un(op: UnaryOp, a: &[f32], d: &mut [f32]) {
+    macro_rules! lanes {
+        ($f:expr) => {
+            for (y, &x) in d.iter_mut().zip(a) {
+                *y = $f(x);
+            }
+        };
+    }
+    match op {
+        UnaryOp::Neg => lanes!(|x: f32| -x),
+        UnaryOp::Exp => lanes!(f32::exp),
+        UnaryOp::Log => lanes!(f32::ln),
+        UnaryOp::Tanh => lanes!(f32::tanh),
+        UnaryOp::Sqrt => lanes!(f32::sqrt),
+        UnaryOp::Rsqrt => lanes!(|x: f32| 1.0 / x.sqrt()),
+        UnaryOp::Abs => lanes!(f32::abs),
+        UnaryOp::Logistic => lanes!(|x: f32| 1.0 / (1.0 + (-x).exp())),
+        UnaryOp::Sin => lanes!(f32::sin),
+        UnaryOp::Cos => lanes!(f32::cos),
+    }
+}
+
+/// `d[j] = op(a[j], b[j])`, operator match hoisted like [`apply_un`].
+fn apply_bin(op: BinaryOp, a: &[f32], b: &[f32], d: &mut [f32]) {
+    macro_rules! lanes {
+        ($f:expr) => {
+            for ((y, &x1), &x2) in d.iter_mut().zip(a).zip(b) {
+                *y = $f(x1, x2);
+            }
+        };
+    }
+    match op {
+        BinaryOp::Add => lanes!(|x: f32, y: f32| x + y),
+        BinaryOp::Sub => lanes!(|x: f32, y: f32| x - y),
+        BinaryOp::Mul => lanes!(|x: f32, y: f32| x * y),
+        BinaryOp::Div => lanes!(|x: f32, y: f32| x / y),
+        BinaryOp::Max => lanes!(f32::max),
+        BinaryOp::Min => lanes!(f32::min),
+        BinaryOp::Pow => lanes!(f32::powf),
+    }
+}
+
+/// Executes one fused elementwise segment as a blocked vector machine:
+/// [`ELT_BLOCK`] elements at a time through the register file, each
+/// instruction a whole-block kernel ([`apply_un`]/[`apply_bin`]) rather
+/// than a per-element dispatch. Elements are independent, so blocking
+/// is bit-identical to scalar order — while keeping every intermediate
+/// of the chain in L1 instead of round-tripping arrays through memory.
+fn run_eltwise(pool: &mut [f32], e: &EltwiseStep) {
+    let mut regs = [[0f32; ELT_BLOCK]; MAX_REGS];
+    let mut i = 0;
+    while i < e.n {
+        let len = ELT_BLOCK.min(e.n - i);
+        for &(r, s) in &e.loads {
+            regs[r as usize][..len].copy_from_slice(&pool[s.off + i..s.off + i + len]);
+        }
+        for ins in &e.instrs {
+            match ins.op {
+                // The register file is a plain array, so the operand
+                // block is copied out (256 B, L1-resident) to let the
+                // destination borrow mutably.
+                EltOp::Un(u) => {
+                    let a = regs[ins.a as usize];
+                    apply_un(u, &a[..len], &mut regs[ins.dst as usize][..len]);
+                }
+                EltOp::Bin(bo) => {
+                    let a = regs[ins.a as usize];
+                    let b = regs[ins.b as usize];
+                    apply_bin(bo, &a[..len], &b[..len], &mut regs[ins.dst as usize][..len]);
+                }
+            }
+        }
+        for &(r, s) in &e.stores {
+            pool[s.off + i..s.off + i + len].copy_from_slice(&regs[r as usize][..len]);
+        }
+        i += len;
+    }
+}
+
+fn read_slot(st: &PlanExecutor, slot: &Slot, ty: &TensorType) -> Result<Literal, RuntimeError> {
+    let lit = match slot.dtype {
+        DType::F32 => Literal::from_f32(
+            st.f32s[slot.off..slot.off + slot.len].to_vec(),
+            ty.shape.clone(),
+        ),
+        DType::I32 => Literal::from_i32(
+            st.i32s[slot.off..slot.off + slot.len].to_vec(),
+            ty.shape.clone(),
+        ),
+        DType::Pred => Literal::from_pred(
+            st.preds[slot.off..slot.off + slot.len].to_vec(),
+            ty.shape.clone(),
+        ),
+        dt => unreachable!("plan: unsupported dtype {dt}"),
+    };
+    lit.map_err(RuntimeError::Ir)
+}
+
+fn write_slot(st: &mut PlanExecutor, slot: &Slot, lit: &Literal) -> Result<(), RuntimeError> {
+    if lit.num_elements() != slot.len {
+        return Err(RuntimeError::Ir(IrError::invalid(format!(
+            "plan: payload has {} elements, slot holds {}",
+            lit.num_elements(),
+            slot.len
+        ))));
+    }
+    match slot.dtype {
+        DType::F32 => st.f32s[slot.off..slot.off + slot.len]
+            .copy_from_slice(lit.as_f32().map_err(RuntimeError::Ir)?),
+        DType::I32 => st.i32s[slot.off..slot.off + slot.len]
+            .copy_from_slice(lit.as_i32().map_err(RuntimeError::Ir)?),
+        DType::Pred => st.preds[slot.off..slot.off + slot.len]
+            .copy_from_slice(lit.as_pred().map_err(RuntimeError::Ir)?),
+        dt => unreachable!("plan: unsupported dtype {dt}"),
+    }
+    Ok(())
+}
+
+fn copy_slot(st: &mut PlanExecutor, src: Slot, dst: Slot) {
+    if src == dst {
+        return;
+    }
+    match dst.dtype {
+        DType::F32 => {
+            let (s, d) = split1(&mut st.f32s, src, dst);
+            d.copy_from_slice(s);
+        }
+        DType::I32 => {
+            let (s, d) = split1(&mut st.i32s, src, dst);
+            d.copy_from_slice(s);
+        }
+        DType::Pred => {
+            let (s, d) = split1(&mut st.preds, src, dst);
+            d.copy_from_slice(s);
+        }
+        dt => unreachable!("plan: unsupported dtype {dt}"),
+    }
+}
+
+fn copy_pairs(st: &mut PlanExecutor, pairs: &[(Slot, Slot)]) {
+    for &(src, dst) in pairs {
+        copy_slot(st, src, dst);
+    }
+}
+
+/// Order-independent carry: stage every source into the scratch, then
+/// write every destination.
+fn staged_carry(st: &mut PlanExecutor, pairs: &[(Slot, Slot)]) {
+    let mut offs = [0usize; 3];
+    for &(s, _) in pairs {
+        let i = pool_index(s.dtype);
+        match s.dtype {
+            DType::F32 => st.carry_f32s[offs[i]..offs[i] + s.len]
+                .copy_from_slice(&st.f32s[s.off..s.off + s.len]),
+            DType::I32 => st.carry_i32s[offs[i]..offs[i] + s.len]
+                .copy_from_slice(&st.i32s[s.off..s.off + s.len]),
+            DType::Pred => st.carry_preds[offs[i]..offs[i] + s.len]
+                .copy_from_slice(&st.preds[s.off..s.off + s.len]),
+            dt => unreachable!("plan: unsupported dtype {dt}"),
+        }
+        offs[i] += s.len;
+    }
+    let mut offs = [0usize; 3];
+    for &(s, d) in pairs {
+        let i = pool_index(s.dtype);
+        match d.dtype {
+            DType::F32 => st.f32s[d.off..d.off + d.len]
+                .copy_from_slice(&st.carry_f32s[offs[i]..offs[i] + d.len]),
+            DType::I32 => st.i32s[d.off..d.off + d.len]
+                .copy_from_slice(&st.carry_i32s[offs[i]..offs[i] + d.len]),
+            DType::Pred => st.preds[d.off..d.off + d.len]
+                .copy_from_slice(&st.carry_preds[offs[i]..offs[i] + d.len]),
+            dt => unreachable!("plan: unsupported dtype {dt}"),
+        }
+        offs[i] += s.len;
+    }
+}
+
+fn run_steps<E: Exchange>(
+    steps: &[Step],
+    st: &mut PlanExecutor,
+    ex: &mut E,
+    traced: bool,
+) -> Result<(), RuntimeError> {
+    for step in steps {
+        let _span = if traced {
+            Some(partir_obs::span_enter(step.name()))
+        } else {
+            None
+        };
+        match step {
+            Step::Baked(b) => match &b.data {
+                BakedData::F32(data) => {
+                    st.f32s[b.dst.off..b.dst.off + b.dst.len].copy_from_slice(data)
+                }
+                BakedData::I32(data) => {
+                    st.i32s[b.dst.off..b.dst.off + b.dst.len].copy_from_slice(data)
+                }
+                BakedData::Pred(data) => {
+                    st.preds[b.dst.off..b.dst.off + b.dst.len].copy_from_slice(data)
+                }
+            },
+            Step::Unary1 { op, src, dst } => {
+                let (s, d) = split1(&mut st.f32s, *src, *dst);
+                apply_un(*op, s, d);
+            }
+            Step::Binary1 { op, a, b, dst } => {
+                let (xa, xb, d) = split2(&mut st.f32s, *a, *b, *dst);
+                apply_bin(*op, xa, xb, d);
+            }
+            Step::Eltwise(e) => run_eltwise(&mut st.f32s, e),
+            Step::Dot(dstep) => {
+                let (a, b, out) = split2(&mut st.f32s, dstep.lhs, dstep.rhs, dstep.dst);
+                kernels::dot_general_into(&dstep.plan, a, b, out);
+            }
+            Step::Gather(g) => match g.src.dtype {
+                DType::F32 => {
+                    let (s, d) = split1(&mut st.f32s, g.src, g.dst);
+                    kernels::gather_strided_into(d, s, &g.out_dims, &g.in_strides, g.base);
+                }
+                DType::I32 => {
+                    let (s, d) = split1(&mut st.i32s, g.src, g.dst);
+                    kernels::gather_strided_into(d, s, &g.out_dims, &g.in_strides, g.base);
+                }
+                DType::Pred => {
+                    let (s, d) = split1(&mut st.preds, g.src, g.dst);
+                    kernels::gather_strided_into(d, s, &g.out_dims, &g.in_strides, g.base);
+                }
+                dt => unreachable!("plan: unsupported dtype {dt}"),
+            },
+            Step::Reduce(r) => {
+                let (s, d) = split1(&mut st.f32s, r.src, r.dst);
+                kernels::reduce_f32_into(&r.plan, s, d);
+            }
+            Step::Copy { src, dst } => copy_slot(st, *src, *dst),
+            Step::Concat(c) => match c.dst.dtype {
+                DType::F32 => concat_into(&mut st.f32s, c),
+                DType::I32 => concat_into(&mut st.i32s, c),
+                DType::Pred => concat_into(&mut st.preds, c),
+                dt => unreachable!("plan: unsupported dtype {dt}"),
+            },
+            Step::For(f) => {
+                if f.trip_count == 0 {
+                    copy_pairs(st, &f.bypass);
+                } else {
+                    copy_pairs(st, &f.entry);
+                    for i in 0..f.trip_count {
+                        st.i32s[f.index.off] = i as i32;
+                        run_steps(&f.body, st, ex, traced)?;
+                        if i + 1 < f.trip_count {
+                            if f.carry_staged {
+                                staged_carry(st, &f.carry);
+                            } else {
+                                copy_pairs(st, &f.carry);
+                            }
+                        }
+                    }
+                    copy_pairs(st, &f.exit);
+                }
+            }
+            Step::Collective(cs) => {
+                let val = read_slot(st, &cs.src, &cs.src_ty)?;
+                let out = run_scheduled(&cs.kind, ex, &cs.scheds[ex.device()], val)?;
+                write_slot(st, &cs.dst, &out)?;
+            }
+            Step::General(g) => {
+                let operands: Vec<Literal> = g
+                    .operands
+                    .iter()
+                    .map(|(slot, ty)| read_slot(st, slot, ty))
+                    .collect::<Result<_, _>>()?;
+                let refs: Vec<&Literal> = operands.iter().collect();
+                let rty = &g
+                    .results
+                    .first()
+                    .ok_or_else(|| RuntimeError::Ir(IrError::invalid("general op without result")))?
+                    .1;
+                let outs = eval_op(&g.kind, &refs, rty).map_err(RuntimeError::Ir)?;
+                for ((slot, _), lit) in g.results.iter().zip(&outs) {
+                    write_slot(st, slot, lit)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Row-span concatenation, bit-identical to `kernels::concat`.
+fn concat_into<T: Copy>(pool: &mut [T], c: &ConcatStep) {
+    let (left, rest) = pool.split_at_mut(c.dst.off);
+    let (out, right) = rest.split_at_mut(c.dst.len);
+    let w_end = c.dst.off + c.dst.len;
+    let out_row = c.dim_total * c.inner;
+    let mut offset = 0;
+    for &(s, d) in &c.parts {
+        let src = read_part(left, right, c.dst.off, w_end, s);
+        let rows = d * c.inner;
+        for o in 0..c.outer {
+            out[o * out_row + offset..o * out_row + offset + rows]
+                .copy_from_slice(&src[o * rows..(o + 1) * rows]);
+        }
+        offset += rows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_ir::FuncBuilder;
+
+    fn single_mesh() -> Mesh {
+        Mesh::single("B", 1).unwrap()
+    }
+
+    #[test]
+    fn fused_chain_matches_interpreter() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([8]));
+        let y = b.neg(x).unwrap();
+        let z = b.exp(y).unwrap();
+        let w = b.add(z, x).unwrap();
+        let f = b.build([w]).unwrap();
+        let mesh = single_mesh();
+        let plan = CompiledPlan::compile(&f, &mesh, &PlanOptions::default()).unwrap();
+        // neg+exp+add fuse into one loop; only the final result is stored.
+        assert_eq!(plan.fused_ops(), 3);
+        let input = Literal::from_f32(
+            (0..8).map(|i| i as f32 * 0.25 - 1.0).collect::<Vec<_>>(),
+            [8],
+        )
+        .unwrap();
+        let got = plan.execute_local(std::slice::from_ref(&input)).unwrap();
+        let want = crate::interp::run_devices(&f, &mesh, &[vec![input]]).unwrap();
+        assert_eq!(got[0].as_f32().unwrap(), want[0][0].as_f32().unwrap());
+    }
+
+    #[test]
+    fn arena_reuses_dead_slots() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([1024]));
+        // A chain of non-fusable copies: each dead intermediate's slot
+        // is recycled, so the arena stays ~3 buffers, not 9.
+        let mut cur = x;
+        for _ in 0..8 {
+            cur = b.reshape(cur, [2, 512]).unwrap();
+            cur = b.reshape(cur, [1024]).unwrap();
+        }
+        let f = b.build([cur]).unwrap();
+        let plan = CompiledPlan::compile(&f, &single_mesh(), &PlanOptions::default()).unwrap();
+        assert!(
+            plan.arena_bytes() <= 3 * 1024 * 4,
+            "arena {} did not recycle dead slots",
+            plan.arena_bytes()
+        );
+    }
+
+    #[test]
+    fn shrunk_arena_budget_fails_structured() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([64]));
+        let y = b.neg(x).unwrap();
+        let f = b.build([y]).unwrap();
+        let mesh = single_mesh();
+        let full = CompiledPlan::compile(&f, &mesh, &PlanOptions::default()).unwrap();
+        let needed = full.arena_bytes();
+        let err = CompiledPlan::compile(
+            &f,
+            &mesh,
+            &PlanOptions {
+                arena_budget: Some(needed - 1),
+            },
+        )
+        .unwrap_err();
+        match err {
+            PlanError::ArenaOverflow { needed: n, budget } => {
+                assert_eq!(n, needed);
+                assert_eq!(budget, needed - 1);
+            }
+            other => panic!("expected ArenaOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_carries_survive_iterations() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.param("x", TensorType::f32([16]));
+        let results = b
+            .for_loop(5, &[x], |inner, _i, carried| {
+                let t = inner.neg(carried[0])?;
+                Ok(vec![t])
+            })
+            .unwrap();
+        let f = b.build([results[0]]).unwrap();
+        let mesh = single_mesh();
+        let plan = CompiledPlan::compile(&f, &mesh, &PlanOptions::default()).unwrap();
+        let input = Literal::from_f32((0..16).map(|i| i as f32).collect::<Vec<_>>(), [16]).unwrap();
+        let got = plan.execute_local(std::slice::from_ref(&input)).unwrap();
+        let want = crate::interp::run_devices(&f, &mesh, &[vec![input]]).unwrap();
+        assert_eq!(got[0].as_f32().unwrap(), want[0][0].as_f32().unwrap());
+    }
+}

@@ -4,6 +4,7 @@ use partir_mesh::Mesh;
 
 use crate::collectives::{predict_traffic, TrafficPrediction};
 use crate::interp::{run_devices, shard_value, unshard_value};
+use crate::plan::{CompiledPlan, PlanError, PlanOptions};
 use crate::runtime::{RuntimeConfig, RuntimeError, RuntimeStats, ThreadedRuntime};
 use crate::stats::{collect_stats, CollectiveStats};
 
@@ -103,9 +104,27 @@ impl SpmdProgram {
         Ok(global)
     }
 
+    /// Compiles the device-local program into a [`CompiledPlan`]: op
+    /// dispatch, elementwise fusion, arena layout, and every device's
+    /// collective schedule are resolved once, so repeated
+    /// [`SpmdProgram::execute_global_planned`] steps pay none of it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed programs or when the plan's arena layout
+    /// disagrees with `partir_analysis`'s static memory bound — see
+    /// [`PlanError`].
+    pub fn compile(&self) -> Result<CompiledPlan, PlanError> {
+        CompiledPlan::compile(&self.func, &self.mesh, &PlanOptions::default())
+    }
+
     /// Like [`SpmdProgram::execute_global`], but runs the devices
     /// concurrently on the threaded message-passing runtime and also
     /// returns the executed-traffic statistics.
+    ///
+    /// Compiles a fresh [`CompiledPlan`] per call; callers running many
+    /// steps should [`SpmdProgram::compile`] once and use
+    /// [`SpmdProgram::execute_global_planned`].
     ///
     /// Fault-free, the outputs are bit-identical to
     /// [`SpmdProgram::execute_global`].
@@ -119,6 +138,26 @@ impl SpmdProgram {
         inputs: &[Literal],
         config: &RuntimeConfig,
     ) -> Result<(Vec<Literal>, RuntimeStats), RuntimeError> {
+        let plan = self.compile()?;
+        self.execute_global_planned(&plan, inputs, config)
+    }
+
+    /// Runs a plan produced by [`SpmdProgram::compile`] on the threaded
+    /// runtime: shards `inputs`, executes every device's compiled steps
+    /// concurrently, and reassembles global outputs. The compile-once/
+    /// run-many entry point — steady-state steps do no op dispatch,
+    /// shape inference, or intermediate allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatched inputs or any runtime failure (timeout,
+    /// corruption, dropped device — see [`RuntimeError`]).
+    pub fn execute_global_planned(
+        &self,
+        plan: &CompiledPlan,
+        inputs: &[Literal],
+        config: &RuntimeConfig,
+    ) -> Result<(Vec<Literal>, RuntimeStats), RuntimeError> {
         let _span = partir_obs::span!("runtime.execute");
         let n = self.mesh.num_devices();
         let mut per_device: Vec<Vec<Literal>> = Vec::with_capacity(n);
@@ -129,8 +168,7 @@ impl SpmdProgram {
             }
             per_device.push(dev_inputs);
         }
-        let outcome =
-            ThreadedRuntime::new(config.clone()).run(&self.func, &self.mesh, &per_device)?;
+        let outcome = ThreadedRuntime::new(config.clone()).run_plan(plan, &per_device)?;
         let mut global = Vec::with_capacity(self.output_ctxs.len());
         for (i, ctx) in self.output_ctxs.iter().enumerate() {
             let shards: Vec<Literal> = outcome.outputs.iter().map(|o| o[i].clone()).collect();

@@ -1,11 +1,15 @@
-//! Threaded message-passing SPMD runtime.
+//! Threaded message-passing SPMD runtime over compiled execution plans.
 //!
-//! One OS thread per simulated mesh device, each executing the
-//! device-local program independently; collectives exchange tensors over
-//! per-device-pair channels using the algorithms in [`crate::collectives`]
-//! (ring all-gather, scatter-reduce + ring all-reduce, direct-exchange
-//! reduce-scatter / all-to-all). Unlike the lockstep interpreter
-//! ([`crate::interp::run_devices`]) nothing reaches into another device's
+//! One OS thread per simulated mesh device. Each device executes a
+//! [`CompiledPlan`] ([`crate::plan`]) — the device-local program
+//! pre-resolved to direct kernel calls over a fixed arena, with
+//! collective schedules wired per device at compile time — rather than
+//! re-interpreting the program op by op every run. Collectives exchange
+//! tensors over per-device-pair channels using the algorithms in
+//! [`crate::collectives`] (ring all-gather, scatter-reduce + ring
+//! all-reduce, direct-exchange reduce-scatter / all-to-all). Unlike the
+//! lockstep interpreter ([`crate::interp::run_devices`]) — kept as the
+//! differential oracle — nothing reaches into another device's
 //! environment: every cross-device byte travels through a channel, is
 //! sequence-numbered and checksummed, and is counted per mesh axis into
 //! [`RuntimeStats`] — which `partir_sim::reconcile` cross-checks against
@@ -16,8 +20,9 @@
 //! concatenation orders are fixed by mesh coordinates (matching the
 //! staged lockstep interpreter bit-for-bit), so fault-free concurrent
 //! runs produce bit-identical outputs regardless of thread scheduling.
-//! Only [`RuntimeStats::rendezvous_waits`] — how often a receive actually
-//! had to block — varies run to run.
+//! Only [`RuntimeStats::rendezvous_waits`] — how often a receive had to
+//! park the thread because its peer had not sent yet — varies run to
+//! run.
 //!
 //! # Fault injection
 //!
@@ -33,11 +38,12 @@ use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::Duration;
 
-use partir_ir::{interp::eval_op, DType, Func, IrError, Literal, OpId, OpKind};
+use partir_ir::{DType, Func, IrError, Literal};
 use partir_mesh::{Axis, Mesh};
 use partir_prng::Rng;
 
-use crate::collectives::{self, AxisTraffic, Exchange, TrafficPrediction};
+use crate::collectives::{AxisTraffic, Exchange, TrafficPrediction};
+use crate::plan::{CompiledPlan, PlanOptions};
 
 /// Knobs for one threaded execution.
 #[derive(Debug, Clone)]
@@ -291,9 +297,10 @@ pub struct RuntimeStats {
     /// Payload bytes sent by each device (deterministic). Equal to
     /// `per_device[d].bytes`; kept as a flat view for reporting.
     pub per_device_bytes: Vec<u64>,
-    /// Receives that actually blocked waiting for the peer. Depends on
-    /// thread scheduling — a measure of rendezvous pressure, not part of
-    /// the deterministic contract.
+    /// Receives that actually parked the thread waiting for the peer —
+    /// misses that resolve within the yield-and-poll rounds are not
+    /// counted. Depends on thread scheduling — a measure of rendezvous
+    /// pressure, not part of the deterministic contract.
     pub rendezvous_waits: u64,
     /// The unmerged per-device rows, indexed by device id.
     pub per_device: Vec<DeviceCounters>,
@@ -430,15 +437,15 @@ pub struct DeviceCounters {
     pub per_axis: BTreeMap<Axis, AxisTraffic>,
     /// Total payload bytes this device sent.
     pub bytes: u64,
-    /// Receives on this device that actually blocked.
+    /// Receives on this device that actually parked the thread.
     pub rendezvous_waits: u64,
 }
 
 /// One device's channel endpoints — the [`Exchange`] the collective
-/// algorithms run over.
-struct DeviceLinks<'a> {
+/// algorithms run over. Rendezvous partners are baked into the plan's
+/// collective schedules, so links carry no mesh topology of their own.
+struct DeviceLinks {
     device: usize,
-    mesh: &'a Mesh,
     /// Senders to every device, indexed by destination (self unused).
     txs: Vec<Sender<Message>>,
     /// Receivers from every device, indexed by source (`None` = self).
@@ -458,13 +465,9 @@ struct DeviceLinks<'a> {
     stats: DeviceCounters,
 }
 
-impl Exchange for DeviceLinks<'_> {
+impl Exchange for DeviceLinks {
     fn device(&self) -> usize {
         self.device
-    }
-
-    fn mesh(&self) -> &Mesh {
-        self.mesh
     }
 
     fn send(&mut self, dst: usize, axis: &Axis, mut payload: Literal) -> Result<(), RuntimeError> {
@@ -516,7 +519,6 @@ impl Exchange for DeviceLinks<'_> {
         let rx = self.rxs[src].as_ref().expect("no self-receive");
         let mut first = rx.try_recv();
         let wait_span = if matches!(first, Err(TryRecvError::Empty)) {
-            self.stats.rendezvous_waits += 1;
             let span = self
                 .traced
                 .then(|| partir_obs::span_enter("rendezvous_wait"));
@@ -533,22 +535,29 @@ impl Exchange for DeviceLinks<'_> {
         };
         let msg = match first {
             Ok(m) => m,
-            Err(TryRecvError::Empty) => match rx.recv_timeout(self.timeout) {
-                Ok(m) => m,
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(RuntimeError::Timeout {
-                        device: self.device,
-                        peer: src,
-                        axis: axis.clone(),
-                    })
+            Err(TryRecvError::Empty) => {
+                // Still empty after the yield-and-poll rounds: this
+                // receive genuinely parks. Count it only now — a miss
+                // that resolves within the yield loop is the scheduler
+                // being a step behind, not rendezvous pressure.
+                self.stats.rendezvous_waits += 1;
+                match rx.recv_timeout(self.timeout) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(RuntimeError::Timeout {
+                            device: self.device,
+                            peer: src,
+                            axis: axis.clone(),
+                        })
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(RuntimeError::Disconnected {
+                            device: self.device,
+                            peer: src,
+                        })
+                    }
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(RuntimeError::Disconnected {
-                        device: self.device,
-                        peer: src,
-                    })
-                }
-            },
+            }
             Err(TryRecvError::Disconnected) => {
                 return Err(RuntimeError::Disconnected {
                     device: self.device,
@@ -597,7 +606,9 @@ impl ThreadedRuntime {
         ThreadedRuntime { config }
     }
 
-    /// Runs `func` on every device of `mesh` concurrently.
+    /// Compiles `func` into a [`CompiledPlan`] and runs it on every
+    /// device of `mesh` concurrently — compile-once/run-once
+    /// convenience over [`ThreadedRuntime::run_plan`].
     ///
     /// `inputs[d]` are device `d`'s local inputs. On success returns the
     /// per-device outputs — bit-identical to the lockstep
@@ -614,7 +625,24 @@ impl ThreadedRuntime {
         mesh: &Mesh,
         inputs: &[Vec<Literal>],
     ) -> Result<RunOutcome, RuntimeError> {
-        let n = mesh.num_devices();
+        let plan = CompiledPlan::compile(func, mesh, &PlanOptions::default())?;
+        self.run_plan(&plan, inputs)
+    }
+
+    /// Runs a pre-compiled plan on every device concurrently. The plan
+    /// carries everything once derived from the program — kernel
+    /// bindings, arena layout, per-device collective schedules — so
+    /// repeated steps pay no per-op dispatch or shape inference.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadedRuntime::run`].
+    pub fn run_plan(
+        &self,
+        plan: &CompiledPlan,
+        inputs: &[Vec<Literal>],
+    ) -> Result<RunOutcome, RuntimeError> {
+        let n = plan.num_devices();
         if inputs.len() != n {
             return Err(IrError::invalid(format!(
                 "expected inputs for {n} devices, got {}",
@@ -623,18 +651,16 @@ impl ThreadedRuntime {
             .into());
         }
         for (d, device_inputs) in inputs.iter().enumerate() {
-            if device_inputs.len() != func.params().len() {
+            if device_inputs.len() != plan.param_tys().len() {
                 return Err(
                     IrError::invalid(format!("device {d}: wrong per-device input arity")).into(),
                 );
             }
-            for (&p, lit) in func.params().iter().zip(device_inputs) {
-                if &lit.ty() != func.value_type(p) {
+            for (ty, lit) in plan.param_tys().iter().zip(device_inputs) {
+                if &lit.ty() != ty {
                     return Err(IrError::invalid(format!(
-                        "device {d} input for {:?} has type {}, expected {}",
-                        func.value(p).name,
-                        lit.ty(),
-                        func.value_type(p)
+                        "device {d} input has type {}, expected {ty}",
+                        lit.ty()
                     ))
                     .into());
                 }
@@ -695,7 +721,6 @@ impl ThreadedRuntime {
                             }
                             let mut links = DeviceLinks {
                                 device: d,
-                                mesh,
                                 txs: tx_row,
                                 rxs: rx_row,
                                 timeout,
@@ -707,20 +732,8 @@ impl ThreadedRuntime {
                                 traced: partir_obs::current().is_some(),
                                 stats: DeviceCounters::default(),
                             };
-                            let mut env: Vec<Option<Literal>> = vec![None; func.num_values()];
-                            for (&p, lit) in func.params().iter().zip(my_inputs) {
-                                env[p.0 as usize] = Some(lit);
-                            }
-                            exec_device(func, func.body(), &mut env, &mut links)?;
-                            let outputs = func
-                                .results()
-                                .iter()
-                                .map(|&r| {
-                                    env[r.0 as usize].take().ok_or_else(|| {
-                                        IrError::invalid("result never computed").into()
-                                    })
-                                })
-                                .collect::<Result<Vec<_>, RuntimeError>>()?;
+                            let mut state = plan.new_executor();
+                            let outputs = plan.run_device(&mut links, &mut state, &my_inputs)?;
                             Ok((outputs, links.stats))
                         };
                         match &collector {
@@ -769,79 +782,6 @@ impl ThreadedRuntime {
         }
         Ok(RunOutcome { outputs, stats })
     }
-}
-
-/// Executes one device's program over its channel endpoints; the
-/// single-device mirror of the lockstep interpreter's `exec_body`.
-fn exec_device(
-    func: &Func,
-    body: &[OpId],
-    env: &mut [Option<Literal>],
-    links: &mut DeviceLinks<'_>,
-) -> Result<(), RuntimeError> {
-    let get = |env: &[Option<Literal>], v: partir_ir::ValueId| {
-        env[v.0 as usize]
-            .clone()
-            .ok_or_else(|| RuntimeError::from(IrError::invalid("use before def")))
-    };
-    for &op_id in body {
-        let op = func.op(op_id);
-        // One span per executed op, named by kind: collectives show as
-        // `all_gather`/`reduce_scatter`/... phases with their
-        // send/recv/rendezvous activity nested inside, everything else
-        // as compute slices. `name()` is `&'static str`, so the
-        // disabled path stays one relaxed load per op.
-        let _span = partir_obs::span!(op.kind.name());
-        match &op.kind {
-            OpKind::For { trip_count } => {
-                let region = op
-                    .region
-                    .as_ref()
-                    .ok_or_else(|| IrError::invalid("for without region"))?;
-                let mut carried: Vec<Literal> = op
-                    .operands
-                    .iter()
-                    .map(|&v| get(env, v))
-                    .collect::<Result<_, _>>()?;
-                for i in 0..*trip_count {
-                    env[region.params[0].0 as usize] = Some(Literal::scalar_i32(i as i32));
-                    for (p, val) in region.params[1..].iter().zip(&carried) {
-                        env[p.0 as usize] = Some(val.clone());
-                    }
-                    exec_device(func, &region.body, env, links)?;
-                    carried = region
-                        .results
-                        .iter()
-                        .map(|&v| get(env, v))
-                        .collect::<Result<_, _>>()?;
-                }
-                for (&r, val) in op.results.iter().zip(carried) {
-                    env[r.0 as usize] = Some(val);
-                }
-            }
-            OpKind::Collective(c) => {
-                let val = get(env, op.operands[0])?;
-                let out = collectives::run_collective(c, links, val)?;
-                env[op.results[0].0 as usize] = Some(out);
-            }
-            _ => {
-                let operands: Vec<&Literal> = op
-                    .operands
-                    .iter()
-                    .map(|&v| {
-                        env[v.0 as usize]
-                            .as_ref()
-                            .ok_or_else(|| IrError::invalid("use before def"))
-                    })
-                    .collect::<Result<_, _>>()?;
-                let results = eval_op(&op.kind, &operands, func.value_type(op.results[0]))?;
-                for (&r, val) in op.results.iter().zip(results) {
-                    env[r.0 as usize] = Some(val);
-                }
-            }
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -1,15 +1,19 @@
 //! Differential conformance suite: for every model-zoo schedule on 1×2,
-//! 2×2 and 4×2 meshes, the three execution paths must agree —
+//! 2×2 and 4×2 meshes, the execution paths must agree —
 //!
-//! * threaded message-passing runtime
-//!   ([`SpmdProgram::execute_global_threaded`]) vs lockstep interpreter
-//!   ([`SpmdProgram::execute_global`]): **element-exact** (the staged
-//!   collective algorithms are designed to be bit-identical);
+//! * threaded runtime executing a [`CompiledPlan`]
+//!   ([`SpmdProgram::execute_global_threaded`], and the same plan run
+//!   again through [`SpmdProgram::execute_global_planned`]) vs lockstep
+//!   interpreter ([`SpmdProgram::execute_global`]): **element-exact**
+//!   (direct kernel calls, fused elementwise loops, and staged
+//!   collective algorithms are all designed to be bit-identical to
+//!   op-by-op interpretation);
 //! * both vs the unpartitioned reference interpretation: tolerance-based
 //!   (the partitioned schedules legitimately reassociate f32 reductions);
 //!
 //! and the executed traffic must reconcile exactly with the predicted
-//! per-axis byte/message counts (`partir_sim::reconcile`).
+//! per-axis byte/message counts (`partir_sim::reconcile`) — including
+//! the plan's baked ahead-of-time collective schedules.
 //!
 //! Fault-injection cases assert the acceptance criteria directly: a
 //! stalled participant is detected as a rendezvous timeout (deadlock
@@ -50,6 +54,20 @@ fn check_program(
         .expect(label);
     // Threaded vs lockstep: element-exact, no tolerance.
     assert_eq!(threaded, lockstep, "{label}: threaded != lockstep");
+    // Compile once, run the plan twice: both runs must be bit-identical
+    // to the lockstep oracle (the arena is reused across runs, so this
+    // also catches any step reading state a prior run left behind).
+    let plan = program.compile().expect(label);
+    for run in 0..2 {
+        let (planned, plan_stats) = program
+            .execute_global_planned(&plan, inputs, &RuntimeConfig::default())
+            .expect(label);
+        assert_eq!(planned, lockstep, "{label}: planned run {run} != lockstep");
+        assert_eq!(
+            plan_stats.per_device_bytes, stats.per_device_bytes,
+            "{label}: planned run {run} moved different bytes"
+        );
+    }
     // Both vs the unpartitioned reference: tolerance for f32
     // reassociation under partitioned reductions.
     for (i, (r, t)) in reference.iter().zip(&threaded).enumerate() {

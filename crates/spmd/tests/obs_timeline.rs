@@ -42,6 +42,19 @@ fn check_timeline(program: &SpmdProgram, model: &BuiltModel, label: &str) {
         .check_well_formed()
         .unwrap_or_else(|e| panic!("{label}: {e}"));
 
+    // Plan-level spans: the one-time compilation shows on the caller's
+    // track, and every device track is made of plan-step spans (op
+    // mnemonics plus `fused_eltwise` for fused chains), not op-by-op
+    // interpreter frames.
+    let main_track = trace
+        .track("main")
+        .unwrap_or_else(|| panic!("{label}: no main track"));
+    assert_eq!(
+        main_track.span_count("plan.compile"),
+        1,
+        "{label}: expected exactly one plan.compile span"
+    );
+
     // Tally 1 vs tally 2: per-device trace counters vs the per-device
     // stats rows merged at join.
     let n = program.mesh().num_devices();
@@ -50,6 +63,10 @@ fn check_timeline(program: &SpmdProgram, model: &BuiltModel, label: &str) {
         let track = trace
             .track(&format!("device{d}"))
             .unwrap_or_else(|| panic!("{label}: no track for device {d}"));
+        assert!(
+            !track.spans.is_empty(),
+            "{label}: device {d} recorded no plan-step spans"
+        );
         assert_eq!(
             track.counter_total("runtime.send.bytes") as u64,
             dev.bytes,

@@ -1,0 +1,101 @@
+//! Steady-state allocation audit of the compiled-plan executor.
+//!
+//! The whole point of the plan layer is that the hot loop — load inputs,
+//! run steps — allocates *nothing* once the executor and the kernels'
+//! scratch pool are warm. A counting global allocator makes that an
+//! assertable property instead of a hope: after one warm-up run, a
+//! second `load_inputs` + `run_local_steps` pass must perform zero heap
+//! allocations. (`read_outputs` is excluded — it materialises fresh
+//! `Literal`s for the caller by design.)
+//!
+//! The test binary is separate from the other suites so the counter only
+//! ever observes this test's own traffic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use partir_ir::{FuncBuilder, Literal, TensorType};
+use partir_mesh::Mesh;
+use partir_spmd::CompiledPlan;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A single-device compute program covering the plan's step repertoire:
+/// baked constants, fused elementwise chains, matmul, transpose,
+/// reduction, reshape and a loop.
+fn compute_func() -> partir_ir::Func {
+    let mut b = FuncBuilder::new("hot");
+    let x = b.param("x", TensorType::f32([16, 32]));
+    let w = b.param("w", TensorType::f32([32, 16]));
+    let h = b.matmul(x, w).unwrap();
+    let a = b.tanh(h).unwrap();
+    let s = b.add(a, h).unwrap();
+    let t = b.transpose(s, vec![1, 0]).unwrap();
+    let flat = b.reshape(t, [256]).unwrap();
+    let r = b.reshape(flat, [16, 16]).unwrap();
+    let m = b.matmul(h, r).unwrap();
+    let looped = b
+        .for_loop(3, &[m], |inner, _i, carried| {
+            let n = inner.neg(carried[0])?;
+            let e = inner.exp(n)?;
+            Ok(vec![e])
+        })
+        .unwrap();
+    let red = b.reduce_sum(looped[0], vec![1]).unwrap();
+    b.build([red]).unwrap()
+}
+
+#[test]
+fn steady_state_hot_loop_allocates_nothing() {
+    let func = compute_func();
+    let mesh = Mesh::single("B", 1).unwrap();
+    let plan = CompiledPlan::compile(&func, &mesh, &Default::default()).unwrap();
+
+    let inputs = vec![
+        Literal::ones(&TensorType::f32([16, 32])),
+        Literal::ones(&TensorType::f32([32, 16])),
+    ];
+
+    let mut st = plan.new_executor();
+    // Warm-up: fills the arena and the kernels' thread-local scratch.
+    plan.load_inputs(&mut st, &inputs).unwrap();
+    plan.run_local_steps(&mut st).unwrap();
+    let warm = plan.read_outputs(&st).unwrap();
+
+    // Steady state: the hot loop must not touch the heap at all.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    plan.load_inputs(&mut st, &inputs).unwrap();
+    plan.run_local_steps(&mut st).unwrap();
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "plan hot loop allocated {} time(s)",
+        after - before
+    );
+
+    // And it still computes the same thing.
+    let again = plan.read_outputs(&st).unwrap();
+    assert_eq!(warm, again);
+}

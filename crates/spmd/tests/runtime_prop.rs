@@ -62,6 +62,17 @@ fn threaded_runtime_matches_reference_and_prediction() {
         if threaded != lockstep {
             return Err("threaded outputs differ from lockstep".into());
         }
+        // Compile once, execute the plan explicitly: still element-exact
+        // against the op-by-op oracle.
+        let plan = program
+            .compile()
+            .map_err(|e| format!("plan compilation failed: {e}"))?;
+        let (planned, _) = program
+            .execute_global_planned(&plan, &inputs, &RuntimeConfig::default())
+            .map_err(|e| format!("planned execution failed: {e}"))?;
+        if planned != lockstep {
+            return Err("compiled-plan outputs differ from lockstep".into());
+        }
         // Concurrent == global reference, within f32 reassociation slack.
         for (i, (r, t)) in reference.iter().zip(&threaded).enumerate() {
             let scale = r
