@@ -5,7 +5,10 @@
 //! executed per-axis traffic (bytes, messages, rendezvous waits) and
 //! its agreement with the static prediction — plus before/after
 //! timings of the dot kernel engine (blocked batched matmul vs the
-//! retained index-walk oracle).
+//! retained index-walk oracle). Each runtime row also reports the
+//! plan's overlap: how many collective start/wait windows were hoisted
+//! open (`overlap_windows`) and how much collective time the
+//! two-resource event model predicts they hide (`overlap_hidden_ms`).
 //!
 //! Three row groups:
 //! * seed-era rows (`MLP`, `T-tiny`) — identical names and configs to
@@ -33,6 +36,7 @@ use partir_mesh::HardwareConfig;
 use partir_models::schedules::{self, BATCH, MODEL};
 use partir_models::{mlp::MlpConfig, transformer::TransformerConfig, BuiltModel};
 use partir_sched::partir_jit;
+use partir_sim::event::{measure_overlap, EventConfig};
 use partir_spmd::{RuntimeConfig, SpmdProgram};
 
 /// Timed runs per measurement (after one discarded warm-up).
@@ -77,9 +81,26 @@ fn interleaved_best<A, B>(mut a: impl FnMut() -> A, mut b: impl FnMut() -> B) ->
 /// execution of a pre-compiled plan. Plan compilation happens once,
 /// outside the timed region — the compile-once/run-many split the plan
 /// layer exists for — and is reported as its own `compile_ms` metric.
-fn bench_program(model: &BuiltModel, program: &SpmdProgram, name: &str, schedule: &str) -> Row {
+fn bench_program(
+    model: &BuiltModel,
+    program: &SpmdProgram,
+    hw: &HardwareConfig,
+    name: &str,
+    schedule: &str,
+) -> Row {
     let inputs = partir_models::synthetic_inputs(model, 99);
     let (compile_s, plan) = timed(|| program.compile().expect("plan"));
+    // Overlap accounting: how many collective start/wait windows the
+    // plan actually hoisted open, and how much collective time the
+    // two-resource event model predicts those windows hide behind
+    // compute (`overlap_hidden_ms`).
+    let overlap_windows = plan
+        .collective_windows()
+        .iter()
+        .filter(|w| w.gap_steps > 0)
+        .count();
+    let (_, overlap) =
+        measure_overlap(program.func(), hw, &EventConfig::default()).expect("event model");
     let (lockstep_s, lockstep, threaded_s, out) = interleaved_best(
         || program.execute_global(&inputs).expect("lockstep"),
         || {
@@ -99,6 +120,8 @@ fn bench_program(model: &BuiltModel, program: &SpmdProgram, name: &str, schedule
         .metric("speedup", lockstep_s / threaded_s.max(1e-12))
         .metric("arena_bytes", plan.arena_bytes() as f64)
         .metric("fused_ops", plan.fused_ops() as f64)
+        .metric("overlap_windows", overlap_windows as f64)
+        .metric("overlap_hidden_ms", overlap.hidden_s() * 1e3)
         .metric("bytes", stats.total_bytes() as f64)
         .metric("messages", stats.total_messages() as f64)
         .metric("rendezvous_waits", stats.rendezvous_waits as f64)
@@ -198,6 +221,7 @@ fn run(tiny: bool) {
         rows.push(bench_program(
             &model,
             &program,
+            &hw,
             "MLP",
             &format!("mm {b}x{m}"),
         ));
@@ -207,7 +231,13 @@ fn run(tiny: bool) {
     let hw = tpu_mesh(2, 2);
     for (name, schedule) in schedules::transformer_table2() {
         let jitted = partir_jit(&transformer.func, &hw, &schedule).expect("jit");
-        rows.push(bench_program(&transformer, &jitted.program, "T-tiny", name));
+        rows.push(bench_program(
+            &transformer,
+            &jitted.program,
+            &hw,
+            "T-tiny",
+            name,
+        ));
     }
 
     // Benchmark-scale rows: per-device compute dominates, which is what
@@ -220,6 +250,7 @@ fn run(tiny: bool) {
             rows.push(bench_program(
                 &model,
                 &program,
+                &hw,
                 "MLP-big",
                 &format!("mm {b}x{m}"),
             ));
@@ -239,6 +270,7 @@ fn run(tiny: bool) {
             rows.push(bench_program(
                 &transformer,
                 &jitted.program,
+                &hw,
                 "T-train",
                 name,
             ));

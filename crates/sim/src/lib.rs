@@ -50,7 +50,9 @@ pub use cost::{collective_time, SimConfig, Simulator};
 pub use evaluate::{evaluate, evaluate_with, Evaluation};
 pub use flops::{func_flops, op_flops};
 pub use memory::peak_memory_bytes;
-pub use reconcile::{reconcile, AxisCheck, Reconciliation};
+pub use reconcile::{
+    reconcile, reconcile_overlap, AxisCheck, OverlapCheck, OverlapReconciliation, Reconciliation,
+};
 
 /// Simulation results for one device-local program.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

@@ -30,8 +30,10 @@ use std::collections::BTreeSet;
 
 use partir_ir::IrError;
 use partir_mesh::{Axis, HardwareConfig};
-use partir_spmd::{RuntimeStats, SpmdProgram, TrafficPrediction};
+use partir_obs::Trace;
+use partir_spmd::{CollWindow, RuntimeStats, SpmdProgram, TrafficPrediction};
 
+use crate::event::OverlapPrediction;
 use crate::{SimConfig, Simulator};
 
 /// Predicted vs executed traffic on one mesh axis.
@@ -130,6 +132,163 @@ pub fn reconcile(
         executed_total_bytes: stats.total_bytes(),
         num_devices: program.mesh().num_devices(),
     })
+}
+
+/// Measured-vs-predicted overlap of one collective, across all device
+/// tracks of one traced execution.
+///
+/// *Measured* overlap is structural, read off the real device timelines:
+/// a collective overlapped iff other plan steps ran between its
+/// `coll.start.<tag>` span and its `coll.wait.<tag>` span. This is
+/// clock-free — adjacent spans always have a few nanoseconds between
+/// them, so the wall-clock gap alone cannot distinguish "the runtime
+/// did compute under this collective" from span-transition cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapCheck {
+    /// Rendezvous tag (static collective index, plan/tag order).
+    pub tag: u32,
+    /// Steps between start and wait in the compiled plan (per
+    /// [`CollWindow`]); >0 means the compiler found slack to hoist into.
+    pub planned_gap_steps: usize,
+    /// Seconds the two-resource event model predicts this collective
+    /// hides under compute.
+    pub predicted_hidden_s: f64,
+    /// The event model's total duration for this collective.
+    pub predicted_duration_s: f64,
+    /// Start/wait span pairs found on device tracks (devices ×
+    /// iterations).
+    pub measured_pairs: usize,
+    /// Spans of other steps that ran strictly inside this collective's
+    /// start→wait windows, totalled over all pairs.
+    pub intervening_steps: usize,
+    /// Total wall-clock start→wait gap over all pairs, nanoseconds.
+    pub measured_window_ns: u64,
+}
+
+impl OverlapCheck {
+    /// Whether the compiled plan scheduled this collective with a window.
+    pub fn planned(&self) -> bool {
+        self.planned_gap_steps > 0
+    }
+
+    /// Whether the event model predicts any of it hides under compute.
+    pub fn predicted(&self) -> bool {
+        self.predicted_hidden_s > 1e-12
+    }
+
+    /// Whether the device traces show real work inside the window.
+    pub fn measured(&self) -> bool {
+        self.intervening_steps > 0
+    }
+}
+
+/// Result of cross-checking measured overlap (device-trace span gaps)
+/// against the plan's windows and the event model's prediction.
+#[derive(Debug, Clone)]
+pub struct OverlapReconciliation {
+    /// Per collective, in tag order. Only collectives whose spans appear
+    /// on at least one device track are listed.
+    pub per_collective: Vec<OverlapCheck>,
+}
+
+impl OverlapReconciliation {
+    /// Fraction of traced collectives where the runtime's measured
+    /// overlap agrees with the plan's window (both present or both
+    /// absent). The plan and the runtime share the step list, so this
+    /// should be 1.0; chaos perturbation cannot change it.
+    pub fn plan_agreement(&self) -> f64 {
+        self.agreement(|c| c.planned())
+    }
+
+    /// Fraction of traced collectives where the two-resource event
+    /// model's prediction agrees with the measurement. The model
+    /// schedules value dependencies while the plan schedules arena
+    /// slots, so small disagreement is expected — conformance asserts
+    /// this stays above `1 - tolerance`.
+    pub fn model_agreement(&self) -> f64 {
+        self.agreement(|c| c.predicted())
+    }
+
+    /// Whether both agreements hold within `tolerance` (the stated
+    /// tolerance of the overlap conformance battery).
+    pub fn within_tolerance(&self, tolerance: f64) -> bool {
+        self.plan_agreement() >= 1.0 - tolerance && self.model_agreement() >= 1.0 - tolerance
+    }
+
+    fn agreement(&self, f: impl Fn(&OverlapCheck) -> bool) -> f64 {
+        if self.per_collective.is_empty() {
+            return 1.0;
+        }
+        let agree = self
+            .per_collective
+            .iter()
+            .filter(|c| f(c) == c.measured())
+            .count();
+        agree as f64 / self.per_collective.len() as f64
+    }
+}
+
+/// Cross-checks one traced execution's *measured* overlap against the
+/// compiled plan's collective windows and the two-resource event model.
+///
+/// `windows` comes from `CompiledPlan::collective_windows()`,
+/// `prediction` from [`crate::event::measure_overlap`], and `trace` from
+/// the obs collector that recorded the run (device tracks `device0`,
+/// `device1`, …).
+pub fn reconcile_overlap(
+    windows: &[CollWindow],
+    prediction: &OverlapPrediction,
+    trace: &Trace,
+) -> OverlapReconciliation {
+    let per_collective = windows
+        .iter()
+        .map(|w| {
+            let start_name = format!("coll.start.{}", w.tag);
+            let wait_name = format!("coll.wait.{}", w.tag);
+            let mut measured_pairs = 0;
+            let mut intervening_steps = 0;
+            let mut measured_window_ns = 0u64;
+            for track in trace.tracks.iter().filter(|t| t.name.starts_with("device")) {
+                let starts: Vec<_> = track
+                    .spans
+                    .iter()
+                    .filter(|s| s.name == start_name.as_str())
+                    .collect();
+                let waits: Vec<_> = track
+                    .spans
+                    .iter()
+                    .filter(|s| s.name == wait_name.as_str())
+                    .collect();
+                for (s, t) in starts.iter().zip(&waits) {
+                    measured_pairs += 1;
+                    measured_window_ns += t.start_ns.saturating_sub(s.end_ns);
+                    if t.start_ns > s.end_ns {
+                        intervening_steps += track
+                            .spans
+                            .iter()
+                            .filter(|o| {
+                                o.depth == s.depth
+                                    && o.start_ns >= s.end_ns
+                                    && o.end_ns <= t.start_ns
+                            })
+                            .count();
+                    }
+                }
+            }
+            let pred = prediction.collectives.iter().find(|c| c.index == w.tag);
+            OverlapCheck {
+                tag: w.tag,
+                planned_gap_steps: w.gap_steps,
+                predicted_hidden_s: pred.map_or(0.0, |c| c.hidden_s),
+                predicted_duration_s: pred.map_or(0.0, |c| c.duration_s),
+                measured_pairs,
+                intervening_steps,
+                measured_window_ns,
+            }
+        })
+        .filter(|c| c.measured_pairs > 0)
+        .collect();
+    OverlapReconciliation { per_collective }
 }
 
 #[cfg(test)]

@@ -86,13 +86,25 @@ impl TrafficPrediction {
 /// `send` must be non-blocking (the runtime uses unbounded channels);
 /// `recv` blocks until the peer's message arrives or the rendezvous
 /// timeout fires.
+///
+/// Every message carries a `tag` identifying the collective instance it
+/// belongs to. Overlapped plans hoist one collective's eager sends above
+/// another collective's receives on the same channel, so receives match
+/// by `(src, tag)` — FIFO within a tag — instead of raw channel order.
 pub(crate) trait Exchange {
     /// This device's id.
     fn device(&self) -> usize;
     /// Sends `payload` to `dst`, attributing the traffic to `axis`.
-    fn send(&mut self, dst: usize, axis: &Axis, payload: Literal) -> Result<(), RuntimeError>;
-    /// Receives the next message from `src`, attributing it to `axis`.
-    fn recv(&mut self, src: usize, axis: &Axis) -> Result<Literal, RuntimeError>;
+    fn send(
+        &mut self,
+        dst: usize,
+        axis: &Axis,
+        tag: u32,
+        payload: Literal,
+    ) -> Result<(), RuntimeError>;
+    /// Receives the next `tag`-matching message from `src`, attributing
+    /// it to `axis`.
+    fn recv(&mut self, src: usize, axis: &Axis, tag: u32) -> Result<Literal, RuntimeError>;
 }
 
 /// Element range of flat chunk `j` of `n` elements split `k` ways.
@@ -140,7 +152,7 @@ pub(crate) struct CollSched {
 
 /// Resolves one collective's communication pattern for one device:
 /// groups, positions and slice coordinates, in exactly the stage order
-/// [`run_scheduled`] executes.
+/// [`start_scheduled`] + [`wait_scheduled`] execute.
 ///
 /// # Errors
 ///
@@ -225,37 +237,97 @@ pub(crate) fn schedule_collective(
     Ok(sched)
 }
 
-/// Runs one collective for one device over its precomputed schedule.
-/// `value` is the device-local operand; the return value is the
-/// device-local result. Stage-for-stage identical to the schedule-free
-/// dispatch this replaced, so results stay bit-identical to the lockstep
-/// interpreter.
-pub(crate) fn run_scheduled<E: Exchange>(
+/// In-flight state of a collective between its start and wait phases:
+/// the snapshotted device-local operand plus whether the first exchange
+/// stage's input-dependent sends were already issued eagerly.
+#[derive(Debug)]
+pub(crate) struct CollPending {
+    value: Literal,
+    eager: bool,
+}
+
+/// The *start* phase of one collective: issues every send of the first
+/// exchange stage that depends only on the device-local input, without
+/// receiving anything. Overlapped plans run this as soon as the operand
+/// is ready, so the payloads are in flight while the thread keeps
+/// computing; all receives (and every later stage) happen in
+/// [`wait_scheduled`] at the first consuming step. The sends here are
+/// byte-for-byte the ones the blocking path would issue — overlap moves
+/// traffic in time, never in content.
+pub(crate) fn start_scheduled<E: Exchange>(
     c: &Collective,
     ex: &mut E,
     sched: &CollSched,
+    tag: u32,
     value: Literal,
+) -> Result<CollPending, RuntimeError> {
+    let eager = match (c, sched.stages.first()) {
+        (_, None) | (Collective::AllSlice { .. }, Some(_)) => false,
+        (Collective::AllReduce { .. }, Some(stage)) => {
+            if value.ty().size_bytes() <= LEADER_ALL_REDUCE_MAX_BYTES {
+                leader_reduce_sends(ex, stage, tag, &value)?;
+            } else {
+                scatter_reduce_sends(ex, stage, tag, &value)?;
+            }
+            true
+        }
+        (Collective::AllGather { .. }, Some(stage)) => {
+            ring_first_send(ex, stage, tag, &value)?;
+            true
+        }
+        (Collective::ReduceScatter { .. }, Some(stage)) => {
+            slice_exchange_sends(ex, stage, tag, &value)?;
+            true
+        }
+        (Collective::AllToAll { .. }, Some(stage)) => {
+            if sched.slices.is_empty() {
+                // Single-axis direct pairwise exchange; the stage dim is
+                // the split (dst) dimension.
+                slice_exchange_sends(ex, stage, tag, &value)?;
+            } else {
+                // Multi-axis fallback: the first stage is a ring gather.
+                ring_first_send(ex, stage, tag, &value)?;
+            }
+            true
+        }
+    };
+    Ok(CollPending { value, eager })
+}
+
+/// The *wait* (rendezvous/completion) phase of one collective: receives
+/// and folds everything the peers sent, runs every stage after the
+/// first, and produces the device-local result. With `pending` fresh
+/// from [`start_scheduled`] this is stage-for-stage identical to the
+/// blocking dispatch it replaced, so results stay bit-identical to the
+/// lockstep interpreter.
+pub(crate) fn wait_scheduled<E: Exchange>(
+    c: &Collective,
+    ex: &mut E,
+    sched: &CollSched,
+    tag: u32,
+    pending: CollPending,
 ) -> Result<Literal, RuntimeError> {
+    let CollPending { value, eager } = pending;
     match c {
         Collective::AllReduce { reduce, .. } => {
             let mut val = value;
-            for stage in &sched.stages {
-                val = axis_all_reduce(ex, stage, *reduce, val)?;
+            for (i, stage) in sched.stages.iter().enumerate() {
+                val = axis_all_reduce(ex, stage, tag, *reduce, val, eager && i == 0)?;
             }
             Ok(val)
         }
         Collective::AllSlice { .. } => apply_slices(&sched.slices, value),
         Collective::AllGather { .. } => {
             let mut val = value;
-            for stage in &sched.stages {
-                val = axis_ring_gather(ex, stage, val)?;
+            for (i, stage) in sched.stages.iter().enumerate() {
+                val = axis_ring_gather(ex, stage, tag, val, eager && i == 0)?;
             }
             Ok(val)
         }
         Collective::ReduceScatter { reduce, .. } => {
             let mut val = value;
-            for stage in &sched.stages {
-                val = axis_reduce_scatter(ex, stage, *reduce, val)?;
+            for (i, stage) in sched.stages.iter().enumerate() {
+                val = axis_reduce_scatter(ex, stage, tag, *reduce, val, eager && i == 0)?;
             }
             Ok(val)
         }
@@ -267,16 +339,87 @@ pub(crate) fn run_scheduled<E: Exchange>(
                 // no stages, the value passes through).
                 return match sched.stages.first() {
                     None => Ok(value),
-                    Some(stage) => axis_all_to_all(ex, stage, *src_dim, *dst_dim, value),
+                    Some(stage) => {
+                        axis_all_to_all(ex, stage, tag, *src_dim, *dst_dim, value, eager)
+                    }
                 };
             }
             let mut val = value;
-            for stage in &sched.stages {
-                val = axis_ring_gather(ex, stage, val)?;
+            for (i, stage) in sched.stages.iter().enumerate() {
+                val = axis_ring_gather(ex, stage, tag, val, eager && i == 0)?;
             }
             apply_slices(&sched.slices, val)
         }
     }
+}
+
+/// Eager sends of the leader all-reduce: a non-root member's full-payload
+/// transfer to its group leader. Mirrors the send in
+/// [`axis_leader_all_reduce`] exactly (including the empty-payload skip).
+fn leader_reduce_sends<E: Exchange>(
+    ex: &mut E,
+    stage: &AxisStage,
+    tag: u32,
+    val: &Literal,
+) -> Result<(), RuntimeError> {
+    if val.num_elements() == 0 {
+        return Ok(());
+    }
+    if stage.my_pos != 0 {
+        ex.send(stage.group[0], &stage.axis, tag, val.clone())?;
+    }
+    Ok(())
+}
+
+/// Eager sends of the chunked all-reduce: the phase-1 scatter of flat
+/// chunks to their distributed roots. Mirrors [`axis_all_reduce`].
+fn scatter_reduce_sends<E: Exchange>(
+    ex: &mut E,
+    stage: &AxisStage,
+    tag: u32,
+    val: &Literal,
+) -> Result<(), RuntimeError> {
+    let k = stage.group.len();
+    for (j, &root) in stage.group.iter().enumerate() {
+        if j == stage.my_pos {
+            continue;
+        }
+        if let Some(chunk) = flat_chunk(val, k, j)? {
+            ex.send(root, &stage.axis, tag, chunk)?;
+        }
+    }
+    Ok(())
+}
+
+/// Eager send of a ring stage: step 0 forwards the device-local block to
+/// the ring successor. Mirrors [`axis_ring_gather`]'s first step.
+fn ring_first_send<E: Exchange>(
+    ex: &mut E,
+    stage: &AxisStage,
+    tag: u32,
+    val: &Literal,
+) -> Result<(), RuntimeError> {
+    let k = stage.group.len();
+    let next = stage.group[(stage.my_pos + 1) % k];
+    ex.send(next, &stage.axis, tag, val.clone())
+}
+
+/// Eager sends of a direct slice exchange (reduce_scatter and
+/// single-axis all_to_all): every peer's `stage.dim` slice of the local
+/// value. Mirrors [`axis_reduce_scatter`] / [`axis_all_to_all`].
+fn slice_exchange_sends<E: Exchange>(
+    ex: &mut E,
+    stage: &AxisStage,
+    tag: u32,
+    val: &Literal,
+) -> Result<(), RuntimeError> {
+    let k = stage.group.len();
+    for (j, &peer) in stage.group.iter().enumerate() {
+        if j != stage.my_pos {
+            ex.send(peer, &stage.axis, tag, slice_chunk(val, stage.dim, j, k)?)?;
+        }
+    }
+    Ok(())
 }
 
 /// Extracts flat chunk `j` (1-D) of a literal split `k` ways.
@@ -360,8 +503,10 @@ pub(crate) const LEADER_ALL_REDUCE_MAX_BYTES: usize = 256 * 1024;
 fn axis_leader_all_reduce<E: Exchange>(
     ex: &mut E,
     stage: &AxisStage,
+    tag: u32,
     reduce: ReduceOp,
     val: Literal,
+    eager: bool,
 ) -> Result<Literal, RuntimeError> {
     if val.num_elements() == 0 {
         return Ok(val);
@@ -369,17 +514,19 @@ fn axis_leader_all_reduce<E: Exchange>(
     let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
     let root = group[0];
     if my_pos != 0 {
-        ex.send(root, axis, val)?;
-        return ex.recv(root, axis);
+        if !eager {
+            ex.send(root, axis, tag, val)?;
+        }
+        return ex.recv(root, axis, tag);
     }
     let mut acc = Some(val);
     for &member in &group[1..] {
-        let piece = ex.recv(member, axis)?;
+        let piece = ex.recv(member, axis, tag)?;
         acc = fold(acc, piece, reduce)?;
     }
     let result = acc.expect("own value folded");
     for &member in &group[1..] {
-        ex.send(member, axis, result.clone())?;
+        ex.send(member, axis, tag, result.clone())?;
     }
     Ok(result)
 }
@@ -391,11 +538,13 @@ fn axis_leader_all_reduce<E: Exchange>(
 fn axis_all_reduce<E: Exchange>(
     ex: &mut E,
     stage: &AxisStage,
+    tag: u32,
     reduce: ReduceOp,
     val: Literal,
+    eager: bool,
 ) -> Result<Literal, RuntimeError> {
     if val.ty().size_bytes() <= LEADER_ALL_REDUCE_MAX_BYTES {
-        return axis_leader_all_reduce(ex, stage, reduce, val);
+        return axis_leader_all_reduce(ex, stage, tag, reduce, val, eager);
     }
     let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
     let k = group.len();
@@ -403,14 +552,10 @@ fn axis_all_reduce<E: Exchange>(
     let ty = val.ty();
 
     // Phase 1: every member sends chunk j to root j = group[j]; roots
-    // fold incoming chunks in group (coordinate) order.
-    for (j, &root) in group.iter().enumerate() {
-        if j == my_pos {
-            continue;
-        }
-        if let Some(chunk) = flat_chunk(&val, k, j)? {
-            ex.send(root, axis, chunk)?;
-        }
+    // fold incoming chunks in group (coordinate) order. Skipped when the
+    // start phase already scattered the chunks eagerly.
+    if !eager {
+        scatter_reduce_sends(ex, stage, tag, &val)?;
     }
     let mut acc: Option<Literal> = None;
     if chunk_bounds(n, k, my_pos).0 < chunk_bounds(n, k, my_pos).1 {
@@ -418,7 +563,7 @@ fn axis_all_reduce<E: Exchange>(
             let piece = if m == my_pos {
                 flat_chunk(&val, k, my_pos)?.expect("own chunk is non-empty")
             } else {
-                ex.recv(member, axis)?
+                ex.recv(member, axis, tag)?
             };
             acc = fold(acc, piece, reduce)?;
         }
@@ -434,12 +579,12 @@ fn axis_all_reduce<E: Exchange>(
     for s in 0..k - 1 {
         let send_origin = (my_pos + k - s % k) % k;
         if let Some(chunk) = &reduced[send_origin] {
-            ex.send(next, axis, chunk.clone())?;
+            ex.send(next, axis, tag, chunk.clone())?;
         }
         let recv_origin = (my_pos + 2 * k - 1 - s % k) % k;
         let (lo, hi) = chunk_bounds(n, k, recv_origin);
         if lo < hi {
-            reduced[recv_origin] = Some(ex.recv(prev, axis)?);
+            reduced[recv_origin] = Some(ex.recv(prev, axis, tag)?);
         }
     }
     concat_flat(reduced, &ty)
@@ -450,7 +595,9 @@ fn axis_all_reduce<E: Exchange>(
 fn axis_ring_gather<E: Exchange>(
     ex: &mut E,
     stage: &AxisStage,
+    tag: u32,
     val: Literal,
+    eager: bool,
 ) -> Result<Literal, RuntimeError> {
     let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
     let dim = stage.dim;
@@ -460,11 +607,15 @@ fn axis_ring_gather<E: Exchange>(
     let mut blocks: Vec<Option<Literal>> = vec![None; k];
     blocks[my_pos] = Some(val);
     for s in 0..k - 1 {
-        let send_origin = (my_pos + k - s % k) % k;
-        let block = blocks[send_origin].clone().expect("block received");
-        ex.send(next, axis, block)?;
+        // Step 0 forwards the device-local block — already in flight
+        // when the start phase ran eagerly.
+        if s > 0 || !eager {
+            let send_origin = (my_pos + k - s % k) % k;
+            let block = blocks[send_origin].clone().expect("block received");
+            ex.send(next, axis, tag, block)?;
+        }
         let recv_origin = (my_pos + 2 * k - 1 - s % k) % k;
-        blocks[recv_origin] = Some(ex.recv(prev, axis)?);
+        blocks[recv_origin] = Some(ex.recv(prev, axis, tag)?);
     }
     let ordered: Vec<Literal> = blocks
         .into_iter()
@@ -485,23 +636,23 @@ fn axis_ring_gather<E: Exchange>(
 fn axis_reduce_scatter<E: Exchange>(
     ex: &mut E,
     stage: &AxisStage,
+    tag: u32,
     reduce: ReduceOp,
     val: Literal,
+    eager: bool,
 ) -> Result<Literal, RuntimeError> {
     let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
     let dim = stage.dim;
     let k = group.len();
-    for (j, &peer) in group.iter().enumerate() {
-        if j != my_pos {
-            ex.send(peer, axis, slice_chunk(&val, dim, j, k)?)?;
-        }
+    if !eager {
+        slice_exchange_sends(ex, stage, tag, &val)?;
     }
     let mut acc: Option<Literal> = None;
     for (m, &member) in group.iter().enumerate() {
         let piece = if m == my_pos {
             slice_chunk(&val, dim, my_pos, k)?
         } else {
-            ex.recv(member, axis)?
+            ex.recv(member, axis, tag)?
         };
         acc = fold(acc, piece, reduce)?;
     }
@@ -514,23 +665,23 @@ fn axis_reduce_scatter<E: Exchange>(
 fn axis_all_to_all<E: Exchange>(
     ex: &mut E,
     stage: &AxisStage,
+    tag: u32,
     src_dim: usize,
     dst_dim: usize,
     val: Literal,
+    eager: bool,
 ) -> Result<Literal, RuntimeError> {
     let (axis, group, my_pos) = (&stage.axis, &stage.group, stage.my_pos);
     let k = group.len();
-    for (j, &peer) in group.iter().enumerate() {
-        if j != my_pos {
-            ex.send(peer, axis, slice_chunk(&val, dst_dim, j, k)?)?;
-        }
+    if !eager {
+        slice_exchange_sends(ex, stage, tag, &val)?;
     }
     let mut parts: Vec<Literal> = Vec::with_capacity(k);
     for (j, &peer) in group.iter().enumerate() {
         parts.push(if j == my_pos {
             slice_chunk(&val, dst_dim, my_pos, k)?
         } else {
-            ex.recv(peer, axis)?
+            ex.recv(peer, axis, tag)?
         });
     }
     let refs: Vec<&Literal> = parts.iter().collect();

@@ -77,10 +77,10 @@ mod stats;
 pub use collectives::{predict_traffic, AxisTraffic, TrafficPrediction};
 pub use fuse::fuse_collectives;
 pub use lower::lower;
-pub use plan::{CompiledPlan, PlanError, PlanExecutor, PlanOptions};
+pub use plan::{CollWindow, CompiledPlan, PlanError, PlanExecutor, PlanOptions};
 pub use program::SpmdProgram;
 pub use runtime::{
-    seeded_faults, DeviceCounters, Fault, RunOutcome, RuntimeConfig, RuntimeError, RuntimeStats,
-    ThreadedRuntime,
+    seeded_faults, ChaosConfig, DeviceCounters, Fault, RunOutcome, RuntimeConfig, RuntimeError,
+    RuntimeStats, ThreadedRuntime,
 };
 pub use stats::{collect_stats, CollectiveStats};

@@ -35,6 +35,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use partir_ir::interp::eval_op;
 use partir_ir::kernels::{self, DotPlan, ReducePlan};
@@ -43,7 +44,9 @@ use partir_ir::{
 };
 use partir_mesh::Mesh;
 
-use crate::collectives::{run_scheduled, schedule_collective, CollSched, Exchange};
+use crate::collectives::{
+    schedule_collective, start_scheduled, wait_scheduled, CollPending, CollSched, Exchange,
+};
 use crate::runtime::RuntimeError;
 
 /// Register budget of the fused-elementwise machine. Chains that need
@@ -110,12 +113,43 @@ impl From<PlanError> for RuntimeError {
 }
 
 /// Compilation knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PlanOptions {
     /// Upper bound (bytes) on the per-device arena; compilation fails
     /// with [`PlanError::ArenaOverflow`] when the layout needs more.
     /// `None` (the default) accepts whatever the layout requires.
     pub arena_budget: Option<u64>,
+    /// Whether to schedule collectives for compute/communication
+    /// overlap: each collective's *start* (its input-dependent sends) is
+    /// hoisted to the point its operand is ready and its *wait* (the
+    /// rendezvous and fold) sinks to the first consuming step, so
+    /// independent compute between the two runs while payloads are in
+    /// flight. `false` keeps start and wait adjacent — the blocking
+    /// layout. Overlap never changes *what* is communicated or computed,
+    /// only *when*: outputs and per-axis traffic are identical either
+    /// way. On by default.
+    pub overlap: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            arena_budget: None,
+            overlap: true,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// Default options with overlap scheduling disabled: collectives
+    /// stay blocking program points (start immediately followed by
+    /// wait).
+    pub fn blocking() -> Self {
+        PlanOptions {
+            overlap: false,
+            ..PlanOptions::default()
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -303,17 +337,40 @@ struct ForStep {
     bypass: Vec<(Slot, Slot)>,
 }
 
-/// A collective with its per-device schedules resolved ahead of time.
+/// The *start* phase of a collective: snapshots the operand and issues
+/// the first stage's input-dependent sends eagerly
+/// ([`start_scheduled`]). Paired with the [`CollWaitStep`] carrying the
+/// same `tag`; the in-flight state travels through
+/// [`PlanExecutor::pending`].
 #[derive(Debug, Clone)]
-struct CollectiveStep {
+struct CollStartStep {
     kind: Collective,
     /// `scheds[d]` is device `d`'s staging order, rendezvous groups and
-    /// local slice chain.
-    scheds: Vec<CollSched>,
+    /// local slice chain — shared with the paired wait step.
+    scheds: Arc<Vec<CollSched>>,
+    /// Message tag of this collective instance (also its
+    /// [`PlanExecutor::pending`] index), unique per static collective
+    /// step; loop iterations reuse it, which is safe because every
+    /// device issues a tag's messages in the same program order.
+    tag: u32,
     src: Slot,
     src_ty: TensorType,
+    /// Timeline span name, `coll.start.<tag>` — paired with the wait
+    /// span by tag when reconciling measured overlap.
+    span: String,
+}
+
+/// The *wait* (rendezvous/completion) phase of a collective: receives
+/// and folds what the peers sent and writes the device-local result
+/// ([`wait_scheduled`]).
+#[derive(Debug, Clone)]
+struct CollWaitStep {
+    kind: Collective,
+    scheds: Arc<Vec<CollSched>>,
+    tag: u32,
     dst: Slot,
-    name: &'static str,
+    /// Timeline span name, `coll.wait.<tag>`.
+    span: String,
 }
 
 /// Fallback for rare ops: lift slots to [`Literal`]s and evaluate via
@@ -351,7 +408,8 @@ enum Step {
     },
     Concat(ConcatStep),
     For(Box<ForStep>),
-    Collective(Box<CollectiveStep>),
+    CollStart(Box<CollStartStep>),
+    CollWait(Box<CollWaitStep>),
     General(Box<GeneralStep>),
 }
 
@@ -370,7 +428,8 @@ impl Step {
             Step::Copy { .. } => "reshape",
             Step::Concat(_) => "concatenate",
             Step::For(_) => "for",
-            Step::Collective(c) => c.name,
+            Step::CollStart(_) => "coll.start",
+            Step::CollWait(_) => "coll.wait",
             Step::General(g) => g.name,
         }
     }
@@ -379,6 +438,21 @@ impl Step {
 // ---------------------------------------------------------------------------
 // The compiled plan
 // ---------------------------------------------------------------------------
+
+/// One collective's overlap window in a compiled plan: how many steps
+/// of independent work sit between its start and its wait in the step
+/// list. A blocking plan has `gap_steps == 0` for every collective; the
+/// overlap scheduler widens the window as far as the dependency
+/// structure allows. [`partir_obs`] device traces carry matching
+/// `coll.start.<tag>` / `coll.wait.<tag>` spans, so measured overlap is
+/// checked against this structure (`sim::reconcile`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollWindow {
+    /// The collective's message tag (unique per static collective step).
+    pub tag: u32,
+    /// Steps strictly between the start and the wait in their body.
+    pub gap_steps: usize,
+}
 
 /// A device-local program compiled to direct kernel calls over a fixed
 /// arena. One plan serves every device of the mesh (SPMD); only the
@@ -398,6 +472,12 @@ pub struct CompiledPlan {
     static_peak: u64,
     arena_bytes: u64,
     fused_ops: usize,
+    /// Static collective steps (also the executor's pending-table size).
+    num_colls: usize,
+    /// Per-collective start→wait windows, sorted by tag.
+    windows: Vec<CollWindow>,
+    /// Whether the overlap scheduler ran ([`PlanOptions::overlap`]).
+    overlapped: bool,
 }
 
 impl CompiledPlan {
@@ -428,6 +508,7 @@ impl CompiledPlan {
             external,
             carry_elems: [0; 3],
             fused_ops: 0,
+            next_tag: 0,
         };
         let param_slots: Vec<Slot> = func.params().iter().map(|&p| c.alloc_value(p)).collect();
         let param_tys: Vec<TensorType> = func
@@ -438,6 +519,12 @@ impl CompiledPlan {
         let mut steps = Vec::new();
         // Top-level leftovers (results, never-used values) stay resident.
         let _ = c.compile_body(func.body(), func.results(), &mut steps)?;
+        if options.overlap {
+            overlap_pass(&mut steps);
+        }
+        let mut windows = Vec::new();
+        collect_windows(&steps, &mut windows);
+        windows.sort_by_key(|w| w.tag);
         let result_slots: Vec<Slot> = func
             .results()
             .iter()
@@ -471,6 +558,7 @@ impl CompiledPlan {
             }
         }
         let (carry_elems, fused_ops) = (c.carry_elems, c.fused_ops);
+        let num_colls = c.next_tag as usize;
         Ok(CompiledPlan {
             steps,
             pool_len,
@@ -483,6 +571,9 @@ impl CompiledPlan {
             static_peak: analysis,
             arena_bytes,
             fused_ops,
+            num_colls,
+            windows,
+            overlapped: options.overlap,
         })
     }
 
@@ -515,6 +606,39 @@ impl CompiledPlan {
     /// Top-level steps of the plan.
     pub fn num_steps(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Static collective steps in the plan (loop bodies counted once).
+    pub fn num_collectives(&self) -> usize {
+        self.num_colls
+    }
+
+    /// Whether the plan was compiled with overlap scheduling
+    /// ([`PlanOptions::overlap`]).
+    pub fn overlapped(&self) -> bool {
+        self.overlapped
+    }
+
+    /// Per-collective start→wait windows, sorted by tag. Blocking plans
+    /// report `gap_steps == 0` everywhere.
+    pub fn collective_windows(&self) -> &[CollWindow] {
+        &self.windows
+    }
+
+    /// Dynamic step count of one run: static steps with loop bodies
+    /// multiplied out by their trip counts. The natural scale factor for
+    /// rendezvous-timeout budgets — a stall detector must outlast the
+    /// whole run, not one step.
+    pub fn dynamic_steps(&self) -> u64 {
+        dynamic_steps(&self.steps)
+    }
+
+    /// A rendezvous timeout proportional to the plan's dynamic step
+    /// count: `per_step × dynamic_steps`, floored at `per_step`. Fault
+    /// tests derive their thresholds from this so timing stays
+    /// deterministic whether collectives block or overlap.
+    pub fn rendezvous_budget(&self, per_step: std::time::Duration) -> std::time::Duration {
+        per_step * (self.dynamic_steps().clamp(1, u32::MAX as u64) as u32)
     }
 
     /// Fresh executor state (arena pools + carry scratch) for this plan.
@@ -692,6 +816,8 @@ struct Compiler<'f> {
     external: HashSet<ValueId>,
     carry_elems: [usize; 3],
     fused_ops: usize,
+    /// Next collective message tag (also its pending-table index).
+    next_tag: u32,
 }
 
 impl<'f> Compiler<'f> {
@@ -1131,20 +1257,33 @@ impl<'f> Compiler<'f> {
             }
             OpKind::For { trip_count } => self.emit_for(op_id, *trip_count, steps, scope)?,
             OpKind::Collective(c) => {
-                let scheds: Vec<CollSched> = (0..self.mesh.num_devices())
-                    .map(|d| schedule_collective(c, self.mesh, d))
-                    .collect::<Result<_, _>>()?;
+                let scheds: Arc<Vec<CollSched>> = Arc::new(
+                    (0..self.mesh.num_devices())
+                        .map(|d| schedule_collective(c, self.mesh, d))
+                        .collect::<Result<_, _>>()?,
+                );
                 let src = self.slot_of(op.operands[0])?;
                 let src_ty = self.func.value_type(op.operands[0]).clone();
                 let dst = self.alloc_value(op.results[0]);
                 scope.add(op.results[0]);
-                steps.push(Step::Collective(Box::new(CollectiveStep {
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                // Emitted adjacent (the blocking layout); the overlap
+                // pass hoists the start and sinks the wait afterwards.
+                steps.push(Step::CollStart(Box::new(CollStartStep {
                     kind: c.clone(),
-                    scheds,
+                    scheds: scheds.clone(),
+                    tag,
                     src,
                     src_ty,
+                    span: format!("coll.start.{tag}"),
+                })));
+                steps.push(Step::CollWait(Box::new(CollWaitStep {
+                    kind: c.clone(),
+                    scheds,
+                    tag,
                     dst,
-                    name,
+                    span: format!("coll.wait.{tag}"),
                 })));
             }
             _ => self.emit_general(op_id, steps, scope)?,
@@ -1289,6 +1428,191 @@ impl<'f> Compiler<'f> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Overlap scheduling
+// ---------------------------------------------------------------------------
+
+/// Whether two slots can observe each other: same arena pool and
+/// overlapping element ranges. Slots of different pools (dtypes) never
+/// alias; empty slots touch nothing.
+fn slots_conflict(a: Slot, b: Slot) -> bool {
+    a.len > 0
+        && b.len > 0
+        && pool_index(a.dtype) == pool_index(b.dtype)
+        && a.off < b.off + b.len
+        && b.off < a.off + a.len
+}
+
+fn any_conflict(xs: &[Slot], ys: &[Slot]) -> bool {
+    xs.iter().any(|&x| ys.iter().any(|&y| slots_conflict(x, y)))
+}
+
+/// Arena ranges a step reads and writes, conservatively: `For` steps
+/// account for their whole body plus entry/carry/exit/bypass copies, so
+/// nothing ever moves across a dependency hidden in a nested region.
+/// Collective starts read only their operand (the in-flight snapshot is
+/// executor-private); waits write only their result.
+fn step_effects(step: &Step, reads: &mut Vec<Slot>, writes: &mut Vec<Slot>) {
+    match step {
+        Step::Baked(b) => writes.push(b.dst),
+        Step::Unary1 { src, dst, .. } => {
+            reads.push(*src);
+            writes.push(*dst);
+        }
+        Step::Binary1 { a, b, dst, .. } => {
+            reads.push(*a);
+            reads.push(*b);
+            writes.push(*dst);
+        }
+        Step::Eltwise(e) => {
+            for &(_, s) in &e.loads {
+                reads.push(s);
+            }
+            for &(_, s) in &e.stores {
+                writes.push(s);
+            }
+        }
+        Step::Dot(d) => {
+            reads.push(d.lhs);
+            reads.push(d.rhs);
+            writes.push(d.dst);
+        }
+        Step::Gather(g) => {
+            reads.push(g.src);
+            writes.push(g.dst);
+        }
+        Step::Reduce(r) => {
+            reads.push(r.src);
+            writes.push(r.dst);
+        }
+        Step::Copy { src, dst } => {
+            reads.push(*src);
+            writes.push(*dst);
+        }
+        Step::Concat(c) => {
+            for &(s, _) in &c.parts {
+                reads.push(s);
+            }
+            writes.push(c.dst);
+        }
+        Step::For(f) => {
+            writes.push(f.index);
+            for &(s, d) in f
+                .entry
+                .iter()
+                .chain(&f.carry)
+                .chain(&f.exit)
+                .chain(&f.bypass)
+            {
+                reads.push(s);
+                writes.push(d);
+            }
+            for inner in &f.body {
+                step_effects(inner, reads, writes);
+            }
+        }
+        Step::CollStart(c) => reads.push(c.src),
+        Step::CollWait(c) => writes.push(c.dst),
+        Step::General(g) => {
+            for &(s, _) in &g.operands {
+                reads.push(s);
+            }
+            for &(s, _) in &g.results {
+                writes.push(s);
+            }
+        }
+    }
+}
+
+/// Whether `a` and `b` may swap positions without changing any device's
+/// observable arena state: no write of either overlaps a read or write
+/// of the other. Message *content* is swap-invariant separately — sends
+/// never block and receives match by `(src, tag)`, so reordering starts
+/// and waits of different collectives reorders traffic in time only.
+fn steps_commute(a: &Step, b: &Step) -> bool {
+    let (mut ar, mut aw) = (Vec::new(), Vec::new());
+    let (mut br, mut bw) = (Vec::new(), Vec::new());
+    step_effects(a, &mut ar, &mut aw);
+    step_effects(b, &mut br, &mut bw);
+    !any_conflict(&aw, &br) && !any_conflict(&bw, &ar) && !any_conflict(&aw, &bw)
+}
+
+/// Dependency-driven overlap scheduling over one step list (recursing
+/// into loop bodies): every [`Step::CollStart`] bubbles up toward the
+/// step that produces its operand, every [`Step::CollWait`] bubbles down
+/// toward its first consumer. Slot liveness makes this safe: a
+/// collective's operand slot is owned by its value from producer to
+/// (at least) the original collective position, and its result slot
+/// from that position to its last use — any reuse of either range by
+/// another value appears as a conflicting write and stops the bubble.
+///
+/// Deadlock-freedom is preserved because every device runs the *same*
+/// reordered step list, sends never block, and each wait's messages are
+/// issued by a start strictly earlier in that shared order — so the
+/// earliest blocked wait always has its inputs in flight.
+fn overlap_pass(steps: &mut [Step]) {
+    for step in steps.iter_mut() {
+        if let Step::For(f) = step {
+            overlap_pass(&mut f.body);
+        }
+    }
+    // Hoist starts: earliest position keeps payloads in flight longest.
+    for i in 1..steps.len() {
+        if !matches!(steps[i], Step::CollStart(_)) {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && steps_commute(&steps[j - 1], &steps[j]) {
+            steps.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    // Sink waits: park as late as the first consumer allows.
+    for i in (0..steps.len()).rev() {
+        if !matches!(steps[i], Step::CollWait(_)) {
+            continue;
+        }
+        let mut j = i;
+        while j + 1 < steps.len() && steps_commute(&steps[j], &steps[j + 1]) {
+            steps.swap(j, j + 1);
+            j += 1;
+        }
+    }
+}
+
+/// Collects every collective's start→wait window (steps strictly
+/// between the pair within their body).
+fn collect_windows(steps: &[Step], windows: &mut Vec<CollWindow>) {
+    let mut starts: HashMap<u32, usize> = HashMap::new();
+    for (pos, step) in steps.iter().enumerate() {
+        match step {
+            Step::CollStart(c) => {
+                starts.insert(c.tag, pos);
+            }
+            Step::CollWait(c) => {
+                let start = starts[&c.tag];
+                windows.push(CollWindow {
+                    tag: c.tag,
+                    gap_steps: pos - start - 1,
+                });
+            }
+            Step::For(f) => collect_windows(&f.body, windows),
+            _ => {}
+        }
+    }
+}
+
+/// Steps one run executes, with loop bodies multiplied by trip counts.
+fn dynamic_steps(steps: &[Step]) -> u64 {
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::For(f) => 1 + f.trip_count as u64 * (dynamic_steps(&f.body) + 1),
+            _ => 1,
+        })
+        .sum()
+}
+
 fn baked_data(lit: &Literal) -> Result<BakedData, PlanError> {
     Ok(match lit.dtype() {
         DType::F32 => BakedData::F32(lit.as_f32().map_err(PlanError::Ir)?.to_vec()),
@@ -1306,8 +1630,9 @@ fn baked_data(lit: &Literal) -> Result<BakedData, PlanError> {
 // Executor
 // ---------------------------------------------------------------------------
 
-/// Mutable per-device execution state: the typed arena pools plus the
-/// carry-staging scratch. Allocated once per device; every run reuses it.
+/// Mutable per-device execution state: the typed arena pools, the
+/// carry-staging scratch, and the in-flight collective table. Allocated
+/// once per device; every run reuses it.
 pub struct PlanExecutor {
     f32s: Vec<f32>,
     i32s: Vec<i32>,
@@ -1315,6 +1640,10 @@ pub struct PlanExecutor {
     carry_f32s: Vec<f32>,
     carry_i32s: Vec<i32>,
     carry_preds: Vec<bool>,
+    /// In-flight collectives between their start and wait steps, indexed
+    /// by tag. A slot is `Some` exactly while its collective's payloads
+    /// are in flight; the wait takes it.
+    pending: Vec<Option<CollPending>>,
 }
 
 impl PlanExecutor {
@@ -1327,6 +1656,7 @@ impl PlanExecutor {
             carry_f32s: vec![0.0; plan.carry_elems[0]],
             carry_i32s: vec![0; plan.carry_elems[1]],
             carry_preds: vec![false; plan.carry_elems[2]],
+            pending: (0..plan.num_colls).map(|_| None).collect(),
         }
     }
 }
@@ -1345,6 +1675,7 @@ impl Exchange for NoExchange {
         &mut self,
         _dst: usize,
         _axis: &partir_mesh::Axis,
+        _tag: u32,
         _payload: Literal,
     ) -> Result<(), RuntimeError> {
         Err(RuntimeError::Ir(IrError::invalid(
@@ -1352,7 +1683,12 @@ impl Exchange for NoExchange {
         )))
     }
 
-    fn recv(&mut self, _src: usize, _axis: &partir_mesh::Axis) -> Result<Literal, RuntimeError> {
+    fn recv(
+        &mut self,
+        _src: usize,
+        _axis: &partir_mesh::Axis,
+        _tag: u32,
+    ) -> Result<Literal, RuntimeError> {
         Err(RuntimeError::Ir(IrError::invalid(
             "local plan execution cannot communicate",
         )))
@@ -1593,7 +1929,14 @@ fn run_steps<E: Exchange>(
 ) -> Result<(), RuntimeError> {
     for step in steps {
         let _span = if traced {
-            Some(partir_obs::span_enter(step.name()))
+            // Collective phases get tag-qualified span names so one
+            // device track pairs `coll.start.<tag>` with its
+            // `coll.wait.<tag>` when measuring overlap.
+            Some(match step {
+                Step::CollStart(c) => partir_obs::span_enter(c.span.clone()),
+                Step::CollWait(c) => partir_obs::span_enter(c.span.clone()),
+                _ => partir_obs::span_enter(step.name()),
+            })
         } else {
             None
         };
@@ -1667,10 +2010,20 @@ fn run_steps<E: Exchange>(
                     copy_pairs(st, &f.exit);
                 }
             }
-            Step::Collective(cs) => {
+            Step::CollStart(cs) => {
+                // Snapshot the operand (read_slot copies out of the
+                // arena) and put the first stage's sends in flight; the
+                // arena range is free to be recycled immediately.
                 let val = read_slot(st, &cs.src, &cs.src_ty)?;
-                let out = run_scheduled(&cs.kind, ex, &cs.scheds[ex.device()], val)?;
-                write_slot(st, &cs.dst, &out)?;
+                let pending = start_scheduled(&cs.kind, ex, &cs.scheds[ex.device()], cs.tag, val)?;
+                st.pending[cs.tag as usize] = Some(pending);
+            }
+            Step::CollWait(cw) => {
+                let pending = st.pending[cw.tag as usize].take().ok_or_else(|| {
+                    RuntimeError::Ir(IrError::invalid("collective wait without start"))
+                })?;
+                let out = wait_scheduled(&cw.kind, ex, &cw.scheds[ex.device()], cw.tag, pending)?;
+                write_slot(st, &cw.dst, &out)?;
             }
             Step::General(g) => {
                 let operands: Vec<Literal> = g
@@ -1777,6 +2130,7 @@ mod tests {
             &mesh,
             &PlanOptions {
                 arena_budget: Some(needed - 1),
+                ..PlanOptions::default()
             },
         )
         .unwrap_err();

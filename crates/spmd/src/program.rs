@@ -115,7 +115,19 @@ impl SpmdProgram {
     /// disagrees with `partir_analysis`'s static memory bound — see
     /// [`PlanError`].
     pub fn compile(&self) -> Result<CompiledPlan, PlanError> {
-        CompiledPlan::compile(&self.func, &self.mesh, &PlanOptions::default())
+        self.compile_with(&PlanOptions::default())
+    }
+
+    /// Like [`SpmdProgram::compile`] with explicit [`PlanOptions`] —
+    /// chiefly [`PlanOptions::blocking`] to keep every collective at its
+    /// original program point instead of overlapping starts with compute
+    /// (conformance oracles, debugging schedule-sensitive failures).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SpmdProgram::compile`].
+    pub fn compile_with(&self, options: &PlanOptions) -> Result<CompiledPlan, PlanError> {
+        CompiledPlan::compile(&self.func, &self.mesh, options)
     }
 
     /// Like [`SpmdProgram::execute_global`], but runs the devices

@@ -34,7 +34,7 @@
 //! ([`RuntimeError::Dropped`]). [`seeded_faults`] derives a deterministic
 //! fault plan from a `partir-prng` seed so failing cases replay exactly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::Duration;
 
@@ -59,6 +59,12 @@ pub struct RuntimeConfig {
     /// runs. Forced on whenever `faults` is non-empty, so every
     /// fault-injection test verifies checksums regardless of this flag.
     pub verify_checksums: bool,
+    /// Schedule-perturbation fuzzing: when set, every device injects
+    /// seeded random yields/sleeps at its channel send/recv boundaries.
+    /// Payloads and counters are untouched — chaos shakes thread
+    /// interleavings, so a run that is bit-identical under chaos really
+    /// is schedule-independent. `None` (the default) injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -67,6 +73,7 @@ impl Default for RuntimeConfig {
             rendezvous_timeout: Duration::from_secs(5),
             faults: Vec::new(),
             verify_checksums: false,
+            chaos: None,
         }
     }
 }
@@ -93,6 +100,16 @@ impl RuntimeConfig {
     pub fn with_checksums() -> Self {
         RuntimeConfig {
             verify_checksums: true,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Default config with schedule-perturbation fuzzing armed from
+    /// `seed`. Equal seeds perturb identically per device, so a failing
+    /// interleaving replays exactly.
+    pub fn with_chaos(seed: u64) -> Self {
+        RuntimeConfig {
+            chaos: Some(ChaosConfig { seed }),
             ..RuntimeConfig::default()
         }
     }
@@ -132,6 +149,29 @@ pub enum Fault {
         /// Device that drops out.
         device: usize,
     },
+}
+
+/// Seeded schedule-perturbation fuzzing ([`RuntimeConfig::chaos`]).
+///
+/// Each device derives its own generator from `seed` and, at every
+/// channel send/receive boundary, draws one perturbation: usually
+/// nothing, sometimes a scheduler yield, occasionally a sleep of tens
+/// of microseconds. That is enough to shake loose any ordering the
+/// runtime silently relies on — an overlapped plan whose eager sends
+/// race peers' receives must produce bit-identical outputs and exact
+/// traffic counts under every seed (`spmd/tests/chaos_conformance.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Root seed; device `d` perturbs with a generator derived from
+    /// `(seed, d)`, so plans replay exactly.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// The perturbation generator for one device.
+    fn rng_for(&self, device: usize) -> Rng {
+        Rng::seed_from_u64(self.seed ^ (device as u64).wrapping_mul(0x9e3779b97f4a7c15))
+    }
 }
 
 /// Derives a deterministic single-fault plan from a seed.
@@ -340,8 +380,13 @@ pub struct RunOutcome {
 
 /// A message as it travels between two devices.
 struct Message {
-    /// Per (sender, receiver) sequence number, checked on receive.
+    /// Per (sender, receiver) sequence number, checked in transport
+    /// order as messages leave the channel.
     seq: u64,
+    /// Collective-instance tag; receives match on `(src, tag)` so one
+    /// collective's eagerly started payloads can sit in the stash while
+    /// another collective's wait drains the same channel.
+    tag: u32,
     /// FNV-1a over the payload, computed before fault injection; 0 when
     /// checksumming is disarmed (see [`RuntimeConfig::checksums_armed`]).
     checksum: u64,
@@ -453,11 +498,20 @@ struct DeviceLinks {
     timeout: Duration,
     seq_out: Vec<u64>,
     seq_in: Vec<u64>,
+    /// Verified messages dequeued from each channel whose tag did not
+    /// match the receive in progress — another collective's eagerly
+    /// started payloads, stashed until their wait drains them. FIFO
+    /// within a tag, which is all tag matching needs: each device issues
+    /// a given tag's messages in one deterministic program order.
+    stash: Vec<VecDeque<Message>>,
     /// Outgoing messages so far (for [`Fault::Corrupt`] targeting).
     sent_total: u64,
     corrupt_at: Option<u64>,
     /// Compute + verify checksums ([`RuntimeConfig::checksums_armed`]).
     verify: bool,
+    /// Schedule-perturbation generator ([`ChaosConfig`]), drawn at every
+    /// send/recv boundary.
+    chaos: Option<Rng>,
     /// Whether an observability collector is installed for this thread
     /// (checked once at device start so the per-axis counter names below
     /// are only formatted when recording).
@@ -465,48 +519,30 @@ struct DeviceLinks {
     stats: DeviceCounters,
 }
 
-impl Exchange for DeviceLinks {
-    fn device(&self) -> usize {
-        self.device
+impl DeviceLinks {
+    /// Draws one chaos perturbation: usually nothing, sometimes a
+    /// scheduler yield, occasionally a sleep of tens of microseconds.
+    /// Payloads and counters are never touched.
+    fn perturb(&mut self) {
+        if let Some(rng) = &mut self.chaos {
+            match rng.gen_range(8) {
+                0..=4 => {}
+                5 => std::thread::yield_now(),
+                6 => {
+                    for _ in 0..rng.gen_range(4) + 1 {
+                        std::thread::yield_now();
+                    }
+                }
+                _ => std::thread::sleep(Duration::from_micros(rng.gen_range(50) as u64 + 1)),
+            }
+        }
     }
 
-    fn send(&mut self, dst: usize, axis: &Axis, mut payload: Literal) -> Result<(), RuntimeError> {
-        let checksum = if self.verify {
-            literal_checksum(&payload)
-        } else {
-            0
-        };
-        if self.corrupt_at == Some(self.sent_total) {
-            poison(&mut payload);
-        }
-        self.sent_total += 1;
-        let bytes = payload.ty().size_bytes() as u64;
-        self.stats
-            .per_axis
-            .entry(axis.clone())
-            .or_default()
-            .add(AxisTraffic { bytes, messages: 1 });
-        self.stats.bytes += bytes;
-        if self.traced {
-            partir_obs::counter_add("runtime.send.bytes", bytes as f64);
-            partir_obs::counter_add("runtime.send.messages", 1.0);
-            partir_obs::counter_add(format!("runtime.send.bytes.{}", axis.name()), bytes as f64);
-        }
-        let seq = self.seq_out[dst];
-        self.seq_out[dst] += 1;
-        self.txs[dst]
-            .send(Message {
-                seq,
-                checksum,
-                payload,
-            })
-            .map_err(|_| RuntimeError::Disconnected {
-                device: self.device,
-                peer: dst,
-            })
-    }
-
-    fn recv(&mut self, src: usize, axis: &Axis) -> Result<Literal, RuntimeError> {
+    /// Dequeues the next message from `src`'s channel in transport
+    /// order, verifying sequence and checksum as it leaves the channel
+    /// (so violations surface exactly once per message, regardless of
+    /// which receive ends up consuming it).
+    fn dequeue(&mut self, src: usize, axis: &Axis) -> Result<Message, RuntimeError> {
         /// Yield-and-poll rounds before parking on the timed receive.
         ///
         /// A rendezvous miss usually means the peer just hasn't been
@@ -589,7 +625,77 @@ impl Exchange for DeviceLinks {
                 axis: axis.clone(),
             });
         }
-        Ok(msg.payload)
+        Ok(msg)
+    }
+}
+
+impl Exchange for DeviceLinks {
+    fn device(&self) -> usize {
+        self.device
+    }
+
+    fn send(
+        &mut self,
+        dst: usize,
+        axis: &Axis,
+        tag: u32,
+        mut payload: Literal,
+    ) -> Result<(), RuntimeError> {
+        self.perturb();
+        let checksum = if self.verify {
+            literal_checksum(&payload)
+        } else {
+            0
+        };
+        if self.corrupt_at == Some(self.sent_total) {
+            poison(&mut payload);
+        }
+        self.sent_total += 1;
+        let bytes = payload.ty().size_bytes() as u64;
+        self.stats
+            .per_axis
+            .entry(axis.clone())
+            .or_default()
+            .add(AxisTraffic { bytes, messages: 1 });
+        self.stats.bytes += bytes;
+        if self.traced {
+            partir_obs::counter_add("runtime.send.bytes", bytes as f64);
+            partir_obs::counter_add("runtime.send.messages", 1.0);
+            partir_obs::counter_add(format!("runtime.send.bytes.{}", axis.name()), bytes as f64);
+        }
+        let seq = self.seq_out[dst];
+        self.seq_out[dst] += 1;
+        self.txs[dst]
+            .send(Message {
+                seq,
+                tag,
+                checksum,
+                payload,
+            })
+            .map_err(|_| RuntimeError::Disconnected {
+                device: self.device,
+                peer: dst,
+            })
+    }
+
+    fn recv(&mut self, src: usize, axis: &Axis, tag: u32) -> Result<Literal, RuntimeError> {
+        self.perturb();
+        // A stashed message for this tag takes priority: it left the
+        // channel (and passed verification) before anything still
+        // queued, so FIFO-within-tag is preserved.
+        if let Some(pos) = self.stash[src].iter().position(|m| m.tag == tag) {
+            let msg = self.stash[src].remove(pos).expect("position just found");
+            return Ok(msg.payload);
+        }
+        loop {
+            let msg = self.dequeue(src, axis)?;
+            if msg.tag == tag {
+                return Ok(msg.payload);
+            }
+            // Another collective's eager payload overtook this one's on
+            // the shared channel: park it for its own wait.
+            self.stash[src].push_back(msg);
+        }
     }
 }
 
@@ -695,6 +801,7 @@ impl ThreadedRuntime {
         type DeviceResult = Result<(Vec<Literal>, DeviceCounters), RuntimeError>;
         let timeout = self.config.rendezvous_timeout;
         let verify = self.config.checksums_armed();
+        let chaos = self.config.chaos;
         // Device threads do not inherit the caller's thread-local
         // observability scope — capture it here and re-install it inside
         // each worker under a per-device track, so one run produces one
@@ -726,9 +833,11 @@ impl ThreadedRuntime {
                                 timeout,
                                 seq_out: vec![0; n],
                                 seq_in: vec![0; n],
+                                stash: (0..n).map(|_| VecDeque::new()).collect(),
                                 sent_total: 0,
                                 corrupt_at: corrupt,
                                 verify,
+                                chaos: chaos.map(|c| c.rng_for(d)),
                                 traced: partir_obs::current().is_some(),
                                 stats: DeviceCounters::default(),
                             };
@@ -920,13 +1029,17 @@ mod tests {
         };
         let func = collective_func(&mesh, c, TensorType::f32([4]));
         let inputs = device_inputs(&mesh, 4);
-        let mut config = RuntimeConfig::with_timeout(Duration::from_millis(40));
+        // Timeout scaled from plan metadata (not a hard-coded constant
+        // that assumes blocking collectives), stall far beyond it.
+        let plan = CompiledPlan::compile(&func, &mesh, &PlanOptions::default()).unwrap();
+        let timeout = plan.rendezvous_budget(Duration::from_millis(5));
+        let mut config = RuntimeConfig::with_timeout(timeout);
         config.faults = vec![Fault::Stall {
             device: 0,
-            millis: 400,
+            millis: (timeout.as_millis() as u64 + 1) * 10,
         }];
         let err = ThreadedRuntime::new(config)
-            .run(&func, &mesh, &inputs)
+            .run_plan(&plan, &inputs)
             .unwrap_err();
         assert!(
             matches!(err, RuntimeError::Timeout { peer: 0, .. }),
@@ -965,10 +1078,12 @@ mod tests {
         };
         let func = collective_func(&mesh, c, TensorType::f32([4]));
         let inputs = device_inputs(&mesh, 4);
-        let mut config = RuntimeConfig::with_timeout(Duration::from_millis(100));
+        let plan = CompiledPlan::compile(&func, &mesh, &PlanOptions::default()).unwrap();
+        let mut config =
+            RuntimeConfig::with_timeout(plan.rendezvous_budget(Duration::from_millis(5)));
         config.faults = vec![Fault::Drop { device: 1 }];
         let err = ThreadedRuntime::new(config)
-            .run(&func, &mesh, &inputs)
+            .run_plan(&plan, &inputs)
             .unwrap_err();
         assert_eq!(err, RuntimeError::Dropped { device: 1 });
     }

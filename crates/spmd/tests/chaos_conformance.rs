@@ -1,0 +1,121 @@
+//! Schedule-fuzzing conformance battery: the threaded runtime must be
+//! bit-identical to the lockstep oracle under *adversarial thread
+//! interleavings*, for both blocking and overlapped plans.
+//!
+//! [`partir_spmd::ChaosConfig`] injects seeded yields/sleeps at every
+//! channel send/recv boundary, shaking out any ordering assumption the
+//! runtime silently makes — eager sends overtaking each other on shared
+//! channels, waits draining stashed messages, rendezvous misses under
+//! load. For ≥64 seeds on each mesh of the 1×2/2×2/4×2 ladder, and for
+//! two programs —
+//!
+//! * the MLP training step (lowered outside `partir_jit`; a tight chain
+//!   where the overlap pass finds no slack, so blocking and overlapped
+//!   plans coincide and the fuzz targets the transport alone), and
+//! * the transformer BP+MP+Z3 schedule (whose overlapped plan hoists
+//!   dozens of collective starts across windows hundreds of steps wide,
+//!   so many payloads are in flight at once and waits drain them out of
+//!   issue order) —
+//!
+//! every run must produce outputs **element-exact** against the
+//! lockstep interpreter (no threads, no channels, no chaos), and
+//! executed per-axis traffic equal to `predict_traffic` **exactly**:
+//! chaos and overlap may change *when* bytes move, never *what* moves.
+//!
+//! One test per mesh so the battery parallelizes across test threads.
+
+use partir_core::Partitioning;
+use partir_ir::Literal;
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::mlp::MlpConfig;
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_models::transformer::TransformerConfig;
+use partir_sched::partir_jit;
+use partir_spmd::{PlanOptions, RuntimeConfig, SpmdProgram};
+
+/// Seeds per (program, mesh, plan) cell of the battery.
+const SEEDS: u64 = 64;
+
+/// The MLP training step with batch tiling and one Megatron-sharded
+/// layer — all_reduce plus gather/scatter collectives on both axes.
+fn mlp_program(mesh: Mesh) -> (SpmdProgram, Vec<Literal>) {
+    let model = partir_models::mlp::build_train_step(&MlpConfig::small()).unwrap();
+    let mut part = Partitioning::new(&model.func, mesh).unwrap();
+    let params = model.func.params().to_vec();
+    part.tile(&model.func, params[0], 0, &BATCH.into()).unwrap();
+    part.tile(&model.func, params[2], 1, &MODEL.into()).unwrap();
+    part.propagate(&model.func);
+    let program = partir_spmd::lower(&model.func, &part)
+        .unwrap()
+        .fused()
+        .unwrap();
+    let inputs = partir_models::synthetic_inputs(&model, 4242);
+    (program, inputs)
+}
+
+/// The transformer training step under the paper's BP+MP+Z3 schedule:
+/// batch + model parallelism plus optimizer-state sharding, the
+/// schedule with the deepest overlap windows in the zoo.
+fn transformer_z3(mesh: &Mesh) -> (SpmdProgram, Vec<Literal>) {
+    let model = partir_models::transformer::build_train_step(&TransformerConfig::tiny()).unwrap();
+    let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+    let table = schedules::transformer_table2();
+    let (_, schedule) = table
+        .iter()
+        .find(|(name, _)| *name == "BP+MP+Z3")
+        .expect("schedule table");
+    let program = partir_jit(&model.func, &hw, schedule).unwrap().program;
+    let inputs = partir_models::synthetic_inputs(&model, 4242);
+    (program, inputs)
+}
+
+fn fuzz(program: &SpmdProgram, inputs: &[Literal], what: &str) {
+    let oracle = program.execute_global(inputs).unwrap();
+    let predicted = program.predicted_traffic().unwrap();
+    let overlapped = program.compile().unwrap();
+    let blocking = program.compile_with(&PlanOptions::blocking()).unwrap();
+    assert!(overlapped.overlapped() && !blocking.overlapped());
+    for (plan, mode) in [(&overlapped, "overlapped"), (&blocking, "blocking")] {
+        for seed in 0..SEEDS {
+            let label = format!("{what}, {mode} plan, seed {seed}");
+            let (outputs, stats) = program
+                .execute_global_planned(plan, inputs, &RuntimeConfig::with_chaos(seed))
+                .expect(&label);
+            assert_eq!(outputs, oracle, "{label}: outputs != lockstep oracle");
+            assert_eq!(
+                stats.per_axis, predicted.per_axis,
+                "{label}: executed traffic != prediction"
+            );
+        }
+    }
+}
+
+fn fuzz_mesh(batch: usize) {
+    let mesh = Mesh::new([(BATCH, batch), (MODEL, 2)]).unwrap();
+    let (program, inputs) = mlp_program(mesh.clone());
+    fuzz(&program, &inputs, &format!("MLP {batch}x2"));
+    let (program, inputs) = transformer_z3(&mesh);
+    // The battery only means something if the overlapped plan actually
+    // hoists: the Z3 schedule must yield real windows.
+    let plan = program.compile().unwrap();
+    assert!(
+        plan.collective_windows().iter().any(|w| w.gap_steps > 0),
+        "overlap pass found no slack in the Z3 transformer schedule"
+    );
+    fuzz(&program, &inputs, &format!("T-Z3 {batch}x2"));
+}
+
+#[test]
+fn chaos_conformance_1x2() {
+    fuzz_mesh(1);
+}
+
+#[test]
+fn chaos_conformance_2x2() {
+    fuzz_mesh(2);
+}
+
+#[test]
+fn chaos_conformance_4x2() {
+    fuzz_mesh(4);
+}

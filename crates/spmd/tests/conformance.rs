@@ -162,19 +162,31 @@ fn mlp_train_step_conforms() {
     }
 }
 
+/// Rendezvous budget scaled from plan metadata, so fault-timing tests
+/// stay deterministic under the async/overlapped path: the timeout
+/// grows with the number of steps one run executes (collective starts
+/// can now be far from their waits), instead of hard-coding a constant
+/// that silently assumed blocking collectives.
+fn scaled_timeout(plan: &partir_spmd::CompiledPlan) -> std::time::Duration {
+    plan.rendezvous_budget(std::time::Duration::from_micros(500))
+}
+
 #[test]
 fn stalled_device_is_detected_as_deadlock_timeout() {
     let mesh = Mesh::new([(BATCH, 2), (MODEL, 2)]).unwrap();
     let (model, program) = mlp_program(mesh);
     assert!(program.stats().total() > 0, "schedule must communicate");
     let inputs = partir_models::synthetic_inputs(&model, 77);
-    let mut config = RuntimeConfig::with_timeout(std::time::Duration::from_millis(50));
+    let plan = program.compile().unwrap();
+    let timeout = scaled_timeout(&plan);
+    let mut config = RuntimeConfig::with_timeout(timeout);
+    // Stall far beyond the budget so detection is unambiguous.
     config.faults = vec![Fault::Stall {
         device: 0,
-        millis: 500,
+        millis: (timeout.as_millis() as u64 + 1) * 10,
     }];
     let err = program
-        .execute_global_threaded(&inputs, &config)
+        .execute_global_planned(&plan, &inputs, &config)
         .unwrap_err();
     assert!(
         matches!(err, RuntimeError::Timeout { .. }),
@@ -187,13 +199,14 @@ fn corrupted_message_surfaces_as_structured_error() {
     let mesh = Mesh::new([(BATCH, 2), (MODEL, 2)]).unwrap();
     let (model, program) = mlp_program(mesh);
     let inputs = partir_models::synthetic_inputs(&model, 77);
-    let mut config = RuntimeConfig::with_timeout(std::time::Duration::from_millis(200));
+    let plan = program.compile().unwrap();
+    let mut config = RuntimeConfig::with_timeout(scaled_timeout(&plan));
     config.faults = vec![Fault::Corrupt {
         device: 1,
         message: 0,
     }];
     let err = program
-        .execute_global_threaded(&inputs, &config)
+        .execute_global_planned(&plan, &inputs, &config)
         .unwrap_err();
     assert!(
         matches!(err, RuntimeError::Corrupt { peer: 1, .. }),
@@ -206,10 +219,11 @@ fn dropped_participant_is_reported_by_identity() {
     let mesh = Mesh::new([(BATCH, 2), (MODEL, 2)]).unwrap();
     let (model, program) = mlp_program(mesh);
     let inputs = partir_models::synthetic_inputs(&model, 77);
-    let mut config = RuntimeConfig::with_timeout(std::time::Duration::from_millis(200));
+    let plan = program.compile().unwrap();
+    let mut config = RuntimeConfig::with_timeout(scaled_timeout(&plan));
     config.faults = vec![Fault::Drop { device: 2 }];
     let err = program
-        .execute_global_threaded(&inputs, &config)
+        .execute_global_planned(&plan, &inputs, &config)
         .unwrap_err();
     assert_eq!(err, RuntimeError::Dropped { device: 2 });
 }

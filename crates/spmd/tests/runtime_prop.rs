@@ -12,7 +12,7 @@ use partir_ir::interp::interpret;
 use partir_mesh::{Axis, Mesh};
 use partir_models::mlp::MlpConfig;
 use partir_prng::propcheck::check;
-use partir_spmd::{lower, RuntimeConfig};
+use partir_spmd::{lower, PlanOptions, RuntimeConfig};
 
 #[test]
 fn threaded_runtime_matches_reference_and_prediction() {
@@ -67,11 +67,29 @@ fn threaded_runtime_matches_reference_and_prediction() {
         let plan = program
             .compile()
             .map_err(|e| format!("plan compilation failed: {e}"))?;
-        let (planned, _) = program
+        let (planned, overlapped_stats) = program
             .execute_global_planned(&plan, &inputs, &RuntimeConfig::default())
             .map_err(|e| format!("planned execution failed: {e}"))?;
         if planned != lockstep {
             return Err("compiled-plan outputs differ from lockstep".into());
+        }
+        // Overlap must never change *what* is communicated, only *when*:
+        // the overlapped plan's per-axis bytes and messages equal the
+        // blocking plan's, and both equal the prediction.
+        let blocking = program
+            .compile_with(&PlanOptions::blocking())
+            .map_err(|e| format!("blocking plan compilation failed: {e}"))?;
+        let (blocked, blocking_stats) = program
+            .execute_global_planned(&blocking, &inputs, &RuntimeConfig::default())
+            .map_err(|e| format!("blocking execution failed: {e}"))?;
+        if blocked != lockstep {
+            return Err("blocking-plan outputs differ from lockstep".into());
+        }
+        if overlapped_stats.per_axis != blocking_stats.per_axis {
+            return Err(format!(
+                "overlapped traffic {:?} != blocking traffic {:?}",
+                overlapped_stats.per_axis, blocking_stats.per_axis
+            ));
         }
         // Concurrent == global reference, within f32 reassociation slack.
         for (i, (r, t)) in reference.iter().zip(&threaded).enumerate() {

@@ -9,10 +9,13 @@
 //!    runtime outputs and traffic stats. Tracing observes; it never
 //!    participates.
 //!
-//! 2. **Golden trace**: a tiny MLP compile profiled with the fake
-//!    deterministic clock round-trips byte-for-byte to a checked-in
-//!    Chrome trace JSON — stable event ordering, no wall-clock, no
-//!    debug/release difference. Regenerate with
+//! 2. **Golden trace**: a tiny MLP compile — plus a planned runtime
+//!    execution on a single-device mesh, so the `device0` track pins
+//!    the async-collective `coll.start.N`/`coll.wait.N` spans —
+//!    profiled with the fake deterministic clock round-trips
+//!    byte-for-byte to a checked-in Chrome trace JSON — stable event
+//!    ordering, no wall-clock, no debug/release difference. Regenerate
+//!    with
 //!    `OBS_UPDATE_GOLDEN=1 cargo test -p partir-bench --test observability`.
 
 use std::collections::BTreeMap;
@@ -158,10 +161,31 @@ fn tracing_is_inert() {
     });
 }
 
-/// Compiles the golden subject: MLP tile+propagate+lower+fuse+evaluate
-/// on a 2×2 mesh under a fake-clock collector. Compile-side only — the
-/// threaded runtime's rendezvous-wait spans depend on OS scheduling and
-/// have no place in a byte-stable golden.
+/// Builds the MLP step with its standard schedule (batch tiled, one
+/// layer Megatron-sharded) lowered onto `mesh`.
+fn golden_program(model: &BuiltModel, mesh: Mesh) -> partir_spmd::SpmdProgram {
+    let mut part = Partitioning::new(&model.func, mesh).expect("state");
+    let params = model.func.params().to_vec();
+    part.tile(&model.func, params[0], 0, &BATCH.into())
+        .expect("tile");
+    part.tile(&model.func, params[2], 1, &MODEL.into())
+        .expect("tile");
+    part.propagate(&model.func);
+    partir_spmd::lower(&model.func, &part)
+        .expect("lower")
+        .fused()
+        .expect("fuse")
+}
+
+/// Compiles the golden subject under a fake-clock collector: MLP
+/// tile+propagate+lower+fuse+evaluate on a 2×2 mesh, then a planned
+/// runtime execution on a 1×1 mesh. The runtime section deliberately
+/// uses the single-device mesh: the collectives survive lowering (so
+/// the `device0` track carries `coll.start.N`/`coll.wait.N` spans and
+/// every plan-step span in program order), but their schedules move no
+/// messages, so no `rendezvous_wait` span — whose appearance depends on
+/// OS scheduling — can ever occur, and the fake clock ticks per track,
+/// making the whole trace byte-stable.
 fn golden_trace_json() -> String {
     let collector = Collector::with_fake_clock(1_000);
     let model = partir_models::mlp::build_train_step(&MlpConfig::small()).expect("mlp");
@@ -176,6 +200,15 @@ fn golden_trace_json() -> String {
             .expect("tile");
         part.propagate(&model.func);
         partir_sim::evaluate(&model.func, &part, &hw).expect("evaluate");
+    });
+    let single = Mesh::new([(BATCH, 1), (MODEL, 1)]).expect("mesh");
+    let program = golden_program(&model, single);
+    let inputs = partir_models::synthetic_inputs(&model, 7);
+    with_track(&collector, "main", || {
+        let plan = program.compile().expect("plan");
+        program
+            .execute_global_planned(&plan, &inputs, &RuntimeConfig::default())
+            .expect("planned run");
     });
     let trace = collector.snapshot();
     trace.check_well_formed().expect("well-formed");
