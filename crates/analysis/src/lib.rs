@@ -17,6 +17,10 @@
 //!   (dropped axes, double slicing, redundant gather/slice round trips);
 //! * [`memory`] — a static peak-memory bound guaranteed to dominate
 //!   `partir_sim`'s simulated peak;
+//! * [`objective`] — a static search objective: communication and
+//!   compute costs read straight off a propagated `Partitioning`
+//!   (no lowering, no simulation), plus action equivalence classes
+//!   keyed by propagated fingerprints;
 //! * [`lint`] — aggregation of all of the above into the structured
 //!   [`Diagnostic`] stream the `partir-lint` binary prints.
 //!
@@ -55,8 +59,13 @@ pub mod diag;
 pub mod layout;
 pub mod lint;
 pub mod memory;
+pub mod objective;
 pub mod sharding;
 
 pub use diag::{error_count, max_severity, Diagnostic, Severity};
 pub use memory::{liveness_frees, static_peak_bound};
+pub use objective::{
+    equivalence_classes, static_cost, static_cost_with, ActionClass, ObjectiveConfig, StaticCost,
+    StaticObjective, TileCandidate,
+};
 pub use sharding::is_legal;

@@ -1,6 +1,22 @@
-//! Search-throughput benchmark: MCTS nodes/second and evaluation-cache
-//! hit-rate on the Transformer training step, with and without the
-//! fingerprint-keyed evaluation cache.
+//! Search benchmark: candidate-evaluation throughput of the static
+//! objective against simulation-in-the-loop, MCTS nodes/second with and
+//! without the fingerprint-keyed evaluation cache, and the end-cost of
+//! `StaticSearch` against simulator-reward MCTS at 10× the simulator
+//! budget on the T48-scale zoo entry.
+//!
+//! Rows:
+//!
+//! * `cached` / `uncached` / `delta` — MCTS throughput on T-train, with
+//!   and without the evaluation cache (the pre-existing comparison);
+//! * `static-obj` / `sim-obj` / `objective` — per-candidate evaluation
+//!   throughput of the amortised `partir_analysis::StaticObjective`
+//!   (one structural pass, then a per-candidate walk) vs `partir_sim::
+//!   evaluate` over the same random legal states, plus their top-1
+//!   agreement over batches of candidates;
+//! * `Auto` / `Static` / `end-cost` — final simulated cost of the
+//!   `transformer_search_table` schedules on the T48-scale config:
+//!   simulator-reward MCTS at 10× the simulator evaluations that
+//!   `StaticSearch` spends on its final top-K rescoring.
 //!
 //! Writes machine-readable results to `BENCH_search.json` in the current
 //! directory (and prints the usual aligned table; `--json` prints the
@@ -10,10 +26,15 @@
 
 use std::time::Instant;
 
+use partir_analysis::{is_legal, StaticObjective};
 use partir_bench::{emit, rows_to_json, tpu_mesh, Row};
 use partir_core::Partitioning;
+use partir_ir::Func;
+use partir_mesh::{Axis, HardwareConfig};
+use partir_models::schedules::transformer_search_table;
 use partir_models::transformer::{build_train_step, TransformerConfig};
-use partir_sched::{AutomaticPartition, EvalCache};
+use partir_prng::Rng;
+use partir_sched::{partir_jit, AutomaticPartition, EvalCache};
 
 struct SearchRun {
     label: &'static str,
@@ -23,10 +44,11 @@ struct SearchRun {
     hits: u64,
     misses: u64,
     pruned: u64,
+    pruned_repeat: u64,
     hit_rate: f64,
 }
 
-fn run_search_once(func: &partir_ir::Func, budget: usize, cached: bool) -> SearchRun {
+fn run_search_once(func: &Func, budget: usize, cached: bool) -> SearchRun {
     let hw = tpu_mesh(4, 2);
     let cache = if cached {
         EvalCache::new()
@@ -53,6 +75,7 @@ fn run_search_once(func: &partir_ir::Func, budget: usize, cached: bool) -> Searc
         hits: stats.hits,
         misses: stats.misses,
         pruned: stats.pruned,
+        pruned_repeat: stats.pruned_repeat,
         hit_rate: stats.hit_rate(),
     }
 }
@@ -62,7 +85,7 @@ fn run_search_once(func: &partir_ir::Func, budget: usize, cached: bool) -> Searc
 /// (page faults, allocator warm-up) and the comparison is
 /// schedule-vs-schedule, not first-vs-second. The search is seeded, so
 /// node counts are identical across trials; only wall time varies.
-fn run_search(func: &partir_ir::Func, budget: usize, cached: bool, trials: usize) -> SearchRun {
+fn run_search(func: &Func, budget: usize, cached: bool, trials: usize) -> SearchRun {
     let _warmup = run_search_once(func, budget, cached);
     let mut best = run_search_once(func, budget, cached);
     for _ in 1..trials {
@@ -74,10 +97,128 @@ fn run_search(func: &partir_ir::Func, budget: usize, cached: bool, trials: usize
     best
 }
 
+/// Distinct legal partitionings reached by 1–3 random tile actions from
+/// replicated — the same candidate construction the rank-agreement
+/// property tests use.
+fn sample_states(
+    func: &Func,
+    hw: &HardwareConfig,
+    rng: &mut Rng,
+    want: usize,
+) -> Vec<Partitioning> {
+    let axes: Vec<Axis> = hw.mesh.axes().iter().map(|(a, _)| a.clone()).collect();
+    let params = func.params().to_vec();
+    let root = Partitioning::new(func, hw.mesh.clone()).expect("state");
+    let mut seen = vec![root.fingerprint()];
+    let mut states = vec![root.clone()];
+    for _ in 0..want * 8 {
+        if states.len() >= want {
+            break;
+        }
+        let mut s = root.clone();
+        for _ in 0..rng.gen_range_in(1, 3) {
+            let v = params[rng.gen_range(params.len())];
+            let rank = func.value_type(v).rank();
+            if rank == 0 {
+                continue;
+            }
+            let axis = &axes[rng.gen_range(axes.len())];
+            let _ = s.tile(func, v, rng.gen_range(rank), axis);
+            s.propagate(func);
+        }
+        let fp = s.fingerprint();
+        if seen.contains(&fp) || !is_legal(func, &s) {
+            continue;
+        }
+        seen.push(fp);
+        states.push(s);
+    }
+    states
+}
+
+struct ObjectiveComparison {
+    candidates: usize,
+    static_per_s: f64,
+    sim_per_s: f64,
+    batches: usize,
+    agreed: usize,
+}
+
+/// Times the static objective and the simulator over the same candidate
+/// states and measures top-1 agreement over `batch`-sized groups (the
+/// decision the search actually makes: "which of these candidates is
+/// best?").
+fn objective_comparison(
+    func: &Func,
+    hw: &HardwareConfig,
+    want: usize,
+    batch: usize,
+    static_reps: usize,
+) -> ObjectiveComparison {
+    let mut rng = Rng::seed_from_u64(0xBE7C4);
+    let states = sample_states(func, hw, &mut rng, want);
+
+    // Static objective, as the search uses it: one structural pass over
+    // the function (timed, amortised over every candidate), then the
+    // per-candidate walk. Cheap enough that one pass is below timer
+    // resolution — repeat and divide.
+    let start = Instant::now();
+    let objective = StaticObjective::new(func);
+    let mut static_costs = Vec::new();
+    for _ in 0..static_reps {
+        static_costs.clear();
+        for s in &states {
+            static_costs.push(objective.cost(s, hw).expect("static cost").cost(hw));
+        }
+    }
+    let static_s = start.elapsed().as_secs_f64();
+
+    // Simulator: lower + fuse + simulate per candidate, no cache (the
+    // simulate-per-node baseline).
+    let start = Instant::now();
+    let sim_costs: Vec<f64> = states
+        .iter()
+        .map(|s| {
+            partir_sim::evaluate(func, s, hw)
+                .expect("evaluate")
+                .cost(hw)
+        })
+        .collect();
+    let sim_s = start.elapsed().as_secs_f64();
+
+    let mut batches = 0;
+    let mut agreed = 0;
+    for chunk in (0..states.len()).collect::<Vec<_>>().chunks(batch) {
+        if chunk.len() < 2 {
+            continue;
+        }
+        batches += 1;
+        let static_best = *chunk
+            .iter()
+            .min_by(|&&a, &&b| static_costs[a].total_cmp(&static_costs[b]))
+            .unwrap();
+        let sim_min = chunk
+            .iter()
+            .map(|&i| sim_costs[i])
+            .fold(f64::INFINITY, f64::min);
+        if sim_costs[static_best] <= sim_min * (1.0 + 1e-9) {
+            agreed += 1;
+        }
+    }
+    ObjectiveComparison {
+        candidates: states.len(),
+        static_per_s: (static_reps * states.len()) as f64 / static_s.max(1e-12),
+        sim_per_s: states.len() as f64 / sim_s.max(1e-12),
+        batches,
+        agreed,
+    }
+}
+
 fn main() {
     // `--smoke`: CI configuration — a tiny model and budget, one trial.
-    // Exercises the cached and uncached search paths end to end; the
-    // throughput numbers are meaningless on shared runners.
+    // Exercises every code path end to end; absolute throughput numbers
+    // are meaningless on shared runners, but the static/sim *ratio* and
+    // the agreement fraction are machine-independent enough to gate.
     let smoke = std::env::args().any(|a| a == "--smoke");
     // `--profile`: record the whole run with partir-obs and write a
     // Chrome trace (`BENCH_search.trace.json`) alongside the results.
@@ -131,6 +272,7 @@ fn run(smoke: bool) {
                 .metric("evals", r.misses as f64)
                 .metric("cache_hits", r.hits as f64)
                 .metric("pruned", r.pruned as f64)
+                .metric("pruned_repeat", r.pruned_repeat as f64)
                 .metric("cache_hit_rate", r.hit_rate)
                 .metric("wall_s", r.seconds)
         })
@@ -152,6 +294,81 @@ fn run(smoke: bool) {
             )
             .metric("pruned", (runs[0].pruned + runs[1].pruned) as f64),
     );
+
+    // Static-objective vs simulate-per-node candidate throughput.
+    let hw = tpu_mesh(4, 2);
+    let (want, batch, reps) = if smoke { (24, 4, 50) } else { (48, 6, 200) };
+    let obj = objective_comparison(&model.func, &hw, want, batch, reps);
+    rows.push(
+        Row::new("search", "T-train", "static-obj")
+            .metric("candidates", obj.candidates as f64)
+            .metric("nodes_per_s", obj.static_per_s),
+    );
+    rows.push(
+        Row::new("search", "T-train", "sim-obj")
+            .metric("candidates", obj.candidates as f64)
+            .metric("nodes_per_s", obj.sim_per_s),
+    );
+    rows.push(
+        Row::new("search", "T-train", "objective")
+            .metric("eval_ratio", obj.static_per_s / obj.sim_per_s.max(1e-12))
+            .metric("batches", obj.batches as f64)
+            .metric(
+                "top1_agreement",
+                if obj.batches > 0 {
+                    obj.agreed as f64 / obj.batches as f64
+                } else {
+                    0.0
+                },
+            ),
+    );
+
+    // T48-scale end cost: StaticSearch (simulator only for final top-K
+    // rescoring, K = 8) against simulator-reward MCTS at 10× the
+    // simulator evaluations (budget 80).
+    let t48 = if smoke {
+        TransformerConfig {
+            layers: 4,
+            ..TransformerConfig::tiny()
+        }
+    } else {
+        TransformerConfig::t48_search()
+    };
+    let t48_model = build_train_step(&t48).expect("t48 builds");
+    let t48_label = if smoke { "T48-smoke" } else { "T48" };
+    let auto_budget = 80;
+    let mut end_costs = Vec::new();
+    for (label, schedule) in transformer_search_table(auto_budget) {
+        let start = Instant::now();
+        let jitted = partir_jit(&t48_model.func, &hw, &schedule).expect("jit");
+        let wall = start.elapsed().as_secs_f64();
+        let cost = partir_sim::evaluate(&t48_model.func, &jitted.partitioning, &hw)
+            .expect("evaluate")
+            .cost(&hw);
+        end_costs.push((label, cost));
+        rows.push(
+            Row::new("search", t48_label, label)
+                .metric("budget", auto_budget as f64)
+                .metric("sim_evals", jitted.cache.misses as f64)
+                .metric("end_cost", cost)
+                .metric("wall_s", wall),
+        );
+    }
+    let auto_cost = end_costs
+        .iter()
+        .find(|(l, _)| *l == "Auto")
+        .map(|(_, c)| *c)
+        .unwrap_or(f64::NAN);
+    let static_cost_final = end_costs
+        .iter()
+        .find(|(l, _)| *l == "Static")
+        .map(|(_, c)| *c)
+        .unwrap_or(f64::NAN);
+    rows.push(
+        Row::new("search", t48_label, "end-cost")
+            .metric("static_over_auto", static_cost_final / auto_cost),
+    );
+
     emit(&rows);
 
     let json = rows_to_json(&rows);

@@ -60,9 +60,15 @@ pub fn json_escape(s: &str) -> String {
 
 /// Renders a JSON number: finite floats as-is, integral values without a
 /// trailing `.0`, non-finite values as `null` (JSON has no NaN/inf).
+/// Sub-nanosecond magnitudes clamp to `0`: every metric here is
+/// milliseconds, bytes, counts or ratios, so anything below 1e-12 is
+/// floating-point residue (an overlap subtraction landing at 4.2e-40
+/// once churned committed-JSON diffs for noise).
 pub fn json_number(value: f64) -> String {
     if !value.is_finite() {
         "null".to_string()
+    } else if value.abs() < 1e-12 {
+        "0".to_string()
     } else if value.fract() == 0.0 && value.abs() < 1e15 {
         format!("{value:.0}")
     } else {
@@ -200,6 +206,11 @@ mod tests {
         assert_eq!(json_number(290.0), "290");
         assert_eq!(json_number(0.5), "0.5");
         assert_eq!(json_number(f64::NAN), "null");
+        // Denormal residue clamps to zero; real small values survive.
+        assert_eq!(json_number(4.2e-40), "0");
+        assert_eq!(json_number(-3.0e-13), "0");
+        assert_eq!(json_number(0.0), "0");
+        assert_eq!(json_number(1.5e-9), "0.0000000015");
         let rows = vec![
             Row::new("t", "m", "s").metric("x", 1.0).metric("y", 2.5),
             Row::new("t", "m", "s2"),

@@ -18,6 +18,21 @@ use partir_prng::Rng;
 
 use crate::{EvalCache, SchedError};
 
+/// Where a search's candidate costs come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostSource {
+    /// The analytical simulator (`sim::evaluate` behind the shared
+    /// [`EvalCache`]) — exact, but pays lowering + fusion + a simulated
+    /// walk per distinct state. Retained as the differential oracle for
+    /// the static objective.
+    #[default]
+    Sim,
+    /// The static objective (`partir_analysis::static_cost`) — costs
+    /// read straight off the propagated state, orders of magnitude
+    /// cheaper per candidate.
+    Static,
+}
+
 /// Search-based tactic over one or more mesh axes.
 #[derive(Debug, Clone)]
 pub struct AutomaticPartition {
@@ -34,6 +49,8 @@ pub struct AutomaticPartition {
     /// Maximum candidate actions considered per node (largest tensors
     /// first).
     pub max_branching: usize,
+    /// Reward source for rollouts ([`CostSource::Sim`] by default).
+    pub cost_source: CostSource,
 }
 
 impl AutomaticPartition {
@@ -47,6 +64,7 @@ impl AutomaticPartition {
             max_actions: 8,
             exploration: 0.7,
             max_branching: 24,
+            cost_source: CostSource::Sim,
         }
     }
 
@@ -64,6 +82,16 @@ impl AutomaticPartition {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets where rollout rewards come from. With [`CostSource::Static`]
+    /// the tree search never lowers or simulates a candidate — every
+    /// reward is the static objective — which multiplies the states a
+    /// fixed wall-clock budget can visit. [`CostSource::Sim`] remains
+    /// the differential oracle.
+    pub fn with_cost_source(mut self, source: CostSource) -> Self {
+        self.cost_source = source;
         self
     }
 
@@ -103,7 +131,16 @@ impl AutomaticPartition {
     ) -> Result<usize, SchedError> {
         let _span = partir_obs::span!("sched.mcts");
         let mut rng = Rng::seed_from_u64(self.seed);
-        let evaluator = Evaluator { func, hw, cache };
+        let evaluator = Evaluator {
+            func,
+            hw,
+            cache,
+            source: self.cost_source,
+            objective: match self.cost_source {
+                CostSource::Static => Some(partir_analysis::StaticObjective::new(func)),
+                CostSource::Sim => None,
+            },
+        };
         let baseline = evaluator.cost(part)?;
 
         let mut root = Node::with_state(part.clone());
@@ -186,7 +223,7 @@ impl AutomaticPartition {
                             // never reach the evaluator (no lowering, no
                             // simulation — just a pruned-count tick).
                             if !partir_analysis::is_legal(func, &s) {
-                                evaluator.cache.note_pruned();
+                                evaluator.cache.note_pruned(s.fingerprint());
                                 child.terminal = true;
                                 child.pruned = true;
                             }
@@ -229,7 +266,7 @@ impl AutomaticPartition {
                     if !partir_analysis::is_legal(func, &roll) {
                         // Roll back the illegal step so the rollout is
                         // scored on its last legal state.
-                        evaluator.cache.note_pruned();
+                        evaluator.cache.note_pruned(roll.fingerprint());
                         roll = snapshot;
                         break;
                     }
@@ -249,12 +286,12 @@ impl AutomaticPartition {
     }
 }
 
-/// One search action.
+/// One search action (shared with the `StaticSearch` tactic).
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct TileAction {
-    value: ValueId,
-    dim: usize,
-    axis: Axis,
+pub(crate) struct TileAction {
+    pub(crate) value: ValueId,
+    pub(crate) dim: usize,
+    pub(crate) axis: Axis,
 }
 
 struct Node {
@@ -304,6 +341,14 @@ fn best_child(children: &[Node], parent_visits: u32, exploration: f64) -> usize 
     let mut best = 0;
     let mut best_score = f64::NEG_INFINITY;
     for (i, child) in children.iter().enumerate() {
+        // A pruned child is known illegal: its one materialisation visit
+        // established that, and re-selecting it would burn a whole
+        // simulation on a state that can only ever score zero. UCT's
+        // exploration bonus would otherwise keep dragging the search
+        // back to it as `ln N` grows.
+        if child.pruned {
+            continue;
+        }
         let score = if child.visits == 0 {
             f64::INFINITY
         } else {
@@ -319,7 +364,13 @@ fn best_child(children: &[Node], parent_visits: u32, exploration: f64) -> usize 
 
 /// Legal tile actions over the function's inputs, largest tensors first
 /// (the decisions that matter most come first when branching is capped).
-fn candidate_actions(func: &Func, part: &Partitioning, axes: &[Axis]) -> Vec<TileAction> {
+/// Shared by MCTS and `StaticSearch`, so both searches enumerate the
+/// same action space.
+pub(crate) fn candidate_actions(
+    func: &Func,
+    part: &Partitioning,
+    axes: &[Axis],
+) -> Vec<TileAction> {
     let mut out: Vec<(usize, TileAction)> = Vec::new();
     for axis in axes {
         let Ok(size) = part.mesh().axis_size(axis) else {
@@ -361,15 +412,31 @@ struct Evaluator<'a> {
     func: &'a Func,
     hw: &'a HardwareConfig,
     cache: &'a EvalCache,
+    source: CostSource,
+    /// Amortised static objective, built once per search when the reward
+    /// comes from [`CostSource::Static`] (the structural pass over the
+    /// function is paid once; every node costs only the per-candidate
+    /// walk).
+    objective: Option<partir_analysis::StaticObjective<'a>>,
 }
 
 impl Evaluator<'_> {
     /// Cost = estimated runtime, with a multiplicative penalty once the
     /// partition exceeds device memory (see [`partir_sim::Evaluation`]).
-    /// Memoised through the shared evaluation cache.
+    /// Simulator costs are memoised through the shared evaluation cache;
+    /// static costs are cheap enough to recompute (no lowering, no
+    /// simulation — the whole point of [`CostSource::Static`]).
     fn cost(&self, part: &Partitioning) -> Result<f64, SchedError> {
         let _span = partir_obs::span!("mcts.evaluate");
-        Ok(self.cache.evaluate(self.func, part, self.hw)?.cost(self.hw))
+        match (&self.source, &self.objective) {
+            (CostSource::Sim, _) => {
+                Ok(self.cache.evaluate(self.func, part, self.hw)?.cost(self.hw))
+            }
+            (CostSource::Static, Some(obj)) => Ok(obj.cost(part, self.hw)?.cost(self.hw)),
+            (CostSource::Static, None) => {
+                Ok(partir_analysis::static_cost(self.func, part, self.hw)?.cost(self.hw))
+            }
+        }
     }
 
     /// Reward = speedup over the tactic's starting point.
@@ -467,6 +534,75 @@ mod tests {
             .apply(&f, &hw, &mut p)
             .unwrap();
         assert_eq!(applied, 0);
+    }
+
+    #[test]
+    fn static_reward_search_finds_batch_parallelism() {
+        // Same search as `auto_search_finds_batch_parallelism`, but every
+        // rollout reward comes from the static objective: not a single
+        // candidate is lowered or simulated, and the search still finds a
+        // partition that beats the replicated baseline under the (sim)
+        // oracle.
+        let f = chain();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        let cache = EvalCache::new();
+        let tactic = AutomaticPartition::new("auto", ["B"])
+            .with_budget(48)
+            .with_cost_source(CostSource::Static);
+        let applied = tactic.apply_with_cache(&f, &hw, &mut p, &cache).unwrap();
+        assert!(applied >= 1);
+        assert_eq!(
+            cache.stats().misses,
+            0,
+            "static rewards must never reach the simulator"
+        );
+        let searched = partir_sim::evaluate(&f, &p, &hw).unwrap();
+        let replicated =
+            partir_sim::evaluate(&f, &Partitioning::new(&f, hw.mesh.clone()).unwrap(), &hw)
+                .unwrap();
+        assert!(searched.sim.runtime_s < replicated.sim.runtime_s);
+    }
+
+    #[test]
+    fn static_and_sim_rewards_agree_on_the_chain() {
+        // Differential oracle: on the matmul chain the two reward sources
+        // must pick the same principal variation.
+        let f = chain();
+        let mesh = Mesh::single("B", 4).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let run = |source| {
+            let mut p = Partitioning::new(&f, mesh.clone()).unwrap();
+            AutomaticPartition::new("auto", ["B"])
+                .with_budget(32)
+                .with_seed(5)
+                .with_cost_source(source)
+                .apply(&f, &hw, &mut p)
+                .unwrap();
+            p.fingerprint()
+        };
+        assert_eq!(run(CostSource::Sim), run(CostSource::Static));
+    }
+
+    #[test]
+    fn best_child_never_reselects_pruned_children() {
+        // A pruned child's single materialisation visit is the only
+        // budget it may consume; UCT must route around it afterwards,
+        // however large the exploration bonus grows.
+        let mut children = vec![Node::unexplored(None), Node::unexplored(None)];
+        children[0].visits = 1;
+        children[0].total = 0.0;
+        children[0].pruned = true;
+        children[0].terminal = true;
+        children[1].visits = 50;
+        children[1].total = 40.0;
+        for parent_visits in [2u32, 100, 10_000] {
+            assert_eq!(best_child(&children, parent_visits, 10.0), 1);
+        }
+        // Degenerate case: all children pruned still yields a valid index.
+        children[1].pruned = true;
+        assert_eq!(best_child(&children, 100, 0.7), 0);
     }
 
     #[test]

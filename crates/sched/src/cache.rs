@@ -13,7 +13,7 @@
 //! `&mut` plumbing. It is not thread-safe; searches are single-threaded.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use partir_core::Partitioning;
@@ -51,6 +51,7 @@ impl Hasher for FingerprintHasher {
 }
 
 type FingerprintMap = HashMap<Fingerprint, Evaluation, BuildHasherDefault<FingerprintHasher>>;
+type FingerprintSet = HashSet<Fingerprint, BuildHasherDefault<FingerprintHasher>>;
 
 /// Hit/miss counters of an [`EvalCache`], surfaced in search reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,8 +63,14 @@ pub struct CacheStats {
     /// Distinct fingerprints stored.
     pub entries: usize,
     /// Candidate states the static legality pre-filter rejected before
-    /// they reached `evaluate` (see `partir_analysis::is_legal`).
+    /// they reached `evaluate` (see `partir_analysis::is_legal`) —
+    /// total ticks, i.e. `pruned_distinct + pruned_repeat`.
     pub pruned: u64,
+    /// Distinct illegal fingerprints the pre-filter rejected.
+    pub pruned_distinct: u64,
+    /// Pre-filter rejections of fingerprints already known illegal —
+    /// search budget that revisited a pruned state.
+    pub pruned_repeat: u64,
 }
 
 impl CacheStats {
@@ -89,6 +96,10 @@ pub struct EvalCache {
     hits: Cell<u64>,
     misses: Cell<u64>,
     pruned: Cell<u64>,
+    /// Fingerprints the legality pre-filter rejected — kept even when the
+    /// cache is disabled, so pruned accounting stays exact either way.
+    pruned_seen: RefCell<FingerprintSet>,
+    pruned_repeat: Cell<u64>,
     /// A disabled cache evaluates every request afresh (and counts every
     /// lookup as a miss) — used to validate that caching never changes
     /// search results.
@@ -103,6 +114,8 @@ impl EvalCache {
             hits: Cell::new(0),
             misses: Cell::new(0),
             pruned: Cell::new(0),
+            pruned_seen: RefCell::new(FingerprintSet::default()),
+            pruned_repeat: Cell::new(0),
             enabled: true,
         }
     }
@@ -147,19 +160,36 @@ impl EvalCache {
     }
 
     /// Records a candidate the legality pre-filter rejected before it
-    /// reached `evaluate`.
-    pub fn note_pruned(&self) {
+    /// reached `evaluate`, keyed by the rejected state's fingerprint so
+    /// first-time rejections and revisits of known-illegal states are
+    /// counted apart. Returns `true` the first time a fingerprint is
+    /// rejected.
+    pub fn note_pruned(&self, fp: Fingerprint) -> bool {
         self.pruned.set(self.pruned.get() + 1);
         partir_obs::counter!("sched.cache.pruned", 1);
+        let fresh = self.pruned_seen.borrow_mut().insert(fp);
+        if !fresh {
+            self.pruned_repeat.set(self.pruned_repeat.get() + 1);
+            partir_obs::counter!("sched.cache.pruned_repeat", 1);
+        }
+        fresh
+    }
+
+    /// Whether the legality pre-filter already rejected this fingerprint.
+    pub fn is_pruned(&self, fp: Fingerprint) -> bool {
+        self.pruned_seen.borrow().contains(&fp)
     }
 
     /// Current hit/miss/entry counts.
     pub fn stats(&self) -> CacheStats {
+        let repeat = self.pruned_repeat.get();
         CacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
             entries: self.entries.borrow().len(),
             pruned: self.pruned.get(),
+            pruned_distinct: self.pruned.get() - repeat,
+            pruned_repeat: repeat,
         }
     }
 }
@@ -206,6 +236,27 @@ mod tests {
         cache.evaluate(&f, &q, &hw).unwrap();
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn pruned_counts_split_distinct_from_repeat() {
+        let (f, p, _) = setup();
+        let cache = EvalCache::new();
+        let fp_a = p.fingerprint();
+        let mut q = p.clone();
+        q.tile(&f, f.params()[0], 0, &"B".into()).unwrap();
+        q.propagate(&f);
+        let fp_b = q.fingerprint();
+        assert!(cache.note_pruned(fp_a));
+        assert!(!cache.note_pruned(fp_a));
+        assert!(cache.note_pruned(fp_b));
+        assert!(!cache.note_pruned(fp_a));
+        assert!(cache.is_pruned(fp_a) && cache.is_pruned(fp_b));
+        let stats = cache.stats();
+        assert_eq!(stats.pruned, 4);
+        assert_eq!(stats.pruned_distinct, 2);
+        assert_eq!(stats.pruned_repeat, 2);
+        assert_eq!(stats.pruned, stats.pruned_distinct + stats.pruned_repeat);
     }
 
     #[test]

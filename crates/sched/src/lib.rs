@@ -49,11 +49,13 @@ mod cache;
 mod dsl;
 mod error;
 mod schedule;
+mod static_search;
 mod tactic;
 
-pub use auto::AutomaticPartition;
+pub use auto::{AutomaticPartition, CostSource};
 pub use cache::{CacheStats, EvalCache};
 pub use dsl::parse_schedule;
 pub use error::SchedError;
 pub use schedule::{partir_jit, partir_jit_single_tactic, Jitted, Schedule, TacticReport};
+pub use static_search::{StaticSearch, StaticSearchReport};
 pub use tactic::{DimSpec, ManualPartition, Matcher, Tactic};

@@ -108,6 +108,7 @@ pub fn partir_jit(
         let actions = match tactic {
             Tactic::Manual(m) => m.apply(func, &mut part)?,
             Tactic::Auto(a) => a.apply_with_cache(func, hw, &mut part, &cache)?,
+            Tactic::Static(s) => s.apply_with_cache(func, hw, &mut part, &cache)?,
         };
         let report = part.propagate(func);
         let spent = start.elapsed();
@@ -156,7 +157,7 @@ pub fn partir_jit_single_tactic(
     for tactic in schedule.tactics() {
         match tactic {
             Tactic::Manual(m) => actions += m.apply(func, &mut part)?,
-            Tactic::Auto(_) => {
+            Tactic::Auto(_) | Tactic::Static(_) => {
                 return Err(SchedError::Invalid(
                     "PartIR-st cannot amalgamate automatic tactics".to_string(),
                 ))

@@ -4,7 +4,7 @@ use partir_core::Partitioning;
 use partir_ir::{Func, ValueId};
 use partir_mesh::Axis;
 
-use crate::{AutomaticPartition, SchedError};
+use crate::{AutomaticPartition, SchedError, StaticSearch};
 
 /// How a rule matches value names. Values addressable by rules are
 /// function parameters and `tag`ged intermediates (paper §8).
@@ -197,6 +197,8 @@ pub enum Tactic {
     Manual(ManualPartition),
     /// Simulator-guided search.
     Auto(AutomaticPartition),
+    /// Static-objective beam search (simulator only rescores finalists).
+    Static(StaticSearch),
 }
 
 impl Tactic {
@@ -205,6 +207,7 @@ impl Tactic {
         match self {
             Tactic::Manual(m) => m.name(),
             Tactic::Auto(a) => a.name(),
+            Tactic::Static(s) => s.name(),
         }
     }
 }
@@ -218,6 +221,12 @@ impl From<ManualPartition> for Tactic {
 impl From<AutomaticPartition> for Tactic {
     fn from(a: AutomaticPartition) -> Self {
         Tactic::Auto(a)
+    }
+}
+
+impl From<StaticSearch> for Tactic {
+    fn from(s: StaticSearch) -> Self {
+        Tactic::Static(s)
     }
 }
 

@@ -26,15 +26,48 @@ pub struct Evaluation {
     pub stats: CollectiveStats,
 }
 
+/// Where an [`Evaluation`]'s scalar cost comes from, component by
+/// component — the calibration surface for static objectives
+/// (`partir_analysis::objective`) that mirror this cost model without
+/// running it: agreement is checked term-wise, not just on the final
+/// scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Roofline compute seconds.
+    pub compute_s: f64,
+    /// Collective communication seconds.
+    pub comm_s: f64,
+    /// Bytes on the wire per device per step.
+    pub comm_bytes: f64,
+    /// Simulated peak device memory, bytes.
+    pub peak_memory_bytes: u64,
+    /// Multiplicative out-of-memory penalty (1.0 when within HBM).
+    pub penalty: f64,
+    /// The final scalar: `(compute_s + comm_s) * penalty`.
+    pub cost: f64,
+}
+
 impl Evaluation {
     /// The scalar objective searches minimise: estimated runtime with a
     /// multiplicative penalty once peak memory exceeds device HBM (the
     /// paper's "penalizes models that exceed device memory limits").
     pub fn cost(&self, hw: &HardwareConfig) -> f64 {
+        self.cost_breakdown(hw).cost
+    }
+
+    /// [`Evaluation::cost`] split into its components.
+    pub fn cost_breakdown(&self, hw: &HardwareConfig) -> CostBreakdown {
         let mem = self.sim.peak_memory_bytes as f64;
         let cap = hw.device.hbm_bytes as f64;
         let penalty = if mem > cap { 10.0 * (mem / cap) } else { 1.0 };
-        self.sim.runtime_s * penalty
+        CostBreakdown {
+            compute_s: self.sim.compute_s,
+            comm_s: self.sim.comm_s,
+            comm_bytes: self.sim.comm_bytes,
+            peak_memory_bytes: self.sim.peak_memory_bytes,
+            penalty,
+            cost: self.sim.runtime_s * penalty,
+        }
     }
 }
 
@@ -111,6 +144,23 @@ mod tests {
         assert_eq!(eval.stats, program.stats());
         // Pure data parallelism over one matmul needs no collectives.
         assert_eq!(eval.stats.total(), 0);
+    }
+
+    #[test]
+    fn cost_breakdown_components_recompose() {
+        let (f, x) = matmul();
+        let mesh = Mesh::new([("B", 2), ("M", 2)]).unwrap();
+        let hw = HardwareConfig::tpu_v3_pod(mesh.clone());
+        let mut p = Partitioning::new(&f, mesh).unwrap();
+        p.tile(&f, x, 0, &"B".into()).unwrap();
+        p.propagate(&f);
+        let eval = evaluate(&f, &p, &hw).unwrap();
+        let b = eval.cost_breakdown(&hw);
+        assert_eq!(b.cost, eval.cost(&hw));
+        assert_eq!(b.penalty, 1.0);
+        assert!((b.compute_s + b.comm_s - eval.sim.runtime_s).abs() < 1e-15);
+        assert_eq!(b.comm_bytes, eval.sim.comm_bytes);
+        assert_eq!(b.peak_memory_bytes, eval.sim.peak_memory_bytes);
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod memory;
 pub mod reconcile;
 
 pub use cost::{collective_time, SimConfig, Simulator};
-pub use evaluate::{evaluate, evaluate_with, Evaluation};
+pub use evaluate::{evaluate, evaluate_with, CostBreakdown, Evaluation};
 pub use flops::{func_flops, op_flops};
 pub use memory::peak_memory_bytes;
 pub use reconcile::{
