@@ -17,6 +17,10 @@
 //!   (dropped axes, double slicing, redundant gather/slice round trips);
 //! * [`memory`] — a static peak-memory bound guaranteed to dominate
 //!   `partir_sim`'s simulated peak;
+//! * [`plan`] — translation validation of *compiled execution plans*:
+//!   a happens-before race detector over arena-slot effects and a
+//!   cross-device rendezvous-deadlock verifier for the overlap
+//!   scheduler's output ([`plan::verify_plan`]);
 //! * [`objective`] — a static search objective: communication and
 //!   compute costs read straight off a propagated `Partitioning`
 //!   (no lowering, no simulation), plus action equivalence classes
@@ -53,6 +57,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collective;
 pub mod dataflow;
 pub mod diag;
@@ -60,6 +66,7 @@ pub mod layout;
 pub mod lint;
 pub mod memory;
 pub mod objective;
+pub mod plan;
 pub mod sharding;
 
 pub use diag::{error_count, max_severity, Diagnostic, Severity};
@@ -68,4 +75,5 @@ pub use objective::{
     equivalence_classes, static_cost, static_cost_with, ActionClass, ObjectiveConfig, StaticCost,
     StaticObjective, TileCandidate,
 };
+pub use plan::{verify_plan, PlanView};
 pub use sharding::is_legal;

@@ -29,6 +29,8 @@
 //! # Ok::<(), partir_ir::IrError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adam;
 mod vjp;
 

@@ -55,6 +55,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod context;
 mod error;
 pub mod microbatch;

@@ -44,6 +44,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use partir_core::tmr::{ResultAction, TmrEntry};
 use partir_core::{CoreError, Partitioning, ShardKind};
 use partir_ir::Func;

@@ -43,6 +43,8 @@
 //! # Ok::<(), partir_ir::IrError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod builder;
 mod dtype;
 mod error;

@@ -22,6 +22,8 @@
 //! # Ok::<(), partir_mesh::MeshError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod axis;
 mod error;
 mod hardware;

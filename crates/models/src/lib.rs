@@ -23,6 +23,8 @@
 //! [`schedules`] builds the paper's tactic sequences (BP, MP, Z2, Z3,
 //! EMB, MQ, ES, Auto*) for each model, mirroring Appendix A.6.
 
+#![forbid(unsafe_code)]
+
 pub mod gns;
 pub mod itransformer;
 pub mod mlp;

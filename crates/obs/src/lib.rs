@@ -40,6 +40,8 @@
 //! of deterministic code are byte-stable — the golden-trace tests depend
 //! on this, and it keeps wall-clock out of checked-in goldens.
 
+#![forbid(unsafe_code)]
+
 mod chrome;
 mod summary;
 

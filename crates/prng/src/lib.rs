@@ -24,6 +24,8 @@
 //! assert!(x < 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod propcheck;
 
 /// A seedable xoshiro256++ pseudo-random generator.

@@ -65,6 +65,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 mod fuse;
 pub mod interp;

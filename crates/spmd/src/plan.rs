@@ -37,6 +37,8 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
+use partir_analysis::plan::{Access, ForView, PlanView, StageView, StepView};
+use partir_analysis::Diagnostic;
 use partir_ir::interp::eval_op;
 use partir_ir::kernels::{self, DotPlan, ReducePlan};
 use partir_ir::{
@@ -478,6 +480,10 @@ pub struct CompiledPlan {
     windows: Vec<CollWindow>,
     /// Whether the overlap scheduler ran ([`PlanOptions::overlap`]).
     overlapped: bool,
+    /// The verifier's neutral view of the schedule, built in lockstep
+    /// with `steps` (including through the overlap pass). Untouched by
+    /// execution — zero steady-state cost.
+    view: PlanView,
 }
 
 impl CompiledPlan {
@@ -516,12 +522,13 @@ impl CompiledPlan {
             .iter()
             .map(|&p| func.value_type(p).clone())
             .collect();
-        let mut steps = Vec::new();
+        let mut out = PlanSteps::default();
         // Top-level leftovers (results, never-used values) stay resident.
-        let _ = c.compile_body(func.body(), func.results(), &mut steps)?;
+        let _ = c.compile_body(func.body(), func.results(), &mut out)?;
         if options.overlap {
-            overlap_pass(&mut steps);
+            overlap_pass(&mut out.steps, &mut out.views);
         }
+        let PlanSteps { steps, views } = out;
         let mut windows = Vec::new();
         collect_windows(&steps, &mut windows);
         windows.sort_by_key(|w| w.tag);
@@ -559,6 +566,43 @@ impl CompiledPlan {
         }
         let (carry_elems, fused_ops) = (c.carry_elems, c.fused_ops);
         let num_colls = c.next_tag as usize;
+        let view = PlanView {
+            num_devices: mesh.num_devices(),
+            num_tags: c.next_tag,
+            pool_len,
+            params: func
+                .params()
+                .iter()
+                .zip(&param_slots)
+                .map(|(&p, &s)| view_access(p, s))
+                .collect(),
+            results: func
+                .results()
+                .iter()
+                .zip(&result_slots)
+                .map(|(&r, &s)| view_access(r, s))
+                .collect(),
+            steps: views,
+            overlapped: options.overlap,
+        };
+        // Post-condition (debug builds only, compile time only): the
+        // schedule just produced must pass plan-level translation
+        // validation — races, slot-lifetime overlaps and rendezvous
+        // deadlocks in the overlap scheduler's output are compiler
+        // bugs, caught here before a plan ever runs.
+        #[cfg(debug_assertions)]
+        {
+            let diags = partir_analysis::verify_plan(&view);
+            assert!(
+                partir_analysis::error_count(&diags) == 0,
+                "compiled plan failed static verification:\n{}",
+                diags
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
         Ok(CompiledPlan {
             steps,
             pool_len,
@@ -574,6 +618,7 @@ impl CompiledPlan {
             num_colls,
             windows,
             overlapped: options.overlap,
+            view,
         })
     }
 
@@ -623,6 +668,24 @@ impl CompiledPlan {
     /// report `gap_steps == 0` everywhere.
     pub fn collective_windows(&self) -> &[CollWindow] {
         &self.windows
+    }
+
+    /// The verifier's neutral view of this plan's schedule: arena
+    /// effects tagged with the SSA value each range holds, plus the
+    /// per-device collective stage tables (see
+    /// [`partir_analysis::plan`]).
+    pub fn verifier_view(&self) -> &PlanView {
+        &self.view
+    }
+
+    /// Statically verifies the compiled schedule: happens-before
+    /// races, first-fit slot-lifetime overlaps, window structure and
+    /// cross-device rendezvous deadlock freedom. An empty (or
+    /// `Info`-only) result is a proof under the happens-before model in
+    /// [`partir_analysis::plan`]. The same check runs automatically as
+    /// a debug post-condition of [`CompiledPlan::compile`].
+    pub fn verify(&self) -> Vec<Diagnostic> {
+        partir_analysis::verify_plan(&self.view)
     }
 
     /// Dynamic step count of one run: static steps with loop bodies
@@ -805,6 +868,33 @@ impl ScopeAlloc {
     }
 }
 
+/// Executable steps and their verifier views, built in lockstep: every
+/// emission pushes one of each, and the overlap pass permutes both
+/// arrays together — so the view is, by construction, a faithful
+/// description of the schedule the executor will run.
+#[derive(Default)]
+struct PlanSteps {
+    steps: Vec<Step>,
+    views: Vec<StepView>,
+}
+
+impl PlanSteps {
+    fn push(&mut self, step: Step, view: StepView) {
+        self.steps.push(step);
+        self.views.push(view);
+    }
+}
+
+/// The verifier's view of one slot assignment.
+fn view_access(v: ValueId, slot: Slot) -> Access {
+    Access {
+        pool: pool_index(slot.dtype),
+        off: slot.off,
+        len: slot.len,
+        value: v.0,
+    }
+}
+
 struct Compiler<'f> {
     func: &'f Func,
     mesh: &'f Mesh,
@@ -838,6 +928,29 @@ impl<'f> Compiler<'f> {
     fn slot_of(&self, v: ValueId) -> Result<Slot, PlanError> {
         self.slots[v.0 as usize]
             .ok_or_else(|| PlanError::Ir(IrError::invalid("plan: value has no slot")))
+    }
+
+    fn access_of(&self, v: ValueId) -> Result<Access, PlanError> {
+        Ok(view_access(v, self.slot_of(v)?))
+    }
+
+    /// Generic verifier view of one op: it reads its operands' ranges
+    /// and writes its results'. Call after the result slots exist.
+    fn op_view(&self, op_id: OpId) -> Result<StepView, PlanError> {
+        let op = self.func.op(op_id);
+        Ok(StepView::Compute {
+            name: op.kind.name(),
+            reads: op
+                .operands
+                .iter()
+                .map(|&o| self.access_of(o))
+                .collect::<Result<_, _>>()?,
+            writes: op
+                .results
+                .iter()
+                .map(|&r| self.access_of(r))
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     fn free_slot(&mut self, slot: Slot) {
@@ -877,7 +990,7 @@ impl<'f> Compiler<'f> {
         &mut self,
         body: &[OpId],
         end_uses: &[ValueId],
-        steps: &mut Vec<Step>,
+        out: &mut PlanSteps,
     ) -> Result<Vec<ValueId>, PlanError> {
         let last = self.scope_last_use(body);
         let end_pinned: HashSet<ValueId> = end_uses.iter().copied().collect();
@@ -901,9 +1014,9 @@ impl<'f> Compiler<'f> {
                     }
                     for (s, e) in self.segment_run(body, pos, run_end) {
                         if e - s == 1 {
-                            self.emit_eltwise_single(body[s], steps, &mut scope)?;
+                            self.emit_eltwise_single(body[s], out, &mut scope)?;
                         } else {
-                            self.emit_fused(&body[s..e], n, steps, &mut scope)?;
+                            self.emit_fused(&body[s..e], n, out, &mut scope)?;
                         }
                         for frees in &frees_at[s..e] {
                             self.apply_frees(frees, &scope, &end_pinned, &mut freed);
@@ -912,7 +1025,7 @@ impl<'f> Compiler<'f> {
                     pos = run_end;
                 }
                 None => {
-                    self.emit_op(body[pos], steps, &mut scope)?;
+                    self.emit_op(body[pos], out, &mut scope)?;
                     self.apply_frees(&frees_at[pos], &scope, &end_pinned, &mut freed);
                     pos += 1;
                 }
@@ -1008,19 +1121,26 @@ impl<'f> Compiler<'f> {
         &mut self,
         seg: &[OpId],
         n: usize,
-        steps: &mut Vec<Step>,
+        out: &mut PlanSteps,
         scope: &mut ScopeAlloc,
     ) -> Result<(), PlanError> {
         let seg_ops: HashSet<OpId> = seg.iter().copied().collect();
         let mut regmap: HashMap<ValueId, u8> = HashMap::new();
         let mut next: u8 = 0;
         let mut loads: Vec<(u8, Slot)> = Vec::new();
+        let mut reads: Vec<Access> = Vec::new();
         let mut instrs: Vec<EltInstr> = Vec::new();
         for &op_id in seg {
             let op = self.func.op(op_id);
             let instr = match &op.kind {
                 OpKind::Unary(u) => {
-                    let a = self.fused_reg(op.operands[0], &mut regmap, &mut next, &mut loads)?;
+                    let a = self.fused_reg(
+                        op.operands[0],
+                        &mut regmap,
+                        &mut next,
+                        &mut loads,
+                        &mut reads,
+                    )?;
                     EltInstr {
                         op: EltOp::Un(*u),
                         a,
@@ -1029,8 +1149,20 @@ impl<'f> Compiler<'f> {
                     }
                 }
                 OpKind::Binary(bo) => {
-                    let a = self.fused_reg(op.operands[0], &mut regmap, &mut next, &mut loads)?;
-                    let b = self.fused_reg(op.operands[1], &mut regmap, &mut next, &mut loads)?;
+                    let a = self.fused_reg(
+                        op.operands[0],
+                        &mut regmap,
+                        &mut next,
+                        &mut loads,
+                        &mut reads,
+                    )?;
+                    let b = self.fused_reg(
+                        op.operands[1],
+                        &mut regmap,
+                        &mut next,
+                        &mut loads,
+                        &mut reads,
+                    )?;
                     EltInstr {
                         op: EltOp::Bin(*bo),
                         a,
@@ -1054,21 +1186,30 @@ impl<'f> Compiler<'f> {
             "fused segment overflows registers"
         );
         let mut stores: Vec<(u8, Slot)> = Vec::new();
+        let mut writes: Vec<Access> = Vec::new();
         for &op_id in seg {
             let v = self.func.op(op_id).results[0];
             if self.needs_store(v, &seg_ops) {
                 let slot = self.alloc_value(v);
                 scope.add(v);
                 stores.push((regmap[&v], slot));
+                writes.push(view_access(v, slot));
             }
         }
         self.fused_ops += seg.len();
-        steps.push(Step::Eltwise(EltwiseStep {
-            n,
-            loads,
-            instrs,
-            stores,
-        }));
+        out.push(
+            Step::Eltwise(EltwiseStep {
+                n,
+                loads,
+                instrs,
+                stores,
+            }),
+            StepView::Compute {
+                name: "fused_eltwise",
+                reads,
+                writes,
+            },
+        );
         Ok(())
     }
 
@@ -1078,13 +1219,16 @@ impl<'f> Compiler<'f> {
         regmap: &mut HashMap<ValueId, u8>,
         next: &mut u8,
         loads: &mut Vec<(u8, Slot)>,
+        reads: &mut Vec<Access>,
     ) -> Result<u8, PlanError> {
         if let Some(&r) = regmap.get(&v) {
             return Ok(r);
         }
         let r = *next;
         *next += 1;
-        loads.push((r, self.slot_of(v)?));
+        let slot = self.slot_of(v)?;
+        loads.push((r, slot));
+        reads.push(view_access(v, slot));
         regmap.insert(v, r);
         Ok(r)
     }
@@ -1092,7 +1236,7 @@ impl<'f> Compiler<'f> {
     fn emit_eltwise_single(
         &mut self,
         op_id: OpId,
-        steps: &mut Vec<Step>,
+        out: &mut PlanSteps,
         scope: &mut ScopeAlloc,
     ) -> Result<(), PlanError> {
         let op = self.func.op(op_id);
@@ -1112,14 +1256,15 @@ impl<'f> Compiler<'f> {
             }
             _ => return Err(PlanError::Ir(IrError::invalid("non-elementwise singleton"))),
         };
-        steps.push(step);
+        let view = self.op_view(op_id)?;
+        out.push(step, view);
         Ok(())
     }
 
     fn emit_op(
         &mut self,
         op_id: OpId,
-        steps: &mut Vec<Step>,
+        out: &mut PlanSteps,
         scope: &mut ScopeAlloc,
     ) -> Result<(), PlanError> {
         let op = self.func.op(op_id);
@@ -1128,11 +1273,15 @@ impl<'f> Compiler<'f> {
             OpKind::Constant(lit) => {
                 let dst = self.alloc_value(op.results[0]);
                 scope.add(op.results[0]);
-                steps.push(Step::Baked(BakedStep {
-                    data: baked_data(lit)?,
-                    dst,
-                    name,
-                }));
+                let view = self.op_view(op_id)?;
+                out.push(
+                    Step::Baked(BakedStep {
+                        data: baked_data(lit)?,
+                        dst,
+                        name,
+                    }),
+                    view,
+                );
             }
             OpKind::Iota { .. } => {
                 let rty = self.func.value_type(op.results[0]).clone();
@@ -1142,13 +1291,17 @@ impl<'f> Compiler<'f> {
                     Ok(lits) => {
                         let dst = self.alloc_value(op.results[0]);
                         scope.add(op.results[0]);
-                        steps.push(Step::Baked(BakedStep {
-                            data: baked_data(&lits[0])?,
-                            dst,
-                            name,
-                        }));
+                        let view = self.op_view(op_id)?;
+                        out.push(
+                            Step::Baked(BakedStep {
+                                data: baked_data(&lits[0])?,
+                                dst,
+                                name,
+                            }),
+                            view,
+                        );
                     }
-                    Err(_) => self.emit_general(op_id, steps, scope)?,
+                    Err(_) => self.emit_general(op_id, out, scope)?,
                 }
             }
             OpKind::Dot(dims) => {
@@ -1160,14 +1313,18 @@ impl<'f> Compiler<'f> {
                     let rhs = self.slot_of(op.operands[1])?;
                     let dst = self.alloc_value(op.results[0]);
                     scope.add(op.results[0]);
-                    steps.push(Step::Dot(DotStep {
-                        plan,
-                        lhs,
-                        rhs,
-                        dst,
-                    }));
+                    let view = self.op_view(op_id)?;
+                    out.push(
+                        Step::Dot(DotStep {
+                            plan,
+                            lhs,
+                            rhs,
+                            dst,
+                        }),
+                        view,
+                    );
                 } else {
-                    self.emit_general(op_id, steps, scope)?;
+                    self.emit_general(op_id, out, scope)?;
                 }
             }
             OpKind::Transpose { perm } => {
@@ -1175,7 +1332,7 @@ impl<'f> Compiler<'f> {
                 let strides = in_shape.strides();
                 let out_dims: Vec<usize> = perm.iter().map(|&p| in_shape.dim(p)).collect();
                 let in_strides: Vec<usize> = perm.iter().map(|&p| strides[p]).collect();
-                self.push_gather(op_id, out_dims, in_strides, 0, name, steps, scope)?;
+                self.push_gather(op_id, out_dims, in_strides, 0, name, out, scope)?;
             }
             OpKind::BroadcastInDim {
                 shape,
@@ -1195,7 +1352,7 @@ impl<'f> Compiler<'f> {
                     in_strides,
                     0,
                     name,
-                    steps,
+                    out,
                     scope,
                 )?;
             }
@@ -1215,13 +1372,14 @@ impl<'f> Compiler<'f> {
                     .zip(&src_strides)
                     .map(|(&s, &st)| s * st)
                     .sum();
-                self.push_gather(op_id, out_dims, in_strides, base, name, steps, scope)?;
+                self.push_gather(op_id, out_dims, in_strides, base, name, out, scope)?;
             }
             OpKind::Reshape { .. } => {
                 let src = self.slot_of(op.operands[0])?;
                 let dst = self.alloc_value(op.results[0]);
                 scope.add(op.results[0]);
-                steps.push(Step::Copy { src, dst });
+                let view = self.op_view(op_id)?;
+                out.push(Step::Copy { src, dst }, view);
             }
             OpKind::Reduce { op: rop, dims } => {
                 let in_ty = self.func.value_type(op.operands[0]);
@@ -1230,9 +1388,10 @@ impl<'f> Compiler<'f> {
                     let src = self.slot_of(op.operands[0])?;
                     let dst = self.alloc_value(op.results[0]);
                     scope.add(op.results[0]);
-                    steps.push(Step::Reduce(ReduceStep { plan, src, dst }));
+                    let view = self.op_view(op_id)?;
+                    out.push(Step::Reduce(ReduceStep { plan, src, dst }), view);
                 } else {
-                    self.emit_general(op_id, steps, scope)?;
+                    self.emit_general(op_id, out, scope)?;
                 }
             }
             OpKind::Concatenate { dim } => {
@@ -1247,15 +1406,19 @@ impl<'f> Compiler<'f> {
                     .collect::<Result<_, PlanError>>()?;
                 let dst = self.alloc_value(op.results[0]);
                 scope.add(op.results[0]);
-                steps.push(Step::Concat(ConcatStep {
-                    parts,
-                    dst,
-                    outer,
-                    inner,
-                    dim_total,
-                }));
+                let view = self.op_view(op_id)?;
+                out.push(
+                    Step::Concat(ConcatStep {
+                        parts,
+                        dst,
+                        outer,
+                        inner,
+                        dim_total,
+                    }),
+                    view,
+                );
             }
-            OpKind::For { trip_count } => self.emit_for(op_id, *trip_count, steps, scope)?,
+            OpKind::For { trip_count } => self.emit_for(op_id, *trip_count, out, scope)?,
             OpKind::Collective(c) => {
                 let scheds: Arc<Vec<CollSched>> = Arc::new(
                     (0..self.mesh.num_devices())
@@ -1268,25 +1431,55 @@ impl<'f> Compiler<'f> {
                 scope.add(op.results[0]);
                 let tag = self.next_tag;
                 self.next_tag += 1;
+                // The verifier sees the same per-device stage tables the
+                // runtime will rendezvous on.
+                let stage_views: Arc<Vec<Vec<StageView>>> = Arc::new(
+                    scheds
+                        .iter()
+                        .map(|s| {
+                            s.stages
+                                .iter()
+                                .map(|st| StageView {
+                                    axis: st.axis.clone(),
+                                    dim: st.dim,
+                                    group: st.group.clone(),
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                );
                 // Emitted adjacent (the blocking layout); the overlap
                 // pass hoists the start and sinks the wait afterwards.
-                steps.push(Step::CollStart(Box::new(CollStartStep {
-                    kind: c.clone(),
-                    scheds: scheds.clone(),
-                    tag,
-                    src,
-                    src_ty,
-                    span: format!("coll.start.{tag}"),
-                })));
-                steps.push(Step::CollWait(Box::new(CollWaitStep {
-                    kind: c.clone(),
-                    scheds,
-                    tag,
-                    dst,
-                    span: format!("coll.wait.{tag}"),
-                })));
+                out.push(
+                    Step::CollStart(Box::new(CollStartStep {
+                        kind: c.clone(),
+                        scheds: scheds.clone(),
+                        tag,
+                        src,
+                        src_ty,
+                        span: format!("coll.start.{tag}"),
+                    })),
+                    StepView::CollStart {
+                        tag,
+                        src: view_access(op.operands[0], src),
+                    },
+                );
+                out.push(
+                    Step::CollWait(Box::new(CollWaitStep {
+                        kind: c.clone(),
+                        scheds,
+                        tag,
+                        dst,
+                        span: format!("coll.wait.{tag}"),
+                    })),
+                    StepView::CollWait {
+                        tag,
+                        dst: view_access(op.results[0], dst),
+                        stages: stage_views,
+                    },
+                );
             }
-            _ => self.emit_general(op_id, steps, scope)?,
+            _ => self.emit_general(op_id, out, scope)?,
         }
         Ok(())
     }
@@ -1299,21 +1492,25 @@ impl<'f> Compiler<'f> {
         in_strides: Vec<usize>,
         base: usize,
         name: &'static str,
-        steps: &mut Vec<Step>,
+        out: &mut PlanSteps,
         scope: &mut ScopeAlloc,
     ) -> Result<(), PlanError> {
         let op = self.func.op(op_id);
         let src = self.slot_of(op.operands[0])?;
         let dst = self.alloc_value(op.results[0]);
         scope.add(op.results[0]);
-        steps.push(Step::Gather(GatherStep {
-            out_dims,
-            in_strides,
-            base,
-            src,
-            dst,
-            name,
-        }));
+        let view = self.op_view(op_id)?;
+        out.push(
+            Step::Gather(GatherStep {
+                out_dims,
+                in_strides,
+                base,
+                src,
+                dst,
+                name,
+            }),
+            view,
+        );
         Ok(())
     }
 
@@ -1321,7 +1518,7 @@ impl<'f> Compiler<'f> {
         &mut self,
         op_id: OpId,
         trip_count: usize,
-        steps: &mut Vec<Step>,
+        out: &mut PlanSteps,
         scope: &mut ScopeAlloc,
     ) -> Result<(), PlanError> {
         let op = self.func.op(op_id);
@@ -1335,27 +1532,40 @@ impl<'f> Compiler<'f> {
         // for the whole loop regardless of textual last use, so carried
         // state is never clobbered across iterations.
         let index = self.alloc_value(region.params[0]);
+        let index_view = view_access(region.params[0], index);
         let mut entry = Vec::new();
+        let mut entry_view = Vec::new();
         for (j, &p) in region.params[1..].iter().enumerate() {
             let pslot = self.alloc_value(p);
             entry.push((self.slot_of(operands[j])?, pslot));
+            entry_view.push((self.access_of(operands[j])?, view_access(p, pslot)));
         }
-        let mut body_steps = Vec::new();
-        let leftover = self.compile_body(&region.body, &region.results, &mut body_steps)?;
+        let mut body = PlanSteps::default();
+        let leftover = self.compile_body(&region.body, &region.results, &mut body)?;
         // Op results are allocated while every region value is still
         // live, so exit copies can never alias their sources.
         let mut exit = Vec::new();
+        let mut exit_view = Vec::new();
         let mut bypass = Vec::new();
+        let mut bypass_view = Vec::new();
         for (j, &r) in results.iter().enumerate() {
             let rslot = self.alloc_value(r);
             scope.add(r);
+            let rview = view_access(r, rslot);
             exit.push((self.slot_of(region.results[j])?, rslot));
+            exit_view.push((self.access_of(region.results[j])?, rview));
             bypass.push((self.slot_of(operands[j])?, rslot));
+            bypass_view.push((self.access_of(operands[j])?, rview));
         }
         let mut carry = Vec::new();
+        let mut carry_view = Vec::new();
         for (j, &p) in region.params[1..].iter().enumerate() {
             let src = self.slot_of(region.results[j])?;
             let dst = self.slot_of(p)?;
+            // The view keeps identity pairs the executor drops: they
+            // relabel the region result back to the param value, which
+            // the verifier's token flow depends on.
+            carry_view.push((self.access_of(region.results[j])?, view_access(p, dst)));
             if src != dst {
                 carry.push((src, dst));
             }
@@ -1383,23 +1593,38 @@ impl<'f> Compiler<'f> {
                 self.free_slot(slot);
             }
         }
-        steps.push(Step::For(Box::new(ForStep {
-            trip_count,
-            index,
-            entry,
-            body: body_steps,
-            carry,
-            carry_staged,
-            exit,
-            bypass,
-        })));
+        let PlanSteps {
+            steps: body_steps,
+            views: body_views,
+        } = body;
+        out.push(
+            Step::For(Box::new(ForStep {
+                trip_count,
+                index,
+                entry,
+                body: body_steps,
+                carry,
+                carry_staged,
+                exit,
+                bypass,
+            })),
+            StepView::For(Box::new(ForView {
+                trip_count,
+                index: index_view,
+                entry: entry_view,
+                body: body_views,
+                carry: carry_view,
+                exit: exit_view,
+                bypass: bypass_view,
+            })),
+        );
         Ok(())
     }
 
     fn emit_general(
         &mut self,
         op_id: OpId,
-        steps: &mut Vec<Step>,
+        out: &mut PlanSteps,
         scope: &mut ScopeAlloc,
     ) -> Result<(), PlanError> {
         let op = self.func.op(op_id);
@@ -1418,12 +1643,16 @@ impl<'f> Compiler<'f> {
                 (slot, self.func.value_type(r).clone())
             })
             .collect();
-        steps.push(Step::General(Box::new(GeneralStep {
-            kind: op.kind.clone(),
-            operands,
-            results,
-            name,
-        })));
+        let view = self.op_view(op_id)?;
+        out.push(
+            Step::General(Box::new(GeneralStep {
+                kind: op.kind.clone(),
+                operands,
+                results,
+                name,
+            })),
+            view,
+        );
         Ok(())
     }
 }
@@ -1524,17 +1753,30 @@ fn step_effects(step: &Step, reads: &mut Vec<Slot>, writes: &mut Vec<Slot>) {
     }
 }
 
+/// Reusable effect buffers for the quadratic commute queries of the
+/// overlap pass: one allocation set per pass instead of four fresh
+/// `Vec<Slot>`s per pair-wise query.
+#[derive(Default)]
+struct EffectScratch {
+    ar: Vec<Slot>,
+    aw: Vec<Slot>,
+    br: Vec<Slot>,
+    bw: Vec<Slot>,
+}
+
 /// Whether `a` and `b` may swap positions without changing any device's
 /// observable arena state: no write of either overlaps a read or write
 /// of the other. Message *content* is swap-invariant separately — sends
 /// never block and receives match by `(src, tag)`, so reordering starts
 /// and waits of different collectives reorders traffic in time only.
-fn steps_commute(a: &Step, b: &Step) -> bool {
-    let (mut ar, mut aw) = (Vec::new(), Vec::new());
-    let (mut br, mut bw) = (Vec::new(), Vec::new());
-    step_effects(a, &mut ar, &mut aw);
-    step_effects(b, &mut br, &mut bw);
-    !any_conflict(&aw, &br) && !any_conflict(&bw, &ar) && !any_conflict(&aw, &bw)
+fn steps_commute(a: &Step, b: &Step, s: &mut EffectScratch) -> bool {
+    s.ar.clear();
+    s.aw.clear();
+    s.br.clear();
+    s.bw.clear();
+    step_effects(a, &mut s.ar, &mut s.aw);
+    step_effects(b, &mut s.br, &mut s.bw);
+    !any_conflict(&s.aw, &s.br) && !any_conflict(&s.bw, &s.ar) && !any_conflict(&s.aw, &s.bw)
 }
 
 /// Dependency-driven overlap scheduling over one step list (recursing
@@ -1550,10 +1792,15 @@ fn steps_commute(a: &Step, b: &Step) -> bool {
 /// reordered step list, sends never block, and each wait's messages are
 /// issued by a start strictly earlier in that shared order — so the
 /// earliest blocked wait always has its inputs in flight.
-fn overlap_pass(steps: &mut [Step]) {
-    for step in steps.iter_mut() {
-        if let Step::For(f) = step {
-            overlap_pass(&mut f.body);
+///
+/// The verifier's [`StepView`] list is permuted in lockstep so the
+/// static model keeps describing exactly the schedule that executes.
+fn overlap_pass(steps: &mut [Step], views: &mut [StepView]) {
+    debug_assert_eq!(steps.len(), views.len());
+    let mut scratch = EffectScratch::default();
+    for (step, view) in steps.iter_mut().zip(views.iter_mut()) {
+        if let (Step::For(f), StepView::For(v)) = (step, view) {
+            overlap_pass(&mut f.body, &mut v.body);
         }
     }
     // Hoist starts: earliest position keeps payloads in flight longest.
@@ -1562,8 +1809,9 @@ fn overlap_pass(steps: &mut [Step]) {
             continue;
         }
         let mut j = i;
-        while j > 0 && steps_commute(&steps[j - 1], &steps[j]) {
+        while j > 0 && steps_commute(&steps[j - 1], &steps[j], &mut scratch) {
             steps.swap(j - 1, j);
+            views.swap(j - 1, j);
             j -= 1;
         }
     }
@@ -1573,8 +1821,9 @@ fn overlap_pass(steps: &mut [Step]) {
             continue;
         }
         let mut j = i;
-        while j + 1 < steps.len() && steps_commute(&steps[j], &steps[j + 1]) {
+        while j + 1 < steps.len() && steps_commute(&steps[j], &steps[j + 1], &mut scratch) {
             steps.swap(j, j + 1);
+            views.swap(j, j + 1);
             j += 1;
         }
     }

@@ -22,16 +22,30 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to `System`, which upholds
+// the full `GlobalAlloc` contract (layout fitting, non-aliasing,
+// propagation of null on failure). The only addition is a relaxed
+// atomic counter bump, which touches no allocator state and cannot
+// unwind — so the delegated calls inherit `System`'s guarantees
+// unchanged. This test binary is the one deliberate `unsafe` user in
+// the workspace (every library crate is `#![forbid(unsafe_code)]`);
+// counting heap traffic from a `#[global_allocator]` is impossible
+// without it.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded
+    // to `System.alloc` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // `layout`; `System.dealloc` accepts exactly that.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same delegation argument as `alloc`/`dealloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
