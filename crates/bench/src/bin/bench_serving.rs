@@ -1,0 +1,200 @@
+//! Continuous-batching serving benchmark: the [`partir_serve`] engine
+//! driving the IT32 decode-step plan under a seeded Poisson workload,
+//! swept over the mesh ladder and {blocking, overlapped} plans.
+//!
+//! Each row reports request latency percentiles (p50/p99), sustained
+//! tokens/sec, peak queue depth, slot-arena utilisation, how many
+//! collective start/wait windows the plan hoisted open
+//! (`overlap_windows`, the same metric as `bench_runtime`), and
+//! `matches_oracle`: a differential check that a subset of the served
+//! requests decoded bit-identically to the same request run alone
+//! through the original fixed-batch serving loop (interpreted,
+//! unpartitioned). The timeline of every run is replayed through
+//! `validate_events`, so a row only exists if the admission/retirement
+//! invariants held.
+//!
+//! `--tiny` is the CI smoke configuration: the 2-layer serving config
+//! on the 1x2 and 2x2 meshes with every request verified against the
+//! oracle. The default is the full IT32 config over 1x2/2x2/4x2.
+//!
+//! Writes machine-readable results to `BENCH_serving.json` in the
+//! current directory (and prints the usual aligned table).
+//!
+//! Run with: `cargo run --release -p partir-bench --bin bench_serving`
+
+use std::collections::HashMap;
+
+use partir_bench::{emit, rows_to_json, tpu_mesh, Row};
+use partir_ir::interp::interpret;
+use partir_ir::{Literal, Shape};
+use partir_models::itransformer::{build_serving, ServingConfig};
+use partir_models::schedules;
+use partir_models::train::synthetic_inputs;
+use partir_serve::{
+    poisson, validate_events, RunOptions, ServeReport, ServingEngine, Workload, WorkloadSpec,
+};
+use partir_spmd::PlanOptions;
+
+const SEED: u64 = 2024;
+
+/// Decodes one request alone through the fixed-batch oracle loop.
+fn oracle_tokens(cfg: &ServingConfig, prompt: &[i32], steps: usize) -> Vec<i32> {
+    let ocfg = cfg.oracle_config(prompt.len(), steps);
+    let oracle = build_serving(&ocfg).expect("oracle builds");
+    let mut inputs = synthetic_inputs(&oracle, SEED);
+    let total = ocfg.buffer_len();
+    let mut buf = vec![0i32; total];
+    buf[..prompt.len()].copy_from_slice(prompt);
+    inputs[oracle.num_param_tensors] =
+        Literal::from_i32(buf, Shape::from([1, total])).expect("token buffer");
+    let out = interpret(&oracle.func, &inputs).expect("oracle runs");
+    let buf = out[0].as_i32().expect("i32 buffer");
+    buf[prompt.len()..prompt.len() + steps].to_vec()
+}
+
+/// 1.0 iff every verified request's tokens equal the solo oracle's.
+/// `verify` bounds the number of *distinct* (prompt, budget) shapes
+/// interpreted — the IT32 oracle is an interpreted 32-layer loop, so
+/// full mode samples rather than re-derives all of them.
+fn matches_oracle(
+    cfg: &ServingConfig,
+    workload: &Workload,
+    report: &ServeReport,
+    verify: usize,
+) -> f64 {
+    let mut memo: HashMap<(Vec<i32>, usize), Vec<i32>> = HashMap::new();
+    for o in &report.outcomes {
+        if o.rejected {
+            continue;
+        }
+        let req = workload
+            .requests
+            .iter()
+            .find(|r| r.id == o.id)
+            .expect("outcome for known request");
+        let key = (req.prompt.clone(), req.decode_steps);
+        if !memo.contains_key(&key) && memo.len() >= verify {
+            continue;
+        }
+        let want = memo
+            .entry(key)
+            .or_insert_with(|| oracle_tokens(cfg, &req.prompt, req.decode_steps));
+        if &o.tokens != want {
+            return 0.0;
+        }
+    }
+    1.0
+}
+
+struct Cell<'a> {
+    cfg: &'a ServingConfig,
+    model: &'a str,
+    batch_axis: usize,
+    sched_label: &'a str,
+    opt_label: &'a str,
+    opts: &'a PlanOptions,
+    workload: &'a Workload,
+    verify: usize,
+}
+
+fn bench_cell(cell: &Cell) -> Row {
+    let hw = tpu_mesh(cell.batch_axis, 2);
+    let rows = schedules::itransformer_table2();
+    let (_, schedule) = rows
+        .iter()
+        .find(|(l, _)| *l == cell.sched_label)
+        .expect("schedule row");
+    let engine = ServingEngine::new(cell.cfg, &hw, schedule, cell.opts, SEED).expect("engine");
+    let overlap_windows = engine
+        .plan()
+        .collective_windows()
+        .iter()
+        .filter(|w| w.gap_steps > 0)
+        .count();
+    let report = engine
+        .run(
+            cell.workload,
+            &RunOptions {
+                queue_capacity: 64,
+                virtual_step_us: None, // wall clock: the timings are real
+                collector: None,
+            },
+        )
+        .expect("serving run");
+    validate_events(&report.events, cell.workload, cell.cfg.slots, 64)
+        .expect("serving invariants hold");
+    let oracle_ok = matches_oracle(cell.cfg, cell.workload, &report, cell.verify);
+    Row::new(
+        "serving",
+        cell.model,
+        &format!(
+            "{}/{} on {}x2",
+            cell.sched_label, cell.opt_label, cell.batch_axis
+        ),
+    )
+    .metric("devices", (cell.batch_axis * 2) as f64)
+    .metric("slots", cell.cfg.slots as f64)
+    .metric("requests", cell.workload.requests.len() as f64)
+    .metric("completed", report.completed().count() as f64)
+    .metric("rejected", report.rejected() as f64)
+    .metric("steps", report.steps as f64)
+    .metric("p50_ms", report.p50_us() as f64 / 1e3)
+    .metric("p99_ms", report.p99_us() as f64 / 1e3)
+    .metric("tokens_per_sec", report.tokens_per_sec())
+    .metric("queue_depth_max", report.max_queue_depth as f64)
+    .metric("slot_util", report.slot_utilization())
+    .metric("overlap_windows", overlap_windows as f64)
+    .metric("matches_oracle", oracle_ok)
+}
+
+fn main() {
+    partir_bench::tune_allocator_for_benchmarks();
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (cfg, model, meshes, requests, verify) = if tiny {
+        // CI smoke: every distinct request shape is oracle-verified.
+        (
+            ServingConfig::tiny(),
+            "IT-tiny",
+            vec![1usize, 2],
+            8,
+            usize::MAX,
+        )
+    } else {
+        (ServingConfig::it32(), "IT32", vec![1usize, 2, 4], 24, 4)
+    };
+    let workload = poisson(
+        &WorkloadSpec {
+            requests,
+            mean_interarrival_us: 150.0,
+            prompt_len: (1, 3),
+            decode_len: (1, 5),
+            vocab: cfg.vocab,
+        },
+        SEED,
+    );
+    let options = [
+        ("overlapped", PlanOptions::default()),
+        ("blocking", PlanOptions::blocking()),
+    ];
+    let mut rows = Vec::new();
+    for &b in &meshes {
+        for sched_label in ["BP+MP", "BP+MP+MQ"] {
+            for (opt_label, opts) in &options {
+                rows.push(bench_cell(&Cell {
+                    cfg: &cfg,
+                    model,
+                    batch_axis: b,
+                    sched_label,
+                    opt_label,
+                    opts,
+                    workload: &workload,
+                    verify,
+                }));
+            }
+        }
+    }
+    emit(&rows);
+    let json = rows_to_json(&rows);
+    std::fs::write("BENCH_serving.json", format!("{json}\n")).expect("write BENCH_serving.json");
+    eprintln!("wrote BENCH_serving.json");
+}

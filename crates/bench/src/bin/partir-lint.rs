@@ -31,7 +31,9 @@ use partir_analysis::{lint, Severity};
 use partir_mesh::{HardwareConfig, Mesh};
 use partir_models::schedules::{self, BATCH, MODEL};
 use partir_models::{
-    gns::GnsConfig, itransformer::ITransformerConfig, transformer::TransformerConfig,
+    gns::GnsConfig,
+    itransformer::{ITransformerConfig, ServingConfig},
+    transformer::TransformerConfig,
     unet::UNetConfig,
 };
 use partir_sched::{partir_jit, Schedule};
@@ -226,6 +228,16 @@ fn lint_plans(smoke: bool, deny: Severity) -> usize {
             "itransformer",
             partir_models::itransformer::build_serving(&ITransformerConfig::tiny())
                 .expect("itransformer builds")
+                .func,
+            schedules::itransformer_table2(),
+        ),
+        // The serving-shaped decode step: same weights and schedules,
+        // but a [slots]-batched single position over the KV-cache slot
+        // arena — the plan the serving engine runs every step.
+        (
+            "itransformer-serve",
+            partir_models::itransformer::build_decode_step(&ServingConfig::tiny())
+                .expect("decode step builds")
                 .func,
             schedules::itransformer_table2(),
         ),

@@ -90,6 +90,48 @@ struct Block {
     w_down: ValueId,
 }
 
+/// Declares the embedding plus per-block parameters shared by the
+/// fixed-batch serving loop and the per-step decode function. Parameter
+/// names and declaration order are identical in both entry points, so
+/// [`crate::train::synthetic_inputs`] draws bit-identical weights for
+/// matching hyper-parameters — the property the serving conformance
+/// suite leans on.
+fn declare_params(
+    b: &mut FuncBuilder,
+    inits: &mut Vec<Init>,
+    layers: usize,
+    d: usize,
+    dh: usize,
+    d_ff: usize,
+    vocab: usize,
+) -> (ValueId, Vec<Block>) {
+    let scale = 1.0 / (d as f32).sqrt();
+    let emb = b.param("params.emb", TensorType::f32([vocab, d]));
+    inits.push(Init::Uniform(0.05));
+    let mut blocks = Vec::with_capacity(layers);
+    for layer in 0..layers {
+        let mut p = |name: &str, ty: TensorType, init: Init| {
+            let v = b.param(format!("params.blk{layer}.{name}"), ty);
+            inits.push(init);
+            v
+        };
+        blocks.push(Block {
+            ln1_scale: p("ln1_scale", TensorType::f32([d]), Init::Ones),
+            w_q: p("w_q", TensorType::f32([d, d]), Init::Uniform(scale)),
+            w_kv: p("w_kv", TensorType::f32([d, 2 * dh]), Init::Uniform(scale)),
+            w_o: p("w_o", TensorType::f32([d, d]), Init::Uniform(scale)),
+            ln2_scale: p("ln2_scale", TensorType::f32([d]), Init::Ones),
+            w_up: p("w_up", TensorType::f32([d, d_ff]), Init::Uniform(scale)),
+            w_down: p(
+                "w_down",
+                TensorType::f32([d_ff, d]),
+                Init::Uniform(1.0 / (d_ff as f32).sqrt()),
+            ),
+        });
+    }
+    (emb, blocks)
+}
+
 /// Builds the serving loop. Function inputs: parameters, the initial
 /// token buffer (`tokens`, prompt left-aligned) and zeroed KV caches.
 /// Outputs: the decoded token buffer and final caches.
@@ -104,31 +146,8 @@ pub fn build_serving(cfg: &ITransformerConfig) -> Result<BuiltModel, IrError> {
     let dh = cfg.d_head();
     let (bsz, h) = (cfg.batch, cfg.heads);
     let total = cfg.buffer_len();
-    let scale = 1.0 / (d as f32).sqrt();
 
-    let emb = b.param("params.emb", TensorType::f32([cfg.vocab, d]));
-    inits.push(Init::Uniform(0.05));
-    let mut blocks = Vec::with_capacity(cfg.layers);
-    for layer in 0..cfg.layers {
-        let mut p = |name: &str, ty: TensorType, init: Init| {
-            let v = b.param(format!("params.blk{layer}.{name}"), ty);
-            inits.push(init);
-            v
-        };
-        blocks.push(Block {
-            ln1_scale: p("ln1_scale", TensorType::f32([d]), Init::Ones),
-            w_q: p("w_q", TensorType::f32([d, d]), Init::Uniform(scale)),
-            w_kv: p("w_kv", TensorType::f32([d, 2 * dh]), Init::Uniform(scale)),
-            w_o: p("w_o", TensorType::f32([d, d]), Init::Uniform(scale)),
-            ln2_scale: p("ln2_scale", TensorType::f32([d]), Init::Ones),
-            w_up: p("w_up", TensorType::f32([d, cfg.d_ff]), Init::Uniform(scale)),
-            w_down: p(
-                "w_down",
-                TensorType::f32([cfg.d_ff, d]),
-                Init::Uniform(1.0 / (cfg.d_ff as f32).sqrt()),
-            ),
-        });
-    }
+    let (emb, blocks) = declare_params(&mut b, &mut inits, cfg.layers, d, dh, cfg.d_ff, cfg.vocab);
     let tokens = int_input(
         &mut b,
         &mut inits,
@@ -238,6 +257,222 @@ pub fn build_serving(cfg: &ITransformerConfig) -> Result<BuiltModel, IrError> {
     })
 }
 
+/// Hyper-parameters for the serving-shaped decode step: a fixed arena of
+/// `slots` sequences, each owning a `max_seq`-long KV-cache slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Decoder blocks.
+    pub layers: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Query heads (K/V is multi-query: a single shared head).
+    pub heads: usize,
+    /// MLP hidden width.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// KV-cache slots — the maximum number of inflight sequences.
+    pub slots: usize,
+    /// Per-slot cache capacity (prompt + decode must fit).
+    pub max_seq: usize,
+}
+
+impl ServingConfig {
+    /// IT32 structure sized for continuous-batching benchmarks.
+    pub fn it32() -> Self {
+        ServingConfig {
+            layers: 32,
+            d_model: 64,
+            heads: 8,
+            d_ff: 256,
+            vocab: 128,
+            slots: 16,
+            max_seq: 32,
+        }
+    }
+
+    /// A tiny configuration for interpreter and conformance tests.
+    /// `slots = 8` divides every batch×model tiling on the 1×2/2×2/4×2
+    /// mesh ladder, so the slot arena shards on all of them.
+    pub fn tiny() -> Self {
+        ServingConfig {
+            layers: 2,
+            d_model: 8,
+            heads: 2,
+            d_ff: 16,
+            vocab: 16,
+            slots: 8,
+            max_seq: 12,
+        }
+    }
+
+    /// Per-head width.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// The fixed-batch config whose [`build_serving`] loop decodes one
+    /// request of the given shape alone — the conformance oracle. Same
+    /// widths, batch 1, so [`crate::train::synthetic_inputs`] draws the
+    /// same weights as for the decode step.
+    pub fn oracle_config(&self, prompt: usize, steps: usize) -> ITransformerConfig {
+        ITransformerConfig {
+            layers: self.layers,
+            d_model: self.d_model,
+            heads: self.heads,
+            d_ff: self.d_ff,
+            vocab: self.vocab,
+            batch: 1,
+            prompt,
+            steps,
+        }
+    }
+}
+
+/// Builds one decode step over the slot arena — the body of
+/// [`build_serving`]'s loop restated so each slot carries its *own*
+/// position, letting a host-side engine admit and retire sequences
+/// between steps (continuous batching).
+///
+/// Inputs: parameters (same names, order and inits as [`build_serving`],
+/// so the two entry points share weights for equal hyper-parameters),
+/// then `tokens` `[S]` (current token per slot), `positions` `[S]`
+/// (cache position this step writes and attends up to), `fresh` `[S]`
+/// (non-zero ⇒ the slot was just admitted: its cache reads as zeros, so
+/// retired slots recycle without host-side shard surgery), then per
+/// layer `k_cache{l}`/`v_cache{l}` `[S, max_seq, dh]`.
+///
+/// Outputs: `next_tokens` `[S]` followed by the updated caches, in cache
+/// input order — so a driver can feed cache outputs straight back as
+/// next-step inputs.
+///
+/// Semantics match the oracle loop exactly, including its treatment of
+/// prompts: the loop never runs the model over tokens before
+/// `prompt - 1`, it attends over a zeroed cache prefix. A slot admitted
+/// with `position = prompt_len - 1`, `token` = last prompt token and
+/// `fresh = 1` therefore decodes bit-identically to the oracle. Rows are
+/// independent (every op is elementwise, batched or row-gathered over
+/// slot dim 0, and the dot kernels accumulate per output element in
+/// ascending-k order), so whatever else occupies the arena cannot
+/// perturb a slot's tokens.
+///
+/// # Errors
+///
+/// Fails only on internal IR construction errors.
+pub fn build_decode_step(cfg: &ServingConfig) -> Result<BuiltModel, IrError> {
+    let mut b = FuncBuilder::new("itransformer_decode_step");
+    let mut inits: Vec<Init> = Vec::new();
+    let d = cfg.d_model;
+    let dh = cfg.d_head();
+    let (s, h, t_max) = (cfg.slots, cfg.heads, cfg.max_seq);
+
+    let (emb, blocks) = declare_params(&mut b, &mut inits, cfg.layers, d, dh, cfg.d_ff, cfg.vocab);
+    let tokens = int_input(&mut b, &mut inits, "tokens", vec![s], cfg.vocab as i32);
+    let positions = int_input(&mut b, &mut inits, "positions", vec![s], t_max as i32);
+    let fresh = int_input(&mut b, &mut inits, "fresh", vec![s], 2);
+    let mut caches = Vec::with_capacity(2 * cfg.layers);
+    for layer in 0..cfg.layers {
+        for which in ["k_cache", "v_cache"] {
+            let c = b.param(format!("{which}{layer}"), TensorType::f32([s, t_max, dh]));
+            inits.push(Init::Zeros);
+            caches.push(c);
+        }
+    }
+
+    // Loop-invariant slot masks, hoisted out of the layer loop.
+    // `keep`: slot is not freshly admitted, so its cache contents are live.
+    let zero_i = b.const_i32(0)?;
+    let zero_ib = b.broadcast_in_dim(zero_i, [s, t_max, dh], vec![])?;
+    let fresh_b = b.broadcast_in_dim(fresh, [s, t_max, dh], vec![0])?;
+    let keep = b.compare(CompareDir::Eq, fresh_b, zero_ib)?;
+    let zero_f = b.constant(Literal::scalar_f32(0.0))?;
+    let cache_zeros = b.broadcast_in_dim(zero_f, [s, t_max, dh], vec![])?;
+    // `at_pos`: one-hot along the sequence dim at each slot's position —
+    // the per-slot analogue of the oracle's dynamic_update_slice.
+    let t_idx = b.iota(1, Shape::from([s, t_max, dh]), DType::I32)?;
+    let pos_b3 = b.broadcast_in_dim(positions, [s, t_max, dh], vec![0])?;
+    let at_pos = b.compare(CompareDir::Eq, t_idx, pos_b3)?;
+
+    let mut x = b.gather(emb, tokens, 0)?; // [S, d]
+    let mut new_caches = Vec::with_capacity(2 * cfg.layers);
+    for (layer, blk) in blocks.iter().enumerate() {
+        let k_in = caches[2 * layer];
+        let v_in = caches[2 * layer + 1];
+        // Recycle freshly-admitted slots: their cache reads as zeros.
+        let k_base = b.select(keep, k_in, cache_zeros)?;
+        let v_base = b.select(keep, v_in, cache_zeros)?;
+        let normed = nn::rms_scale(&mut b, x, blk.ln1_scale)?;
+        // Queries: H heads.
+        let q = nn::linear(&mut b, normed, blk.w_q)?; // [S, d]
+        let q = b.reshape(q, [s, h, dh])?;
+        // Shared K/V (multi-query).
+        let kv = nn::linear(&mut b, normed, blk.w_kv)?; // [S, 2·dh]
+        let k_new = b.slice(kv, vec![0, 0], vec![s, dh])?;
+        let v_new = b.slice(kv, vec![0, dh], vec![s, 2 * dh])?;
+        // Write each slot's K/V row at that slot's own position.
+        let k_bcast = b.broadcast_in_dim(k_new, [s, t_max, dh], vec![0, 2])?;
+        let v_bcast = b.broadcast_in_dim(v_new, [s, t_max, dh], vec![0, 2])?;
+        let k_cache = b.select(at_pos, k_bcast, k_base)?;
+        let v_cache = b.select(at_pos, v_bcast, v_base)?;
+        new_caches.push(k_cache);
+        new_caches.push(v_cache);
+        // Attention over the cache.
+        let scores = b.dot(
+            q,
+            k_cache,
+            DotDims {
+                lhs_batch: vec![0],
+                rhs_batch: vec![0],
+                lhs_contract: vec![2],
+                rhs_contract: vec![2],
+            },
+        )?; // [S, H, T]
+        let scaled = b.binary_scalar(BinaryOp::Mul, scores, 1.0 / (dh as f32).sqrt())?;
+        // Mask positions beyond each slot's own position.
+        let idx = b.iota(2, Shape::from([s, h, t_max]), DType::I32)?;
+        let pos_b = b.broadcast_in_dim(positions, [s, h, t_max], vec![0])?;
+        let visible = b.compare(CompareDir::Le, idx, pos_b)?;
+        let neg_scalar = b.constant(Literal::scalar_f32(-1e9))?;
+        let neg = b.broadcast_in_dim(neg_scalar, [s, h, t_max], vec![])?;
+        let masked = b.select(visible, scaled, neg)?;
+        let probs = nn::softmax(&mut b, masked)?;
+        let ctx = b.dot(
+            probs,
+            v_cache,
+            DotDims {
+                lhs_batch: vec![0],
+                rhs_batch: vec![0],
+                lhs_contract: vec![2],
+                rhs_contract: vec![1],
+            },
+        )?; // [S, H, dh]
+        let merged = b.reshape(ctx, [s, d])?;
+        let attn = nn::linear(&mut b, merged, blk.w_o)?;
+        x = b.add(x, attn)?;
+        // MLP.
+        let normed2 = nn::rms_scale(&mut b, x, blk.ln2_scale)?;
+        let up = nn::linear(&mut b, normed2, blk.w_up)?;
+        let act = b.tanh(up)?;
+        let down = nn::linear(&mut b, act, blk.w_down)?;
+        x = b.add(x, down)?;
+    }
+    // Greedy next token per slot.
+    let emb_t = b.transpose(emb, vec![1, 0])?;
+    let logits = nn::linear(&mut b, x, emb_t)?; // [S, V]
+    let next = b.argmax(logits, 1)?; // [S]
+
+    let mut results = vec![next];
+    results.extend(new_caches);
+    let num_param_tensors = 7 * cfg.layers + 1;
+    let func = b.build(results)?;
+    Ok(BuiltModel {
+        func,
+        inits,
+        num_param_tensors,
+        name: format!("IT{}-serve", cfg.layers),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +493,89 @@ mod tests {
         // Generated positions must be filled deterministically.
         let again = interpret(&model.func, &inputs).unwrap();
         assert_eq!(out[0], again[0]);
+    }
+
+    /// Runs `build_serving` alone on one request and returns the tokens
+    /// it generates (positions `prompt..prompt+steps` of the buffer).
+    fn oracle_tokens(scfg: &ServingConfig, seed: u64, prompt: &[i32], steps: usize) -> Vec<i32> {
+        let ocfg = scfg.oracle_config(prompt.len(), steps);
+        let oracle = build_serving(&ocfg).unwrap();
+        let mut oin = synthetic_inputs(&oracle, seed);
+        let total = ocfg.buffer_len();
+        let mut buf = vec![0i32; total];
+        buf[..prompt.len()].copy_from_slice(prompt);
+        oin[oracle.num_param_tensors] = Literal::from_i32(buf, Shape::from([1, total])).unwrap();
+        let out = interpret(&oracle.func, &oin).unwrap();
+        let buf = out[0].as_i32().unwrap();
+        buf[prompt.len()..prompt.len() + steps].to_vec()
+    }
+
+    /// Two concurrent requests through the decode step, driven by a
+    /// hand-rolled host loop, decode bit-identically to each request run
+    /// alone through the serving loop — the slot-arena independence
+    /// property the `partir-serve` engine is built on.
+    #[test]
+    fn decode_step_matches_serving_loop_bitwise() {
+        let scfg = ServingConfig::tiny();
+        let seed = 9;
+        let decode = build_decode_step(&scfg).unwrap();
+        partir_ir::verify::verify_func(&decode.func, None).unwrap();
+        let n = decode.num_param_tensors;
+        let params = &synthetic_inputs(&decode, seed)[..n];
+        {
+            let ocfg = scfg.oracle_config(2, 1);
+            let oracle = build_serving(&ocfg).unwrap();
+            assert_eq!(&synthetic_inputs(&oracle, seed)[..n], params);
+        }
+
+        // Request A in slot 2, request B in slot 5; B admitted one step
+        // after A. Remaining slots stay inactive (zeros).
+        let a_prompt = [3i32, 5, 1];
+        let b_prompt = [7i32];
+        let (a_steps, b_steps) = (4usize, 3usize);
+        let s = scfg.slots;
+        let mut tok = vec![0i32; s];
+        let mut pos = vec![0i32; s];
+        let mut fresh = vec![0i32; s];
+        let mut caches: Vec<Literal> = decode.func.params()[n + 3..]
+            .iter()
+            .map(|&p| Literal::zeros(decode.func.value_type(p)))
+            .collect();
+        let mut a_out = Vec::new();
+        let mut b_out = Vec::new();
+        for step in 0..(1 + b_steps.max(a_steps)) {
+            if step == 0 {
+                tok[2] = *a_prompt.last().unwrap();
+                pos[2] = a_prompt.len() as i32 - 1;
+                fresh[2] = 1;
+            }
+            if step == 1 {
+                tok[5] = *b_prompt.last().unwrap();
+                pos[5] = b_prompt.len() as i32 - 1;
+                fresh[5] = 1;
+            }
+            let mut inputs = params.to_vec();
+            inputs.push(Literal::from_i32(tok.clone(), Shape::from([s])).unwrap());
+            inputs.push(Literal::from_i32(pos.clone(), Shape::from([s])).unwrap());
+            inputs.push(Literal::from_i32(fresh.clone(), Shape::from([s])).unwrap());
+            inputs.extend(caches.iter().cloned());
+            let out = interpret(&decode.func, &inputs).unwrap();
+            let next = out[0].as_i32().unwrap();
+            caches = out[1..].to_vec();
+            fresh = vec![0; s];
+            if a_out.len() < a_steps {
+                a_out.push(next[2]);
+                tok[2] = next[2];
+                pos[2] += 1;
+            }
+            if step >= 1 && b_out.len() < b_steps {
+                b_out.push(next[5]);
+                tok[5] = next[5];
+                pos[5] += 1;
+            }
+        }
+        assert_eq!(a_out, oracle_tokens(&scfg, seed, &a_prompt, a_steps));
+        assert_eq!(b_out, oracle_tokens(&scfg, seed, &b_prompt, b_steps));
     }
 
     #[test]

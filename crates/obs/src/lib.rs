@@ -203,6 +203,41 @@ impl Collector {
             .push(Event { name, ts_ns, kind });
     }
 
+    /// Opens a span on `track` directly, without installing a thread
+    /// scope. For single-threaded drivers that interleave many logical
+    /// timelines (the serving engine's per-slot request spans): spans on
+    /// *different* tracks may overlap freely, while [`with_track`] pins
+    /// one thread to one track. Every `begin_on` must be paired with an
+    /// [`end_on`](Collector::end_on) on the same track; the
+    /// well-formedness check catches violations. No-op when disabled.
+    pub fn begin_on(&self, track: &str, name: impl Into<Name>) {
+        if !self.inner.enabled {
+            return;
+        }
+        let t = self.track(track);
+        self.emit(&t, name.into(), EventKind::Begin);
+    }
+
+    /// Closes the innermost open span on `track` (see
+    /// [`begin_on`](Collector::begin_on)). No-op when disabled.
+    pub fn end_on(&self, track: &str) {
+        if !self.inner.enabled {
+            return;
+        }
+        let t = self.track(track);
+        self.emit(&t, Cow::Borrowed(""), EventKind::End);
+    }
+
+    /// Accumulates `delta` into counter `name` on `track` directly,
+    /// without installing a thread scope. No-op when disabled.
+    pub fn counter_on(&self, track: &str, name: impl Into<Name>, delta: f64) {
+        if !self.inner.enabled {
+            return;
+        }
+        let t = self.track(track);
+        self.emit(&t, name.into(), EventKind::Counter(delta));
+    }
+
     /// Total number of events recorded so far, across all tracks.
     pub fn num_events(&self) -> usize {
         self.inner
@@ -657,6 +692,30 @@ mod tests {
         let trace = c.snapshot();
         assert_eq!(trace.track("main").unwrap().unclosed, 1);
         assert!(trace.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn explicit_track_spans_interleave_across_tracks() {
+        let c = Collector::with_fake_clock(10);
+        // Two logical request timelines interleaved on one thread —
+        // illegal on a single track, fine on two.
+        c.begin_on("slot0", "request.1");
+        c.counter_on("serve", "admitted", 1.0);
+        c.begin_on("slot1", "request.2");
+        c.counter_on("serve", "admitted", 1.0);
+        c.end_on("slot0");
+        c.end_on("slot1");
+        let trace = c.snapshot();
+        trace.check_well_formed().expect("well-formed");
+        assert_eq!(trace.track("slot0").unwrap().span_count("request.1"), 1);
+        assert_eq!(trace.track("slot1").unwrap().span_count("request.2"), 1);
+        assert_eq!(trace.counter_grand_total("admitted"), 2.0);
+        // Disabled collectors record nothing through the explicit API.
+        let noop = Collector::noop();
+        noop.begin_on("t", "x");
+        noop.counter_on("t", "c", 1.0);
+        noop.end_on("t");
+        assert_eq!(noop.num_events(), 0);
     }
 
     #[test]

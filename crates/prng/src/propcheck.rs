@@ -5,9 +5,13 @@
 //! deterministic; on failure the panic message names the failing case
 //! seed, which can be replayed with [`replay`].
 //!
-//! There is no shrinking: generators here are expected to produce small
-//! cases by construction (the PartIR property tests generate programs of
-//! at most a dozen ops).
+//! [`check`] does not shrink: its generators are expected to produce
+//! small cases by construction (the PartIR property tests generate
+//! programs of at most a dozen ops). For properties over *structured*
+//! inputs whose failures benefit from minimisation (the serving
+//! workload tests), [`check_shrink`] separates generation from the
+//! property and greedily shrinks the first failing input via a
+//! caller-supplied candidate function before panicking.
 //!
 //! # Examples
 //!
@@ -67,6 +71,76 @@ where
     }
 }
 
+/// Runs `property` over `cases` deterministic inputs drawn from `gen`,
+/// shrinking the first failure to a minimal one before panicking.
+///
+/// `shrink` proposes strictly-smaller candidates for a failing input
+/// (e.g. drop a request, shorten a length); [`minimize`] greedily
+/// descends through failing candidates until none fails, so the panic
+/// message shows a local minimum — an input whose every `shrink`
+/// candidate passes.
+///
+/// # Panics
+///
+/// Panics with the property name, case index, per-case seed, the
+/// minimised input (`Debug`-formatted) and its error message.
+pub fn check_shrink<T, G, S, P>(name: &str, cases: u32, mut gen: G, shrink: S, mut property: P)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut Rng) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut rng = Rng::seed_from_u64(seed);
+        let input = gen(&mut rng);
+        if let Err(msg) = property(&input) {
+            let (min, min_msg, evals) = minimize(input, msg, &shrink, &mut property);
+            panic!(
+                "property {name:?} failed at case {case}/{cases} \
+                 (replay seed {seed:#x}); minimal failing input after \
+                 {evals} shrink eval(s):\n{min:#?}\nerror: {min_msg}"
+            );
+        }
+    }
+}
+
+/// Greedily minimises a failing input: repeatedly replaces it with the
+/// first `shrink` candidate that still fails `property`, until no
+/// candidate fails or `MAX_SHRINK_EVALS` property evaluations have been
+/// spent (termination backstop against non-decreasing shrinkers).
+/// Returns the minimised input, its error message, and the number of
+/// property evaluations used.
+pub fn minimize<T, S, P>(
+    mut input: T,
+    mut msg: String,
+    shrink: &S,
+    property: &mut P,
+) -> (T, String, usize)
+where
+    S: Fn(&T) -> Vec<T>,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    const MAX_SHRINK_EVALS: usize = 2000;
+    let mut evals = 0;
+    'outer: loop {
+        for candidate in shrink(&input) {
+            if evals >= MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(cmsg) = property(&candidate) {
+                input = candidate;
+                msg = cmsg;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (input, msg, evals)
+}
+
 /// The per-case seed: a stable hash of the property name and case index.
 fn case_seed(name: &str, case: u32) -> u64 {
     let mut h = BASE_SEED;
@@ -101,6 +175,68 @@ mod tests {
                 Ok(())
             }
         });
+    }
+
+    #[test]
+    fn minimize_descends_to_a_local_minimum() {
+        // Property: fails on any vec summing over 10. Shrink: drop one
+        // element or halve one element. Minimum: a single element just
+        // over the threshold.
+        let mut property = |v: &Vec<u32>| {
+            if v.iter().sum::<u32>() > 10 {
+                Err(format!("sum {} > 10", v.iter().sum::<u32>()))
+            } else {
+                Ok(())
+            }
+        };
+        let shrink = |v: &Vec<u32>| {
+            let mut out = Vec::new();
+            for i in 0..v.len() {
+                let mut c = v.clone();
+                c.remove(i);
+                out.push(c);
+                let mut c = v.clone();
+                c[i] /= 2;
+                out.push(c);
+            }
+            out
+        };
+        let start = vec![8u32, 9, 30, 2];
+        let (min, msg, evals) = minimize(start, "seed".into(), &shrink, &mut property);
+        assert!(min.iter().sum::<u32>() > 10, "minimum still fails");
+        assert!(msg.contains("> 10"));
+        assert!(evals > 0);
+        // Local minimum: every shrink candidate passes.
+        assert!(shrink(&min).iter().all(|c| property(c).is_ok()));
+        assert_eq!(min, vec![15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn check_shrink_panics_with_minimised_input() {
+        check_shrink(
+            "too big",
+            8,
+            |rng| rng.gen_range(100) + 50,
+            |&n: &usize| if n > 0 { vec![n / 2, n - 1] } else { vec![] },
+            |&n| if n >= 1 { Err("n >= 1".into()) } else { Ok(()) },
+        );
+    }
+
+    #[test]
+    fn check_shrink_passes_when_property_holds() {
+        let mut ran = 0;
+        check_shrink(
+            "fine",
+            6,
+            |rng| rng.gen_range(100),
+            |_| vec![],
+            |_| {
+                ran += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(ran, 6);
     }
 
     #[test]

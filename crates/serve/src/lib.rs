@@ -1,0 +1,35 @@
+//! Continuous-batching serving for the IT32 KV-cache model.
+//!
+//! The paper's inference story (§7.1) stops at a fixed-batch serving
+//! `for`-loop. This crate serves *requests*: a bounded FIFO queue fed by
+//! seeded synthetic workloads ([`workload::poisson`]), an engine that
+//! admits and retires sequences between decode steps of one compiled
+//! plan ([`engine::ServingEngine`]), and a slotted KV-cache arena
+//! sharded across the mesh exactly as the propagated partitioning
+//! dictates, with in-model slot recycling.
+//!
+//! The batching policy is deliberately *just a driver* over the same
+//! partitioned program the fixed-batch path runs — PartIR's
+//! schedule-as-composition view applied to serving. That makes the
+//! engine differentially testable: every request decoded here must be
+//! bit-identical to the same request run alone through the original
+//! serving loop (see `tests/conformance.rs`), because decode rows are
+//! independent and the decode-step function restates the loop body
+//! exactly (see [`partir_models::itransformer::build_decode_step`]).
+//!
+//! Invariants of the admission/retirement machinery — slot-arena
+//! disjointness, no early retirement, bounded FIFO queueing — are
+//! checked by [`trace::validate_events`] over the engine's own event
+//! log and swept by propcheck with workload shrinking.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod metrics;
+pub mod trace;
+pub mod workload;
+
+pub use engine::{RunOptions, ServeError, ServingEngine};
+pub use metrics::{percentile_nearest_rank, RequestOutcome, ServeReport};
+pub use trace::{validate_events, ServeEvent};
+pub use workload::{poisson, shrink_workload, Request, Workload, WorkloadSpec};

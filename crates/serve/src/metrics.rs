@@ -1,0 +1,184 @@
+//! Per-run serving metrics: request outcomes, latency percentiles,
+//! throughput and utilisation.
+
+use crate::trace::ServeEvent;
+
+/// What happened to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub id: u64,
+    /// Generated tokens (empty if rejected).
+    pub tokens: Vec<i32>,
+    /// Workload arrival time, microseconds.
+    pub arrival_us: u64,
+    /// When the request took a slot.
+    pub admitted_us: Option<u64>,
+    /// When its last token was generated.
+    pub retired_us: Option<u64>,
+    /// The slot it occupied.
+    pub slot: Option<usize>,
+    /// Dropped on arrival: the queue was full.
+    pub rejected: bool,
+}
+
+impl RequestOutcome {
+    /// Arrival-to-retirement latency, if the request completed.
+    pub fn latency_us(&self) -> Option<u64> {
+        self.retired_us.map(|r| r.saturating_sub(self.arrival_us))
+    }
+}
+
+/// The result of one [`crate::engine::ServingEngine::run`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-request outcomes, sorted by id.
+    pub outcomes: Vec<RequestOutcome>,
+    /// The full host-side event timeline (validated by
+    /// [`crate::trace::validate_events`]).
+    pub events: Vec<ServeEvent>,
+    /// Decode steps executed.
+    pub steps: u64,
+    /// Run duration, microseconds (virtual or wall, per the clock).
+    pub elapsed_us: u64,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: usize,
+    /// Sum over steps of slots active in that step.
+    pub active_slot_steps: u64,
+    /// Slot-arena size.
+    pub slots: usize,
+}
+
+impl ServeReport {
+    /// Outcomes that completed (admitted and retired).
+    pub fn completed(&self) -> impl Iterator<Item = &RequestOutcome> {
+        self.outcomes.iter().filter(|o| o.retired_us.is_some())
+    }
+
+    /// Completed-request latencies, sorted ascending.
+    pub fn latencies_us(&self) -> Vec<u64> {
+        let mut l: Vec<u64> = self
+            .completed()
+            .filter_map(RequestOutcome::latency_us)
+            .collect();
+        l.sort_unstable();
+        l
+    }
+
+    /// Median arrival-to-retirement latency (nearest-rank; 0 if nothing
+    /// completed).
+    pub fn p50_us(&self) -> u64 {
+        percentile_nearest_rank(&self.latencies_us(), 50.0)
+    }
+
+    /// Tail (p99) arrival-to-retirement latency.
+    pub fn p99_us(&self) -> u64 {
+        percentile_nearest_rank(&self.latencies_us(), 99.0)
+    }
+
+    /// Tokens generated across all completed requests.
+    pub fn total_tokens(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.tokens.len() as u64).sum()
+    }
+
+    /// Generated tokens per second of run time.
+    pub fn tokens_per_sec(&self) -> f64 {
+        self.total_tokens() as f64 * 1e6 / self.elapsed_us as f64
+    }
+
+    /// Fraction of slot-steps that decoded a live request.
+    pub fn slot_utilization(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.active_slot_steps as f64 / (self.steps * self.slots as u64) as f64
+    }
+
+    /// Requests dropped at the queue.
+    pub fn rejected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.rejected).count()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests ({} rejected), {} tokens in {} steps; p50 {}us p99 {}us, \
+             {:.0} tok/s, util {:.2}, max queue {}",
+            self.outcomes.len(),
+            self.rejected(),
+            self.total_tokens(),
+            self.steps,
+            self.p50_us(),
+            self.p99_us(),
+            self.tokens_per_sec(),
+            self.slot_utilization(),
+            self.max_queue_depth
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 on empty).
+pub fn percentile_nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nearest_rank(&s, 50.0), 50);
+        assert_eq!(percentile_nearest_rank(&s, 99.0), 99);
+        assert_eq!(percentile_nearest_rank(&s, 100.0), 100);
+        assert_eq!(percentile_nearest_rank(&[7], 50.0), 7);
+        assert_eq!(percentile_nearest_rank(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn report_metrics_compose() {
+        let outcome = |id, arrival, retired| RequestOutcome {
+            id,
+            tokens: vec![1, 2],
+            arrival_us: arrival,
+            admitted_us: Some(arrival),
+            retired_us: Some(retired),
+            slot: Some(0),
+            rejected: false,
+        };
+        let report = ServeReport {
+            outcomes: vec![
+                outcome(0, 0, 100),
+                outcome(1, 50, 250),
+                RequestOutcome {
+                    id: 2,
+                    tokens: vec![],
+                    arrival_us: 60,
+                    admitted_us: None,
+                    retired_us: None,
+                    slot: None,
+                    rejected: true,
+                },
+            ],
+            events: Vec::new(),
+            steps: 4,
+            elapsed_us: 1_000_000,
+            max_queue_depth: 2,
+            active_slot_steps: 6,
+            slots: 2,
+        };
+        assert_eq!(report.latencies_us(), vec![100, 200]);
+        assert_eq!(report.p50_us(), 100);
+        assert_eq!(report.p99_us(), 200);
+        assert_eq!(report.total_tokens(), 4);
+        assert_eq!(report.rejected(), 1);
+        assert!((report.tokens_per_sec() - 4.0).abs() < 1e-9);
+        assert!((report.slot_utilization() - 0.75).abs() < 1e-9);
+        assert!(report.summary().contains("p50 100us"));
+    }
+}

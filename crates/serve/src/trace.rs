@@ -1,0 +1,371 @@
+//! The engine's host-side event log and its invariant checker.
+//!
+//! Every run of the [`crate::engine::ServingEngine`] records a
+//! [`ServeEvent`] timeline (admissions, retirements, rejections, step
+//! boundaries). [`validate_events`] replays it against the workload and
+//! checks the slot-arena and queue invariants the propcheck suite
+//! sweeps over random workloads:
+//!
+//! 1. every request arrives exactly once, at its workload arrival time;
+//! 2. admissions go to an in-bounds, *free* slot (arena disjointness);
+//! 3. a request retires from the slot it was admitted to, with exactly
+//!    its decode budget generated — never with pending decode steps;
+//! 4. the queue never holds more than its capacity;
+//! 5. admissions are FIFO in queue order;
+//! 6. every request is eventually retired or rejected.
+
+use std::collections::HashMap;
+
+use crate::workload::Workload;
+
+/// One host-side serving event (times in engine-clock microseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A request reached the engine.
+    Arrive {
+        /// Engine-clock time.
+        t: u64,
+        /// Request id.
+        id: u64,
+    },
+    /// The queue was full; the request was dropped.
+    Reject {
+        /// Engine-clock time.
+        t: u64,
+        /// Request id.
+        id: u64,
+    },
+    /// A queued request took ownership of a slot.
+    Admit {
+        /// Engine-clock time.
+        t: u64,
+        /// Request id.
+        id: u64,
+        /// Slot index in the arena.
+        slot: usize,
+    },
+    /// One decode step of the compiled plan finished.
+    StepEnd {
+        /// Engine-clock time.
+        t: u64,
+        /// Step ordinal (0-based).
+        step: u64,
+        /// Slots that were active during the step.
+        active: usize,
+    },
+    /// A request finished its decode budget and released its slot.
+    Retire {
+        /// Engine-clock time.
+        t: u64,
+        /// Request id.
+        id: u64,
+        /// Slot index released.
+        slot: usize,
+        /// Tokens generated for the request.
+        tokens: usize,
+    },
+}
+
+impl ServeEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> u64 {
+        match self {
+            ServeEvent::Arrive { t, .. }
+            | ServeEvent::Reject { t, .. }
+            | ServeEvent::Admit { t, .. }
+            | ServeEvent::StepEnd { t, .. }
+            | ServeEvent::Retire { t, .. } => *t,
+        }
+    }
+}
+
+/// Replays an event log against its workload and checks the serving
+/// invariants (see the module docs). `slots` and `queue_capacity` are
+/// the engine limits the run was configured with.
+///
+/// # Errors
+///
+/// Describes the first violation found.
+pub fn validate_events(
+    events: &[ServeEvent],
+    workload: &Workload,
+    slots: usize,
+    queue_capacity: usize,
+) -> Result<(), String> {
+    let budget: HashMap<u64, usize> = workload
+        .requests
+        .iter()
+        .map(|r| (r.id, r.decode_steps))
+        .collect();
+    let mut arrived: HashMap<u64, u64> = HashMap::new(); // id -> arrival order index
+    let mut queue: Vec<u64> = Vec::new(); // ids waiting, FIFO
+    let mut slot_owner: Vec<Option<u64>> = vec![None; slots];
+    let mut admitted_slot: HashMap<u64, usize> = HashMap::new();
+    let mut settled: HashMap<u64, &'static str> = HashMap::new(); // retired/rejected
+    let mut last_t = 0u64;
+    let mut arrival_order = 0u64;
+    // Set when an Arrive overfilled the queue by one: the very next
+    // event must be a Reject of that id, or the bound is violated.
+    let mut expect_reject: Option<u64> = None;
+    for e in events {
+        if e.time() < last_t {
+            return Err(format!("time went backwards at {e:?} (last {last_t})"));
+        }
+        last_t = e.time();
+        if let Some(id) = expect_reject.take() {
+            if !matches!(*e, ServeEvent::Reject { id: rid, .. } if rid == id) {
+                return Err(format!(
+                    "queue depth {} exceeds capacity {queue_capacity}: arrival of {id} was \
+                     not immediately rejected (next event {e:?})",
+                    queue.len()
+                ));
+            }
+        }
+        match *e {
+            ServeEvent::Arrive { t, id } => {
+                let Some(req) = workload.requests.iter().find(|r| r.id == id) else {
+                    return Err(format!("arrival of unknown request {id}"));
+                };
+                if req.arrival_us > t {
+                    return Err(format!(
+                        "request {id} arrived at {t} before its workload time {}",
+                        req.arrival_us
+                    ));
+                }
+                if arrived.insert(id, arrival_order).is_some() {
+                    return Err(format!("request {id} arrived twice"));
+                }
+                arrival_order += 1;
+                queue.push(id);
+            }
+            ServeEvent::Reject { t: _, id } => {
+                match queue.last() {
+                    Some(&last) if last == id => {
+                        queue.pop();
+                    }
+                    _ => return Err(format!("reject of {id} which is not the newest arrival")),
+                }
+                if settled.insert(id, "rejected").is_some() {
+                    return Err(format!("request {id} settled twice"));
+                }
+            }
+            ServeEvent::Admit { t: _, id, slot } => {
+                if !arrived.contains_key(&id) {
+                    return Err(format!("request {id} admitted before arriving"));
+                }
+                match queue.first() {
+                    Some(&head) if head == id => {
+                        queue.remove(0);
+                    }
+                    Some(&head) => {
+                        return Err(format!(
+                            "admission out of FIFO order: admitted {id} while {head} was at \
+                             the head of the queue"
+                        ))
+                    }
+                    None => return Err(format!("request {id} admitted with an empty queue")),
+                }
+                if slot >= slots {
+                    return Err(format!("request {id} admitted to out-of-range slot {slot}"));
+                }
+                if let Some(owner) = slot_owner[slot] {
+                    return Err(format!(
+                        "slot {slot} double-booked: admitted {id} while owned by {owner}"
+                    ));
+                }
+                slot_owner[slot] = Some(id);
+                admitted_slot.insert(id, slot);
+            }
+            ServeEvent::StepEnd { .. } => {}
+            ServeEvent::Retire {
+                t: _,
+                id,
+                slot,
+                tokens,
+            } => {
+                if admitted_slot.get(&id) != Some(&slot) {
+                    return Err(format!(
+                        "request {id} retired from slot {slot} it does not own"
+                    ));
+                }
+                if slot_owner[slot] != Some(id) {
+                    return Err(format!("slot {slot} freed by non-owner {id}"));
+                }
+                slot_owner[slot] = None;
+                let want = budget.get(&id).copied().unwrap_or(0);
+                if tokens != want {
+                    return Err(format!(
+                        "request {id} retired with {tokens} token(s), decode budget is {want}"
+                    ));
+                }
+                if settled.insert(id, "retired").is_some() {
+                    return Err(format!("request {id} settled twice"));
+                }
+            }
+        }
+        if queue.len() > queue_capacity {
+            // Legal only as the one-event transient between an arrival
+            // and its rejection.
+            match *e {
+                ServeEvent::Arrive { id, .. } if queue.len() == queue_capacity + 1 => {
+                    expect_reject = Some(id);
+                }
+                _ => {
+                    return Err(format!(
+                        "queue depth {} exceeds capacity {queue_capacity} after {e:?}",
+                        queue.len()
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(id) = expect_reject {
+        return Err(format!(
+            "queue depth exceeds capacity {queue_capacity}: arrival of {id} was never rejected"
+        ));
+    }
+    for r in &workload.requests {
+        if !settled.contains_key(&r.id) {
+            return Err(format!("request {} never retired or rejected", r.id));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Request;
+
+    fn workload() -> Workload {
+        Workload::new(vec![
+            Request {
+                id: 0,
+                arrival_us: 0,
+                prompt: vec![1],
+                decode_steps: 2,
+            },
+            Request {
+                id: 1,
+                arrival_us: 5,
+                prompt: vec![2, 3],
+                decode_steps: 1,
+            },
+        ])
+    }
+
+    fn good_events() -> Vec<ServeEvent> {
+        vec![
+            ServeEvent::Arrive { t: 0, id: 0 },
+            ServeEvent::Admit {
+                t: 0,
+                id: 0,
+                slot: 1,
+            },
+            ServeEvent::StepEnd {
+                t: 10,
+                step: 0,
+                active: 1,
+            },
+            ServeEvent::Arrive { t: 10, id: 1 },
+            ServeEvent::Admit {
+                t: 10,
+                id: 1,
+                slot: 0,
+            },
+            ServeEvent::StepEnd {
+                t: 20,
+                step: 1,
+                active: 2,
+            },
+            ServeEvent::Retire {
+                t: 20,
+                id: 0,
+                slot: 1,
+                tokens: 2,
+            },
+            ServeEvent::Retire {
+                t: 20,
+                id: 1,
+                slot: 0,
+                tokens: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn accepts_a_clean_timeline() {
+        validate_events(&good_events(), &workload(), 2, 4).expect("valid");
+    }
+
+    // Mutation tests: each corruption of the clean timeline must be
+    // caught — this is what makes the propcheck property trustworthy.
+
+    #[test]
+    fn rejects_double_booked_slots() {
+        let mut ev = good_events();
+        ev[4] = ServeEvent::Admit {
+            t: 10,
+            id: 1,
+            slot: 1,
+        };
+        let err = validate_events(&ev, &workload(), 2, 4).unwrap_err();
+        assert!(err.contains("double-booked"), "{err}");
+    }
+
+    #[test]
+    fn rejects_early_retirement() {
+        let mut ev = good_events();
+        ev[6] = ServeEvent::Retire {
+            t: 20,
+            id: 0,
+            slot: 1,
+            tokens: 1,
+        };
+        let err = validate_events(&ev, &workload(), 2, 4).unwrap_err();
+        assert!(err.contains("decode budget"), "{err}");
+    }
+
+    #[test]
+    fn rejects_retiring_a_foreign_slot() {
+        let mut ev = good_events();
+        ev[6] = ServeEvent::Retire {
+            t: 20,
+            id: 0,
+            slot: 0,
+            tokens: 2,
+        };
+        let err = validate_events(&ev, &workload(), 2, 4).unwrap_err();
+        assert!(err.contains("does not own"), "{err}");
+    }
+
+    #[test]
+    fn rejects_queue_overflow() {
+        let ev = good_events();
+        let err = validate_events(&ev, &workload(), 2, 0).unwrap_err();
+        assert!(err.contains("exceeds capacity"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_fifo_admission() {
+        let ev = vec![
+            ServeEvent::Arrive { t: 0, id: 0 },
+            ServeEvent::Arrive { t: 5, id: 1 },
+            ServeEvent::Admit {
+                t: 5,
+                id: 1,
+                slot: 0,
+            },
+        ];
+        let err = validate_events(&ev, &workload(), 2, 4).unwrap_err();
+        assert!(err.contains("FIFO"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_lost_request() {
+        let mut ev = good_events();
+        ev.truncate(7); // request 1 never retires
+        let err = validate_events(&ev, &workload(), 2, 4).unwrap_err();
+        assert!(err.contains("never retired"), "{err}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Golden fake-clock serving trace: a fixed workload through the
+//! engine under the virtual step clock and a fake-clock collector,
+//! serialised (admission/retirement timeline, per-request outcomes,
+//! percentile summary, obs trace) and pinned byte-stable alongside
+//! `tests/golden/mlp_profile.trace.json`.
+//!
+//! Everything in the document is integer-valued and driven by
+//! deterministic clocks, so the bytes cannot depend on machine, OS
+//! scheduling, or debug/release codegen. Regenerate intentionally with
+//! `SERVE_UPDATE_GOLDEN=1 cargo test -p partir-serve --test golden_trace`.
+
+use std::fmt::Write as _;
+
+use partir_mesh::{HardwareConfig, Mesh};
+use partir_models::itransformer::ServingConfig;
+use partir_models::schedules::{self, BATCH, MODEL};
+use partir_obs::Collector;
+use partir_serve::{
+    validate_events, Request, RunOptions, ServeEvent, ServeReport, ServingEngine, Workload,
+};
+use partir_spmd::PlanOptions;
+
+/// A hand-built workload (no float sampling — arrival times are pinned
+/// literals): a burst of three at t=0 against queue capacity 2, so the
+/// timeline pins the rejection path, then staggered arrivals that
+/// retire mid-flight.
+fn golden_workload() -> Workload {
+    let req = |id, arrival_us, prompt: &[i32], decode_steps| Request {
+        id,
+        arrival_us,
+        prompt: prompt.to_vec(),
+        decode_steps,
+    };
+    Workload::new(vec![
+        req(0, 0, &[3, 5, 1], 4),
+        req(1, 0, &[7], 2),
+        req(2, 0, &[2, 2], 3),
+        req(3, 250, &[9, 4], 3),
+        req(4, 600, &[11], 1),
+    ])
+}
+
+fn event_json(e: &ServeEvent) -> String {
+    match *e {
+        ServeEvent::Arrive { t, id } => {
+            format!("{{\"event\":\"arrive\",\"t\":{t},\"id\":{id}}}")
+        }
+        ServeEvent::Reject { t, id } => {
+            format!("{{\"event\":\"reject\",\"t\":{t},\"id\":{id}}}")
+        }
+        ServeEvent::Admit { t, id, slot } => {
+            format!("{{\"event\":\"admit\",\"t\":{t},\"id\":{id},\"slot\":{slot}}}")
+        }
+        ServeEvent::StepEnd { t, step, active } => {
+            format!("{{\"event\":\"step\",\"t\":{t},\"step\":{step},\"active\":{active}}}")
+        }
+        ServeEvent::Retire {
+            t,
+            id,
+            slot,
+            tokens,
+        } => {
+            format!("{{\"event\":\"retire\",\"t\":{t},\"id\":{id},\"slot\":{slot},\"tokens\":{tokens}}}")
+        }
+    }
+}
+
+fn render(report: &ServeReport, obs_json: &str) -> String {
+    let mut out = String::from("{\n  \"timeline\": [\n");
+    for (i, e) in report.events.iter().enumerate() {
+        let sep = if i + 1 == report.events.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(out, "    {}{sep}", event_json(e)).expect("write");
+    }
+    out.push_str("  ],\n  \"outcomes\": [\n");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        let sep = if i + 1 == report.outcomes.len() {
+            ""
+        } else {
+            ","
+        };
+        let tokens: Vec<String> = o.tokens.iter().map(|t| t.to_string()).collect();
+        writeln!(
+            out,
+            "    {{\"id\":{},\"rejected\":{},\"slot\":{},\"arrival_us\":{},\"retired_us\":{},\
+             \"tokens\":[{}]}}{sep}",
+            o.id,
+            o.rejected,
+            o.slot.map_or(-1i64, |s| s as i64),
+            o.arrival_us,
+            o.retired_us.map_or(-1i64, |t| t as i64),
+            tokens.join(",")
+        )
+        .expect("write");
+    }
+    writeln!(
+        out,
+        "  ],\n  \"summary\": {{\"steps\":{},\"elapsed_us\":{},\"total_tokens\":{},\
+         \"p50_us\":{},\"p99_us\":{},\"max_queue_depth\":{},\"rejected\":{},\
+         \"active_slot_steps\":{},\"slots\":{}}},",
+        report.steps,
+        report.elapsed_us,
+        report.total_tokens(),
+        report.p50_us(),
+        report.p99_us(),
+        report.max_queue_depth,
+        report.rejected(),
+        report.active_slot_steps,
+        report.slots
+    )
+    .expect("write");
+    writeln!(out, "  \"obs\": {obs_json}").expect("write");
+    out.push_str("}\n");
+    out
+}
+
+fn golden_document() -> String {
+    let cfg = ServingConfig::tiny();
+    let mesh = Mesh::new([(BATCH, 2), (MODEL, 2)]).expect("mesh");
+    let hw = HardwareConfig::tpu_v3_pod(mesh);
+    let rows = schedules::itransformer_table2();
+    let (_, schedule) = rows.iter().find(|(l, _)| *l == "BP+MP").expect("BP+MP");
+    // Blocking plan: collective schedules stay at program points. The
+    // engine is run outside any `with_track` scope, so no device track
+    // (whose rendezvous spans depend on OS scheduling) can appear — the
+    // collector sees only the serve-side tracks.
+    let engine =
+        ServingEngine::new(&cfg, &hw, schedule, &PlanOptions::blocking(), 5).expect("engine");
+    let collector = Collector::with_fake_clock(1_000);
+    let workload = golden_workload();
+    let report = engine
+        .run(
+            &workload,
+            &RunOptions {
+                queue_capacity: 2,
+                virtual_step_us: Some(100),
+                collector: Some(collector.clone()),
+            },
+        )
+        .expect("run");
+    validate_events(&report.events, &workload, cfg.slots, 2).expect("valid timeline");
+    let trace = collector.snapshot();
+    trace.check_well_formed().expect("well-formed obs trace");
+    assert!(report.rejected() >= 1, "the golden pins the rejection path");
+    render(&report, &trace.to_chrome_json())
+}
+
+#[test]
+fn golden_serving_trace_round_trips() {
+    let got = golden_document();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/serving.trace.json"
+    );
+    if std::env::var_os("SERVE_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("update golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        got, want,
+        "fake-clock serving trace diverged from the golden; if the \
+         change is intentional, regenerate with SERVE_UPDATE_GOLDEN=1"
+    );
+    // Reproducible within one process, byte for byte.
+    assert_eq!(got, golden_document());
+}

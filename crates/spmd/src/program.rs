@@ -189,6 +189,34 @@ impl SpmdProgram {
         Ok((global, outcome.stats))
     }
 
+    /// Shards one global input into its per-device fragments, per that
+    /// input's propagated context. Step-loop drivers (the `partir-serve`
+    /// continuous-batching engine) use this to keep parameters and
+    /// KV-cache slots *resident* per device: shard once, then per step
+    /// re-shard only the small slot-addressed inputs that changed and
+    /// call [`CompiledPlan`]'s runtime directly with per-device inputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lit` mismatches the input's global type.
+    pub fn shard_input(&self, index: usize, lit: &Literal) -> Result<Vec<Literal>, IrError> {
+        let ctx = &self.input_ctxs[index];
+        (0..self.mesh.num_devices())
+            .map(|device| shard_value(lit, ctx, &self.mesh, device))
+            .collect()
+    }
+
+    /// Reassembles one global output from its per-device fragments —
+    /// the inverse of [`SpmdProgram::shard_input`] on the output side.
+    /// `shards` must hold one fragment per device, in device order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the fragments mismatch the output's sharded type.
+    pub fn unshard_output(&self, index: usize, shards: &[Literal]) -> Result<Literal, IrError> {
+        unshard_value(shards, &self.output_ctxs[index], &self.mesh)
+    }
+
     /// Exact per-axis traffic the threaded runtime will move executing
     /// this program — the prediction [`RuntimeStats`] is reconciled
     /// against.
